@@ -1,0 +1,55 @@
+"""Ablation bench: architecture sensitivity (the conclusion's message).
+
+Which SW26010 resource, doubled, buys the most convolution throughput?
+The answer depends on where the layer sits against the roofline, so the
+sweep runs two reference layers:
+
+* a *bandwidth-starved* one (few output channels — the high-RBW regime of
+  Eq. 2), where the DDR interface is the binding resource; and
+* a *balanced* one (256 channels with the promoted batch plan), where the
+  clock starts to matter.
+
+The paper's architectural message is the first row: for the layers its
+model calls memory-bound, bandwidth beats everything.
+"""
+
+from repro.common.tables import TextTable
+from repro.core.params import ConvParams
+from repro.perf.sensitivity import sweep_all
+
+STARVED = ConvParams.from_output(ni=64, no=64, ro=16, co=16, kr=3, kc=3, b=64)
+BALANCED = ConvParams.from_output(ni=256, no=256, ro=64, co=64, kr=3, kc=3, b=128)
+
+
+def _render(results) -> str:
+    table = TextTable(["knob", "0.5x", "1x", "2x", "4x"], float_fmt="{:.2f}")
+    for knob, points in results.items():
+        table.add_row([knob] + [p.speedup_vs_default for p in points])
+    return table.render()
+
+
+def test_bench_ablation_architecture_sensitivity(benchmark):
+    scales = [0.5, 1.0, 2.0, 4.0]
+
+    def sweep_both():
+        return (
+            sweep_all(scales=scales, params=STARVED),
+            sweep_all(scales=scales, params=BALANCED),
+        )
+
+    starved, balanced = benchmark.pedantic(sweep_both, rounds=1, iterations=1)
+    print()
+    print("Ablation — architecture sensitivity (speedup vs default SW26010)")
+    print(f"\nbandwidth-starved layer ({STARVED.describe()}):")
+    print(_render(starved))
+    print(f"\nbalanced layer ({BALANCED.describe()}):")
+    print(_render(balanced))
+
+    s_ddr = {p.scale: p.speedup_vs_default for p in starved["ddr_bandwidth"]}
+    s_clock = {p.scale: p.speedup_vs_default for p in starved["clock"]}
+    b_clock = {p.scale: p.speedup_vs_default for p in balanced["clock"]}
+    # Memory-bound regime: bandwidth is the binding resource.
+    assert s_ddr[2.0] > s_clock[2.0]
+    assert s_ddr[0.5] < 0.85
+    # Balanced regime: compute-side scaling finally pays.
+    assert b_clock[2.0] > 1.2

@@ -1,0 +1,139 @@
+"""Ablation benches for the design choices of Sections IV-VI.
+
+Not figures of the paper, but the knobs its design discussion turns:
+LDM blocking sizes, DMA promotion, double buffering, register blocking,
+and instruction reordering.  Each bench demonstrates the direction the
+paper argues for.
+"""
+
+from repro.common.tables import TextTable
+from repro.common.units import GB
+from repro.core.conv import ConvolutionEngine
+from repro.core.ldm_blocking import BatchBlocking, ImageBlocking
+from repro.core.params import ConvParams
+from repro.core.plans import BatchSizeAwarePlan, ImageSizeAwarePlan
+from repro.core.register_blocking import RegisterBlocking
+from repro.isa.kernels import (
+    GemmKernelSpec,
+    gemm_kernel_original,
+    gemm_kernel_reordered,
+)
+from repro.isa.pipeline import DualPipelineSimulator
+
+PARAMS = ConvParams.from_output(ni=128, no=128, ro=64, co=64, kr=3, kc=3, b=128)
+
+
+def test_bench_ablation_ldm_blocking_size(benchmark):
+    """Bigger bCo*bB -> lower Eq. 1 RBW -> higher measured throughput."""
+
+    def sweep():
+        rows = []
+        for b_b, b_co in [(8, 4), (16, 8), (32, 16), (32, 32)]:
+            plan = ImageSizeAwarePlan(PARAMS, blocking=ImageBlocking(b_b=b_b, b_co=b_co))
+            report = ConvolutionEngine(plan).evaluate()
+            rows.append((b_b, b_co, plan.rbw_mem() / GB, report.gflops))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = TextTable(["bB", "bCo", "RBW (GB/s)", "measured Gflops"])
+    for row in rows:
+        table.add_row(row)
+    print()
+    print("Ablation — LDM blocking size (image-size-aware plan)")
+    print(table.render())
+    gflops = [r[3] for r in rows]
+    assert gflops[-1] > gflops[0], "larger LDM blocks must win"
+
+
+def test_bench_ablation_dma_promotion(benchmark):
+    """Section IV-A: promoting DMA to outer loops cuts traffic and time."""
+
+    def compare():
+        plain = BatchSizeAwarePlan(
+            PARAMS, blocking=BatchBlocking(b_co=4, promote_filter=False)
+        )
+        promoted = BatchSizeAwarePlan(
+            PARAMS, blocking=BatchBlocking(b_co=4, promote_filter=True)
+        )
+        return (
+            ConvolutionEngine(plain).evaluate(),
+            ConvolutionEngine(promoted).evaluate(),
+        )
+
+    plain, promoted = benchmark.pedantic(compare, rounds=1, iterations=1)
+    print()
+    print("Ablation — filter-DMA promotion (batch-size-aware plan)")
+    print(f"  unpromoted: {plain.gflops:.0f} Gflops, "
+          f"{(plain.bytes_get + plain.bytes_put) / 1e9:.2f} GB moved")
+    print(f"  promoted:   {promoted.gflops:.0f} Gflops, "
+          f"{(promoted.bytes_get + promoted.bytes_put) / 1e9:.2f} GB moved")
+    assert promoted.gflops > plain.gflops
+    assert promoted.bytes_get < plain.bytes_get
+
+
+def test_bench_ablation_double_buffering(benchmark):
+    """Section IV-A: double buffering hides DMA under compute.
+
+    contention=1.0 models no overlap at all (single-buffered), 0.0 perfect
+    overlap; the default 0.5 sits between.
+    """
+
+    def sweep():
+        plan = BatchSizeAwarePlan(PARAMS)
+        return [
+            (c, ConvolutionEngine(plan, overlap_contention=c).evaluate().gflops)
+            for c in (1.0, 0.5, 0.0)
+        ]
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print("Ablation — DMA/compute overlap (1.0 = no double buffering)")
+    for contention, gflops in rows:
+        print(f"  contention {contention:.1f}: {gflops:.0f} Gflops")
+    assert rows[-1][1] > rows[0][1]
+
+
+def test_bench_ablation_register_blocking(benchmark):
+    """Section V-B: the (16, 4) register block vs starved alternatives."""
+
+    def sweep():
+        rows = []
+        for rb_b, rb_no in [(4, 1), (8, 2), (16, 4), (24, 4)]:
+            blocking = RegisterBlocking(rb_b=rb_b, rb_no=rb_no)
+            if not blocking.is_feasible():
+                continue
+            plan = BatchSizeAwarePlan(PARAMS, register_blocking=blocking)
+            est = plan.estimate()
+            rows.append((rb_b, rb_no, blocking.rbw_simd() / GB, est.gflops))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = TextTable(["rbB", "rbNo", "Eq.5 RBW (GB/s)", "modeled Gflops"])
+    for row in rows:
+        table.add_row(row)
+    print()
+    print("Ablation — register blocking (LDM->REG level)")
+    print(table.render())
+    by_key = {(r[0], r[1]): r[3] for r in rows}
+    assert by_key[(16, 4)] > by_key[(4, 1)]
+
+
+def test_bench_ablation_instruction_reordering(benchmark):
+    """Section VI: reordered vs compiler-order inner kernel."""
+
+    def compare():
+        sim = DualPipelineSimulator()
+        spec = GemmKernelSpec.for_input_channels(128)
+        return (
+            sim.simulate(gemm_kernel_original(spec)),
+            sim.simulate(gemm_kernel_reordered(spec)),
+        )
+
+    original, reordered = benchmark.pedantic(compare, rounds=1, iterations=1)
+    print()
+    print("Ablation — dual-pipeline instruction reordering (Ni=128)")
+    print(f"  original:  {original.total_cycles} cycles, "
+          f"EE {original.fma_efficiency * 100:.1f}%")
+    print(f"  reordered: {reordered.total_cycles} cycles, "
+          f"EE {reordered.fma_efficiency * 100:.1f}%")
+    assert reordered.total_cycles < original.total_cycles

@@ -1,0 +1,35 @@
+"""Extension bench: the precision what-if of Section VII's aside.
+
+The paper evaluates in double precision because SW26010's vector units
+cannot run faster in narrower types; this bench quantifies what single and
+half precision would still buy purely from bandwidth relief — and where
+the compute roof caps the win.
+"""
+
+from repro.common.tables import TextTable
+from repro.core.params import ConvParams
+from repro.core.plans import BatchSizeAwarePlan
+from repro.perf.precision import precision_sweep
+
+
+def test_bench_extension_precision(benchmark):
+    params = ConvParams.from_output(ni=256, no=256, ro=64, co=64, kr=3, kc=3, b=128)
+    estimate = BatchSizeAwarePlan(params).estimate()
+
+    points = benchmark.pedantic(
+        lambda: precision_sweep(estimate), rounds=1, iterations=1
+    )
+    table = TextTable(
+        ["precision", "RBW (GB/s)", "MBW (GB/s)", "Gflops", "bound", "speedup"],
+        float_fmt="{:.2f}",
+    )
+    for p in points:
+        table.add_row(
+            [p.precision, p.rbw_gbps, p.mbw_gbps, p.modeled_gflops, p.bound,
+             p.speedup_vs_double]
+        )
+    print()
+    print("Extension — storage precision what-if (arithmetic fixed at DP peak)")
+    print(table.render())
+    assert points[0].speedup_vs_double == 1.0
+    assert 1.0 < points[2].speedup_vs_double < 4.0

@@ -1,0 +1,54 @@
+"""Extension bench: data-parallel training scaling across TaihuLight nodes.
+
+Not a figure of the paper — it quantifies the direction the paper's
+introduction motivates (scaling one network's training across the
+machine), using the same timed substrate as the single-chip results.
+"""
+
+from repro.common.tables import TextTable
+from repro.scale.data_parallel import DataParallelModel, vgg_like_stack
+
+
+def test_bench_extension_weak_scaling(benchmark):
+    model = DataParallelModel(vgg_like_stack(batch=64, channels=64))
+
+    def sweep():
+        return model.weak_scaling([1, 4, 16, 64, 256, 1024, 4096], per_node_batch=64)
+
+    points = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = TextTable(
+        ["nodes", "iter (ms)", "comm (ms)", "samples/s", "efficiency"],
+        float_fmt="{:.2f}",
+    )
+    for p in points:
+        table.add_row(
+            [
+                p.nodes,
+                p.iteration_seconds * 1e3,
+                p.comm_seconds * 1e3,
+                p.samples_per_second,
+                p.efficiency,
+            ]
+        )
+    print()
+    print("Extension — weak scaling of data-parallel training (per-node batch 64)")
+    print(table.render())
+    assert points[0].efficiency == 1.0
+    assert points[3].efficiency > 0.7  # 64 nodes still healthy
+    effs = [p.efficiency for p in points]
+    assert all(a >= b - 1e-9 for a, b in zip(effs, effs[1:]))
+
+
+def test_bench_extension_strong_scaling(benchmark):
+    model = DataParallelModel(vgg_like_stack(batch=64, channels=64))
+
+    def sweep():
+        return model.strong_scaling([1, 4, 16, 64, 256], global_batch=1024)
+
+    points = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print("Extension — strong scaling (global batch 1024)")
+    for p in points:
+        print(f"  {p.nodes:5d} nodes: {p.iteration_seconds * 1e3:8.2f} ms/iter, "
+              f"{p.samples_per_second:10.0f} samples/s, eff {p.efficiency:.2f}")
+    assert points[1].samples_per_second > points[0].samples_per_second

@@ -1,0 +1,15 @@
+"""Fig. 2 bench: the three-level performance-model design points."""
+
+from repro.experiments import fig2_model
+
+
+def test_bench_fig2_performance_model(benchmark):
+    result = benchmark(fig2_model.run)
+    print()
+    print(fig2_model.render(result))
+    assert abs(result.peak_gflops_cg - 742.4) < 0.1
+    assert abs(result.rbw_direct_gbps - 139.2) < 0.1
+    assert abs(result.eq5_rbw_gbps - 23.2) < 0.1
+    assert result.direct_gflops < 3.0
+    benchmark.extra_info["direct_gflops"] = round(result.direct_gflops, 2)
+    benchmark.extra_info["hierarchical_gflops"] = round(result.hierarchical_gflops, 1)

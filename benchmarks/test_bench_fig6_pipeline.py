@@ -1,0 +1,26 @@
+"""Fig. 6 bench: dual-pipeline instruction reordering cycle counts."""
+
+import pytest
+
+from repro.experiments import fig6_pipeline
+from repro.isa.kernels import GemmKernelSpec, gemm_kernel_reordered
+from repro.isa.pipeline import DualPipelineSimulator
+
+
+def test_bench_fig6_reordering(benchmark):
+    rows = benchmark.pedantic(fig6_pipeline.run, rounds=1, iterations=1)
+    print()
+    print(fig6_pipeline.render(rows))
+    for row in rows:
+        assert row.original_cycles_per_iter == pytest.approx(26.0)
+        assert row.reordered_ee == pytest.approx(row.paper_ee, abs=1e-9)
+    benchmark.extra_info["ee_at_384"] = round(rows[-1].reordered_ee, 4)
+
+
+def test_bench_pipeline_simulation_throughput(benchmark):
+    """Raw simulator speed on the largest kernel (Ni=384, 48 iterations)."""
+    spec = GemmKernelSpec.for_input_channels(384)
+    program = gemm_kernel_reordered(spec)
+    sim = DualPipelineSimulator()
+    report = benchmark(sim.simulate, program)
+    assert report.total_cycles == 5 + 17 * 47 + 16

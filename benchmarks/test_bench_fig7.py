@@ -1,0 +1,24 @@
+"""Fig. 7 bench: all 101 channel configurations vs the K40m comparator."""
+
+from repro.experiments import fig7
+
+
+def test_bench_fig7_channel_sweep(benchmark):
+    summary = benchmark.pedantic(fig7.run, rounds=1, iterations=1)
+    print()
+    print(fig7.render(summary))
+    assert len(summary.rows) == 101
+    # Shape claims of Section VII.
+    assert summary.min_speedup > 1.5, "swDNN must beat cuDNN on every config"
+    assert summary.max_speedup < 15.0, "speedup band should resemble 1.91-9.75x"
+    assert summary.fraction_above_1p6 > 0.5, "'most cases above 1.6 Tflops'"
+    assert summary.variation("swdnn") < summary.variation("k40m"), (
+        "swDNN stable where cuDNN is jagged"
+    )
+    benchmark.extra_info["speedup_range"] = (
+        round(summary.min_speedup, 2),
+        round(summary.max_speedup, 2),
+    )
+    benchmark.extra_info["fraction_above_1.6T"] = round(
+        summary.fraction_above_1p6, 2
+    )

@@ -1,0 +1,18 @@
+"""Fig. 9 bench: the filter-size sweep (3x3 .. 21x21)."""
+
+from repro.experiments import fig9
+
+
+def test_bench_fig9_filter_sweep(benchmark):
+    summary = benchmark.pedantic(fig9.run, rounds=1, iterations=1)
+    print()
+    print(fig9.render(summary))
+    assert len(summary.rows) == 30
+    assert summary.min_speedup > 1.5
+    by_filter = summary.speedup_by_filter()
+    sizes = sorted(by_filter)
+    # cuDNN v5 falls off at large filters; swDNN does not.
+    assert by_filter[sizes[-1]] > by_filter[sizes[0]]
+    benchmark.extra_info["speedup_by_filter"] = {
+        k: round(v, 2) for k, v in by_filter.items()
+    }

@@ -1,0 +1,13 @@
+"""Section III-D bench: multi-core-group scaling."""
+
+from repro.experiments import scaling
+
+
+def test_bench_multi_cg_scaling(benchmark):
+    rows = benchmark.pedantic(scaling.run, rounds=1, iterations=1)
+    print()
+    print(scaling.render(rows))
+    assert all(r.parallel_efficiency > 0.9 for r in rows)
+    benchmark.extra_info["efficiency_at_4cg"] = round(
+        rows[-1].parallel_efficiency, 3
+    )

@@ -1,0 +1,14 @@
+"""The scorecard as a bench: the whole reproduction, audited in one run."""
+
+from repro.experiments import scorecard
+
+
+def test_bench_reproduction_scorecard(benchmark):
+    checks = benchmark.pedantic(
+        lambda: scorecard.run(fast=True), rounds=1, iterations=1
+    )
+    print()
+    print(scorecard.render(checks))
+    failures = [c.claim for c in checks if not c.passed]
+    assert failures == [], f"claims failed: {failures}"
+    benchmark.extra_info["claims"] = f"{len(checks) - len(failures)}/{len(checks)}"

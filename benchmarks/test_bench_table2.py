@@ -1,0 +1,15 @@
+"""Table II bench: DMA micro-benchmark over all measured block sizes."""
+
+from repro.experiments import table2
+
+
+def test_bench_table2_dma_bandwidth(benchmark):
+    rows = benchmark.pedantic(table2.run, rounds=1, iterations=1)
+    print()
+    print(table2.render(rows))
+    for row in rows:
+        assert abs(row.get_gbps - row.paper_get) < 0.01
+        assert abs(row.put_gbps - row.paper_put) < 0.01
+    benchmark.extra_info["rows"] = [
+        (r.size_bytes, round(r.get_gbps, 2), round(r.put_gbps, 2)) for r in rows
+    ]

@@ -1,0 +1,16 @@
+"""Table III bench: performance-model evaluation on one core group."""
+
+from repro.experiments import table3
+
+
+def test_bench_table3_model_evaluation(benchmark):
+    rows = benchmark.pedantic(table3.run, rounds=1, iterations=1)
+    print()
+    print(table3.render(rows))
+    for row in rows:
+        assert abs(row.rbw_gbps - row.paper_rbw) < 0.1
+        assert abs(row.measured_gflops - row.paper_measured) / row.paper_measured < 0.15
+    benchmark.extra_info["rows"] = [
+        (r.plan, r.ni, r.no, round(r.model_gflops), round(r.measured_gflops))
+        for r in rows
+    ]

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Scale data-parallel training of a small CNN across TaihuLight nodes.
+
+The paper's introduction motivates swDNN as the node-level engine for
+cluster-scale training; this example uses the extension package
+``repro.scale`` to project weak- and strong-scaling curves, with each
+node's compute timed by the same plan machinery as the single-chip
+experiments, and gradient allreduce timed by the interconnect model.
+
+Run:  python examples/cluster_scaling.py
+"""
+
+from repro.common.tables import TextTable
+from repro.scale.data_parallel import DataParallelModel, vgg_like_stack
+from repro.scale.network import InterconnectModel
+
+
+def main() -> None:
+    stack = vgg_like_stack(batch=64, channels=64)
+    model = DataParallelModel(stack)
+    print(f"model: {len(stack)} layers, "
+          f"{model.total_gradient_bytes() / 1e6:.1f} MB of gradients/iteration")
+
+    print("\nweak scaling (fixed 64 samples per node):")
+    table = TextTable(["nodes", "iter (ms)", "comm (ms)", "samples/s", "eff"],
+                      float_fmt="{:.2f}")
+    for p in model.weak_scaling([1, 16, 256, 4096], per_node_batch=64):
+        table.add_row([p.nodes, p.iteration_seconds * 1e3, p.comm_seconds * 1e3,
+                       p.samples_per_second, p.efficiency])
+    print(table.render())
+
+    print("\nstrong scaling (fixed global batch 2048):")
+    table = TextTable(["nodes", "batch/node", "iter (ms)", "samples/s", "eff"],
+                      float_fmt="{:.2f}")
+    for p in model.strong_scaling([1, 16, 256, 2048], global_batch=2048):
+        table.add_row([p.nodes, max(1, 2048 // p.nodes),
+                       p.iteration_seconds * 1e3, p.samples_per_second,
+                       p.efficiency])
+    print(table.render())
+
+    print("\nsensitivity: halving the interconnect bandwidth")
+    slow = DataParallelModel(stack, network=InterconnectModel(bandwidth=4e9))
+    for nodes in (256, 4096):
+        base = model.iteration(nodes, 64)
+        degraded = slow.iteration(nodes, 64)
+        print(f"  {nodes:5d} nodes: efficiency {base.efficiency:.2f} -> "
+              f"{degraded.efficiency:.2f}")
+
+    print("\nconclusion: gradient allreduce stays hidden behind backward "
+          "compute into the thousands of nodes for this layer stack — the "
+          "regime the paper's introduction targets.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Inspect the dual-pipeline instruction reordering of Section VI.
+
+Prints the original and reordered GEMM inner loops side by side with their
+cycle-by-cycle issue timelines, demonstrates that both compute identical
+results, and sweeps the execution-efficiency formula.
+
+Run:  python examples/instruction_scheduling.py
+"""
+
+import numpy as np
+
+from repro.isa.kernels import (
+    GemmKernelSpec,
+    gemm_kernel_original,
+    gemm_kernel_reordered,
+    paper_execution_efficiency,
+)
+from repro.isa.pipeline import DualPipelineSimulator
+from repro.isa.program import Interpreter, MachineState
+
+
+def make_state(spec: GemmKernelSpec, seed: int) -> MachineState:
+    rng = np.random.default_rng(seed)
+    state = MachineState()
+    for it in range(spec.iterations):
+        for i in range(spec.num_a):
+            state.store("A", (it, i), rng.standard_normal(4))
+        for j in range(spec.num_b):
+            state.store("B", (it, j), rng.standard_normal(1))
+    for i in range(spec.num_a):
+        for j in range(spec.num_b):
+            state.write_reg(f"C{i}{j}", np.zeros(4))
+    state.write_reg("cnt", np.asarray(0.0))
+    return state
+
+
+def main() -> None:
+    spec = GemmKernelSpec(iterations=2)
+    original = gemm_kernel_original(spec)
+    reordered = gemm_kernel_reordered(spec)
+    sim = DualPipelineSimulator()
+
+    print("=== original (compiler order), 2 iterations ===")
+    report = sim.simulate(original)
+    print(report.timeline())
+    print(f"total {report.total_cycles} cycles, EE={report.fma_efficiency:.3f} "
+          f"(paper: 26/iter, 61.5%)")
+    print()
+
+    print("=== reordered (software pipelined) ===")
+    report = sim.simulate(reordered)
+    print(report.timeline())
+    print(f"total {report.total_cycles} cycles, EE={report.fma_efficiency:.3f} "
+          f"(paper: 5 + 17*(K-1) + 16)")
+    print()
+
+    # Semantics: both orders compute the same accumulators.
+    acc_names = [f"C{i}{j}" for i in range(4) for j in range(4)]
+    st_a = Interpreter(make_state(spec, seed=11)).run(original)
+    st_b = Interpreter(make_state(spec, seed=11)).run(reordered)
+    same = all(
+        np.allclose(st_a.read_reg(n), st_b.read_reg(n)) for n in acc_names
+    )
+    print(f"reordering preserves semantics: {same}")
+    print()
+
+    print("execution efficiency vs reduction depth (paper formula == simulated):")
+    for ni in (32, 64, 128, 256, 384):
+        k = GemmKernelSpec.for_input_channels(ni)
+        measured = sim.simulate(gemm_kernel_reordered(k)).fma_efficiency
+        print(f"  Ni={ni:4d}: simulated {measured:.4f}, "
+              f"formula {paper_execution_efficiency(ni):.4f}")
+
+
+if __name__ == "__main__":
+    main()

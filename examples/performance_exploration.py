@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Explore the performance model: why plans win, where the bounds move.
+
+Walks the three analyses the paper uses to design swDNN:
+
+1. the gload-vs-hierarchy decision (Fig. 2): why direct memory access is
+   hopeless on SW26010;
+2. plan selection across a channel sweep: where the batch-size-aware
+   schedule overtakes the image-size-aware one;
+3. register blocking (Eq. 4/5): the feasible (rbB, rbNo) frontier and why
+   (16, 4) is the sweet spot.
+
+Run:  python examples/performance_exploration.py
+"""
+
+from repro.common.tables import TextTable
+from repro.common.units import GB
+from repro.core.params import ConvParams
+from repro.core.planner import plan_convolution
+from repro.core.register_blocking import (
+    choose_register_blocking,
+    enumerate_gemm_blockings,
+)
+from repro.hw.spec import DEFAULT_SPEC
+from repro.perf.model import PerformanceModel
+
+
+def gload_analysis() -> None:
+    model = PerformanceModel()
+    direct = model.direct_memory()
+    print("1. direct memory access (gload):")
+    print(f"   RBW {direct.rbw_mem / GB:.1f} GB/s vs physical "
+          f"{direct.mbw_mem / GB:.0f} GB/s "
+          f"-> {direct.efficiency * 100:.2f}% of peak "
+          f"({direct.gflops:.1f} Gflops per CG)")
+    print("   conclusion: every plan must stage through LDM.")
+    print()
+
+
+def plan_sweep() -> None:
+    print("2. plan selection across output-channel counts (Ni=128, B=128):")
+    table = TextTable(
+        ["No", "chosen plan", "model Gflops/CG", "bound"], float_fmt="{:.0f}"
+    )
+    for no in (32, 64, 128, 256, 384):
+        params = ConvParams.from_output(
+            ni=128, no=no, ro=64, co=64, kr=3, kc=3, b=128
+        )
+        choice = plan_convolution(params)
+        table.add_row(
+            [no, choice.kind, choice.estimate.gflops, choice.estimate.bound]
+        )
+    print(table.render())
+    print()
+
+
+def register_blocking_frontier() -> None:
+    print("3. register blocking frontier (Eq. 5 RBW vs 46.4 GB/s LDM->REG):")
+    table = TextTable(
+        ["rbB", "rbNo", "registers", "RBW (GB/s)", "fits LDM->REG?"],
+        float_fmt="{:.1f}",
+    )
+    shown = set()
+    for blocking in enumerate_gemm_blockings():
+        key = (blocking.rb_b, blocking.rb_no)
+        if blocking.rb_b not in (4, 8, 16, 32) or blocking.rb_no not in (1, 2, 4, 8):
+            continue
+        if key in shown:
+            continue
+        shown.add(key)
+        rbw = blocking.rbw_simd()
+        table.add_row(
+            [
+                blocking.rb_b,
+                blocking.rb_no,
+                blocking.registers_needed,
+                rbw / GB,
+                "yes" if rbw <= DEFAULT_SPEC.ldm_bandwidth else "no",
+            ]
+        )
+    print(table.render())
+    best = choose_register_blocking()
+    print(f"   chosen: (rbB={best.rb_b}, rbNo={best.rb_no}) "
+          f"using {best.registers_needed}/32 registers, "
+          f"RBW {best.rbw_simd() / GB:.1f} GB/s — the paper's setting.")
+
+
+def main() -> None:
+    gload_analysis()
+    plan_sweep()
+    register_blocking_frontier()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Train a small CNN with the swDNN layer stack on synthetic data.
+
+The paper positions swDNN as a library for *training* DNNs on Sunway
+TaihuLight.  This example builds a LeNet-style classifier from the
+library's layers — its first convolution runs through the full simulated
+SW26010 tile schedule — and trains it with minibatch SGD until the
+synthetic task is learned.
+
+Run:  python examples/train_cnn.py
+"""
+
+import numpy as np
+
+from repro.core.layers import AvgPool2D, Conv2D, Dense, Flatten, ReLU
+from repro.core.network import Sequential, synthetic_image_dataset, train_classifier
+
+
+def build_network(rng: np.random.Generator) -> Sequential:
+    """A LeNet-style stack: conv-pool-conv-pool-dense."""
+    return Sequential(
+        [
+            Conv2D(ni=4, no=8, kr=3, kc=3, rng=rng, engine="simulated"),
+            ReLU(),
+            AvgPool2D(2),
+            Conv2D(ni=8, no=16, kr=3, kc=3, rng=rng),
+            ReLU(),
+            Flatten(),
+            Dense(16 * 3 * 3, 10, rng=rng),
+        ]
+    )
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    # 12x12 inputs -> conv 3x3 -> 10x10 -> pool -> 5x5 -> conv 3x3 -> 3x3.
+    x, labels = synthetic_image_dataset(
+        num_samples=128, channels=4, height=12, width=12, num_classes=10, rng=rng
+    )
+    network = build_network(rng)
+
+    print("training a 2-conv CNN on synthetic 10-class data")
+    print("(the first convolution runs through the simulated SW26010 plan)")
+    result = train_classifier(
+        network, x, labels, epochs=8, batch_size=16, lr=0.02, momentum=0.9, rng=rng
+    )
+    for epoch, (loss, acc) in enumerate(zip(result.losses, result.accuracies), 1):
+        print(f"epoch {epoch}: loss={loss:.3f} accuracy={acc * 100:.0f}%")
+    print()
+    if result.final_accuracy > 0.9:
+        print("learned the task (>90% train accuracy) — the simulated "
+              "convolution pipeline trains correctly.")
+    else:
+        print("warning: training did not converge; inspect hyperparameters.")
+
+
+if __name__ == "__main__":
+    main()

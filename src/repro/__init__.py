@@ -1,0 +1,58 @@
+"""swDNN reproduction: deep-learning convolution kernels on a simulated SW26010.
+
+This package reproduces *swDNN: A Library for Accelerating Deep Learning
+Applications on Sunway TaihuLight* (Fang et al., IPDPS 2017).  Because the
+SW26010 processor is proprietary hardware, the substrate the paper runs on is
+rebuilt here as an architectural simulator (see ``repro.hw`` and
+``repro.isa``), and the paper's algorithms — LDM blocking, register
+communication GEMM, register blocking, vectorization layouts, dual-pipeline
+instruction reordering and the three-level performance model — are implemented
+against that simulator (``repro.core`` and ``repro.perf``).
+
+Public entry points
+-------------------
+- :class:`repro.core.params.ConvParams` — convolution-layer parameters
+  (Table I of the paper).
+- :func:`repro.core.conv.conv_forward` — functional convolution through the
+  simulated pipeline (validated against the NumPy reference).
+- :func:`repro.core.planner.plan_convolution` — model-guided selection of the
+  loop schedule / blocking plan.
+- :class:`repro.perf.model.PerformanceModel` — the REG-LDM-MEM roofline model
+  of Fig. 2.
+- ``repro.experiments`` — regenerates every table and figure of the paper's
+  evaluation.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConvParams",
+    "conv_forward",
+    "ConvolutionEngine",
+    "plan_convolution",
+    "PerformanceModel",
+    "__version__",
+]
+
+# Lazy attribute loading (PEP 562) keeps `import repro` cheap and lets the
+# subpackages be imported in any order.
+_LAZY = {
+    "ConvParams": ("repro.core.params", "ConvParams"),
+    "conv_forward": ("repro.core.conv", "conv_forward"),
+    "ConvolutionEngine": ("repro.core.conv", "ConvolutionEngine"),
+    "plan_convolution": ("repro.core.planner", "plan_convolution"),
+    "PerformanceModel": ("repro.perf.model", "PerformanceModel"),
+}
+
+
+def __getattr__(name):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    module = importlib.import_module(module_name)
+    value = getattr(module, attr)
+    globals()[name] = value
+    return value

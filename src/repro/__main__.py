@@ -1,0 +1,204 @@
+"""``python -m repro`` — command-line interface to the library.
+
+Subcommands::
+
+    info                         architectural summary of the simulated chip
+    plan  --ni --no --out --k --batch
+                                 plan a convolution and print the decision
+    kernel --ni [--original]     dump the (reordered) GEMM inner kernel as
+                                 assembly with its simulated timeline
+    experiments [names...]       regenerate the paper's tables and figures
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.common.units import GB
+
+
+def cmd_info(args) -> int:
+    from repro.hw.spec import DEFAULT_SPEC as spec
+
+    print("SW26010 (simulated)")
+    print(f"  core groups:        {spec.num_core_groups}")
+    print(f"  CPE mesh:           {spec.mesh_size}x{spec.mesh_size} per CG")
+    print(f"  clock:              {spec.clock_hz / 1e9:.2f} GHz")
+    print(f"  peak (per CG):      {spec.peak_flops_per_cg / 1e9:.1f} Gflops DP")
+    print(f"  peak (chip):        {spec.peak_flops_chip / 1e12:.2f} Tflops DP")
+    print(f"  LDM per CPE:        {spec.ldm_bytes // 1024} KiB")
+    print(f"  LDM->REG bandwidth: {spec.ldm_bandwidth / GB:.1f} GB/s")
+    print(f"  DDR3 per CG:        {spec.ddr_peak_bandwidth / GB:.1f} GB/s "
+          f"({spec.chip_bandwidth / GB:.0f} GB/s chip)")
+    print(f"  gload interface:    {spec.gload_bandwidth / GB:.1f} GB/s")
+    print(f"  vector registers:   {spec.vector_registers} x 256-bit per CPE")
+    return 0
+
+
+def cmd_plan(args) -> int:
+    from repro.core.conv import ConvolutionEngine, evaluate_chip
+    from repro.core.params import ConvParams
+    from repro.core.planner import plan_convolution
+
+    params = ConvParams.from_output(
+        ni=args.ni, no=args.no, ro=args.out, co=args.out,
+        kr=args.k, kc=args.k, b=args.batch,
+    )
+    print(params.describe())
+    print(f"work: {params.flops() / 1e9:.2f} Gflops, "
+          f"{params.total_bytes() / 1e6:.1f} MB unique data")
+    choice = plan_convolution(params)
+    print()
+    print(choice.describe())
+    est = choice.estimate
+    print(f"model: RBW={est.rbw_mem / GB:.1f} GB/s MBW={est.mbw_mem / GB:.1f} GB/s "
+          f"EE={est.execution_efficiency:.3f}")
+    report = ConvolutionEngine(choice.plan).evaluate()
+    print(f"timed (1 CG): {report.gflops:.0f} Gflops "
+          f"({report.efficiency * 100:.0f}% of peak)")
+    chip_gflops, _ = evaluate_chip(params)
+    print(f"timed (4 CG): {chip_gflops / 1e3:.2f} Tflops")
+    return 0
+
+
+def cmd_kernel(args) -> int:
+    from repro.isa.assembler import disassemble
+    from repro.isa.kernels import (
+        GemmKernelSpec,
+        gemm_kernel_original,
+        gemm_kernel_reordered,
+    )
+    from repro.isa.pipeline import DualPipelineSimulator
+
+    spec = GemmKernelSpec.for_input_channels(args.ni)
+    builder = gemm_kernel_original if args.original else gemm_kernel_reordered
+    program = builder(spec)
+    print(disassemble(program))
+    report = DualPipelineSimulator().simulate(program)
+    print()
+    print(f"; {report.total_cycles} cycles, EE={report.fma_efficiency:.4f}, "
+          f"dual-issue on {report.dual_issue_cycles} cycles")
+    if args.timeline:
+        print(report.timeline())
+    return 0
+
+
+def cmd_experiments(args) -> int:
+    from repro.experiments.runner import run_all
+
+    print(run_all(args.names or None))
+    return 0
+
+
+def cmd_zoo(args) -> int:
+    from repro.common.tables import TextTable
+    from repro.core.zoo import NETWORKS, time_network
+
+    if args.network not in NETWORKS:
+        print(f"unknown network {args.network!r}; available: {sorted(NETWORKS)}")
+        return 1
+    timing = time_network(args.network, batch=args.batch)
+    table = TextTable(
+        ["layer", "kind", "Gflops", "fwd (ms)", "bwd (ms)"], float_fmt="{:.1f}"
+    )
+    for layer in timing.layers:
+        table.add_row(
+            [
+                layer.name,
+                layer.kind,
+                layer.flops / 1e9,
+                layer.forward_seconds * 1e3,
+                layer.backward_seconds * 1e3,
+            ]
+        )
+    print(f"{timing.network} training step on one SW26010 (batch {timing.batch})")
+    print(table.render())
+    print(f"step: {timing.step_seconds * 1e3:.1f} ms, "
+          f"{timing.images_per_second:.1f} images/s, "
+          f"{timing.sustained_gflops / 1e3:.2f} Tflops sustained")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from repro.core.params import ConvParams
+    from repro.core.planner import plan_convolution
+    from repro.perf.trace import overlap_summary, render_gantt, trace_plan
+
+    params = ConvParams.from_output(
+        ni=args.ni, no=args.no, ro=args.out, co=args.out,
+        kr=args.k, kc=args.k, b=args.batch,
+    )
+    choice = plan_convolution(params)
+    print(choice.plan.describe())
+    traces = trace_plan(choice.plan, max_tiles=args.tiles)
+    print(render_gantt(traces))
+    print(f"overlap: {overlap_summary(traces) * 100:.0f}% of compute windows "
+          f"hide a later tile's DMA")
+    return 0
+
+
+def cmd_calibrate(args) -> int:
+    from repro.perf.calibration import calibrate
+
+    result = calibrate()
+    print("calibration against Table III:")
+    print(f"  DMA stride efficiency: {result.stride_efficiency:.2f} "
+          f"(mean MBW error {result.mbw_error * 100:.1f}%)")
+    print(f"  overlap contention:    {result.contention:.2f} "
+          f"(mean meas error {result.meas_error * 100:.1f}%)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="swDNN reproduction on a simulated SW26010"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="architectural summary").set_defaults(func=cmd_info)
+
+    plan = sub.add_parser("plan", help="plan and time one convolution")
+    plan.add_argument("--ni", type=int, default=256, help="input channels")
+    plan.add_argument("--no", type=int, default=256, help="output channels")
+    plan.add_argument("--out", type=int, default=64, help="output image size")
+    plan.add_argument("--k", type=int, default=3, help="filter size")
+    plan.add_argument("--batch", type=int, default=128, help="batch size")
+    plan.set_defaults(func=cmd_plan)
+
+    kernel = sub.add_parser("kernel", help="dump a GEMM inner kernel")
+    kernel.add_argument("--ni", type=int, default=32, help="input channels (K=Ni/8)")
+    kernel.add_argument("--original", action="store_true", help="compiler order")
+    kernel.add_argument("--timeline", action="store_true", help="cycle timeline")
+    kernel.set_defaults(func=cmd_kernel)
+
+    exp = sub.add_parser("experiments", help="regenerate tables and figures")
+    exp.add_argument("names", nargs="*", help="subset (table2 fig2 fig6 ...)")
+    exp.set_defaults(func=cmd_experiments)
+
+    zoo = sub.add_parser("zoo", help="time a zoo network's training step")
+    zoo.add_argument("network", help="vgg16 | cifar_quick")
+    zoo.add_argument("--batch", type=int, default=None, help="batch size")
+    zoo.set_defaults(func=cmd_zoo)
+
+    trace = sub.add_parser("trace", help="Gantt trace of a plan's timeline")
+    trace.add_argument("--ni", type=int, default=128)
+    trace.add_argument("--no", type=int, default=128)
+    trace.add_argument("--out", type=int, default=32)
+    trace.add_argument("--k", type=int, default=3)
+    trace.add_argument("--batch", type=int, default=64)
+    trace.add_argument("--tiles", type=int, default=16)
+    trace.set_defaults(func=cmd_trace)
+
+    cal = sub.add_parser("calibrate", help="re-derive the fitted constants")
+    cal.set_defaults(func=cmd_calibrate)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""swDNN public API: a cuDNN-style handle/descriptor interface.
+
+The paper positions swDNN as the Sunway analogue of cuDNN ("NVIDIA cuDNN
+library provides a flexible API for deep learning workloads", Section II),
+so this package provides the same ergonomics on top of the plan machinery:
+
+* :class:`~repro.api.descriptors.TensorDescriptor` /
+  :class:`~repro.api.descriptors.FilterDescriptor` /
+  :class:`~repro.api.descriptors.ConvolutionDescriptor` — shape metadata,
+  validated once;
+* :class:`~repro.api.handle.SwDNNHandle` — owns the simulated device,
+  caches plans, and exposes ``convolution_forward`` /
+  ``convolution_backward_data`` / ``convolution_backward_filter`` /
+  ``gemm``;
+* :func:`~repro.api.algorithms.find_convolution_forward_algorithm` — the
+  ``cudnnFind*``-style ranked algorithm search over the plan families.
+"""
+
+from repro.api.descriptors import (
+    ConvolutionDescriptor,
+    FilterDescriptor,
+    TensorDescriptor,
+)
+from repro.api.algorithms import (
+    ConvolutionFwdAlgo,
+    AlgorithmPerf,
+    find_convolution_forward_algorithm,
+)
+from repro.api.handle import SwDNNHandle
+
+__all__ = [
+    "TensorDescriptor",
+    "FilterDescriptor",
+    "ConvolutionDescriptor",
+    "ConvolutionFwdAlgo",
+    "AlgorithmPerf",
+    "find_convolution_forward_algorithm",
+    "SwDNNHandle",
+]

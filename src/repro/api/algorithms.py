@@ -1,0 +1,95 @@
+"""Algorithm enumeration and ranked search (the ``cudnnFind*`` analogue).
+
+swDNN's "algorithms" are its two loop-schedule families (plus the direct
+gload path, exposed for completeness but never competitive).  The finder
+scores each feasible algorithm with the performance model and returns them
+best first, mirroring ``cudnnFindConvolutionForwardAlgorithm``'s ranked
+``cudnnConvolutionFwdAlgoPerf_t`` list.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.common.errors import PlanError
+from repro.hw.spec import SW26010Spec, DEFAULT_SPEC
+from repro.core.params import ConvParams
+from repro.core.plans import BatchSizeAwarePlan, ConvPlan, ImageSizeAwarePlan
+
+
+class ConvolutionFwdAlgo(enum.Enum):
+    """Forward-convolution algorithm identifiers."""
+
+    #: Algorithm 1 — block batch and output columns (image-size-aware).
+    IMAGE_SIZE_AWARE = "image-size-aware"
+    #: Algorithm 2 — keep the batch whole (batch-size-aware).
+    BATCH_SIZE_AWARE = "batch-size-aware"
+    #: Let the performance model decide.
+    AUTO = "auto"
+
+
+@dataclass(frozen=True)
+class AlgorithmPerf:
+    """One entry of the ranked algorithm list."""
+
+    algo: ConvolutionFwdAlgo
+    modeled_gflops: float
+    modeled_seconds: float
+    ldm_bytes: int
+    bound: str
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return (
+            f"{self.algo.value}: {self.modeled_gflops:.0f} Gflops "
+            f"({self.bound}-bound, {self.ldm_bytes} B LDM/CPE)"
+        )
+
+
+def _build(algo: ConvolutionFwdAlgo, params: ConvParams, spec: SW26010Spec) -> ConvPlan:
+    if algo is ConvolutionFwdAlgo.IMAGE_SIZE_AWARE:
+        return ImageSizeAwarePlan(params, spec=spec)
+    if algo is ConvolutionFwdAlgo.BATCH_SIZE_AWARE:
+        return BatchSizeAwarePlan(params, spec=spec)
+    raise PlanError(f"cannot build a plan for {algo}")
+
+
+def find_convolution_forward_algorithm(
+    params: ConvParams,
+    spec: SW26010Spec = DEFAULT_SPEC,
+    requested: Optional[int] = None,
+) -> List[AlgorithmPerf]:
+    """Score every feasible algorithm, best first.
+
+    ``requested`` truncates the list (the cuDNN ``requestedAlgoCount``).
+    Raises :class:`PlanError` when no algorithm is feasible.
+    """
+    results: List[AlgorithmPerf] = []
+    for algo in (
+        ConvolutionFwdAlgo.BATCH_SIZE_AWARE,
+        ConvolutionFwdAlgo.IMAGE_SIZE_AWARE,
+    ):
+        try:
+            plan = _build(algo, params, spec)
+        except PlanError:
+            continue
+        estimate = plan.estimate()
+        ldm = sum(nbytes for _, nbytes in plan.ldm_regions())
+        results.append(
+            AlgorithmPerf(
+                algo=algo,
+                modeled_gflops=estimate.gflops,
+                modeled_seconds=params.flops() / estimate.flops,
+                ldm_bytes=ldm,
+                bound=estimate.bound,
+            )
+        )
+    if not results:
+        raise PlanError(f"no feasible algorithm for {params.describe()}")
+    results.sort(key=lambda perf: perf.modeled_seconds)
+    if requested is not None:
+        if requested < 1:
+            raise PlanError(f"requested algorithm count must be >= 1, got {requested}")
+        results = results[:requested]
+    return results

@@ -1,0 +1,141 @@
+"""Shape/format descriptors (the cuDNN-style metadata objects).
+
+Descriptors validate once and combine into the library-internal
+:class:`~repro.core.params.ConvParams`.  Only the configuration the paper
+implements is accepted: NCHW double-precision tensors, "valid" stride-1
+convolution (no padding, no dilation) — anything else raises with a clear
+message rather than silently computing something different.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.common.errors import PlanError
+from repro.core.params import ConvParams
+
+
+@dataclass(frozen=True)
+class TensorDescriptor:
+    """A 4-D NCHW tensor: (batch, channels, height, width)."""
+
+    n: int
+    c: int
+    h: int
+    w: int
+    dtype: str = "float64"
+
+    def __post_init__(self) -> None:
+        for name in ("n", "c", "h", "w"):
+            if getattr(self, name) < 1:
+                raise PlanError(f"tensor dim {name} must be positive, got {getattr(self, name)}")
+        if self.dtype != "float64":
+            raise PlanError(
+                f"swDNN evaluates in double precision; dtype {self.dtype!r} "
+                "is not supported (paper, Section VII)"
+            )
+
+    @property
+    def shape(self) -> Tuple[int, int, int, int]:
+        return (self.n, self.c, self.h, self.w)
+
+    def matches(self, array: np.ndarray) -> None:
+        if tuple(array.shape) != self.shape:
+            raise PlanError(
+                f"array shape {array.shape} does not match descriptor {self.shape}"
+            )
+
+
+@dataclass(frozen=True)
+class FilterDescriptor:
+    """A 4-D filter bank: (out_channels, in_channels, kh, kw)."""
+
+    k: int
+    c: int
+    kh: int
+    kw: int
+
+    def __post_init__(self) -> None:
+        for name in ("k", "c", "kh", "kw"):
+            if getattr(self, name) < 1:
+                raise PlanError(f"filter dim {name} must be positive")
+
+    @property
+    def shape(self) -> Tuple[int, int, int, int]:
+        return (self.k, self.c, self.kh, self.kw)
+
+    def matches(self, array: np.ndarray) -> None:
+        if tuple(array.shape) != self.shape:
+            raise PlanError(
+                f"array shape {array.shape} does not match descriptor {self.shape}"
+            )
+
+
+@dataclass(frozen=True)
+class ConvolutionDescriptor:
+    """Convolution mode.
+
+    The paper's kernels are "valid", stride-1 correlations.  Zero padding
+    is supported by explicit-pad lowering (the input is padded before the
+    plan runs, the standard library approach); strides other than 1 are
+    not implemented.
+    """
+
+    pad_h: int = 0
+    pad_w: int = 0
+    stride_h: int = 1
+    stride_w: int = 1
+
+    def __post_init__(self) -> None:
+        if self.pad_h < 0 or self.pad_w < 0:
+            raise PlanError("padding must be non-negative")
+        if self.stride_h != 1 or self.stride_w != 1:
+            raise PlanError("only stride 1 is implemented (as in the paper)")
+
+    @property
+    def has_padding(self) -> bool:
+        return self.pad_h > 0 or self.pad_w > 0
+
+
+def resolve_conv_params(
+    x_desc: TensorDescriptor,
+    w_desc: FilterDescriptor,
+    conv_desc: ConvolutionDescriptor,
+) -> ConvParams:
+    """Combine descriptors into validated layer parameters.
+
+    Padding is folded into the effective input extent (explicit-pad
+    lowering): the plan sees the padded image.
+    """
+    if x_desc.c != w_desc.c:
+        raise PlanError(
+            f"input has {x_desc.c} channels but the filter expects {w_desc.c}"
+        )
+    ri = x_desc.h + 2 * conv_desc.pad_h
+    ci = x_desc.w + 2 * conv_desc.pad_w
+    if w_desc.kh > ri or w_desc.kw > ci:
+        raise PlanError(
+            f"filter {w_desc.kh}x{w_desc.kw} larger than (padded) image {ri}x{ci}"
+        )
+    return ConvParams(
+        ni=x_desc.c,
+        no=w_desc.k,
+        ri=ri,
+        ci=ci,
+        kr=w_desc.kh,
+        kc=w_desc.kw,
+        b=x_desc.n,
+    )
+
+
+def output_descriptor(
+    x_desc: TensorDescriptor,
+    w_desc: FilterDescriptor,
+    conv_desc: ConvolutionDescriptor,
+) -> TensorDescriptor:
+    """The cudnnGetConvolution2dForwardOutputDim analogue."""
+    params = resolve_conv_params(x_desc, w_desc, conv_desc)
+    return TensorDescriptor(n=params.b, c=params.no, h=params.ro, w=params.co)

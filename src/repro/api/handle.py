@@ -1,0 +1,182 @@
+"""The swDNN library handle: device context + plan cache + operations.
+
+One :class:`SwDNNHandle` owns a simulated SW26010 device (its spec and, on
+demand, mesh resources) and memoizes compiled plans, so repeated layer
+invocations — the common case in training — skip planning.  All operations
+return ``(result, TimingReport)`` like the engine they wrap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.common.errors import PlanError
+from repro.hw.spec import SW26010Spec, DEFAULT_SPEC
+from repro.core.backward import BackwardConvolution
+from repro.core.conv import ConvolutionEngine, TimingReport
+from repro.core.gemm_plan import GemmEngine, GemmParams, GemmPlan
+from repro.core.params import ConvParams
+from repro.core.plans import ConvPlan
+from repro.api.algorithms import (
+    AlgorithmPerf,
+    ConvolutionFwdAlgo,
+    _build,
+    find_convolution_forward_algorithm,
+)
+from repro.api.descriptors import (
+    ConvolutionDescriptor,
+    FilterDescriptor,
+    TensorDescriptor,
+    resolve_conv_params,
+)
+
+
+class SwDNNHandle:
+    """Library context: create once, run many layers through it."""
+
+    def __init__(self, spec: SW26010Spec = DEFAULT_SPEC, backend: str = "numpy"):
+        self.spec = spec
+        self.backend = backend
+        self._plan_cache: Dict[Tuple, ConvPlan] = {}
+        self._gemm_cache: Dict[GemmParams, GemmPlan] = {}
+
+    # -- planning -------------------------------------------------------------
+
+    def find_algorithms(
+        self,
+        x_desc: TensorDescriptor,
+        w_desc: FilterDescriptor,
+        conv_desc: ConvolutionDescriptor = ConvolutionDescriptor(),
+    ) -> list:
+        """Ranked algorithm list (the cudnnFind analogue)."""
+        params = resolve_conv_params(x_desc, w_desc, conv_desc)
+        return find_convolution_forward_algorithm(params, spec=self.spec)
+
+    def get_workspace_bytes(
+        self,
+        x_desc: TensorDescriptor,
+        w_desc: FilterDescriptor,
+        conv_desc: ConvolutionDescriptor = ConvolutionDescriptor(),
+        algo: ConvolutionFwdAlgo = ConvolutionFwdAlgo.AUTO,
+    ) -> int:
+        """Per-CPE LDM footprint of the selected algorithm's plan."""
+        params = resolve_conv_params(x_desc, w_desc, conv_desc)
+        plan = self._plan_for(params, algo)
+        return sum(nbytes for _, nbytes in plan.ldm_regions())
+
+    def _plan_for(self, params: ConvParams, algo: ConvolutionFwdAlgo) -> ConvPlan:
+        key = (params, algo)
+        plan = self._plan_cache.get(key)
+        if plan is None:
+            if algo is ConvolutionFwdAlgo.AUTO:
+                best: AlgorithmPerf = find_convolution_forward_algorithm(
+                    params, spec=self.spec, requested=1
+                )[0]
+                plan = _build(best.algo, params, self.spec)
+            else:
+                plan = _build(algo, params, self.spec)
+            self._plan_cache[key] = plan
+        return plan
+
+    @property
+    def cached_plans(self) -> int:
+        return len(self._plan_cache)
+
+    # -- operations ----------------------------------------------------------
+
+    def convolution_forward(
+        self,
+        x: np.ndarray,
+        w: np.ndarray,
+        algo: ConvolutionFwdAlgo = ConvolutionFwdAlgo.AUTO,
+        x_desc: Optional[TensorDescriptor] = None,
+        w_desc: Optional[FilterDescriptor] = None,
+        conv_desc: Optional[ConvolutionDescriptor] = None,
+        bias: Optional[np.ndarray] = None,
+        activation: Optional[str] = None,
+    ) -> Tuple[np.ndarray, TimingReport]:
+        """y = act(conv(pad(x), w) + bias) through the simulated device.
+
+        ``conv_desc`` padding is applied by explicit-pad lowering;
+        ``bias``/``activation`` run fused in the output tiles' epilogue
+        (no extra memory traffic), mirroring cuDNN's fused convolutions.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        w = np.asarray(w, dtype=np.float64)
+        if x_desc is not None:
+            x_desc.matches(x)
+        if w_desc is not None:
+            w_desc.matches(w)
+        if x.ndim != 4 or w.ndim != 4:
+            raise PlanError("convolution_forward expects 4-D NCHW operands")
+        if conv_desc is not None and conv_desc.has_padding:
+            x = np.pad(
+                x,
+                (
+                    (0, 0),
+                    (0, 0),
+                    (conv_desc.pad_h, conv_desc.pad_h),
+                    (conv_desc.pad_w, conv_desc.pad_w),
+                ),
+            )
+        params = ConvParams(
+            ni=x.shape[1],
+            no=w.shape[0],
+            ri=x.shape[2],
+            ci=x.shape[3],
+            kr=w.shape[2],
+            kc=w.shape[3],
+            b=x.shape[0],
+        )
+        if w.shape[1] != params.ni:
+            raise PlanError(
+                f"input has {params.ni} channels but the filter expects {w.shape[1]}"
+            )
+        plan = self._plan_for(params, algo)
+        engine = ConvolutionEngine(plan, spec=self.spec, backend=self.backend)
+        return engine.run(x, w, bias=bias, activation=activation)
+
+    def convolution_backward_data(
+        self, w: np.ndarray, grad_out: np.ndarray, x_desc: TensorDescriptor
+    ) -> Tuple[np.ndarray, TimingReport]:
+        """dL/dx for the layer described by ``x_desc`` and ``w``."""
+        params = ConvParams(
+            ni=x_desc.c,
+            no=w.shape[0],
+            ri=x_desc.h,
+            ci=x_desc.w,
+            kr=w.shape[2],
+            kc=w.shape[3],
+            b=x_desc.n,
+        )
+        return BackwardConvolution(params, spec=self.spec).grad_input(w, grad_out)
+
+    def convolution_backward_filter(
+        self, x: np.ndarray, grad_out: np.ndarray, w_desc: FilterDescriptor
+    ) -> Tuple[np.ndarray, TimingReport]:
+        """dL/dw for the layer described by ``x`` and ``w_desc``."""
+        params = ConvParams(
+            ni=x.shape[1],
+            no=w_desc.k,
+            ri=x.shape[2],
+            ci=x.shape[3],
+            kr=w_desc.kh,
+            kc=w_desc.kw,
+            b=x.shape[0],
+        )
+        return BackwardConvolution(params, spec=self.spec).grad_filter(x, grad_out)
+
+    def gemm(self, a: np.ndarray, b: np.ndarray) -> Tuple[np.ndarray, TimingReport]:
+        """Dense matmul (fully-connected layers) through swGEMM."""
+        a = np.asarray(a, dtype=np.float64)
+        b = np.asarray(b, dtype=np.float64)
+        if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+            raise PlanError(f"gemm shapes incompatible: {a.shape} @ {b.shape}")
+        params = GemmParams(m=a.shape[0], n=b.shape[1], k=a.shape[1])
+        plan = self._gemm_cache.get(params)
+        if plan is None:
+            plan = GemmPlan(params, spec=self.spec)
+            self._gemm_cache[params] = plan
+        return GemmEngine(plan, backend=self.backend).run(a, b)

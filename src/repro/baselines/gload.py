@@ -1,0 +1,84 @@
+"""The direct-memory-access baseline (gload path of Fig. 2).
+
+"Such a direct memory access pattern does not take advantage of any
+possible data sharing, thus requiring the largest bandwidth of 139.20 GB/s
+... the actual interface of gload only provides a physical bandwidth of
+8 GB/s, leading to an extremely low utilization of the floating-point
+computing capability ((8/139.2)^2 = 0.32%)."
+
+:class:`GloadConvolution` executes a (tiny) convolution element-by-element
+through the :class:`~repro.hw.memory.GloadPort`, so its timing comes from
+the same byte accounting the model uses; :func:`gload_estimate` is the
+closed-form design point.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.hw.memory import GloadPort, MainMemory
+from repro.hw.spec import SW26010Spec, DEFAULT_SPEC
+from repro.perf.model import PerformanceEstimate, PerformanceModel
+from repro.core.conv import TimingReport
+from repro.core.params import ConvParams
+
+
+def gload_estimate(spec: SW26010Spec = DEFAULT_SPEC) -> PerformanceEstimate:
+    """The modeled direct-access design point: ~2.4 Gflops per CG."""
+    return PerformanceModel(spec).direct_memory()
+
+
+class GloadConvolution:
+    """Element-wise convolution over the gload port (use tiny shapes only).
+
+    Every multiply-add reads its input pixel and filter element straight
+    from main memory, exactly the no-reuse pattern the model's 139.2 GB/s
+    requirement describes; outputs accumulate in registers and store once.
+    """
+
+    def __init__(self, spec: SW26010Spec = DEFAULT_SPEC):
+        self.spec = spec
+        self.memory = MainMemory(spec)
+        self.port = GloadPort(self.memory, spec)
+
+    def run(self, x: np.ndarray, w: np.ndarray) -> Tuple[np.ndarray, TimingReport]:
+        b, ni, ri, ci = x.shape
+        no, _, kr, kc = w.shape
+        params = ConvParams(ni=ni, no=no, ri=ri, ci=ci, kr=kr, kc=kc, b=b)
+        if "gload.x" in self.memory:
+            self.memory.free("gload.x")
+            self.memory.free("gload.w")
+        self.memory.register("gload.x", np.asarray(x, dtype=np.float64))
+        self.memory.register("gload.w", np.asarray(w, dtype=np.float64))
+        self.port.stats.reset()
+        out = np.zeros(params.output_shape, dtype=np.float64)
+        for cb in range(b):
+            for cno in range(no):
+                for cro in range(params.ro):
+                    for cco in range(params.co):
+                        acc = 0.0
+                        for cni in range(ni):
+                            for ckr in range(kr):
+                                for ckc in range(kc):
+                                    xin = self.port.gload(
+                                        "gload.x", (cb, cni, cro + ckr, cco + ckc)
+                                    )
+                                    flt = self.port.gload(
+                                        "gload.w", (cno, cni, ckr, ckc)
+                                    )
+                                    acc += float(xin) * float(flt)
+                        out[cb, cno, cro, cco] = acc
+        seconds = self.port.stats.busy_seconds
+        report = TimingReport(
+            seconds=seconds,
+            flops=params.flops(),
+            dma_seconds=seconds,
+            compute_seconds=params.flops() / self.spec.peak_flops_per_cg,
+            bytes_get=self.port.stats.bytes_read,
+            bytes_put=self.port.stats.bytes_written,
+            tiles=0,
+            peak_flops=self.spec.peak_flops_per_cg,
+        )
+        return out, report

@@ -1,0 +1,69 @@
+"""GEMM-lowered (im2col) convolution — the cuDNN-style spatial method.
+
+Section III-C mentions the two spatial-domain families: direct summation
+and "lowering the convolutions into a matrix multiplication".  swDNN
+chooses direct summation because lowering materializes each input pixel
+``Kr * Kc`` times, multiplying the MEM->LDM traffic on a chip whose
+memory bandwidth is already the bound.  This baseline quantifies that:
+its functional path is exact, and its traffic model shows the blow-up the
+planner avoids.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.hw.spec import SW26010Spec, DEFAULT_SPEC
+from repro.perf.dma_model import DMA_STRIDE_EFFICIENCY, DMAStream, blended_mbw
+from repro.perf.model import _measured_ee
+from repro.core.conv import TimingReport
+from repro.core.params import ConvParams
+from repro.core.reference import conv2d_im2col
+
+
+class Im2colConvolution:
+    """Functional + modeled GEMM-lowered convolution on one core group."""
+
+    def __init__(self, spec: SW26010Spec = DEFAULT_SPEC):
+        self.spec = spec
+
+    def traffic_bytes(self, params: ConvParams, ds: int = 8) -> int:
+        """Bytes the lowered layout moves: the im2col matrix is written out
+        and read back, replicating the input ``Kr * Kc`` times."""
+        lowered = params.b * params.ni * params.kr * params.kc * params.ro * params.co
+        return (2 * lowered + params.filter_bytes(ds) // ds + params.b
+                * params.no * params.ro * params.co) * ds
+
+    def blowup(self, params: ConvParams) -> float:
+        """Traffic relative to the direct method's unique-data bytes."""
+        return self.traffic_bytes(params) / params.total_bytes()
+
+    def evaluate(self, params: ConvParams) -> TimingReport:
+        """Timed estimate: GEMM at kernel efficiency vs lowered traffic."""
+        ee = _measured_ee(max(1, -(-params.ni // 8)))
+        compute_seconds = params.flops() / (self.spec.peak_flops_per_cg * ee)
+        nbytes = self.traffic_bytes(params)
+        mbw = blended_mbw(
+            [DMAStream("im2col", float(nbytes), params.b * 8, "get")]
+        )
+        dma_seconds = nbytes / mbw
+        seconds = max(compute_seconds, dma_seconds)
+        return TimingReport(
+            seconds=seconds,
+            flops=params.flops(),
+            dma_seconds=dma_seconds,
+            compute_seconds=compute_seconds,
+            bytes_get=nbytes,
+            bytes_put=0,
+            tiles=0,
+            peak_flops=self.spec.peak_flops_per_cg,
+        )
+
+    def run(self, x: np.ndarray, w: np.ndarray) -> Tuple[np.ndarray, TimingReport]:
+        b, ni, ri, ci = x.shape
+        no, _, kr, kc = w.shape
+        params = ConvParams(ni=ni, no=no, ri=ri, ci=ci, kr=kr, kc=kc, b=b)
+        out = conv2d_im2col(np.asarray(x, float), np.asarray(w, float))
+        return out, self.evaluate(params)

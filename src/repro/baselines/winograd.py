@@ -1,0 +1,195 @@
+"""Winograd minimal-filtering convolution — related work [22] analysis.
+
+Lavin's F(2x2, 3x3) algorithm computes each 2x2 output tile of a 3x3
+convolution with 16 multiplies instead of 36 — a 2.25x arithmetic
+reduction that made it the fast path on Maxwell GPUs.  The paper cites it
+as related work but ships the direct method; this module provides both a
+complete functional implementation (1-D transforms composed to 2-D,
+exact against the reference) and the SW26010-side estimate the paper never
+ran.  Two regimes matter:
+
+* **fused** (the inverse transform consumes the pointwise products in
+  LDM): the transformed-domain traffic stays close to the direct method's
+  unique data, and the arithmetic reduction survives — the estimate marks
+  Winograd as *promising future work* on SW26010, not a loser;
+* **unfused** (products spilled to memory between stages): the extra
+  round-trip erodes most of the win on a bandwidth-bound chip.
+
+The honest historical note: cuDNN only gained Winograd kernels with v5
+(2016); swDNN's omission is contemporaneous engineering scope, and this
+analysis shows what a follow-up would have found.
+
+Transforms for F(2x2, 3x3) (Lavin & Gray, 2015):
+
+    B^T = [[1, 0, -1, 0],          G = [[1,    0,   0  ],
+           [0, 1,  1, 0],               [1/2,  1/2, 1/2],
+           [0,-1,  1, 0],               [1/2, -1/2, 1/2],
+           [0, 1,  0,-1]]               [0,    0,   1  ]]
+
+    A^T = [[1, 1,  1, 0],
+           [0, 1, -1,-1]]
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.common.errors import PlanError
+from repro.hw.spec import SW26010Spec, DEFAULT_SPEC
+from repro.perf.dma_model import DMAStream, blended_mbw
+from repro.perf.model import _measured_ee
+from repro.core.conv import TimingReport
+from repro.core.params import ConvParams
+
+#: F(2x2, 3x3) transform matrices.
+B_T = np.array(
+    [
+        [1.0, 0.0, -1.0, 0.0],
+        [0.0, 1.0, 1.0, 0.0],
+        [0.0, -1.0, 1.0, 0.0],
+        [0.0, 1.0, 0.0, -1.0],
+    ]
+)
+G = np.array(
+    [
+        [1.0, 0.0, 0.0],
+        [0.5, 0.5, 0.5],
+        [0.5, -0.5, 0.5],
+        [0.0, 0.0, 1.0],
+    ]
+)
+A_T = np.array(
+    [
+        [1.0, 1.0, 1.0, 0.0],
+        [0.0, 1.0, -1.0, -1.0],
+    ]
+)
+
+#: Multiplies per output element: direct 3x3 needs 9; F(2x2,3x3) needs
+#: 16 per 4 outputs = 4 — the 2.25x reduction.
+ARITHMETIC_REDUCTION = 36.0 / 16.0
+
+
+def transform_filter(w: np.ndarray) -> np.ndarray:
+    """(No, Ni, 3, 3) -> (No, Ni, 4, 4) transformed filters (G g G^T)."""
+    if w.shape[-2:] != (3, 3):
+        raise PlanError(f"F(2x2,3x3) needs 3x3 filters, got {w.shape[-2:]}")
+    return np.einsum("ij,onjk,lk->onil", G, w, G, optimize=True)
+
+
+def transform_input_tiles(x: np.ndarray) -> Tuple[np.ndarray, int, int]:
+    """Extract and transform all 4x4 input tiles (stride 2).
+
+    ``x`` is (B, Ni, H, W) with H, W even and >= 4 after padding by the
+    caller; returns (tiles, tiles_h, tiles_w) where tiles has shape
+    (B, Ni, tiles_h, tiles_w, 4, 4) holding B^T d B per tile.
+    """
+    b, ni, h, w = x.shape
+    tiles_h = (h - 2) // 2
+    tiles_w = (w - 2) // 2
+    if tiles_h < 1 or tiles_w < 1:
+        raise PlanError(f"image {h}x{w} too small for F(2x2,3x3) tiling")
+    tiles = np.empty((b, ni, tiles_h, tiles_w, 4, 4))
+    for th in range(tiles_h):
+        for tw in range(tiles_w):
+            patch = x[:, :, 2 * th : 2 * th + 4, 2 * tw : 2 * tw + 4]
+            tiles[:, :, th, tw] = np.einsum(
+                "ij,bnjk,lk->bnil", B_T, patch, B_T, optimize=True
+            )
+    return tiles, tiles_h, tiles_w
+
+
+class WinogradConvolution:
+    """F(2x2, 3x3) convolution: functional + SW26010-side analysis."""
+
+    def __init__(self, spec: SW26010Spec = DEFAULT_SPEC):
+        self.spec = spec
+
+    def run(self, x: np.ndarray, w: np.ndarray) -> Tuple[np.ndarray, TimingReport]:
+        """Exact Winograd convolution (valid, stride 1, 3x3 filters)."""
+        x = np.asarray(x, float)
+        w = np.asarray(w, float)
+        b, ni, ri, ci = x.shape
+        no, ni_w, kr, kc = w.shape
+        if (kr, kc) != (3, 3):
+            raise PlanError("F(2x2,3x3) handles 3x3 filters only")
+        if ni != ni_w:
+            raise PlanError(f"channel mismatch: {ni} vs {ni_w}")
+        params = ConvParams(ni=ni, no=no, ri=ri, ci=ci, kr=3, kc=3, b=b)
+        # Pad the output extent up to a multiple of the 2x2 tile.
+        pad_r = (-params.ro) % 2
+        pad_c = (-params.co) % 2
+        padded = np.pad(x, ((0, 0), (0, 0), (0, pad_r), (0, pad_c)))
+        u = transform_filter(w)  # (No, Ni, 4, 4)
+        v, tiles_h, tiles_w = transform_input_tiles(padded)
+        # Pointwise stage: 16 independent Ni-reductions (the "GEMMs").
+        m = np.einsum("onxy,bnhwxy->bohwxy", u, v, optimize=True)
+        # Inverse transform per tile: A^T m A -> 2x2 outputs.
+        out_tiles = np.einsum("ij,bohwjk,lk->bohwil", A_T, m, A_T, optimize=True)
+        out = np.empty((b, no, tiles_h * 2, tiles_w * 2))
+        for th in range(tiles_h):
+            for tw in range(tiles_w):
+                out[:, :, 2 * th : 2 * th + 2, 2 * tw : 2 * tw + 2] = out_tiles[
+                    :, :, th, tw
+                ]
+        return out[:, :, : params.ro, : params.co], self.evaluate(params)
+
+    # -- analysis ----------------------------------------------------------
+
+    def multiplies(self, params: ConvParams) -> int:
+        """Pointwise-stage multiplies (16 per 2x2 output tile per channel pair)."""
+        tiles = -(-params.ro // 2) * (-(-params.co) // 2)
+        return params.b * params.no * params.ni * tiles * 16
+
+    def traffic_bytes(self, params: ConvParams, ds: int = 8, fused: bool = True) -> int:
+        """Transformed-domain footprint streamed through memory.
+
+        Input tiles inflate 4x4 / (2x2 useful) = 4x and filters 16/9; with
+        ``fused=False`` the pointwise products additionally round-trip
+        through memory between the multiply and the inverse transform.
+        """
+        tiles = -(-params.ro // 2) * (-(-params.co // 2))
+        v_bytes = params.b * params.ni * tiles * 16 * ds
+        u_bytes = params.no * params.ni * 16 * ds
+        m_bytes = 0 if fused else 2 * params.b * params.no * tiles * 16 * ds
+        out_bytes = params.output_bytes(ds)
+        return v_bytes + u_bytes + m_bytes + out_bytes
+
+    def evaluate(self, params: ConvParams, fused: bool = True) -> TimingReport:
+        """SW26010-side estimate: reduced arithmetic vs inflated traffic."""
+        if (params.kr, params.kc) != (3, 3):
+            raise PlanError("F(2x2,3x3) handles 3x3 filters only")
+        ee = _measured_ee(max(1, -(-params.ni // 8)))
+        # Pointwise multiplies dominate; transforms add ~20% (adds only).
+        flops = 2 * self.multiplies(params)
+        compute_seconds = 1.2 * flops / (self.spec.peak_flops_per_cg * ee)
+        nbytes = self.traffic_bytes(params, fused=fused)
+        mbw = blended_mbw(
+            [DMAStream("wino", float(nbytes), params.b * 8, "get")]
+        )
+        dma_seconds = nbytes / mbw
+        seconds = max(compute_seconds, dma_seconds)
+        return TimingReport(
+            seconds=seconds,
+            flops=params.flops(),
+            dma_seconds=dma_seconds,
+            compute_seconds=compute_seconds,
+            bytes_get=nbytes,
+            bytes_put=0,
+            tiles=0,
+            peak_flops=self.spec.peak_flops_per_cg,
+        )
+
+    def advantage(self, params: ConvParams, fused: bool = True) -> float:
+        """Winograd time advantage over the direct batch plan (>1 = faster).
+
+        Fused, the arithmetic reduction largely survives; unfused, the
+        product round-trip erodes it on the bandwidth-bound chip.
+        """
+        from repro.core.conv import ConvolutionEngine
+        from repro.core.plans import BatchSizeAwarePlan
+
+        direct = ConvolutionEngine(BatchSizeAwarePlan(params)).evaluate()
+        return direct.seconds / self.evaluate(params, fused=fused).seconds

@@ -1,0 +1,39 @@
+"""Shared utilities: units, errors, deterministic RNG, table rendering."""
+
+from repro.common.units import (
+    KIB,
+    MIB,
+    GIB,
+    GB,
+    GHZ,
+    bytes_to_human,
+    gflops,
+    gbps,
+)
+from repro.common.errors import (
+    ReproError,
+    LDMOverflowError,
+    RegisterPressureError,
+    PlanError,
+    SimulationError,
+    BusProtocolError,
+)
+from repro.common.tables import TextTable
+
+__all__ = [
+    "KIB",
+    "MIB",
+    "GIB",
+    "GB",
+    "GHZ",
+    "bytes_to_human",
+    "gflops",
+    "gbps",
+    "ReproError",
+    "LDMOverflowError",
+    "RegisterPressureError",
+    "PlanError",
+    "SimulationError",
+    "BusProtocolError",
+    "TextTable",
+]

@@ -1,0 +1,74 @@
+"""ASCII charts for the figure experiments.
+
+Figs. 7 and 9 of the paper are bar/line charts; the harness renders the
+regenerated series the same way, in plain text, so the *shape* claims
+(flat swDNN vs jagged cuDNN, growth with filter size) are visible in the
+report without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    unit: str = "",
+    max_value: Optional[float] = None,
+) -> str:
+    """Horizontal bar chart, one row per (label, value)."""
+    if len(labels) != len(values):
+        raise ValueError(f"{len(labels)} labels vs {len(values)} values")
+    if not values:
+        return "(no data)"
+    if any(v < 0 for v in values):
+        raise ValueError("bar_chart needs non-negative values")
+    top = max_value if max_value is not None else max(values)
+    top = max(top, 1e-12)
+    label_width = max(len(str(l)) for l in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * int(round(value / top * width))
+        lines.append(f"{str(label):>{label_width}} |{bar:<{width}} {value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def series_chart(
+    series: List[Tuple[str, Sequence[float]]],
+    height: int = 12,
+    width: Optional[int] = None,
+    y_label: str = "",
+) -> str:
+    """Multi-series scatter chart; each series gets its own glyph.
+
+    Rows are value bins (top = max), columns are the sample index — the
+    paper's Fig. 7 layout (configuration number on x, Tflops on y).
+    """
+    if not series:
+        return "(no data)"
+    glyphs = "*o+x@%"
+    n = max(len(values) for _, values in series)
+    width = width if width is not None else n
+    if width < 1 or height < 2:
+        raise ValueError("chart needs positive dimensions")
+    top = max(max(values) for _, values in series if len(values))
+    top = max(top, 1e-12)
+    grid = [[" "] * width for _ in range(height)]
+    for s_idx, (_, values) in enumerate(series):
+        glyph = glyphs[s_idx % len(glyphs)]
+        for i, value in enumerate(values):
+            col = int(i / n * (width - 1)) if n > 1 else 0
+            row = height - 1 - int(min(value, top) / top * (height - 1))
+            grid[row][col] = glyph
+    lines = []
+    for r, row in enumerate(grid):
+        y_value = top * (height - 1 - r) / (height - 1)
+        lines.append(f"{y_value:8.2f} |{''.join(row)}")
+    lines.append(" " * 9 + "+" + "-" * width)
+    legend = "  ".join(
+        f"{glyphs[i % len(glyphs)]} {name}" for i, (name, _) in enumerate(series)
+    )
+    header = f"{y_label}\n" if y_label else ""
+    return header + "\n".join(lines) + f"\n          {legend}"

@@ -1,0 +1,32 @@
+"""Exception hierarchy for the swDNN reproduction.
+
+Every error raised intentionally by this package derives from
+:class:`ReproError` so callers can catch library failures without catching
+programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class LDMOverflowError(ReproError):
+    """An allocation request exceeded the 64 KB Local Directive Memory."""
+
+
+class RegisterPressureError(ReproError):
+    """A register-blocking plan needs more vector registers than the CPE has."""
+
+
+class PlanError(ReproError):
+    """A convolution plan is infeasible for the given parameters."""
+
+
+class SimulationError(ReproError):
+    """The architectural simulator was driven into an invalid state."""
+
+
+class BusProtocolError(SimulationError):
+    """Register-communication bus misuse (mismatched put/get, overflow)."""

@@ -1,0 +1,55 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harness prints the same rows the paper's tables report; this
+module renders them as aligned monospace tables without any third-party
+dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+class TextTable:
+    """An aligned monospace table.
+
+    >>> t = TextTable(["Size(Byte)", "Get", "Put"])
+    >>> t.add_row([32, 4.31, 2.56])
+    >>> print(t.render())  # doctest: +NORMALIZE_WHITESPACE
+    Size(Byte) | Get  | Put
+    -----------+------+-----
+    32         | 4.31 | 2.56
+    """
+
+    def __init__(self, headers: Sequence[str], float_fmt: str = "{:.2f}"):
+        self.headers: List[str] = [str(h) for h in headers]
+        self.float_fmt = float_fmt
+        self.rows: List[List[str]] = []
+
+    def add_row(self, row: Iterable[object]) -> None:
+        cells = []
+        for cell in row:
+            if isinstance(cell, float):
+                cells.append(self.float_fmt.format(cell))
+            else:
+                cells.append(str(cell))
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(cells)
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        def fmt_line(cells: Sequence[str]) -> str:
+            return " | ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+        lines = [fmt_line(self.headers)]
+        lines.append("-+-".join("-" * w for w in widths))
+        lines.extend(fmt_line(row) for row in self.rows)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

@@ -1,0 +1,48 @@
+"""Unit constants and conversion helpers.
+
+The paper mixes binary sizes (64 KB LDM) with decimal bandwidths (GB/s as
+10**9 bytes per second, as is conventional for memory interfaces).  All
+bandwidth figures in this codebase are decimal GB/s; all storage capacities
+are binary (KiB/MiB).
+"""
+
+from __future__ import annotations
+
+#: Binary storage units.
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+#: Decimal bandwidth / rate units.
+KB = 10**3
+MB = 10**6
+GB = 10**9
+GHZ = 10**9
+
+
+def bytes_to_human(n: int) -> str:
+    """Render a byte count with a binary suffix (``B``, ``KiB``, ``MiB``...).
+
+    >>> bytes_to_human(65536)
+    '64.0KiB'
+    """
+    if n < 0:
+        raise ValueError(f"byte count must be non-negative, got {n}")
+    value = float(n)
+    for suffix in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if value < 1024.0 or suffix == "TiB":
+            if suffix == "B":
+                return f"{int(value)}B"
+            return f"{value:.1f}{suffix}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def gflops(flops_per_second: float) -> float:
+    """Convert flop/s to Gflop/s."""
+    return flops_per_second / 1e9
+
+
+def gbps(bytes_per_second: float) -> float:
+    """Convert B/s to GB/s (decimal)."""
+    return bytes_per_second / GB

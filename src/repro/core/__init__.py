@@ -1,0 +1,46 @@
+"""swDNN core: convolution plans, kernels and layers on the simulated SW26010.
+
+The package mirrors the paper's Sections III-V:
+
+* :mod:`repro.core.params` — convolutional-layer parameters (Table I);
+* :mod:`repro.core.reference` — NumPy reference convolution (Listing 1),
+  forward and backward, the correctness oracle for everything else;
+* :mod:`repro.core.layout` — vectorization-oriented data layouts (V-C);
+* :mod:`repro.core.register_blocking` — register blocking plans (V-B);
+* :mod:`repro.core.ldm_blocking` — LDM blocking and double buffering (IV);
+* :mod:`repro.core.plans` — the image-size-aware (Algorithm 1) and
+  batch-size-aware (Algorithm 2) loop schedules, with their DMA traffic;
+* :mod:`repro.core.planner` — model-guided plan selection (III-D);
+* :mod:`repro.core.register_comm` — the register-communication GEMM over
+  the 8x8 CPE mesh (V-A, Fig. 3);
+* :mod:`repro.core.conv` — the execution engine: functional convolution on
+  the simulated hardware plus the timed evaluation used by the benchmarks;
+* :mod:`repro.core.layers` / :mod:`repro.core.network` — trainable layers
+  and a small sequential network, the "deep learning applications" side.
+"""
+
+from repro.core.params import ConvParams
+from repro.core.reference import conv2d_reference, conv2d_backward_reference
+from repro.core.plans import ImageSizeAwarePlan, BatchSizeAwarePlan, ConvPlan
+from repro.core.planner import plan_convolution
+from repro.core.conv import ConvolutionEngine, conv_forward, TimingReport
+from repro.core.backward import BackwardConvolution
+from repro.core.gemm_plan import GemmParams, GemmPlan, GemmEngine, swgemm
+
+__all__ = [
+    "ConvParams",
+    "conv2d_reference",
+    "conv2d_backward_reference",
+    "ImageSizeAwarePlan",
+    "BatchSizeAwarePlan",
+    "ConvPlan",
+    "plan_convolution",
+    "ConvolutionEngine",
+    "conv_forward",
+    "TimingReport",
+    "BackwardConvolution",
+    "GemmParams",
+    "GemmPlan",
+    "GemmEngine",
+    "swgemm",
+]

@@ -1,0 +1,300 @@
+"""Trainable layers over the swDNN convolution kernels.
+
+The paper positions swDNN as a library "to accelerate deep learning
+applications (especially focused on the training part)".  This module
+provides the layer zoo a CNN training loop needs — convolution (running
+through the simulated SW26010 plan for its forward pass), pooling, ReLU,
+fully-connected, softmax cross-entropy — each with a backward pass
+validated against numeric gradients.
+
+Layers operate on canonical (B, C, H, W) tensors in double precision (the
+precision the paper evaluates).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.common.errors import PlanError
+from repro.core.conv import ConvolutionEngine
+from repro.core.params import ConvParams
+from repro.core.reference import conv2d_backward_reference, conv2d_reference
+
+
+class Layer:
+    """Base layer: forward/backward plus parameter access for the optimizer."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def parameters(self) -> Dict[str, np.ndarray]:
+        """Trainable tensors by name (shared, mutated in place)."""
+        return {}
+
+    def gradients(self) -> Dict[str, np.ndarray]:
+        """Gradients from the last backward, matching :meth:`parameters`."""
+        return {}
+
+
+class Conv2D(Layer):
+    """Convolution layer backed by the simulated swDNN kernel.
+
+    ``engine="simulated"`` runs the forward pass through the planned tile
+    schedule on the simulated core group (identical numerics, exercised end
+    to end); ``engine="reference"`` calls the NumPy oracle directly, which
+    is what the training examples use for speed.  Backward always uses the
+    reference gradients.
+    """
+
+    def __init__(
+        self,
+        ni: int,
+        no: int,
+        kr: int,
+        kc: int,
+        rng: Optional[np.random.Generator] = None,
+        engine: str = "reference",
+    ):
+        if engine not in ("reference", "simulated"):
+            raise PlanError(f"unknown conv engine {engine!r}")
+        rng = rng or np.random.default_rng(0)
+        scale = np.sqrt(2.0 / (ni * kr * kc))
+        self.w = rng.standard_normal((no, ni, kr, kc)) * scale
+        self.bias = np.zeros(no)
+        self.engine = engine
+        self._x: Optional[np.ndarray] = None
+        self._grad_w: Optional[np.ndarray] = None
+        self._grad_b: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = np.asarray(x, dtype=np.float64)
+        if self.engine == "simulated":
+            from repro.core.planner import plan_convolution
+
+            b, ni, ri, ci = self._x.shape
+            no, _, kr, kc = self.w.shape
+            params = ConvParams(ni=ni, no=no, ri=ri, ci=ci, kr=kr, kc=kc, b=b)
+            plan = plan_convolution(params).plan
+            out, _ = ConvolutionEngine(plan).run(self._x, self.w)
+        else:
+            out = conv2d_reference(self._x, self.w)
+        return out + self.bias[None, :, None, None]
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise PlanError("backward called before forward")
+        grad_x, grad_w = conv2d_backward_reference(self._x, self.w, grad)
+        self._grad_w = grad_w
+        self._grad_b = grad.sum(axis=(0, 2, 3))
+        return grad_x
+
+    def parameters(self) -> Dict[str, np.ndarray]:
+        return {"w": self.w, "bias": self.bias}
+
+    def gradients(self) -> Dict[str, np.ndarray]:
+        if self._grad_w is None or self._grad_b is None:
+            raise PlanError("gradients requested before backward")
+        return {"w": self._grad_w, "bias": self._grad_b}
+
+
+class ReLU(Layer):
+    def __init__(self) -> None:
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise PlanError("backward called before forward")
+        return grad * self._mask
+
+
+class AvgPool2D(Layer):
+    """Non-overlapping average pooling (the paper's subsampling layer)."""
+
+    def __init__(self, size: int = 2):
+        if size < 1:
+            raise ValueError(f"pool size must be positive, got {size}")
+        self.size = size
+        self._in_shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        b, c, h, w = x.shape
+        s = self.size
+        if h % s != 0 or w % s != 0:
+            raise PlanError(f"pooling {s}x{s} does not divide {h}x{w}")
+        self._in_shape = x.shape
+        return x.reshape(b, c, h // s, s, w // s, s).mean(axis=(3, 5))
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._in_shape is None:
+            raise PlanError("backward called before forward")
+        b, c, h, w = self._in_shape
+        s = self.size
+        expanded = np.repeat(np.repeat(grad, s, axis=2), s, axis=3)
+        return expanded / (s * s)
+
+
+class Flatten(Layer):
+    def __init__(self) -> None:
+        self._in_shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._in_shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._in_shape is None:
+            raise PlanError("backward called before forward")
+        return grad.reshape(self._in_shape)
+
+
+class Dense(Layer):
+    """Fully-connected layer (the classifier part of the CNN)."""
+
+    def __init__(
+        self, in_features: int, out_features: int, rng: Optional[np.random.Generator] = None
+    ):
+        rng = rng or np.random.default_rng(0)
+        self.w = rng.standard_normal((in_features, out_features)) * np.sqrt(
+            2.0 / in_features
+        )
+        self.bias = np.zeros(out_features)
+        self._x: Optional[np.ndarray] = None
+        self._grad_w: Optional[np.ndarray] = None
+        self._grad_b: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = np.asarray(x, dtype=np.float64)
+        return self._x @ self.w + self.bias
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise PlanError("backward called before forward")
+        self._grad_w = self._x.T @ grad
+        self._grad_b = grad.sum(axis=0)
+        return grad @ self.w.T
+
+    def parameters(self) -> Dict[str, np.ndarray]:
+        return {"w": self.w, "bias": self.bias}
+
+    def gradients(self) -> Dict[str, np.ndarray]:
+        if self._grad_w is None or self._grad_b is None:
+            raise PlanError("gradients requested before backward")
+        return {"w": self._grad_w, "bias": self._grad_b}
+
+
+class LocalResponseNorm(Layer):
+    """Local response normalization across channels (AlexNet-era).
+
+    ``y[b,c] = x[b,c] / (k + alpha/n * sum_{c' in window} x[b,c']^2)^beta``
+    with the window of ``n`` channels centered on ``c`` — the normalization
+    the paper-era ImageNet networks interleave with convolutions.
+    """
+
+    def __init__(self, n: int = 5, k: float = 2.0, alpha: float = 1e-4, beta: float = 0.75):
+        if n < 1 or n % 2 == 0:
+            raise ValueError(f"window size must be odd and positive, got {n}")
+        if k <= 0 or alpha <= 0 or beta <= 0:
+            raise ValueError("k, alpha and beta must be positive")
+        self.n = n
+        self.k = k
+        self.alpha = alpha
+        self.beta = beta
+        self._x: Optional[np.ndarray] = None
+        self._denom: Optional[np.ndarray] = None
+
+    def _window_sum_sq(self, x: np.ndarray) -> np.ndarray:
+        b, c, h, w = x.shape
+        half = self.n // 2
+        sq = x * x
+        acc = np.zeros_like(x)
+        for offset in range(-half, half + 1):
+            lo = max(0, -offset)
+            hi = min(c, c - offset)
+            acc[:, lo:hi] += sq[:, lo + offset : hi + offset]
+        return acc
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 4:
+            raise PlanError("LRN expects a 4-D NCHW tensor")
+        self._x = x
+        self._denom = self.k + (self.alpha / self.n) * self._window_sum_sq(x)
+        return x / self._denom**self.beta
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._x is None or self._denom is None:
+            raise PlanError("backward called before forward")
+        x, denom = self._x, self._denom
+        # dL/dx = g / denom^beta  -  (2*alpha*beta/n) * x * S, where
+        # S[b,c] = sum over channels c' whose window includes c of
+        #          g[b,c'] * x[b,c'] / denom[b,c']^(beta+1).
+        term = grad * x / denom ** (self.beta + 1.0)
+        b, c, h, w = x.shape
+        half = self.n // 2
+        s = np.zeros_like(x)
+        for offset in range(-half, half + 1):
+            lo = max(0, -offset)
+            hi = min(c, c - offset)
+            s[:, lo + offset : hi + offset] += term[:, lo:hi]
+        return grad / denom**self.beta - (2.0 * self.alpha * self.beta / self.n) * x * s
+
+
+class Dropout(Layer):
+    """Inverted dropout: scales at train time, identity at eval time."""
+
+    def __init__(self, rate: float = 0.5, rng: Optional[np.random.Generator] = None):
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self.training = True
+        self._rng = rng or np.random.default_rng(0)
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if not self.training or self.rate == 0.0:
+            self._mask = np.ones_like(x)
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise PlanError("backward called before forward")
+        return grad * self._mask
+
+
+class SoftmaxCrossEntropy:
+    """Loss head: softmax + cross entropy with integer labels."""
+
+    def __init__(self) -> None:
+        self._probs: Optional[np.ndarray] = None
+        self._labels: Optional[np.ndarray] = None
+
+    def forward(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        logits = np.asarray(logits, dtype=np.float64)
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        probs = exp / exp.sum(axis=1, keepdims=True)
+        self._probs = probs
+        self._labels = np.asarray(labels)
+        n = logits.shape[0]
+        return float(-np.log(probs[np.arange(n), self._labels] + 1e-300).mean())
+
+    def backward(self) -> np.ndarray:
+        if self._probs is None or self._labels is None:
+            raise PlanError("backward called before forward")
+        n = self._probs.shape[0]
+        grad = self._probs.copy()
+        grad[np.arange(n), self._labels] -= 1.0
+        return grad / n

@@ -1,0 +1,113 @@
+"""Vectorization-oriented data layouts (Section V-C).
+
+The 256-bit vector units want 4 doubles per load, and the DMA engine wants
+long contiguous leading dimensions (Table II).  The paper therefore stores
+the 4-D image tensors in vector-first layouts:
+
+* image-size-aware plan: ``(4, C, R, N, B/4)`` — a 4-element *batch* vector
+  is the innermost unit and the column dimension ``C`` runs contiguously
+  next, so a ``bCo``-wide tile is one run of ``bCo * 32`` bytes;
+* batch-size-aware plan: ``(4, B/4, C, R, N)`` — the whole batch of one
+  pixel is contiguous (``B * 8`` bytes per run).
+
+Filters are stored ``(Kc, Kr, Ni, No)`` with the output channel contiguous,
+so the per-(kc, kr) filter slab is ``Ni`` runs of ``No * 8`` bytes.
+
+These functions convert between the canonical ``(B, N, R, C)`` order and
+the plan layouts, and report each layout's leading block size, which is
+what the DMA bandwidth model keys on.  Pack/unpack round-trips are covered
+by property-based tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import PlanError
+
+#: Vector width in doubles.
+LANES = 4
+#: Bytes per double.
+DS = 8
+
+
+def _check_batch(b: int) -> None:
+    if b % LANES != 0:
+        raise PlanError(
+            f"vectorized layouts need the batch divisible by {LANES}, got {b}"
+        )
+
+
+def pack_images_image_plan(x: np.ndarray) -> np.ndarray:
+    """Canonical (B, N, R, C) -> image-plan layout (4, C, R, N, B/4).
+
+    Index ``[v, c, r, n, q]`` holds batch element ``q * 4 + v`` — batch is
+    split into the vector lane ``v`` and the quad index ``q`` so that one
+    vector load grabs 4 consecutive batch elements of the same pixel.
+    """
+    b, n, r, c = x.shape
+    _check_batch(b)
+    quads = x.reshape(b // LANES, LANES, n, r, c)
+    # (q, v, n, r, c) -> (v, c, r, n, q)
+    return np.ascontiguousarray(quads.transpose(1, 4, 3, 2, 0))
+
+
+def unpack_images_image_plan(packed: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`pack_images_image_plan`."""
+    v, c, r, n, q = packed.shape
+    if v != LANES:
+        raise PlanError(f"image-plan layout must have {LANES} lanes, got {v}")
+    quads = packed.transpose(4, 0, 3, 2, 1)  # (q, v, n, r, c)
+    return np.ascontiguousarray(quads.reshape(q * LANES, n, r, c))
+
+
+def pack_images_batch_plan(x: np.ndarray) -> np.ndarray:
+    """Canonical (B, N, R, C) -> batch-plan layout (4, B/4, C, R, N)."""
+    b, n, r, c = x.shape
+    _check_batch(b)
+    quads = x.reshape(b // LANES, LANES, n, r, c)
+    # (q, v, n, r, c) -> (v, q, c, r, n)
+    return np.ascontiguousarray(quads.transpose(1, 0, 4, 3, 2))
+
+
+def unpack_images_batch_plan(packed: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`pack_images_batch_plan`."""
+    v, q, c, r, n = packed.shape
+    if v != LANES:
+        raise PlanError(f"batch-plan layout must have {LANES} lanes, got {v}")
+    quads = packed.transpose(1, 0, 4, 3, 2)  # (q, v, n, r, c)
+    return np.ascontiguousarray(quads.reshape(q * LANES, n, r, c))
+
+
+def pack_filters(w: np.ndarray) -> np.ndarray:
+    """Canonical (No, Ni, Kr, Kc) -> filter layout (Kc, Kr, Ni, No)."""
+    return np.ascontiguousarray(w.transpose(3, 2, 1, 0))
+
+
+def unpack_filters(packed: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`pack_filters`."""
+    return np.ascontiguousarray(packed.transpose(3, 2, 1, 0))
+
+
+# -- leading block sizes (what the DMA sees) ---------------------------------
+
+
+def image_plan_block_bytes(b_co: int) -> int:
+    """Leading contiguous run of a ``bCo``-wide tile in the image layout."""
+    if b_co < 1:
+        raise PlanError(f"bCo must be positive, got {b_co}")
+    return b_co * LANES * DS
+
+
+def batch_plan_block_bytes(b: int) -> int:
+    """Leading contiguous run of one pixel's batch in the batch layout."""
+    if b < 1:
+        raise PlanError(f"batch must be positive, got {b}")
+    return b * DS
+
+
+def filter_block_bytes(n_o: int) -> int:
+    """Leading contiguous run of one (kc, kr, ni) filter row."""
+    if n_o < 1:
+        raise PlanError(f"No must be positive, got {n_o}")
+    return n_o * DS

@@ -1,0 +1,227 @@
+"""LDM blocking: tile sizing against the 64 KB scratchpad (Section IV-A).
+
+The blocking chooser turns the paper's three design insights into a search:
+
+1. block first the dimension whose blocking most reduces the MEM->LDM RBW
+   (for Algorithm 1 that is the ``bCo * bB`` product; for Algorithm 2 the
+   batch is kept whole);
+2. keep the leading DMA dimension large ("larger than 256B and aligned in
+   128B") so the Table II curve is climbed;
+3. push DMA operations to outer loops (the *promotion* flags) whenever the
+   bigger tiles still fit.
+
+Feasibility is decided by actually allocating the tiles in a scratch
+:class:`~repro.hw.ldm.LDMAllocator` — the same allocator the execution
+engine uses — with double buffers for the streamed operands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.common.errors import LDMOverflowError, PlanError
+from repro.hw.ldm import LDMAllocator
+from repro.hw.spec import SW26010Spec, DEFAULT_SPEC
+from repro.core.params import ConvParams
+
+DS = 8
+
+
+@dataclass(frozen=True)
+class ImageBlocking:
+    """Algorithm 1 blocking: ``bB`` on batch, ``bCo`` on output columns.
+
+    ``b_ni`` blocks the input-channel reduction when the LDM cannot hold
+    full-Ni tiles ("if LDM space is not enough for large Ni ... we still
+    need to apply loop blocking on these dimensions", Section IV-A);
+    ``None`` keeps the reduction whole.
+    """
+
+    b_b: int
+    b_co: int
+    promote_input: bool = False
+    promote_filter: bool = False
+    b_ni: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.b_b < 1 or self.b_co < 1:
+            raise ValueError("blocking sizes must be positive")
+        if self.b_ni is not None and self.b_ni < 1:
+            raise ValueError("b_ni must be positive when given")
+
+    def ni_block(self, ni: int) -> int:
+        return min(ni, self.b_ni) if self.b_ni is not None else ni
+
+
+@dataclass(frozen=True)
+class BatchBlocking:
+    """Algorithm 2 blocking: whole batch, ``bCo`` on output columns.
+
+    ``b_ni`` blocks the input-channel reduction (see ImageBlocking).
+    """
+
+    b_co: int
+    promote_filter: bool = False
+    b_ni: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.b_co < 1:
+            raise ValueError("bCo must be positive")
+        if self.b_ni is not None and self.b_ni < 1:
+            raise ValueError("b_ni must be positive when given")
+
+    def ni_block(self, ni: int) -> int:
+        return min(ni, self.b_ni) if self.b_ni is not None else ni
+
+
+def _per_cpe(elements: int, spec: SW26010Spec) -> int:
+    """Bytes per CPE for a tile spread over the whole mesh."""
+    return -(-elements // spec.cpes_per_group) * DS
+
+
+def image_plan_ldm_bytes(
+    params: ConvParams, blocking: ImageBlocking, spec: SW26010Spec = DEFAULT_SPEC
+) -> List[Tuple[str, int]]:
+    """Per-CPE LDM regions (name, bytes) the image-size-aware plan needs.
+
+    Input and filter tiles stream (double buffered); the output tile is
+    accumulated in place.
+    """
+    p, blk = params, blocking
+    ni = blk.ni_block(p.ni)
+    in_cols = (blk.b_co + p.kc - 1) if blk.promote_input else blk.b_co
+    input_tile = _per_cpe(ni * blk.b_b * in_cols, spec)
+    filter_elems = ni * p.no * (p.kc if blk.promote_filter else 1)
+    filter_tile = _per_cpe(filter_elems, spec)
+    output_tile = _per_cpe(blk.b_b * p.no * blk.b_co, spec)
+    return [
+        ("input.ping", input_tile),
+        ("input.pong", input_tile),
+        ("filter.ping", filter_tile),
+        ("filter.pong", filter_tile),
+        ("output", output_tile),
+    ]
+
+
+def batch_plan_ldm_bytes(
+    params: ConvParams, blocking: BatchBlocking, spec: SW26010Spec = DEFAULT_SPEC
+) -> List[Tuple[str, int]]:
+    """Per-CPE LDM regions the batch-size-aware plan needs.
+
+    One input column slab (Ni x B) streams at a time; the output block is
+    ``bCo`` columns of B x No accumulated across the kr loop.
+    """
+    p, blk = params, blocking
+    ni = blk.ni_block(p.ni)
+    input_tile = _per_cpe(ni * p.b, spec)
+    filter_elems = ni * p.no * (p.kc if blk.promote_filter else 1)
+    filter_tile = _per_cpe(filter_elems, spec)
+    output_tile = _per_cpe(blk.b_co * p.b * p.no, spec)
+    return [
+        ("input.ping", input_tile),
+        ("input.pong", input_tile),
+        ("filter.ping", filter_tile),
+        ("filter.pong", filter_tile),
+        ("output", output_tile),
+    ]
+
+
+def fits_in_ldm(regions: List[Tuple[str, int]], spec: SW26010Spec = DEFAULT_SPEC) -> bool:
+    """Whether a set of per-CPE regions fits the 64 KB LDM."""
+    allocator = LDMAllocator(capacity=spec.ldm_bytes)
+    return allocator.would_fit(*(nbytes for _, nbytes in regions))
+
+
+def assert_fits_in_ldm(
+    regions: List[Tuple[str, int]], spec: SW26010Spec = DEFAULT_SPEC
+) -> None:
+    if not fits_in_ldm(regions, spec):
+        total = sum(n for _, n in regions)
+        detail = ", ".join(f"{name}={nbytes}B" for name, nbytes in regions)
+        raise LDMOverflowError(
+            f"plan needs {total} bytes of LDM per CPE "
+            f"(limit {spec.ldm_bytes}): {detail}"
+        )
+
+
+def _divisor_candidates(limit: int, step: int) -> Iterator[int]:
+    """Doubling candidates up to ``limit``, always including ``limit`` itself
+    so problems smaller than one step still get a (full-extent) block."""
+    value = step
+    emitted_limit = False
+    while value <= limit:
+        yield value
+        emitted_limit = emitted_limit or value == limit
+        value *= 2
+    if not emitted_limit:
+        yield limit
+
+
+def choose_image_blocking(
+    params: ConvParams, spec: SW26010Spec = DEFAULT_SPEC
+) -> ImageBlocking:
+    """Largest-RBW-reduction (bB, bCo) that fits LDM, with DMA promotion.
+
+    Candidates double from the mesh size upward (keeping tiles dividing the
+    problem is the engine's job via edge tiles; the chooser optimizes the
+    steady-state tile).  Among fitting candidates, maximize ``bB * bCo``
+    (minimizing Eq. 1's first term), tie-breaking toward larger ``bCo``
+    (longer DMA runs in the (4,C,R,N,B/4) layout).
+    """
+    for b_ni in _ni_candidates(params.ni):
+        candidates: List[Tuple[int, int, ImageBlocking]] = []
+        for b_b in _divisor_candidates(min(params.b, 256), 8):
+            for b_co in _divisor_candidates(min(params.co, 128), 4):
+                # Filter promotion moves the same bytes in longer runs, so
+                # it is always preferred when it fits.  Input promotion
+                # (reading the kc-halo once) *reduces* traffic below what
+                # Eq. 1 models; it is an explicit opt-in (see the promotion
+                # ablation bench), not a default, so plans stay comparable
+                # with the paper's model.
+                for promote_filter in (True, False):
+                    blocking = ImageBlocking(
+                        b_b=b_b,
+                        b_co=b_co,
+                        promote_input=False,
+                        promote_filter=promote_filter,
+                        b_ni=b_ni,
+                    )
+                    if fits_in_ldm(image_plan_ldm_bytes(params, blocking, spec), spec):
+                        candidates.append((b_b * b_co, b_co, blocking))
+                        break
+        if candidates:
+            candidates.sort(key=lambda t: (t[0], t[1], t[2].promote_filter))
+            return candidates[-1][2]
+    raise PlanError(
+        f"no image-size-aware blocking fits LDM for {params.describe()}"
+    )
+
+
+def choose_batch_blocking(
+    params: ConvParams, spec: SW26010Spec = DEFAULT_SPEC
+) -> BatchBlocking:
+    """Largest output-column block that fits LDM for Algorithm 2."""
+    for b_ni in _ni_candidates(params.ni):
+        candidates: List[BatchBlocking] = []
+        for b_co in _divisor_candidates(min(params.co, 128), 1):
+            for promote in (True, False):
+                blocking = BatchBlocking(b_co=b_co, promote_filter=promote, b_ni=b_ni)
+                if fits_in_ldm(batch_plan_ldm_bytes(params, blocking, spec), spec):
+                    candidates.append(blocking)
+                    break
+        if candidates:
+            return max(candidates, key=lambda blk: (blk.b_co, blk.promote_filter))
+    raise PlanError(
+        f"no batch-size-aware blocking fits LDM for {params.describe()} "
+        f"(batch {params.b} too large to keep whole)"
+    )
+
+
+def _ni_candidates(ni: int) -> Iterator[Optional[int]]:
+    """Full Ni first, then halvings down to one 8-deep kernel iteration."""
+    yield None
+    value = ni // 2
+    while value >= 8:
+        yield value
+        value //= 2

@@ -1,0 +1,125 @@
+"""Convolutional-layer parameters (Table I of the paper).
+
+The paper's convolution is the "valid", stride-1, multi-channel batched
+convolution of Listing 1:
+
+    out[b, no, ro, co] += in[b, ni, ro+kr, co+kc] * filter[no, ni, kr, kc]
+
+summed over ``ni``, ``kr``, ``kc``; output spatial size is
+``Ro = Ri - Kr + 1``, ``Co = Ci - Kc + 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.common.errors import PlanError
+
+
+@dataclass(frozen=True)
+class ConvParams:
+    """Parameters of one convolutional layer (Table I).
+
+    Attributes use the paper's names: ``ni``/``no`` input/output feature
+    maps, ``ri``/``ci`` input image height/width, ``kr``/``kc`` filter
+    height/width, plus the batch size ``b`` (the paper's ``B``).
+    """
+
+    ni: int
+    no: int
+    ri: int
+    ci: int
+    kr: int
+    kc: int
+    b: int
+
+    def __post_init__(self) -> None:
+        for name in ("ni", "no", "ri", "ci", "kr", "kc", "b"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or value < 1:
+                raise ValueError(f"{name} must be a positive integer, got {value!r}")
+        if self.kr > self.ri or self.kc > self.ci:
+            raise ValueError(
+                f"filter {self.kr}x{self.kc} larger than image {self.ri}x{self.ci}"
+            )
+
+    # -- derived sizes -------------------------------------------------------
+
+    @property
+    def ro(self) -> int:
+        """Output image height."""
+        return self.ri - self.kr + 1
+
+    @property
+    def co(self) -> int:
+        """Output image width."""
+        return self.ci - self.kc + 1
+
+    @property
+    def input_shape(self) -> Tuple[int, int, int, int]:
+        """Canonical input tensor shape (B, Ni, Ri, Ci)."""
+        return (self.b, self.ni, self.ri, self.ci)
+
+    @property
+    def filter_shape(self) -> Tuple[int, int, int, int]:
+        """Canonical filter tensor shape (No, Ni, Kr, Kc)."""
+        return (self.no, self.ni, self.kr, self.kc)
+
+    @property
+    def output_shape(self) -> Tuple[int, int, int, int]:
+        """Canonical output tensor shape (B, No, Ro, Co)."""
+        return (self.b, self.no, self.ro, self.co)
+
+    # -- work and footprint ---------------------------------------------------
+
+    def flops(self) -> int:
+        """Total double-precision flops of the layer (2 per multiply-add)."""
+        return 2 * self.b * self.no * self.ro * self.co * self.ni * self.kr * self.kc
+
+    def input_bytes(self, ds: int = 8) -> int:
+        return self.b * self.ni * self.ri * self.ci * ds
+
+    def filter_bytes(self, ds: int = 8) -> int:
+        return self.no * self.ni * self.kr * self.kc * ds
+
+    def output_bytes(self, ds: int = 8) -> int:
+        return self.b * self.no * self.ro * self.co * ds
+
+    def total_bytes(self, ds: int = 8) -> int:
+        return self.input_bytes(ds) + self.filter_bytes(ds) + self.output_bytes(ds)
+
+    def arithmetic_intensity(self, ds: int = 8) -> float:
+        """Flops per byte of unique data — the layer's reuse potential."""
+        return self.flops() / self.total_bytes(ds)
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def from_output(
+        cls, ni: int, no: int, ro: int, co: int, kr: int, kc: int, b: int
+    ) -> "ConvParams":
+        """Build from output spatial size (how Fig. 7/9 configs are given)."""
+        return cls(ni=ni, no=no, ri=ro + kr - 1, ci=co + kc - 1, kr=kr, kc=kc, b=b)
+
+    def with_rows(self, ro_rows: int) -> "ConvParams":
+        """Restrict to a strip of output rows (the per-CG partition, III-D)."""
+        if not 1 <= ro_rows <= self.ro:
+            raise PlanError(
+                f"cannot take a {ro_rows}-row strip of a {self.ro}-row output"
+            )
+        return ConvParams(
+            ni=self.ni,
+            no=self.no,
+            ri=ro_rows + self.kr - 1,
+            ci=self.ci,
+            kr=self.kr,
+            kc=self.kc,
+            b=self.b,
+        )
+
+    def describe(self) -> str:
+        return (
+            f"Conv(Ni={self.ni}, No={self.no}, in={self.ri}x{self.ci}, "
+            f"out={self.ro}x{self.co}, filter={self.kr}x{self.kc}, B={self.b})"
+        )

@@ -1,0 +1,78 @@
+"""Model-guided plan selection (Section III-D / IV-A).
+
+"If the batch size is large enough to reduce the RBW to a lower level, we
+can adopt the batch-size-aware version.  Otherwise, we can perform blocking
+on the column dimension with the image-size-aware version."  The planner
+implements that decision by actually scoring both families with the
+three-level performance model and keeping the winner, so the choice adapts
+to every (Ni, No, B, image, filter) configuration the way the paper's
+evaluation does ("we adopt different loop scheduling and blocking
+strategies according to the performance model", Section VII).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.common.errors import PlanError
+from repro.hw.spec import SW26010Spec, DEFAULT_SPEC
+from repro.perf.model import PerformanceEstimate, PerformanceModel
+from repro.core.params import ConvParams
+from repro.core.plans import BatchSizeAwarePlan, ConvPlan, ImageSizeAwarePlan
+
+
+@dataclass
+class PlanChoice:
+    """The planner's decision: the chosen plan plus the scored field."""
+
+    plan: ConvPlan
+    estimate: PerformanceEstimate
+    alternatives: List[PerformanceEstimate]
+
+    @property
+    def kind(self) -> str:
+        return self.plan.name
+
+    def describe(self) -> str:
+        lines = [
+            f"chosen: {self.plan.describe()} "
+            f"(modeled {self.estimate.gflops:.0f} Gflops/CG, "
+            f"bound: {self.estimate.bound})"
+        ]
+        for alt in self.alternatives:
+            lines.append(f"  rejected: {alt.plan} ({alt.gflops:.0f} Gflops/CG)")
+        return "\n".join(lines)
+
+
+def plan_convolution(
+    params: ConvParams,
+    spec: SW26010Spec = DEFAULT_SPEC,
+    model: Optional[PerformanceModel] = None,
+) -> PlanChoice:
+    """Choose the loop schedule + blocking maximizing modeled performance.
+
+    Both plan families are constructed with their best LDM blocking; a
+    family whose blocking cannot fit the LDM for these parameters is simply
+    not a candidate.  Raises :class:`PlanError` when nothing is feasible.
+    """
+    model = model or PerformanceModel(spec)
+    candidates: List[ConvPlan] = []
+    failures: List[str] = []
+    for family in (BatchSizeAwarePlan, ImageSizeAwarePlan):
+        try:
+            candidates.append(family(params, spec=spec))
+        except PlanError as exc:
+            failures.append(f"{family.name}: {exc}")
+    if not candidates:
+        raise PlanError(
+            f"no feasible plan for {params.describe()}: " + "; ".join(failures)
+        )
+    scored = [(plan, plan.estimate(model)) for plan in candidates]
+    scored.sort(key=lambda pair: pair[1].flops, reverse=True)
+    best_plan, best_estimate = scored[0]
+    return PlanChoice(
+        plan=best_plan,
+        estimate=best_estimate,
+        alternatives=[est for _, est in scored[1:]],
+    )

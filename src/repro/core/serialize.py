@@ -1,0 +1,136 @@
+"""JSON serialization for layer configurations and plan descriptions.
+
+Sweeps, saved experiment artifacts and external tooling need a stable
+textual form for the configuration objects.  This module round-trips
+:class:`~repro.core.params.ConvParams`, the blocking dataclasses and whole
+plan descriptions (family + blocking + register blocking) through plain
+dicts, with versioned envelopes so saved files stay readable as the
+library evolves.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional, Union
+
+from repro.common.errors import PlanError
+from repro.core.ldm_blocking import BatchBlocking, ImageBlocking
+from repro.core.params import ConvParams
+from repro.core.plans import BatchSizeAwarePlan, ConvPlan, ImageSizeAwarePlan
+from repro.core.register_blocking import RegisterBlocking
+
+#: Envelope format version.
+FORMAT_VERSION = 1
+
+
+def params_to_dict(params: ConvParams) -> Dict[str, int]:
+    return {
+        "ni": params.ni,
+        "no": params.no,
+        "ri": params.ri,
+        "ci": params.ci,
+        "kr": params.kr,
+        "kc": params.kc,
+        "b": params.b,
+    }
+
+
+def params_from_dict(data: Dict[str, Any]) -> ConvParams:
+    try:
+        return ConvParams(**{k: int(data[k]) for k in ("ni", "no", "ri", "ci", "kr", "kc", "b")})
+    except KeyError as exc:
+        raise PlanError(f"missing ConvParams field {exc}") from None
+
+
+def blocking_to_dict(blocking: Union[ImageBlocking, BatchBlocking]) -> Dict[str, Any]:
+    if isinstance(blocking, ImageBlocking):
+        return {
+            "kind": "image",
+            "b_b": blocking.b_b,
+            "b_co": blocking.b_co,
+            "promote_input": blocking.promote_input,
+            "promote_filter": blocking.promote_filter,
+            "b_ni": blocking.b_ni,
+        }
+    if isinstance(blocking, BatchBlocking):
+        return {
+            "kind": "batch",
+            "b_co": blocking.b_co,
+            "promote_filter": blocking.promote_filter,
+            "b_ni": blocking.b_ni,
+        }
+    raise PlanError(f"unknown blocking type {type(blocking).__name__}")
+
+
+def blocking_from_dict(data: Dict[str, Any]) -> Union[ImageBlocking, BatchBlocking]:
+    kind = data.get("kind")
+    if kind == "image":
+        return ImageBlocking(
+            b_b=int(data["b_b"]),
+            b_co=int(data["b_co"]),
+            promote_input=bool(data.get("promote_input", False)),
+            promote_filter=bool(data.get("promote_filter", False)),
+            b_ni=None if data.get("b_ni") is None else int(data["b_ni"]),
+        )
+    if kind == "batch":
+        return BatchBlocking(
+            b_co=int(data["b_co"]),
+            promote_filter=bool(data.get("promote_filter", False)),
+            b_ni=None if data.get("b_ni") is None else int(data["b_ni"]),
+        )
+    raise PlanError(f"unknown blocking kind {kind!r}")
+
+
+def plan_to_dict(plan: ConvPlan) -> Dict[str, Any]:
+    """Describe a plan completely enough to rebuild it."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "family": plan.name,
+        "params": params_to_dict(plan.params),
+        "blocking": blocking_to_dict(plan.blocking),
+        "register_blocking": {
+            "rb_b": plan.register_blocking.rb_b,
+            "rb_no": plan.register_blocking.rb_no,
+        },
+    }
+
+
+def plan_from_dict(data: Dict[str, Any]) -> ConvPlan:
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise PlanError(
+            f"unsupported plan format version {version!r} "
+            f"(this library reads {FORMAT_VERSION})"
+        )
+    params = params_from_dict(data["params"])
+    blocking = blocking_from_dict(data["blocking"])
+    reg = data.get("register_blocking", {})
+    register_blocking = RegisterBlocking(
+        rb_b=int(reg.get("rb_b", 16)), rb_no=int(reg.get("rb_no", 4))
+    )
+    family = data.get("family")
+    if family == "image-size-aware":
+        if not isinstance(blocking, ImageBlocking):
+            raise PlanError("image-size-aware plan needs an image blocking")
+        return ImageSizeAwarePlan(
+            params, blocking=blocking, register_blocking=register_blocking
+        )
+    if family == "batch-size-aware":
+        if not isinstance(blocking, BatchBlocking):
+            raise PlanError("batch-size-aware plan needs a batch blocking")
+        return BatchSizeAwarePlan(
+            params, blocking=blocking, register_blocking=register_blocking
+        )
+    raise PlanError(f"unknown plan family {family!r}")
+
+
+def plan_to_json(plan: ConvPlan, indent: Optional[int] = 2) -> str:
+    return json.dumps(plan_to_dict(plan), indent=indent)
+
+
+def plan_from_json(text: str) -> ConvPlan:
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise PlanError(f"malformed plan JSON: {exc}") from None
+    return plan_from_dict(data)

@@ -1,0 +1,156 @@
+"""Parameter sweeps: build-your-own-Fig-7 for arbitrary layer grids.
+
+The paper's evaluation is a grid sweep over layer parameters; this module
+packages that workflow for users: declare a grid, get back one row per
+configuration with the chosen plan, the model estimate and the timed
+measurement, render it as a table or export CSV for external plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.common.errors import PlanError
+from repro.common.tables import TextTable
+from repro.hw.spec import SW26010Spec, DEFAULT_SPEC
+from repro.core.conv import ConvolutionEngine, evaluate_chip
+from repro.core.params import ConvParams
+from repro.core.planner import plan_convolution
+
+
+@dataclass(frozen=True)
+class SweepGrid:
+    """Cartesian grid of layer parameters.
+
+    Every axis is a sequence; the grid is the product.  ``out`` is the
+    square output image size, ``k`` the square filter size (the paper's
+    evaluation convention).
+    """
+
+    ni: Sequence[int] = (128,)
+    no: Sequence[int] = (128,)
+    out: Sequence[int] = (64,)
+    k: Sequence[int] = (3,)
+    b: Sequence[int] = (128,)
+
+    def __post_init__(self) -> None:
+        for name in ("ni", "no", "out", "k", "b"):
+            axis = getattr(self, name)
+            if not axis:
+                raise PlanError(f"sweep axis {name!r} is empty")
+            if any(v < 1 for v in axis):
+                raise PlanError(f"sweep axis {name!r} has non-positive values")
+
+    def __len__(self) -> int:
+        return (
+            len(self.ni) * len(self.no) * len(self.out) * len(self.k) * len(self.b)
+        )
+
+    def configurations(self) -> Iterator[ConvParams]:
+        for ni, no, out, k, b in itertools.product(
+            self.ni, self.no, self.out, self.k, self.b
+        ):
+            yield ConvParams.from_output(ni=ni, no=no, ro=out, co=out, kr=k, kc=k, b=b)
+
+
+@dataclass
+class SweepRow:
+    """Outcome for one configuration."""
+
+    params: ConvParams
+    plan: str
+    model_gflops: float
+    measured_gflops: float
+    chip_tflops: float
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return not self.error
+
+
+def run_sweep(
+    grid: SweepGrid,
+    spec: SW26010Spec = DEFAULT_SPEC,
+    chip: bool = True,
+) -> List[SweepRow]:
+    """Plan, model and time every configuration of the grid.
+
+    Infeasible configurations are reported as rows with ``error`` set
+    rather than aborting the sweep.
+    """
+    rows: List[SweepRow] = []
+    for params in grid.configurations():
+        try:
+            choice = plan_convolution(params, spec=spec)
+            measured = ConvolutionEngine(choice.plan, spec=spec).evaluate()
+            chip_gflops = (
+                evaluate_chip(params, spec=spec)[0] if chip else 4 * measured.gflops
+            )
+            rows.append(
+                SweepRow(
+                    params=params,
+                    plan=choice.kind,
+                    model_gflops=choice.estimate.gflops,
+                    measured_gflops=measured.gflops,
+                    chip_tflops=chip_gflops / 1e3,
+                )
+            )
+        except PlanError as exc:
+            rows.append(
+                SweepRow(
+                    params=params,
+                    plan="-",
+                    model_gflops=0.0,
+                    measured_gflops=0.0,
+                    chip_tflops=0.0,
+                    error=str(exc),
+                )
+            )
+    return rows
+
+
+def render_sweep(rows: Sequence[SweepRow]) -> str:
+    """Aligned text table of a sweep's outcomes."""
+    table = TextTable(
+        ["Ni", "No", "out", "k", "B", "plan", "mdl G/CG", "meas G/CG", "chip T"],
+        float_fmt="{:.1f}",
+    )
+    for row in rows:
+        p = row.params
+        table.add_row(
+            [
+                p.ni,
+                p.no,
+                p.ro,
+                p.kr,
+                p.b,
+                row.plan if row.ok else f"error: {row.error[:30]}",
+                row.model_gflops,
+                row.measured_gflops,
+                row.chip_tflops,
+            ]
+        )
+    return table.render()
+
+
+def sweep_to_csv(rows: Sequence[SweepRow]) -> str:
+    """CSV export (for plotting outside the library)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(
+        ["ni", "no", "out", "k", "b", "plan", "model_gflops",
+         "measured_gflops", "chip_tflops", "error"]
+    )
+    for row in rows:
+        p = row.params
+        writer.writerow(
+            [p.ni, p.no, p.ro, p.kr, p.b, row.plan,
+             f"{row.model_gflops:.3f}", f"{row.measured_gflops:.3f}",
+             f"{row.chip_tflops:.4f}", row.error]
+        )
+    return buffer.getvalue()

@@ -1,0 +1,26 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+Each module owns one artifact of the evaluation (Section VII) and exposes a
+``run()`` returning structured rows plus a ``render()`` printing the same
+table the paper reports (with the paper's own numbers alongside ours where
+the paper prints them):
+
+* :mod:`repro.experiments.table2` — measured DMA bandwidths vs block size;
+* :mod:`repro.experiments.fig2_model` — the three-level performance model
+  design points (direct gload vs REG-LDM-MEM);
+* :mod:`repro.experiments.fig6_pipeline` — instruction reordering cycle
+  counts and execution efficiency;
+* :mod:`repro.experiments.fig7` — the 101-configuration channel sweep vs
+  the K40m/cuDNN comparator;
+* :mod:`repro.experiments.fig9` — the filter-size sweep (3x3 .. 21x21);
+* :mod:`repro.experiments.table3` — performance-model evaluation
+  (RBW / MBW / modeled / measured for four plans);
+* :mod:`repro.experiments.scaling` — multi-core-group scaling (III-D);
+* :mod:`repro.experiments.configs` — the Fig. 8 configuration scripts.
+
+``python -m repro.experiments`` runs everything and prints the full report.
+"""
+
+from repro.experiments.configs import fig8_left, fig8_center, fig8_right
+
+__all__ = ["fig8_left", "fig8_center", "fig8_right"]

@@ -1,0 +1,30 @@
+"""``python -m repro.experiments [--save DIR] [names...]``.
+
+Prints the evaluation report; with ``--save DIR`` also writes per-
+experiment text + JSON artifacts into ``DIR``.
+"""
+
+import argparse
+import sys
+
+from repro.experiments.runner import run_all
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.experiments")
+    parser.add_argument("names", nargs="*", help="experiment subset")
+    parser.add_argument("--save", metavar="DIR", help="write artifacts to DIR")
+    args = parser.parse_args(argv if argv is not None else sys.argv[1:])
+    if args.save:
+        from repro.experiments.artifacts import save_experiments
+
+        written = save_experiments(args.save, args.names or None)
+        for path in written:
+            print(f"wrote {path}")
+        return 0
+    print(run_all(args.names or None))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

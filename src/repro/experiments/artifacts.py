@@ -1,0 +1,116 @@
+"""Experiment artifacts: structured (JSON) + rendered (text) result files.
+
+``python -m repro.experiments --save DIR`` writes, per experiment, both the
+human-readable table and a machine-readable JSON record (configuration,
+per-row values, paper reference values), so downstream analysis or plotting
+does not have to re-run the sweeps.  The JSON encoder handles the
+dataclass-heavy result types generically.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from datetime import datetime, timezone
+from typing import Any, Dict, List
+
+from repro import __version__
+from repro.experiments.runner import ALL_EXPERIMENTS
+
+
+def to_jsonable(value: Any) -> Any:
+    """Recursively convert experiment results into JSON-encodable data."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        record = {
+            field.name: to_jsonable(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+        # Include computed @property values (speedups, efficiencies...).
+        for name in dir(type(value)):
+            attr = getattr(type(value), name, None)
+            if isinstance(attr, property):
+                try:
+                    record[name] = to_jsonable(getattr(value, name))
+                except Exception:  # pragma: no cover - defensive
+                    continue
+        return record
+    if isinstance(value, dict):
+        return {str(k): to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(v) for v in value]
+    if isinstance(value, (str, int, bool)) or value is None:
+        return value
+    if isinstance(value, float):
+        return value
+    if hasattr(value, "item"):  # numpy scalars
+        return value.item()
+    return str(value)
+
+
+#: (name, run callable) pairs for the structured side of each experiment.
+def _structured_runners() -> Dict[str, Any]:
+    from repro.experiments import (
+        fig2_model,
+        fig6_pipeline,
+        fig7,
+        fig8,
+        fig9,
+        scaling,
+        scorecard,
+        table2,
+        table3,
+    )
+
+    return {
+        "table2": table2.run,
+        "fig2": fig2_model.run,
+        "fig6": fig6_pipeline.run,
+        "fig7": fig7.run,
+        "fig8": fig8.run,
+        "fig9": fig9.run,
+        "table3": table3.run,
+        "scaling": scaling.run,
+        "scorecard": scorecard.run,
+    }
+
+
+def save_experiments(
+    directory: str, names: List[str] = None
+) -> List[str]:
+    """Run experiments and write ``<name>.txt`` + ``<name>.json`` files.
+
+    Returns the list of file paths written.
+    """
+    os.makedirs(directory, exist_ok=True)
+    runners = _structured_runners()
+    renderers = dict(ALL_EXPERIMENTS)
+    selected = names or list(renderers)
+    unknown = [n for n in selected if n not in renderers]
+    if unknown:
+        raise ValueError(f"unknown experiments {unknown}; known: {sorted(renderers)}")
+    written: List[str] = []
+    for name in selected:
+        result = runners[name]()
+        txt_path = os.path.join(directory, f"{name}.txt")
+        with open(txt_path, "w") as fh:
+            fh.write(renderers[name](result) if _accepts_arg(renderers[name]) else renderers[name]())
+            fh.write("\n")
+        json_path = os.path.join(directory, f"{name}.json")
+        payload = {
+            "experiment": name,
+            "repro_version": __version__,
+            "generated_utc": datetime.now(timezone.utc).isoformat(),
+            "result": to_jsonable(result),
+        }
+        with open(json_path, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        written.extend([txt_path, json_path])
+    return written
+
+
+def _accepts_arg(render) -> bool:
+    import inspect
+
+    params = inspect.signature(render).parameters
+    return len(params) >= 1

@@ -1,0 +1,58 @@
+"""The Fig. 8 test scripts: parameter-configuration generators.
+
+Fig. 8 of the paper shows three scripts (as an image, so the exact loops
+are reconstructed here from the stated counts and ranges — see DESIGN.md):
+
+* the *left* script generates configurations 1-21 of Fig. 7: square
+  channel counts Ni = No sweeping 64..384 in steps of 16 (21 configs);
+* the *center* script generates configurations 22-101 of Fig. 7: Ni over
+  {64, 128, 192, 256, 384} crossed with 16 No values 64..384 (80 configs);
+* the *right* script generates the 30 configurations of Fig. 9: filter
+  sizes 3x3..21x21 crossed with three channel pairs.
+
+All use the fixed evaluation setting of Figs. 7/9: batch B = 128 and
+output images 64x64.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.params import ConvParams
+
+#: Fixed evaluation setting (captions of Figs. 7 and 9).
+BATCH = 128
+OUTPUT_SIZE = 64
+
+
+def _config(ni: int, no: int, k: int = 3) -> ConvParams:
+    return ConvParams.from_output(
+        ni=ni, no=no, ro=OUTPUT_SIZE, co=OUTPUT_SIZE, kr=k, kc=k, b=BATCH
+    )
+
+
+def fig8_left() -> List[ConvParams]:
+    """Configurations 1-21 of Fig. 7: Ni = No in 64..384 step 16."""
+    return [_config(c, c) for c in range(64, 385, 16)]
+
+
+def fig8_center() -> List[ConvParams]:
+    """Configurations 22-101 of Fig. 7: 5 Ni values x 16 No values."""
+    ni_values = [64, 128, 192, 256, 384]
+    no_values = [64 + 21 * i for i in range(15)] + [384]
+    return [_config(ni, no) for ni in ni_values for no in no_values]
+
+
+def fig8_right() -> List[ConvParams]:
+    """The 30 configurations of Fig. 9: k in {3,5,..,21} x 3 channel pairs."""
+    channel_pairs = [(128, 128), (256, 256), (128, 384)]
+    return [
+        _config(ni, no, k)
+        for k in range(3, 22, 2)
+        for ni, no in channel_pairs
+    ]
+
+
+def fig7_configs() -> List[ConvParams]:
+    """All 101 configurations of Fig. 7 in presentation order."""
+    return fig8_left() + fig8_center()

@@ -1,0 +1,66 @@
+"""Fig. 2: the three-level performance model's design points.
+
+Reproduces the numbers printed inside the figure: the 742.4 Gflops per-CG
+peak, the 139.2 GB/s no-reuse requirement against the 8 GB/s gload
+interface ((8/139.2)^2 = 0.33% of peak), the 46.4 GB/s LDM->REG ceiling,
+and the Eq. 5 check that the paper's (rbB=16, rbNo=4) register blocking
+needs only 23.2 GB/s of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.units import GB
+from repro.hw.spec import DEFAULT_SPEC, SW26010Spec
+from repro.perf.equations import RBW_DIRECT_MEM, rbw_ldm_reg_gemm_simd
+from repro.perf.model import PerformanceModel
+
+
+@dataclass
+class Fig2Result:
+    peak_gflops_cg: float
+    rbw_direct_gbps: float
+    gload_gbps: float
+    direct_fraction: float
+    direct_gflops: float
+    ldm_reg_bandwidth_gbps: float
+    eq5_rbw_gbps: float
+    hierarchical_gflops: float
+
+
+def run(spec: SW26010Spec = DEFAULT_SPEC) -> Fig2Result:
+    model = PerformanceModel(spec)
+    direct = model.direct_memory()
+    # The representative hierarchical design point of the figure's right
+    # column: a Table III-like batch plan on a well-provisioned layer.
+    hierarchical = model.batch_plan(k_c=3, n_o=256, b=128, n_i=256)
+    return Fig2Result(
+        peak_gflops_cg=spec.peak_flops_per_cg / 1e9,
+        rbw_direct_gbps=RBW_DIRECT_MEM / GB,
+        gload_gbps=spec.gload_bandwidth / GB,
+        direct_fraction=direct.mem_fraction,
+        direct_gflops=direct.gflops,
+        ldm_reg_bandwidth_gbps=spec.ldm_bandwidth / GB,
+        eq5_rbw_gbps=rbw_ldm_reg_gemm_simd(16, 4, peak_flops=spec.peak_flops_per_cpe)
+        / GB,
+        hierarchical_gflops=hierarchical.gflops,
+    )
+
+
+def render(result: Fig2Result = None) -> str:
+    r = result if result is not None else run()
+    lines = [
+        "Fig. 2 — three-level performance model, one core group",
+        f"  peak per CG:                {r.peak_gflops_cg:.1f} Gflops (paper: 742.4)",
+        "  direct memory access (gload):",
+        f"    required bandwidth RBW:   {r.rbw_direct_gbps:.2f} GB/s (paper: 139.20)",
+        f"    physical gload bandwidth: {r.gload_gbps:.1f} GB/s (paper: 8)",
+        f"    attainable fraction:      {r.direct_fraction*100:.2f}% (paper: 0.32%)",
+        f"    attainable performance:   {r.direct_gflops:.2f} Gflops",
+        "  REG-LDM-MEM hierarchy:",
+        f"    LDM->REG bandwidth:       {r.ldm_reg_bandwidth_gbps:.1f} GB/s (paper: 46.4)",
+        f"    Eq.5 RBW at (rbB=16,rbNo=4): {r.eq5_rbw_gbps:.1f} GB/s (paper: 23.2)",
+        f"    modeled performance:      {r.hierarchical_gflops:.0f} Gflops per CG",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,139 @@
+"""Fig. 7: double-precision convolution performance over 101 configurations.
+
+For every configuration of the Fig. 8 left+center scripts (B = 128, output
+64x64, 3x3 filters, (Ni, No) from (64, 64) to (384, 384)) this experiment
+
+* plans and times the swDNN convolution on the simulated 4-CG chip, and
+* evaluates the K40m/cuDNNv5.1 comparator model,
+
+reporting per-configuration Tflops and the speedup, plus the aggregate
+shape claims of Section VII: most configurations above 1.6 Tflops, >= 54%
+efficiency, speedups between 1.91x and 9.75x, and swDNN flat where cuDNN
+is jagged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.baselines.k40m import K40mCuDNNModel
+from repro.common.tables import TextTable
+from repro.core.conv import evaluate_chip
+from repro.core.params import ConvParams
+from repro.experiments.configs import fig7_configs
+from repro.hw.spec import DEFAULT_SPEC, SW26010Spec
+
+
+@dataclass
+class Fig7Row:
+    index: int
+    ni: int
+    no: int
+    swdnn_tflops: float
+    swdnn_efficiency: float
+    k40m_tflops: float
+    speedup: float
+
+
+@dataclass
+class Fig7Summary:
+    rows: List[Fig7Row]
+
+    @property
+    def min_speedup(self) -> float:
+        return min(r.speedup for r in self.rows)
+
+    @property
+    def max_speedup(self) -> float:
+        return max(r.speedup for r in self.rows)
+
+    @property
+    def fraction_above_1p6(self) -> float:
+        return sum(1 for r in self.rows if r.swdnn_tflops > 1.6) / len(self.rows)
+
+    @property
+    def fraction_above_54pct(self) -> float:
+        return sum(1 for r in self.rows if r.swdnn_efficiency > 0.54) / len(self.rows)
+
+    def variation(self, series: str) -> float:
+        """Coefficient of variation — the stability comparison."""
+        import numpy as np
+
+        values = [
+            r.swdnn_tflops if series == "swdnn" else r.k40m_tflops for r in self.rows
+        ]
+        return float(np.std(values) / np.mean(values))
+
+
+def run(
+    configs: Optional[List[ConvParams]] = None,
+    spec: SW26010Spec = DEFAULT_SPEC,
+) -> Fig7Summary:
+    configs = configs if configs is not None else fig7_configs()
+    gpu = K40mCuDNNModel()
+    rows = []
+    for i, params in enumerate(configs, start=1):
+        chip_gflops, _ = evaluate_chip(params, spec=spec)
+        swdnn_tflops = chip_gflops / 1e3
+        k40m_tflops = gpu.gflops(params) / 1e3
+        rows.append(
+            Fig7Row(
+                index=i,
+                ni=params.ni,
+                no=params.no,
+                swdnn_tflops=swdnn_tflops,
+                swdnn_efficiency=chip_gflops * 1e9 / spec.peak_flops_chip,
+                k40m_tflops=k40m_tflops,
+                speedup=swdnn_tflops / k40m_tflops,
+            )
+        )
+    return Fig7Summary(rows=rows)
+
+
+def render(summary: Optional[Fig7Summary] = None) -> str:
+    summary = summary if summary is not None else run()
+    from repro.common.charts import series_chart
+
+    chart = series_chart(
+        [
+            ("swDNN", [r.swdnn_tflops for r in summary.rows]),
+            ("K40m/cuDNNv5", [r.k40m_tflops for r in summary.rows]),
+        ],
+        height=12,
+        width=min(72, max(8, len(summary.rows))),
+        y_label="Tflops vs configuration number",
+    )
+    table = TextTable(
+        ["#", "Ni", "No", "swDNN Tflops", "eff", "K40m Tflops", "speedup"],
+        float_fmt="{:.2f}",
+    )
+    for r in summary.rows:
+        table.add_row(
+            [
+                r.index,
+                r.ni,
+                r.no,
+                r.swdnn_tflops,
+                r.swdnn_efficiency,
+                r.k40m_tflops,
+                r.speedup,
+            ]
+        )
+    lines = [
+        "Fig. 7 — double-precision convolution vs K40m/cuDNNv5 "
+        "(B=128, out 64x64, 3x3)",
+        chart,
+        "",
+        table.render(),
+        "",
+        f"speedup range: {summary.min_speedup:.2f}x .. {summary.max_speedup:.2f}x "
+        "(paper: 1.91x .. 9.75x)",
+        f"configs above 1.6 Tflops: {summary.fraction_above_1p6*100:.0f}% "
+        "(paper: 'most cases')",
+        f"configs above 54% efficiency: {summary.fraction_above_54pct*100:.0f}% "
+        "(paper: 'over 54% for most')",
+        f"coefficient of variation: swDNN {summary.variation('swdnn'):.3f} vs "
+        f"cuDNN {summary.variation('k40m'):.3f} (paper: swDNN stable, cuDNN not)",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,116 @@
+"""Fig. 9: convolution performance across filter sizes 3x3 .. 21x21.
+
+The paper's second sweep (B = 128, output 64x64) varies the filter kernel
+from 3x3 to 21x21 over three channel pairs and shows swDNN staying at or
+above its 3x3 performance while cuDNNv5 falls off for large filters —
+large filters *help* the batch plan (Eq. 2's input term shrinks with Kc)
+but cuDNN v5 had no tuned kernels beyond 5x5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.baselines.k40m import K40mCuDNNModel
+from repro.common.tables import TextTable
+from repro.core.conv import evaluate_chip
+from repro.core.params import ConvParams
+from repro.experiments.configs import fig8_right
+from repro.hw.spec import DEFAULT_SPEC, SW26010Spec
+
+
+@dataclass
+class Fig9Row:
+    index: int
+    filter_size: int
+    ni: int
+    no: int
+    swdnn_tflops: float
+    k40m_tflops: float
+    speedup: float
+
+
+@dataclass
+class Fig9Summary:
+    rows: List[Fig9Row]
+
+    @property
+    def min_speedup(self) -> float:
+        return min(r.speedup for r in self.rows)
+
+    @property
+    def max_speedup(self) -> float:
+        return max(r.speedup for r in self.rows)
+
+    def speedup_by_filter(self) -> dict:
+        """Mean speedup per filter size — shows the growth with k."""
+        acc: dict = {}
+        for r in self.rows:
+            acc.setdefault(r.filter_size, []).append(r.speedup)
+        return {k: sum(v) / len(v) for k, v in sorted(acc.items())}
+
+
+def run(
+    configs: Optional[List[ConvParams]] = None,
+    spec: SW26010Spec = DEFAULT_SPEC,
+) -> Fig9Summary:
+    configs = configs if configs is not None else fig8_right()
+    gpu = K40mCuDNNModel()
+    rows = []
+    for i, params in enumerate(configs, start=1):
+        chip_gflops, _ = evaluate_chip(params, spec=spec)
+        swdnn = chip_gflops / 1e3
+        k40m = gpu.gflops(params) / 1e3
+        rows.append(
+            Fig9Row(
+                index=i,
+                filter_size=params.kr,
+                ni=params.ni,
+                no=params.no,
+                swdnn_tflops=swdnn,
+                k40m_tflops=k40m,
+                speedup=swdnn / k40m,
+            )
+        )
+    return Fig9Summary(rows=rows)
+
+
+def render(summary: Optional[Fig9Summary] = None) -> str:
+    summary = summary if summary is not None else run()
+    table = TextTable(
+        ["#", "filter", "Ni", "No", "swDNN Tflops", "K40m Tflops", "speedup"],
+        float_fmt="{:.2f}",
+    )
+    for r in summary.rows:
+        table.add_row(
+            [
+                r.index,
+                f"{r.filter_size}x{r.filter_size}",
+                r.ni,
+                r.no,
+                r.swdnn_tflops,
+                r.k40m_tflops,
+                r.speedup,
+            ]
+        )
+    by_filter = summary.speedup_by_filter()
+    trend = ", ".join(f"{k}x{k}: {v:.1f}x" for k, v in by_filter.items())
+    from repro.common.charts import bar_chart
+
+    chart = bar_chart(
+        labels=[f"{k}x{k}" for k in sorted(by_filter)],
+        values=[by_filter[k] for k in sorted(by_filter)],
+        unit="x",
+    )
+    lines = [
+        "Fig. 9 — convolution performance vs filter size (B=128, out 64x64)",
+        "mean speedup over cuDNNv5 by filter size:",
+        chart,
+        "",
+        table.render(),
+        "",
+        f"speedup range: {summary.min_speedup:.2f}x .. {summary.max_speedup:.2f}x",
+        f"mean speedup by filter size: {trend}",
+    ]
+    return "\n".join(lines)

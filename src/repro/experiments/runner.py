@@ -1,0 +1,49 @@
+"""Run every experiment and print the consolidated evaluation report."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple
+
+from repro.experiments import (
+    fig2_model,
+    fig6_pipeline,
+    fig7,
+    fig8,
+    fig9,
+    scaling,
+    scorecard,
+    table2,
+    table3,
+)
+
+
+#: (name, render callable) in the paper's presentation order.
+ALL_EXPERIMENTS: List[Tuple[str, Callable[[], str]]] = [
+    ("table2", table2.render),
+    ("fig2", fig2_model.render),
+    ("fig6", fig6_pipeline.render),
+    ("fig7", fig7.render),
+    ("fig8", fig8.render),
+    ("fig9", fig9.render),
+    ("table3", table3.render),
+    ("scaling", scaling.render),
+    ("scorecard", scorecard.render),
+]
+
+
+def run_all(names: List[str] = None) -> str:
+    """Render the selected experiments (all by default) as one report."""
+    selected = ALL_EXPERIMENTS
+    if names:
+        wanted = set(names)
+        selected = [(n, f) for n, f in ALL_EXPERIMENTS if n in wanted]
+        missing = wanted - {n for n, _ in selected}
+        if missing:
+            known = ", ".join(n for n, _ in ALL_EXPERIMENTS)
+            raise ValueError(f"unknown experiments {sorted(missing)}; known: {known}")
+    sections = []
+    for name, render in selected:
+        sections.append("=" * 72)
+        sections.append(render())
+        sections.append("")
+    return "\n".join(sections)

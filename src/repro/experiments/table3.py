@@ -1,0 +1,127 @@
+"""Table III: performance-model evaluation on one core group.
+
+Four plan/configuration pairs (two image-size-aware, two batch-size-aware)
+with the paper's reported RBW / MBW / modeled / measured values alongside
+ours.  The claim being reproduced: "the comparison between the measurement
+and our performance model shows a reasonable match" — the model's square-law
+estimate tracks the simulated execution across plans and configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.common.tables import TextTable
+from repro.common.units import GB
+from repro.core.conv import ConvolutionEngine
+from repro.core.ldm_blocking import ImageBlocking
+from repro.core.params import ConvParams
+from repro.core.plans import BatchSizeAwarePlan, ImageSizeAwarePlan
+from repro.hw.spec import DEFAULT_SPEC, SW26010Spec
+
+
+@dataclass
+class Table3Row:
+    plan: str
+    kc: int
+    b_b: Optional[int]
+    b_co: Optional[int]
+    ni: int
+    no: int
+    rbw_gbps: float
+    mbw_gbps: float
+    model_gflops: float
+    measured_gflops: float
+    paper_rbw: float
+    paper_mbw: float
+    paper_model: float
+    paper_measured: float
+
+
+#: The four rows of Table III: (plan, bB, bCo, Ni, No, RBW, MBW, mdl, meas).
+PAPER_ROWS = [
+    ("img", 32, 16, 128, 128, 29.0, 21.9, 368.0, 350.0),
+    ("img", 32, 8, 128, 256, 23.2, 18.2, 397.0, 375.0),
+    ("batch", None, None, 256, 256, 27.1, 21.2, 422.0, 410.0),
+    ("batch", None, None, 128, 384, 25.7, 21.2, 407.0, 392.0),
+]
+
+
+def run(spec: SW26010Spec = DEFAULT_SPEC) -> List[Table3Row]:
+    rows = []
+    for kind, b_b, b_co, ni, no, prbw, pmbw, pmdl, pmeas in PAPER_ROWS:
+        params = ConvParams.from_output(ni=ni, no=no, ro=64, co=64, kr=3, kc=3, b=128)
+        if kind == "img":
+            plan = ImageSizeAwarePlan(
+                params, blocking=ImageBlocking(b_b=b_b, b_co=b_co), spec=spec
+            )
+        else:
+            plan = BatchSizeAwarePlan(params, spec=spec)
+        estimate = plan.estimate()
+        measured = ConvolutionEngine(plan, spec=spec).evaluate()
+        rows.append(
+            Table3Row(
+                plan=kind,
+                kc=params.kc,
+                b_b=b_b,
+                b_co=b_co,
+                ni=ni,
+                no=no,
+                rbw_gbps=estimate.rbw_mem / GB,
+                mbw_gbps=estimate.mbw_mem / GB,
+                model_gflops=estimate.gflops,
+                measured_gflops=measured.gflops,
+                paper_rbw=prbw,
+                paper_mbw=pmbw,
+                paper_model=pmdl,
+                paper_measured=pmeas,
+            )
+        )
+    return rows
+
+
+def render(rows: Optional[List[Table3Row]] = None) -> str:
+    rows = rows if rows is not None else run()
+    table = TextTable(
+        [
+            "Plan",
+            "Kc",
+            "bB",
+            "bCo",
+            "Ni",
+            "No",
+            "RBW",
+            "(paper)",
+            "MBW",
+            "(paper)",
+            "mdl",
+            "(paper)",
+            "meas",
+            "(paper)",
+        ],
+        float_fmt="{:.1f}",
+    )
+    for r in rows:
+        table.add_row(
+            [
+                r.plan,
+                r.kc,
+                r.b_b if r.b_b is not None else "-",
+                r.b_co if r.b_co is not None else "-",
+                r.ni,
+                r.no,
+                r.rbw_gbps,
+                r.paper_rbw,
+                r.mbw_gbps,
+                r.paper_mbw,
+                r.model_gflops,
+                r.paper_model,
+                r.measured_gflops,
+                r.paper_measured,
+            ]
+        )
+    return (
+        "Table III — performance model evaluation on 1 CG "
+        "(Gflops; B=128, out 64x64, 3x3)\n" + table.render()
+    )

@@ -1,0 +1,65 @@
+"""MPE-side orchestration costs: kernel launch and synchronization.
+
+The real swDNN drives the CPE cluster through the `athread` runtime: the
+MPE spawns a kernel on the 64 CPEs, they synchronize at tile boundaries,
+and the spawn/join pair costs microseconds.  The per-kernel overhead is
+invisible for the paper's big layers (tens of milliseconds of work per
+launch) but dominates tiny ones — the classic "launch-bound" regime every
+accelerator library documents.
+
+:class:`LaunchModel` makes the effect measurable: given a layer's timed
+report and a launch granularity, it adds the orchestration time and
+reports where the crossover sits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import SimulationError
+from repro.core.conv import TimingReport
+
+
+@dataclass(frozen=True)
+class LaunchModel:
+    """athread-style spawn/join cost model.
+
+    Defaults follow published Sunway micro-benchmarks: ~15 us to spawn a
+    kernel across the 64 CPEs and ~5 us to join/synchronize.
+    """
+
+    spawn_seconds: float = 15e-6
+    join_seconds: float = 5e-6
+
+    def __post_init__(self) -> None:
+        if self.spawn_seconds < 0 or self.join_seconds < 0:
+            raise ValueError("launch costs must be non-negative")
+
+    @property
+    def per_launch(self) -> float:
+        return self.spawn_seconds + self.join_seconds
+
+    def layer_seconds(self, report: TimingReport, launches: int = 1) -> float:
+        """Wall time of a layer including ``launches`` kernel launches."""
+        if launches < 1:
+            raise SimulationError(f"need at least one launch, got {launches}")
+        return report.seconds + launches * self.per_launch
+
+    def overhead_fraction(self, report: TimingReport, launches: int = 1) -> float:
+        """Share of the wall time spent in orchestration."""
+        total = self.layer_seconds(report, launches)
+        if total <= 0:
+            raise SimulationError("report carries no time")
+        return launches * self.per_launch / total
+
+    def launch_bound_threshold(self, target_overhead: float = 0.1) -> float:
+        """Kernel duration below which overhead exceeds ``target_overhead``.
+
+        A kernel shorter than this is launch-bound at the given tolerance:
+        solve ``overhead / (overhead + t) = target`` for ``t``.
+        """
+        if not 0.0 < target_overhead < 1.0:
+            raise SimulationError(
+                f"target_overhead must be in (0, 1), got {target_overhead}"
+            )
+        return self.per_launch * (1.0 - target_overhead) / target_overhead

@@ -1,0 +1,91 @@
+"""The network-on-chip joining the four core groups.
+
+Fig. 1: the NoC connects the four CGs and the system interface, and "memory
+of four CGs are also connected through the NoC" — a CG can reach another
+CG's DRAM through the user-configured *shared* memory space at a bandwidth
+below its local DDR3 interface.  The convolution plans never rely on this
+(the Section III-D partitioning keeps every CG in its private space; that
+is *why* the scaling is near-linear), but the model makes the cost of
+getting it wrong measurable: the NoC experiment shows what cross-CG traffic
+would do to a plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.common.errors import SimulationError
+from repro.common.units import GB
+from repro.hw.spec import SW26010Spec, DEFAULT_SPEC
+
+
+@dataclass
+class NoCStats:
+    bytes_local: int = 0
+    bytes_remote: int = 0
+    transfers: int = 0
+    busy_seconds: float = 0.0
+
+
+class NoC:
+    """Cross-core-group transfer cost model.
+
+    Remote (cross-CG) accesses pay a bandwidth haircut and a fixed hop
+    latency relative to the local DDR3 interface.  Defaults: remote
+    bandwidth ~half the local peak, 1 NoC hop between adjacent CGs on the
+    ring, latency ~100 ns/hop (conservative published figures for on-chip
+    interconnects of this class; the precise values only affect the
+    *magnitude* of the penalty the experiment demonstrates).
+    """
+
+    def __init__(
+        self,
+        spec: SW26010Spec = DEFAULT_SPEC,
+        remote_bandwidth: float = 18.0 * GB,
+        hop_latency: float = 100e-9,
+    ):
+        if remote_bandwidth <= 0:
+            raise ValueError("remote bandwidth must be positive")
+        if hop_latency < 0:
+            raise ValueError("hop latency must be non-negative")
+        self.spec = spec
+        self.remote_bandwidth = remote_bandwidth
+        self.hop_latency = hop_latency
+        self.stats = NoCStats()
+
+    def hops(self, src_cg: int, dst_cg: int) -> int:
+        """Ring distance between two core groups."""
+        n = self.spec.num_core_groups
+        if not (0 <= src_cg < n and 0 <= dst_cg < n):
+            raise SimulationError(
+                f"core group out of range: {src_cg} -> {dst_cg} (chip has {n})"
+            )
+        d = abs(src_cg - dst_cg)
+        return min(d, n - d)
+
+    def transfer_seconds(self, nbytes: int, src_cg: int, dst_cg: int) -> float:
+        """Time for one CG to read ``nbytes`` from another CG's memory."""
+        if nbytes < 0:
+            raise SimulationError("negative transfer size")
+        hops = self.hops(src_cg, dst_cg)
+        if hops == 0:
+            seconds = nbytes / self.spec.ddr_peak_bandwidth
+            self.stats.bytes_local += nbytes
+        else:
+            seconds = hops * self.hop_latency + nbytes / self.remote_bandwidth
+            self.stats.bytes_remote += nbytes
+        self.stats.transfers += 1
+        self.stats.busy_seconds += seconds
+        return seconds
+
+    def remote_penalty(self, nbytes: int, src_cg: int = 0, dst_cg: int = 1) -> float:
+        """Slowdown of a remote access vs the same bytes locally."""
+        if nbytes <= 0:
+            raise SimulationError("need a positive transfer size")
+        local = nbytes / self.spec.ddr_peak_bandwidth
+        remote = (
+            self.hops(src_cg, dst_cg) * self.hop_latency
+            + nbytes / self.remote_bandwidth
+        )
+        return remote / local

@@ -1,0 +1,194 @@
+"""Assembler/disassembler for the CPE kernel IR.
+
+The swDNN artifact ships its inner kernels as hand-written Sunway assembly
+(``src/asm`` in the paper's repository).  This module round-trips the
+simulator's :class:`~repro.isa.program.Program` through an assembly-like
+text form, so kernels can be dumped for inspection, edited by hand, and
+reloaded into the pipeline simulator or the interpreter.
+
+Syntax (one instruction per line)::
+
+    ; comment
+    label:                      (labels attach to the next instruction's tag)
+    vload  A0, A[0, 1]          (dst, memory operand "array[indices]")
+    vldde  B0, B[0, 0]
+    vfmad  C00, A0, B0          (dst, src, src — dst is also read)
+    cmp    flag, cnt, #8        (immediate operands use '#')
+    bnw    flag
+    vstore C00, OUT[3]
+
+Whitespace is free-form; everything after ``;`` is a comment.  ``assemble``
+and ``disassemble`` are exact inverses for programs the generator emits
+(property-tested).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.common.errors import ReproError
+from repro.isa.instructions import Instruction, OPCODES
+from repro.isa.program import Program
+
+
+class AssemblyError(ReproError):
+    """Malformed assembly text."""
+
+
+_MEM_RE = re.compile(r"^([A-Za-z_][A-Za-z_0-9]*)\[([^\]]*)\]$")
+
+
+def _parse_index(text: str) -> Tuple:
+    parts = [p.strip() for p in text.split(",")] if text.strip() else []
+    index: List[int] = []
+    for part in parts:
+        try:
+            index.append(int(part))
+        except ValueError:
+            raise AssemblyError(f"memory index must be integer, got {part!r}") from None
+    return tuple(index)
+
+
+def _parse_operand(text: str):
+    """Classify an operand: ('mem', array, index) | ('imm', v) | ('reg', name)."""
+    text = text.strip()
+    if not text:
+        raise AssemblyError("empty operand")
+    match = _MEM_RE.match(text)
+    if match:
+        return ("mem", match.group(1), _parse_index(match.group(2)))
+    if text.startswith("#"):
+        try:
+            return ("imm", float(text[1:]))
+        except ValueError:
+            raise AssemblyError(f"bad immediate {text!r}") from None
+    if not re.match(r"^[A-Za-z_][A-Za-z_0-9]*$", text):
+        raise AssemblyError(f"bad register name {text!r}")
+    return ("reg", text)
+
+
+def _split_operands(text: str) -> List[str]:
+    """Split on commas that are not inside brackets."""
+    parts = []
+    depth = 0
+    current = ""
+    for ch in text:
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append(current)
+            current = ""
+        else:
+            current += ch
+    if current.strip():
+        parts.append(current)
+    return [p.strip() for p in parts]
+
+
+def assemble_line(line: str, tag: str = "") -> Optional[Instruction]:
+    """Parse one line; returns None for blank/comment-only lines."""
+    code = line.split(";", 1)[0].strip()
+    if not code:
+        return None
+    parts = code.split(None, 1)
+    op = parts[0]
+    if op not in OPCODES:
+        raise AssemblyError(f"unknown opcode {op!r} in line {line.strip()!r}")
+    spec = OPCODES[op]
+    operands = _split_operands(parts[1]) if len(parts) > 1 else []
+    parsed = [_parse_operand(o) for o in operands]
+
+    dst: Optional[str] = None
+    srcs: List[str] = []
+    addr = None
+    imm = None
+    if spec.is_load:
+        # load: dst, mem
+        if len(parsed) != 2 or parsed[0][0] != "reg" or parsed[1][0] != "mem":
+            raise AssemblyError(f"{op} expects 'dst, array[idx]': {line.strip()!r}")
+        dst = parsed[0][1]
+        addr = (parsed[1][1], parsed[1][2])
+    elif spec.is_store:
+        # store: src, mem
+        if len(parsed) != 2 or parsed[0][0] != "reg" or parsed[1][0] != "mem":
+            raise AssemblyError(f"{op} expects 'src, array[idx]': {line.strip()!r}")
+        srcs = [parsed[0][1]]
+        addr = (parsed[1][1], parsed[1][2])
+    else:
+        for kind, *value in parsed:
+            if kind == "imm":
+                if imm is not None:
+                    raise AssemblyError(f"multiple immediates in {line.strip()!r}")
+                imm = value[0]
+            elif kind == "mem":
+                if addr is not None:
+                    raise AssemblyError(f"multiple memory operands in {line.strip()!r}")
+                addr = (value[0], value[1])
+            else:
+                if dst is None and not spec.is_branch and op != "nop":
+                    dst = value[0]
+                else:
+                    srcs.append(value[0])
+    return Instruction(op=op, dst=dst, srcs=tuple(srcs), addr=addr, imm=imm, tag=tag)
+
+
+def assemble(text: str, name: str = "") -> Program:
+    """Parse an assembly listing into a :class:`Program`."""
+    program = Program(name=name)
+    pending_label = ""
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        stripped = line.split(";", 1)[0].strip()
+        if stripped.endswith(":") and " " not in stripped:
+            pending_label = stripped[:-1]
+            continue
+        try:
+            instr = assemble_line(line, tag=pending_label)
+        except AssemblyError as exc:
+            raise AssemblyError(f"line {lineno}: {exc}") from None
+        if instr is not None:
+            program.append(instr)
+            pending_label = ""
+    return program
+
+
+def disassemble_instruction(instr: Instruction) -> str:
+    """Render one instruction in the assembler's input syntax."""
+    spec = instr.spec
+    operands: List[str] = []
+    if spec.is_load:
+        operands.append(instr.dst or "?")
+        if instr.addr is not None:
+            array, index = instr.addr
+            operands.append(f"{array}[{', '.join(str(i) for i in index)}]")
+    elif spec.is_store:
+        operands.extend(instr.srcs)
+        if instr.addr is not None:
+            array, index = instr.addr
+            operands.append(f"{array}[{', '.join(str(i) for i in index)}]")
+    else:
+        if instr.dst is not None:
+            operands.append(instr.dst)
+        operands.extend(instr.srcs)
+        if instr.imm is not None:
+            operands.append(f"#{instr.imm:g}")
+    text = instr.op
+    if operands:
+        text += "  " + ", ".join(operands)
+    return text
+
+
+def disassemble(program: Program) -> str:
+    """Render a whole program; labels come from instruction tags."""
+    lines: List[str] = []
+    if program.name:
+        lines.append(f"; {program.name}")
+    last_tag = None
+    for instr in program:
+        if instr.tag and instr.tag != last_tag:
+            lines.append(f"{instr.tag}:")
+            last_tag = instr.tag
+        lines.append("    " + disassemble_instruction(instr))
+    return "\n".join(lines)

@@ -1,0 +1,218 @@
+"""Binary encoding of the kernel IR: fixed 64-bit instruction words.
+
+The textual assembler (:mod:`repro.isa.assembler`) serves humans; this
+encoder serves tooling — a compact, versioned binary form for kernel
+caches and cross-process transport.  The word layout (little-endian):
+
+====== ====== ==========================================================
+bits   field  meaning
+====== ====== ==========================================================
+0-7    opcode index into the sorted opcode table
+8-15   dst    register id (0xFF = none)
+16-23  src0   register id (0xFF = none)
+24-31  src1   register id (0xFF = none)
+32-39  array  memory-array id (0xFF = none)
+40-55  index  linearized memory index (16 bits)
+56-63  flags  bit 0: has immediate (an f64 immediate word follows)
+====== ====== ==========================================================
+
+Register and array names are interned into string tables carried in the
+container header, so any names round-trip.  The container is:
+
+``magic "SWKN" | version u16 | reg-table | array-table | shape-table |
+n-instructions u32 | words...``
+
+Memory indices are linearized against per-array shapes recorded in the
+shape table (indices must be non-negative and fit 16 bits linearized).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import ReproError
+from repro.isa.instructions import Instruction, OPCODES
+from repro.isa.program import Program
+
+MAGIC = b"SWKN"
+VERSION = 1
+
+_OPCODE_LIST = sorted(OPCODES)
+_OPCODE_ID = {name: i for i, name in enumerate(_OPCODE_LIST)}
+_NONE = 0xFF
+
+
+class EncodingError(ReproError):
+    """Program cannot be represented in the binary form."""
+
+
+def _pack_string_table(names: Sequence[str]) -> bytes:
+    blob = struct.pack("<H", len(names))
+    for name in names:
+        raw = name.encode("utf-8")
+        if len(raw) > 255:
+            raise EncodingError(f"name too long: {name!r}")
+        blob += struct.pack("<B", len(raw)) + raw
+    return blob
+
+
+def _unpack_string_table(data: bytes, offset: int) -> Tuple[List[str], int]:
+    (count,) = struct.unpack_from("<H", data, offset)
+    offset += 2
+    names = []
+    for _ in range(count):
+        (length,) = struct.unpack_from("<B", data, offset)
+        offset += 1
+        names.append(data[offset : offset + length].decode("utf-8"))
+        offset += length
+    return names, offset
+
+
+def _linearize(index: Tuple[int, ...], shape: Tuple[int, ...]) -> int:
+    if len(index) != len(shape):
+        raise EncodingError(f"index {index} does not match shape {shape}")
+    linear = 0
+    for i, (value, extent) in enumerate(zip(index, shape)):
+        if not 0 <= value < extent:
+            raise EncodingError(f"index {index} outside shape {shape}")
+        linear = linear * extent + value
+    return linear
+
+
+def _delinearize(linear: int, shape: Tuple[int, ...]) -> Tuple[int, ...]:
+    index = []
+    for extent in reversed(shape):
+        index.append(linear % extent)
+        linear //= extent
+    return tuple(reversed(index))
+
+
+def encode(program: Program) -> bytes:
+    """Serialize a program to the binary container."""
+    registers: Dict[str, int] = {}
+    arrays: Dict[str, int] = {}
+    shapes: Dict[str, List[int]] = {}
+
+    def reg_id(name: Optional[str]) -> int:
+        if name is None:
+            return _NONE
+        if name not in registers:
+            if len(registers) >= _NONE:
+                raise EncodingError("too many distinct registers (max 254)")
+            registers[name] = len(registers)
+        return registers[name]
+
+    # First pass: infer per-array shapes (max index + 1 per dimension).
+    for instr in program:
+        if instr.addr is not None:
+            array, index = instr.addr
+            shape = shapes.setdefault(array, [1] * len(index))
+            if len(shape) != len(index):
+                raise EncodingError(
+                    f"array {array!r} used with inconsistent index arity"
+                )
+            for d, value in enumerate(index):
+                if value < 0:
+                    raise EncodingError(f"negative index in {instr.render()}")
+                shape[d] = max(shape[d], value + 1)
+
+    words = bytearray()
+    count = 0
+    for instr in program:
+        if len(instr.srcs) > 2:
+            raise EncodingError(
+                f"{instr.op} has {len(instr.srcs)} sources (max 2 encodable)"
+            )
+        array_id = _NONE
+        linear = 0
+        if instr.addr is not None:
+            array, index = instr.addr
+            if array not in arrays:
+                if len(arrays) >= _NONE:
+                    raise EncodingError("too many distinct arrays (max 254)")
+                arrays[array] = len(arrays)
+            array_id = arrays[array]
+            linear = _linearize(index, tuple(shapes[array]))
+            if linear > 0xFFFF:
+                raise EncodingError(
+                    f"linearized index {linear} exceeds 16 bits for {array!r}"
+                )
+        flags = 1 if instr.imm is not None else 0
+        srcs = list(instr.srcs) + [None, None]
+        words += struct.pack(
+            "<8B",
+            _OPCODE_ID[instr.op],
+            reg_id(instr.dst),
+            reg_id(srcs[0]),
+            reg_id(srcs[1]),
+            array_id,
+            linear & 0xFF,
+            (linear >> 8) & 0xFF,
+            flags,
+        )
+        if instr.imm is not None:
+            words += struct.pack("<d", float(instr.imm))
+        count += 1
+
+    header = MAGIC + struct.pack("<H", VERSION)
+    header += _pack_string_table(list(registers))
+    header += _pack_string_table(list(arrays))
+    header += struct.pack("<H", len(shapes))
+    for array in arrays:  # shape table in array-id order
+        shape = shapes[array]
+        header += struct.pack("<B", len(shape))
+        for extent in shape:
+            header += struct.pack("<H", extent)
+    return bytes(header + struct.pack("<I", count) + words)
+
+
+def decode(blob: bytes, name: str = "") -> Program:
+    """Deserialize a binary container back into a Program."""
+    if blob[:4] != MAGIC:
+        raise EncodingError("not a swDNN kernel container (bad magic)")
+    (version,) = struct.unpack_from("<H", blob, 4)
+    if version != VERSION:
+        raise EncodingError(f"unsupported container version {version}")
+    offset = 6
+    registers, offset = _unpack_string_table(blob, offset)
+    arrays, offset = _unpack_string_table(blob, offset)
+    (n_shapes,) = struct.unpack_from("<H", blob, offset)
+    offset += 2
+    shapes: List[Tuple[int, ...]] = []
+    for _ in range(n_shapes):
+        (rank,) = struct.unpack_from("<B", blob, offset)
+        offset += 1
+        extents = struct.unpack_from(f"<{rank}H", blob, offset)
+        offset += 2 * rank
+        shapes.append(tuple(extents))
+    (count,) = struct.unpack_from("<I", blob, offset)
+    offset += 4
+
+    program = Program(name=name)
+    for _ in range(count):
+        op_id, dst_id, s0, s1, array_id, lo, hi, flags = struct.unpack_from(
+            "<8B", blob, offset
+        )
+        offset += 8
+        imm = None
+        if flags & 1:
+            (imm,) = struct.unpack_from("<d", blob, offset)
+            offset += 8
+        addr = None
+        if array_id != _NONE:
+            linear = lo | (hi << 8)
+            addr = (arrays[array_id], _delinearize(linear, shapes[array_id]))
+        srcs = tuple(
+            registers[s] for s in (s0, s1) if s != _NONE
+        )
+        program.append(
+            Instruction(
+                op=_OPCODE_LIST[op_id],
+                dst=None if dst_id == _NONE else registers[dst_id],
+                srcs=srcs,
+                addr=addr,
+                imm=imm,
+            )
+        )
+    return program

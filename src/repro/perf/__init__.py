@@ -1,0 +1,60 @@
+"""The three-level (REG-LDM-MEM) performance model of Section III-D.
+
+The model estimates convolution performance on one core group by comparing,
+at each level of the memory hierarchy, the *required* bandwidth (``RBW``) to
+sustain peak floating-point throughput against the *measured* bandwidth
+(``MBW``) the hardware provides.  Because the amount of computation in a
+convolution grows with the square of the data, the attainable fraction of
+peak scales with ``(MBW / RBW)**2`` whenever ``RBW > MBW`` (Fig. 2).
+
+Modules:
+
+* :mod:`repro.perf.roofline` — the generic roofline primitives;
+* :mod:`repro.perf.equations` — the RBW formulas (Eq. 1-5 of the paper);
+* :mod:`repro.perf.dma_model` — MEM->LDM measured bandwidth (Table II);
+* :mod:`repro.perf.model` — the composed estimator used by the planner and
+  by the Table III / Fig. 7 experiments.
+"""
+
+from repro.perf.roofline import Roofline, bandwidth_bound_fraction
+from repro.perf.equations import (
+    rbw_mem_ldm_image_plan,
+    rbw_mem_ldm_batch_plan,
+    rbw_ldm_reg_direct_conv,
+    rbw_ldm_reg_gemm,
+    rbw_ldm_reg_gemm_simd,
+    RBW_DIRECT_MEM,
+)
+from repro.perf.dma_model import (
+    DMAStream,
+    DMA_STRIDE_EFFICIENCY,
+    blended_mbw,
+    measured_dma_bandwidth,
+    mem_ldm_mbw,
+)
+from repro.perf.model import PerformanceModel, PerformanceEstimate
+from repro.perf.precision import precision_sweep, max_precision_speedup
+
+# repro.perf.trace / .sensitivity / .calibration sit above repro.core (they
+# drive plans through the engine), so they are imported as submodules, not
+# re-exported here — eager re-export would be a circular import.
+
+__all__ = [
+    "Roofline",
+    "bandwidth_bound_fraction",
+    "rbw_mem_ldm_image_plan",
+    "rbw_mem_ldm_batch_plan",
+    "rbw_ldm_reg_direct_conv",
+    "rbw_ldm_reg_gemm",
+    "rbw_ldm_reg_gemm_simd",
+    "RBW_DIRECT_MEM",
+    "measured_dma_bandwidth",
+    "mem_ldm_mbw",
+    "DMAStream",
+    "DMA_STRIDE_EFFICIENCY",
+    "blended_mbw",
+    "PerformanceModel",
+    "PerformanceEstimate",
+    "precision_sweep",
+    "max_precision_speedup",
+]

@@ -1,0 +1,94 @@
+"""What would single / half precision buy on SW26010?  (§VII discussion.)
+
+The paper evaluates in double precision "because the current arithmetic
+architecture does not allow an easy doubling or even quadrupling of the
+performance by using single or even half precision" — SW26010's vector
+units are 256-bit *double* pipes; narrower types gain no extra arithmetic
+throughput.  But narrower types still halve/quarter the *memory traffic*,
+and the convolutions are memory-bound, so there is a real (if partial)
+win available purely from bandwidth relief.
+
+This module quantifies that: for a given plan-level (RBW, MBW) pair it
+recomputes the model under each storage precision, assuming
+
+* arithmetic throughput fixed at the double-precision peak (the paper's
+  architectural constraint), and
+* DMA traffic scaled by ``itemsize / 8``.
+
+The resulting table is the quantitative version of the paper's aside, and
+shows where the bound would move from MEM to compute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.common.units import GB
+from repro.hw.spec import SW26010Spec, DEFAULT_SPEC
+from repro.perf.model import PerformanceEstimate
+
+
+#: Storage precisions: name -> bytes per element.
+PRECISIONS: Dict[str, int] = {"double": 8, "single": 4, "half": 2}
+
+
+@dataclass(frozen=True)
+class PrecisionPoint:
+    """Model outcome for one storage precision."""
+
+    precision: str
+    itemsize: int
+    rbw_gbps: float
+    mbw_gbps: float
+    modeled_gflops: float
+    bound: str
+    speedup_vs_double: float
+
+
+def precision_sweep(
+    estimate: PerformanceEstimate, spec: SW26010Spec = DEFAULT_SPEC
+) -> List[PrecisionPoint]:
+    """Re-evaluate a plan's estimate under each storage precision.
+
+    ``estimate`` is a double-precision :class:`PerformanceEstimate` (from
+    any plan); required bandwidth scales with the itemsize while the
+    measured bandwidth and the arithmetic peak stay fixed.
+    """
+    points: List[PrecisionPoint] = []
+    base_flops = None
+    for name, itemsize in PRECISIONS.items():
+        scale = itemsize / 8.0
+        scaled = PerformanceEstimate(
+            plan=f"{estimate.plan}@{name}",
+            peak_flops=estimate.peak_flops,
+            execution_efficiency=estimate.execution_efficiency,
+            rbw_mem=estimate.rbw_mem * scale,
+            mbw_mem=estimate.mbw_mem,
+            rbw_reg=estimate.rbw_reg * scale,
+            mbw_reg=estimate.mbw_reg,
+        )
+        if base_flops is None:
+            base_flops = scaled.flops
+        points.append(
+            PrecisionPoint(
+                precision=name,
+                itemsize=itemsize,
+                rbw_gbps=scaled.rbw_mem / GB,
+                mbw_gbps=scaled.mbw_mem / GB,
+                modeled_gflops=scaled.gflops,
+                bound=scaled.bound,
+                speedup_vs_double=scaled.flops / base_flops,
+            )
+        )
+    return points
+
+
+def max_precision_speedup(estimate: PerformanceEstimate) -> float:
+    """Upper bound of the precision win: the half-precision speedup.
+
+    Capped by the compute roof — once the bound moves off MEM, narrower
+    storage buys nothing more (the paper's point, inverted: the *compute*
+    rate cannot double, so the win saturates at the memory-bound gap).
+    """
+    return precision_sweep(estimate)[-1].speedup_vs_double

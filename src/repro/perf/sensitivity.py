@@ -1,0 +1,125 @@
+"""Architecture sensitivity: which SW26010 resource buys the most?
+
+The paper's conclusion offers its findings "as potential candidates to be
+included in future DNN architectures."  This module turns that into
+numbers: sweep one architectural parameter at a time (DDR bandwidth, LDM
+capacity, clock, LDM->REG bandwidth) and re-model a reference layer, so
+the report can say *which* knob moves the convolution and by how much —
+the memory-bandwidth column is the punchline (the chip is DDR-starved;
+doubling bandwidth buys far more than doubling the clock).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional
+
+from repro.common.units import GB
+from repro.hw.spec import SW26010Spec, DEFAULT_SPEC
+from repro.core.conv import ConvolutionEngine
+from repro.core.params import ConvParams
+from repro.core.planner import plan_convolution
+
+
+@dataclass(frozen=True)
+class SensitivityPoint:
+    """Modeled outcome at one setting of one knob."""
+
+    knob: str
+    scale: float
+    value: str
+    gflops: float
+    speedup_vs_default: float
+
+
+#: How each knob rewrites the spec.  Every transform takes (spec, scale).
+KNOBS: Dict[str, Callable[[SW26010Spec, float], SW26010Spec]] = {
+    "ddr_bandwidth": lambda s, k: replace(
+        s, ddr_peak_bandwidth=s.ddr_peak_bandwidth * k
+    ),
+    "ldm_capacity": lambda s, k: replace(s, ldm_bytes=int(s.ldm_bytes * k)),
+    "clock": lambda s, k: replace(s, clock_hz=s.clock_hz * k),
+    "ldm_reg_bandwidth": lambda s, k: replace(s, ldm_bandwidth=s.ldm_bandwidth * k),
+}
+
+
+def _knob_value(spec: SW26010Spec, knob: str) -> str:
+    if knob == "ddr_bandwidth":
+        return f"{spec.ddr_peak_bandwidth / GB:.0f} GB/s"
+    if knob == "ldm_capacity":
+        return f"{spec.ldm_bytes // 1024} KiB"
+    if knob == "clock":
+        return f"{spec.clock_hz / 1e9:.2f} GHz"
+    return f"{spec.ldm_bandwidth / GB:.1f} GB/s"
+
+
+def _measure(params: ConvParams, spec: SW26010Spec) -> float:
+    """Timed per-CG Gflops under a modified spec.
+
+    The DMA engine's Table II curve scales with the DDR knob: the measured
+    points are multiplied by the same factor (the curve's shape is a
+    property of the DDR3 protocol, its height of the interface speed).
+    """
+    from repro.hw.dma import DMABandwidthModel
+    from repro.hw.spec import TABLE_II_DMA_BANDWIDTH
+
+    ddr_scale = spec.ddr_peak_bandwidth / DEFAULT_SPEC.ddr_peak_bandwidth
+    plan = plan_convolution(params, spec=spec).plan
+    engine = ConvolutionEngine(plan, spec=spec)
+    if ddr_scale != 1.0:
+        scaled = {
+            size: (get * ddr_scale, put * ddr_scale)
+            for size, (get, put) in TABLE_II_DMA_BANDWIDTH.items()
+        }
+        engine._dma_model = DMABandwidthModel(
+            table=scaled, alignment=spec.dma_alignment
+        )
+    return engine.evaluate().gflops
+
+
+def sweep_knob(
+    knob: str,
+    scales: List[float] = (0.5, 1.0, 2.0, 4.0),
+    params: Optional[ConvParams] = None,
+    spec: SW26010Spec = DEFAULT_SPEC,
+) -> List[SensitivityPoint]:
+    """Sweep one knob; returns per-scale modeled throughput."""
+    if knob not in KNOBS:
+        raise ValueError(f"unknown knob {knob!r}; known: {sorted(KNOBS)}")
+    params = params or ConvParams.from_output(
+        ni=256, no=256, ro=64, co=64, kr=3, kc=3, b=128
+    )
+    baseline = _measure(params, spec)
+    points = []
+    for scale in scales:
+        modified = KNOBS[knob](spec, scale)
+        gflops = _measure(params, modified)
+        points.append(
+            SensitivityPoint(
+                knob=knob,
+                scale=scale,
+                value=_knob_value(modified, knob),
+                gflops=gflops,
+                speedup_vs_default=gflops / baseline,
+            )
+        )
+    return points
+
+
+def sweep_all(
+    scales: List[float] = (0.5, 1.0, 2.0, 4.0),
+    params: Optional[ConvParams] = None,
+    spec: SW26010Spec = DEFAULT_SPEC,
+) -> Dict[str, List[SensitivityPoint]]:
+    """Sweep every knob; the cross-knob comparison is the payload."""
+    return {
+        knob: sweep_knob(knob, scales, params=params, spec=spec) for knob in KNOBS
+    }
+
+
+def most_valuable_knob(
+    params: Optional[ConvParams] = None, scale: float = 2.0
+) -> str:
+    """Which doubled resource yields the biggest speedup for this layer."""
+    results = sweep_all(scales=[scale], params=params)
+    return max(results, key=lambda knob: results[knob][0].speedup_vs_default)

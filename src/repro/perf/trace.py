@@ -1,0 +1,122 @@
+"""Text Gantt traces of a plan's double-buffered timeline.
+
+Debugging a plan's overlap behaviour from aggregate numbers is blind work;
+this module re-runs the engine's timeline recurrence while recording the
+(get, compute, put) intervals of the first N tiles and renders them as an
+ASCII Gantt chart — the visual the Section IV-A double-buffering argument
+is usually drawn as.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.conv import ConvolutionEngine, OVERLAP_CONTENTION
+from repro.core.plans import ConvPlan
+
+
+@dataclass(frozen=True)
+class TileTrace:
+    """Timed intervals of one tile (seconds)."""
+
+    index: int
+    get_start: float
+    get_end: float
+    compute_start: float
+    compute_end: float
+    put_start: float
+    put_end: float
+
+
+def trace_plan(
+    plan: ConvPlan,
+    max_tiles: int = 16,
+    engine: Optional[ConvolutionEngine] = None,
+) -> List[TileTrace]:
+    """Record the first ``max_tiles`` tiles' scheduling intervals."""
+    engine = engine or ConvolutionEngine(plan)
+    traces: List[TileTrace] = []
+    get_free = put_free = comp_free = 0.0
+    comp_done_history: List[float] = []
+    for i, step in enumerate(plan.tile_schedule(coalesced=True)):
+        cost = engine._step_cost(step)
+        buffer_ready = comp_done_history[i - 2] if i >= 2 else 0.0
+        get_start = max(get_free, buffer_ready)
+        get_end = get_start + cost.get_seconds
+        comp_start = max(get_end, comp_free)
+        comp_end = comp_start + cost.compute_seconds
+        if cost.put_seconds > 0:
+            put_start = max(put_free, comp_end)
+            put_end = put_start + cost.put_seconds
+            put_free = put_end
+        else:
+            put_start = put_end = comp_end
+        get_free = get_end
+        comp_free = comp_end
+        comp_done_history.append(comp_end)
+        if i < max_tiles:
+            traces.append(
+                TileTrace(
+                    index=i,
+                    get_start=get_start,
+                    get_end=get_end,
+                    compute_start=comp_start,
+                    compute_end=comp_end,
+                    put_start=put_start,
+                    put_end=put_end,
+                )
+            )
+        if i + 1 >= max_tiles:
+            break
+    return traces
+
+
+def render_gantt(traces: List[TileTrace], width: int = 72) -> str:
+    """ASCII Gantt: one row per tile, ``#`` get, ``=`` compute, ``>`` put."""
+    if not traces:
+        return "(no tiles)"
+    t_end = max(t.put_end for t in traces)
+    t_start = min(t.get_start for t in traces)
+    span = max(t_end - t_start, 1e-12)
+
+    def col(t: float) -> int:
+        return int((t - t_start) / span * (width - 1))
+
+    lines = [
+        f"timeline of first {len(traces)} tiles "
+        f"({span * 1e6:.1f} us span; #=DMA get, ==compute, >=DMA put)"
+    ]
+    for t in traces:
+        row = [" "] * width
+        for a, b, ch in (
+            (t.get_start, t.get_end, "#"),
+            (t.compute_start, t.compute_end, "="),
+            (t.put_start, t.put_end, ">"),
+        ):
+            lo, hi = col(a), max(col(a), col(b) - 1)
+            for x in range(lo, min(hi + 1, width)):
+                row[x] = ch
+        lines.append(f"tile {t.index:3d} |{''.join(row)}|")
+    return "\n".join(lines)
+
+
+def overlap_summary(traces: List[TileTrace]) -> float:
+    """Fraction of compute windows that hid some later tile's DMA get.
+
+    Zero-compute steps (e.g. promoted-filter head transfers) are skipped:
+    there is nothing to hide behind them.
+    """
+    compute_tiles = [t for t in traces if t.compute_end > t.compute_start]
+    if not compute_tiles:
+        return 0.0
+    overlapped = 0
+    for tile in compute_tiles:
+        if any(
+            other.index > tile.index
+            and other.get_start < tile.compute_end
+            and other.get_end > tile.compute_start
+            for other in traces
+        ):
+            overlapped += 1
+    return overlapped / len(compute_tiles)

@@ -1,0 +1,32 @@
+"""Multi-node scaling: data-parallel training across TaihuLight nodes.
+
+The paper's introduction frames swDNN as the node-level substrate for
+"scaling the training process of one huge network to the entire cluster"
+— the part it leaves to future work.  This package models that layer:
+
+* :mod:`repro.scale.network` — the Sunway interconnect (injection
+  bandwidth per node, ring and tree allreduce time models);
+* :mod:`repro.scale.data_parallel` — per-iteration time of synchronous
+  data-parallel SGD: forward + backward on each node's SW26010 (timed by
+  the same plan machinery as everything else) plus the gradient allreduce,
+  with optional compute/communication overlap; weak- and strong-scaling
+  sweeps.
+
+This is an *extension* beyond the paper's evaluation; its benches are
+labeled as such.
+"""
+
+from repro.scale.network import InterconnectModel, allreduce_time
+from repro.scale.data_parallel import (
+    DataParallelModel,
+    LayerSpec,
+    ScalingPoint,
+)
+
+__all__ = [
+    "InterconnectModel",
+    "allreduce_time",
+    "DataParallelModel",
+    "LayerSpec",
+    "ScalingPoint",
+]

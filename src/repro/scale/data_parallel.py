@@ -1,0 +1,201 @@
+"""Synchronous data-parallel SGD across TaihuLight nodes.
+
+Each node holds a full model replica and a slice of the global batch; per
+iteration it runs forward + backward on its SW26010 (timed through the same
+plan machinery as the single-chip experiments) and then allreduces the
+gradients over the interconnect.  With *overlap*, each layer's gradient
+allreduce starts as soon as its backward pass finishes (the now-standard
+bucketed scheme), so communication hides behind the remaining backward
+compute; without it, communication serializes after the whole backward.
+
+The model answers the intro's question — how far the training of one
+network scales — as weak-scaling (fixed per-node batch) and strong-scaling
+(fixed global batch) efficiency curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.common.errors import PlanError
+from repro.hw.spec import SW26010Spec, DEFAULT_SPEC
+from repro.core.backward import BackwardConvolution
+from repro.core.gemm_plan import GemmEngine, GemmParams, GemmPlan
+from repro.core.params import ConvParams
+from repro.scale.network import InterconnectModel
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """One layer of the replicated model.
+
+    ``kind`` is "conv" (uses :class:`ConvParams` shapes) or "fc" (a dense
+    layer of ``fc_in x fc_out`` weights).  ``params`` carries the conv
+    geometry for conv layers.
+    """
+
+    kind: str
+    params: Optional[ConvParams] = None
+    fc_in: int = 0
+    fc_out: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind == "conv":
+            if self.params is None:
+                raise PlanError("conv layer needs ConvParams")
+        elif self.kind == "fc":
+            if self.fc_in < 1 or self.fc_out < 1:
+                raise PlanError("fc layer needs positive fc_in/fc_out")
+        else:
+            raise PlanError(f"unknown layer kind {self.kind!r}")
+
+    def gradient_bytes(self, ds: int = 8) -> int:
+        """Bytes of weight gradient this layer allreduces."""
+        if self.kind == "conv":
+            return self.params.filter_bytes(ds)
+        return self.fc_in * self.fc_out * ds
+
+    def with_batch(self, batch: int) -> "LayerSpec":
+        """Same layer with a different per-node batch (strong scaling)."""
+        if self.kind != "conv":
+            return self
+        p = self.params
+        return LayerSpec(
+            kind="conv",
+            params=ConvParams(
+                ni=p.ni, no=p.no, ri=p.ri, ci=p.ci, kr=p.kr, kc=p.kc, b=batch
+            ),
+        )
+
+
+@dataclass
+class ScalingPoint:
+    """One point of a scaling curve."""
+
+    nodes: int
+    compute_seconds: float
+    comm_seconds: float
+    iteration_seconds: float
+    samples_per_second: float
+    efficiency: float
+
+
+class DataParallelModel:
+    """Times synchronous data-parallel training of a layer stack."""
+
+    def __init__(
+        self,
+        layers: Sequence[LayerSpec],
+        spec: SW26010Spec = DEFAULT_SPEC,
+        network: InterconnectModel = InterconnectModel(),
+        overlap: bool = True,
+    ):
+        if not layers:
+            raise PlanError("need at least one layer")
+        self.layers = list(layers)
+        self.spec = spec
+        self.network = network
+        self.overlap = overlap
+
+    # -- per-node compute ---------------------------------------------------
+
+    def _conv_step_seconds(self, params: ConvParams) -> float:
+        return _conv_training_seconds(params, self.spec)
+
+    def _fc_step_seconds(self, layer: LayerSpec, batch: int) -> float:
+        # Forward + both backward GEMMs: 3 GEMMs of the same shape class.
+        plan = GemmPlan(
+            GemmParams(m=layer.fc_out, n=batch, k=layer.fc_in), spec=self.spec
+        )
+        return 3 * GemmEngine(plan).evaluate().seconds
+
+    def _layer_times(self, per_node_batch: int) -> List[Tuple[float, int]]:
+        """Per layer: (fwd+bwd seconds, gradient bytes)."""
+        times = []
+        for layer in self.layers:
+            if layer.kind == "conv":
+                adjusted = layer.with_batch(per_node_batch)
+                seconds = self._conv_step_seconds(adjusted.params)
+            else:
+                seconds = self._fc_step_seconds(layer, per_node_batch)
+            times.append((seconds, layer.gradient_bytes()))
+        return times
+
+    # -- iteration time -------------------------------------------------------
+
+    def iteration(self, nodes: int, per_node_batch: int) -> ScalingPoint:
+        """Time one synchronous SGD iteration on ``nodes`` nodes."""
+        if nodes < 1:
+            raise PlanError(f"need at least one node, got {nodes}")
+        if per_node_batch < 1:
+            raise PlanError(f"per-node batch must be positive, got {per_node_batch}")
+        layer_times = self._layer_times(per_node_batch)
+        compute = sum(t for t, _ in layer_times)
+        comms = [
+            self.network.best_allreduce(nbytes, nodes) for _, nbytes in layer_times
+        ]
+        comm = sum(comms)
+        if nodes == 1:
+            total = compute
+        elif self.overlap:
+            # Bucketed overlap: layer L's allreduce runs under the backward
+            # compute of layers L-1..0.  Backward is ~2/3 of the step; the
+            # exposed communication is what spills past it.
+            backward_window = compute * (2.0 / 3.0)
+            total = compute + max(0.0, comm - backward_window)
+        else:
+            total = compute + comm
+        samples = nodes * per_node_batch / total
+        # Efficiency vs n ideal nodes at this per-node batch: with comm = 0
+        # the iteration would take exactly `compute`, so the ratio is direct.
+        efficiency = compute / total
+        return ScalingPoint(
+            nodes=nodes,
+            compute_seconds=compute,
+            comm_seconds=comm,
+            iteration_seconds=total,
+            samples_per_second=samples,
+            efficiency=efficiency,
+        )
+
+    # -- sweeps ----------------------------------------------------------------
+
+    def weak_scaling(
+        self, node_counts: Sequence[int], per_node_batch: int
+    ) -> List[ScalingPoint]:
+        """Fixed per-node batch; ideal = flat iteration time."""
+        return [self.iteration(n, per_node_batch) for n in node_counts]
+
+    def strong_scaling(
+        self, node_counts: Sequence[int], global_batch: int
+    ) -> List[ScalingPoint]:
+        """Fixed global batch; per-node batch shrinks with node count."""
+        points = []
+        for n in node_counts:
+            per_node = max(1, global_batch // n)
+            points.append(self.iteration(n, per_node))
+        return points
+
+    def total_gradient_bytes(self) -> int:
+        return sum(layer.gradient_bytes() for layer in self.layers)
+
+
+@lru_cache(maxsize=512)
+def _conv_training_seconds(params: ConvParams, spec: SW26010Spec) -> float:
+    total, _ = BackwardConvolution(params, spec=spec).training_step_time()
+    return total
+
+
+def vgg_like_stack(batch: int = 128, channels: int = 64) -> List[LayerSpec]:
+    """A small VGG-ish stack for the scaling experiments."""
+    convs = [
+        ConvParams.from_output(ni=channels, no=channels, ro=32, co=32, kr=3, kc=3, b=batch),
+        ConvParams.from_output(ni=channels, no=2 * channels, ro=16, co=16, kr=3, kc=3, b=batch),
+        ConvParams.from_output(ni=2 * channels, no=4 * channels, ro=8, co=8, kr=3, kc=3, b=batch),
+    ]
+    layers = [LayerSpec(kind="conv", params=p) for p in convs]
+    layers.append(LayerSpec(kind="fc", fc_in=4 * channels * 8 * 8, fc_out=1024))
+    layers.append(LayerSpec(kind="fc", fc_in=1024, fc_out=1000))
+    return layers

@@ -1,0 +1,83 @@
+"""Descriptor validation and shape resolution."""
+
+import numpy as np
+import pytest
+
+from repro.api.descriptors import (
+    ConvolutionDescriptor,
+    FilterDescriptor,
+    TensorDescriptor,
+    output_descriptor,
+    resolve_conv_params,
+)
+from repro.common.errors import PlanError
+
+
+class TestTensorDescriptor:
+    def test_shape(self):
+        assert TensorDescriptor(2, 3, 4, 5).shape == (2, 3, 4, 5)
+
+    def test_positive_dims(self):
+        with pytest.raises(PlanError):
+            TensorDescriptor(0, 1, 1, 1)
+
+    def test_double_precision_only(self):
+        with pytest.raises(PlanError):
+            TensorDescriptor(1, 1, 1, 1, dtype="float32")
+
+    def test_matches(self):
+        desc = TensorDescriptor(1, 2, 3, 4)
+        desc.matches(np.zeros((1, 2, 3, 4)))
+        with pytest.raises(PlanError):
+            desc.matches(np.zeros((1, 2, 3, 5)))
+
+
+class TestConvolutionDescriptor:
+    def test_default_valid(self):
+        ConvolutionDescriptor()
+
+    def test_padding_accepted(self):
+        desc = ConvolutionDescriptor(pad_h=1, pad_w=2)
+        assert desc.has_padding
+
+    def test_stride_rejected(self):
+        with pytest.raises(PlanError):
+            ConvolutionDescriptor(stride_w=2)
+
+
+class TestResolution:
+    def test_resolve(self):
+        params = resolve_conv_params(
+            TensorDescriptor(8, 16, 10, 12),
+            FilterDescriptor(32, 16, 3, 3),
+            ConvolutionDescriptor(),
+        )
+        assert params.b == 8
+        assert params.ni == 16
+        assert params.no == 32
+        assert params.ro == 8
+        assert params.co == 10
+
+    def test_channel_mismatch(self):
+        with pytest.raises(PlanError):
+            resolve_conv_params(
+                TensorDescriptor(1, 3, 5, 5),
+                FilterDescriptor(2, 4, 3, 3),
+                ConvolutionDescriptor(),
+            )
+
+    def test_filter_too_large(self):
+        with pytest.raises(PlanError):
+            resolve_conv_params(
+                TensorDescriptor(1, 3, 2, 2),
+                FilterDescriptor(2, 3, 3, 3),
+                ConvolutionDescriptor(),
+            )
+
+    def test_output_descriptor(self):
+        out = output_descriptor(
+            TensorDescriptor(8, 16, 10, 12),
+            FilterDescriptor(32, 16, 3, 5),
+            ConvolutionDescriptor(),
+        )
+        assert out.shape == (8, 32, 8, 8)

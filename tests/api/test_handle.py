@@ -1,0 +1,138 @@
+"""The SwDNNHandle: algorithm search, plan caching, operations."""
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    ConvolutionFwdAlgo,
+    FilterDescriptor,
+    SwDNNHandle,
+    TensorDescriptor,
+    find_convolution_forward_algorithm,
+)
+from repro.common.errors import PlanError
+from repro.core.params import ConvParams
+from repro.core.reference import conv2d_backward_reference, conv2d_reference
+
+
+@pytest.fixture
+def handle():
+    return SwDNNHandle()
+
+
+class TestAlgorithmSearch:
+    def test_ranked_best_first(self, paper_params):
+        perfs = find_convolution_forward_algorithm(paper_params)
+        seconds = [p.modeled_seconds for p in perfs]
+        assert seconds == sorted(seconds)
+
+    def test_requested_count(self, paper_params):
+        perfs = find_convolution_forward_algorithm(paper_params, requested=1)
+        assert len(perfs) == 1
+
+    def test_requested_validated(self, paper_params):
+        with pytest.raises(PlanError):
+            find_convolution_forward_algorithm(paper_params, requested=0)
+
+    def test_handle_find(self, handle):
+        perfs = handle.find_algorithms(
+            TensorDescriptor(128, 128, 66, 66), FilterDescriptor(128, 128, 3, 3)
+        )
+        assert len(perfs) == 2
+        assert all(p.modeled_gflops > 0 for p in perfs)
+
+    def test_workspace_fits_ldm(self, handle):
+        ws = handle.get_workspace_bytes(
+            TensorDescriptor(128, 128, 66, 66), FilterDescriptor(128, 128, 3, 3)
+        )
+        assert 0 < ws <= 64 * 1024
+
+
+class TestOperations:
+    def test_forward_matches_reference(self, handle, rng, small_params):
+        x = rng.standard_normal(small_params.input_shape)
+        w = rng.standard_normal(small_params.filter_shape)
+        out, report = handle.convolution_forward(x, w)
+        assert np.allclose(out, conv2d_reference(x, w))
+        assert report.seconds > 0
+
+    def test_forward_with_descriptors(self, handle, rng):
+        x = rng.standard_normal((8, 8, 6, 6))
+        w = rng.standard_normal((8, 8, 3, 3))
+        out, _ = handle.convolution_forward(
+            x, w,
+            x_desc=TensorDescriptor(8, 8, 6, 6),
+            w_desc=FilterDescriptor(8, 8, 3, 3),
+        )
+        assert out.shape == (8, 8, 4, 4)
+
+    def test_forward_explicit_algorithm(self, handle, rng, small_params):
+        x = rng.standard_normal(small_params.input_shape)
+        w = rng.standard_normal(small_params.filter_shape)
+        out_img, _ = handle.convolution_forward(
+            x, w, algo=ConvolutionFwdAlgo.IMAGE_SIZE_AWARE
+        )
+        out_bat, _ = handle.convolution_forward(
+            x, w, algo=ConvolutionFwdAlgo.BATCH_SIZE_AWARE
+        )
+        assert np.allclose(out_img, out_bat)
+
+    def test_forward_shape_validation(self, handle, rng):
+        with pytest.raises(PlanError):
+            handle.convolution_forward(
+                rng.standard_normal((2, 3, 5, 5)), rng.standard_normal((2, 4, 3, 3))
+            )
+        with pytest.raises(PlanError):
+            handle.convolution_forward(
+                rng.standard_normal((3, 5, 5)), rng.standard_normal((2, 4, 3, 3))
+            )
+
+    def test_backward_data(self, handle, rng):
+        p = ConvParams(ni=8, no=8, ri=8, ci=8, kr=3, kc=3, b=8)
+        x = rng.standard_normal(p.input_shape)
+        w = rng.standard_normal(p.filter_shape)
+        g = rng.standard_normal(p.output_shape)
+        gx, _ = handle.convolution_backward_data(
+            w, g, TensorDescriptor(p.b, p.ni, p.ri, p.ci)
+        )
+        ref_gx, _ = conv2d_backward_reference(x, w, g)
+        assert np.allclose(gx, ref_gx)
+
+    def test_backward_filter(self, handle, rng):
+        p = ConvParams(ni=8, no=8, ri=8, ci=8, kr=3, kc=3, b=8)
+        x = rng.standard_normal(p.input_shape)
+        w = rng.standard_normal(p.filter_shape)
+        g = rng.standard_normal(p.output_shape)
+        gw, _ = handle.convolution_backward_filter(
+            x, g, FilterDescriptor(p.no, p.ni, p.kr, p.kc)
+        )
+        _, ref_gw = conv2d_backward_reference(x, w, g)
+        assert np.allclose(gw, ref_gw)
+
+    def test_gemm(self, handle, rng):
+        a = rng.standard_normal((24, 16))
+        b = rng.standard_normal((16, 32))
+        out, report = handle.gemm(a, b)
+        assert np.allclose(out, a @ b)
+        assert report.flops == 2 * 24 * 32 * 16
+
+    def test_gemm_shape_validation(self, handle, rng):
+        with pytest.raises(PlanError):
+            handle.gemm(rng.standard_normal((2, 3)), rng.standard_normal((4, 5)))
+
+
+class TestPlanCaching:
+    def test_plans_are_cached(self, handle, rng, small_params):
+        x = rng.standard_normal(small_params.input_shape)
+        w = rng.standard_normal(small_params.filter_shape)
+        handle.convolution_forward(x, w)
+        assert handle.cached_plans == 1
+        handle.convolution_forward(x, w)
+        assert handle.cached_plans == 1
+
+    def test_distinct_shapes_distinct_plans(self, handle, rng):
+        for h in (6, 7):
+            x = rng.standard_normal((8, 8, h, 6))
+            w = rng.standard_normal((8, 8, 3, 3))
+            handle.convolution_forward(x, w)
+        assert handle.cached_plans == 2

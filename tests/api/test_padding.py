@@ -1,0 +1,85 @@
+"""Padded convolution through the API (explicit-pad lowering)."""
+
+import numpy as np
+import pytest
+
+from repro.api import FilterDescriptor, SwDNNHandle, TensorDescriptor
+from repro.api.descriptors import (
+    ConvolutionDescriptor,
+    output_descriptor,
+    resolve_conv_params,
+)
+from repro.common.errors import PlanError
+from repro.core.reference import conv2d_reference
+
+
+class TestDescriptors:
+    def test_same_padding_preserves_size(self):
+        out = output_descriptor(
+            TensorDescriptor(8, 8, 16, 16),
+            FilterDescriptor(8, 8, 3, 3),
+            ConvolutionDescriptor(pad_h=1, pad_w=1),
+        )
+        assert (out.h, out.w) == (16, 16)
+
+    def test_padding_enables_small_images(self):
+        # A 2x2 image with a 3x3 filter only works padded.
+        with pytest.raises(PlanError):
+            resolve_conv_params(
+                TensorDescriptor(1, 1, 2, 2),
+                FilterDescriptor(1, 1, 3, 3),
+                ConvolutionDescriptor(),
+            )
+        params = resolve_conv_params(
+            TensorDescriptor(1, 1, 2, 2),
+            FilterDescriptor(1, 1, 3, 3),
+            ConvolutionDescriptor(pad_h=1, pad_w=1),
+        )
+        assert (params.ro, params.co) == (2, 2)
+
+    def test_negative_padding_rejected(self):
+        with pytest.raises(PlanError):
+            ConvolutionDescriptor(pad_h=-1)
+
+    def test_stride_still_rejected(self):
+        with pytest.raises(PlanError):
+            ConvolutionDescriptor(stride_h=2)
+
+
+class TestExecution:
+    def test_padded_forward_matches_padded_reference(self, rng):
+        handle = SwDNNHandle()
+        x = rng.standard_normal((8, 8, 6, 6))
+        w = rng.standard_normal((8, 8, 3, 3))
+        conv_desc = ConvolutionDescriptor(pad_h=1, pad_w=1)
+        out, _ = handle.convolution_forward(x, w, conv_desc=conv_desc)
+        padded = np.pad(x, ((0, 0), (0, 0), (1, 1), (1, 1)))
+        assert out.shape == (8, 8, 6, 6)
+        assert np.allclose(out, conv2d_reference(padded, w))
+
+    def test_asymmetric_pad_dims(self, rng):
+        handle = SwDNNHandle()
+        x = rng.standard_normal((8, 8, 6, 8))
+        w = rng.standard_normal((8, 8, 3, 3))
+        out, _ = handle.convolution_forward(
+            x, w, conv_desc=ConvolutionDescriptor(pad_h=1, pad_w=0)
+        )
+        assert out.shape == (8, 8, 6, 6)
+
+    def test_padding_with_fusion(self, rng):
+        handle = SwDNNHandle()
+        x = rng.standard_normal((8, 8, 6, 6))
+        w = rng.standard_normal((8, 8, 3, 3))
+        bias = rng.standard_normal(8)
+        out, _ = handle.convolution_forward(
+            x,
+            w,
+            conv_desc=ConvolutionDescriptor(pad_h=1, pad_w=1),
+            bias=bias,
+            activation="relu",
+        )
+        padded = np.pad(x, ((0, 0), (0, 0), (1, 1), (1, 1)))
+        expected = np.maximum(
+            conv2d_reference(padded, w) + bias[None, :, None, None], 0.0
+        )
+        assert np.allclose(out, expected)

@@ -1,0 +1,73 @@
+"""Frequency-domain baseline: correctness and the rejection argument."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.fft_conv import FFTConvolution
+from repro.core.params import ConvParams
+from repro.core.reference import conv2d_reference
+
+
+class TestFunctional:
+    def test_matches_reference(self, rng):
+        x = rng.standard_normal((2, 3, 8, 8))
+        w = rng.standard_normal((4, 3, 3, 3))
+        out, _ = FFTConvolution().run(x, w)
+        assert np.allclose(out, conv2d_reference(x, w))
+
+    def test_matches_reference_non_square(self, rng):
+        x = rng.standard_normal((1, 2, 7, 9))
+        w = rng.standard_normal((2, 2, 3, 4))
+        out, _ = FFTConvolution().run(x, w)
+        assert np.allclose(out, conv2d_reference(x, w))
+
+    def test_large_filter_still_exact(self, rng):
+        x = rng.standard_normal((1, 1, 12, 12))
+        w = rng.standard_normal((1, 1, 7, 7))
+        out, _ = FFTConvolution().run(x, w)
+        assert np.allclose(out, conv2d_reference(x, w))
+
+
+class TestRejectionArgument:
+    def test_bandwidth_amplification_large_for_small_filters(self):
+        """For 3x3 filters the spectra dwarf the unique data — the paper's
+        reason to stay in the spatial domain."""
+        params = ConvParams.from_output(ni=128, no=128, ro=64, co=64, kr=3, kc=3, b=128)
+        amp = FFTConvolution().bandwidth_amplification(params)
+        assert amp > 3.0
+
+    def test_compute_advantage_appears_only_at_huge_filters(self):
+        """FFT's classic advantage is arithmetic: its pointwise stage does
+        not grow with the filter area, so its compute time relative to the
+        direct method shrinks with k — but on SW26010 it is bandwidth-bound
+        long before that matters."""
+        conv = FFTConvolution()
+
+        def compute_ratio(k):
+            p = ConvParams.from_output(ni=64, no=64, ro=32, co=32, kr=k, kc=k, b=32)
+            report = conv.evaluate(p)
+            direct_compute = p.flops() / 742.4e9
+            return report.compute_seconds / direct_compute
+
+        assert compute_ratio(21) < compute_ratio(3)
+
+    def test_loses_to_spatial_plans(self):
+        params = ConvParams.from_output(ni=128, no=128, ro=64, co=64, kr=3, kc=3, b=128)
+        fft_report = FFTConvolution().evaluate(params)
+        from repro.core.conv import ConvolutionEngine
+        from repro.core.plans import BatchSizeAwarePlan
+
+        spatial = ConvolutionEngine(BatchSizeAwarePlan(params)).evaluate()
+        assert fft_report.gflops < spatial.gflops
+
+    def test_traffic_components_positive(self):
+        params = ConvParams.from_output(ni=64, no=64, ro=16, co=16, kr=3, kc=3, b=16)
+        traffic = FFTConvolution().traffic(params)
+        assert traffic.input_spectra > 0
+        assert traffic.mesh_exchange > traffic.input_spectra  # all-to-all cost
+        assert traffic.total == (
+            traffic.input_spectra
+            + traffic.filter_spectra
+            + traffic.output_spectra
+            + traffic.mesh_exchange
+        )

@@ -1,0 +1,47 @@
+"""The direct-memory-access (gload) baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.gload import GloadConvolution, gload_estimate
+from repro.core.reference import conv2d_reference
+
+
+class TestEstimate:
+    def test_matches_fig2(self):
+        est = gload_estimate()
+        assert est.efficiency == pytest.approx((8 / 139.2) ** 2, rel=1e-3)
+        assert est.gflops < 3.0
+
+
+class TestFunctional:
+    def test_correct_result(self, rng):
+        x = rng.standard_normal((1, 2, 4, 4))
+        w = rng.standard_normal((2, 2, 2, 2))
+        out, _ = GloadConvolution().run(x, w)
+        assert np.allclose(out, conv2d_reference(x, w))
+
+    def test_catastrophically_slow(self, rng):
+        """The whole point of Fig. 2: measured gload throughput is ~1000x
+        below the hierarchical plans."""
+        x = rng.standard_normal((1, 4, 4, 4))
+        w = rng.standard_normal((4, 4, 3, 3))
+        _, report = GloadConvolution().run(x, w)
+        assert report.gflops < 10.0
+        assert report.efficiency < 0.01
+
+    def test_bytes_accounting_no_reuse(self, rng):
+        x = rng.standard_normal((1, 2, 3, 3))
+        w = rng.standard_normal((2, 2, 2, 2))
+        conv = GloadConvolution()
+        _, report = conv.run(x, w)
+        # Two 8-byte reads per multiply-add: flops/2 MACs.
+        assert report.bytes_get == report.flops // 2 * 16
+
+    def test_rerun_resets_state(self, rng):
+        conv = GloadConvolution()
+        x = rng.standard_normal((1, 1, 2, 2))
+        w = rng.standard_normal((1, 1, 1, 1))
+        out1, _ = conv.run(x, w)
+        out2, _ = conv.run(x, w)
+        assert np.allclose(out1, out2)

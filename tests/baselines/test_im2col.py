@@ -1,0 +1,46 @@
+"""The GEMM-lowered (im2col) baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.im2col import Im2colConvolution
+from repro.core.params import ConvParams
+from repro.core.reference import conv2d_reference
+
+
+class TestFunctional:
+    def test_correct_result(self, rng):
+        x = rng.standard_normal((2, 3, 6, 6))
+        w = rng.standard_normal((4, 3, 3, 3))
+        out, _ = Im2colConvolution().run(x, w)
+        assert np.allclose(out, conv2d_reference(x, w))
+
+
+class TestTrafficModel:
+    def test_blowup_scales_with_filter_area(self):
+        conv = Im2colConvolution()
+        small = conv.blowup(
+            ConvParams.from_output(ni=64, no=64, ro=32, co=32, kr=3, kc=3, b=32)
+        )
+        large = conv.blowup(
+            ConvParams.from_output(ni=64, no=64, ro=32, co=32, kr=7, kc=7, b=32)
+        )
+        assert large > small > 1.0
+
+    def test_blowup_explains_rejection(self):
+        """Section III-C: lowering multiplies traffic on a bandwidth-bound
+        chip — the im2col baseline must lose to the direct plans."""
+        params = ConvParams.from_output(ni=128, no=128, ro=64, co=64, kr=3, kc=3, b=128)
+        conv = Im2colConvolution()
+        report = conv.evaluate(params)
+        from repro.core.conv import ConvolutionEngine
+        from repro.core.plans import BatchSizeAwarePlan
+
+        direct = ConvolutionEngine(BatchSizeAwarePlan(params)).evaluate()
+        assert report.gflops < direct.gflops
+
+    def test_evaluate_flops(self):
+        params = ConvParams.from_output(ni=64, no=64, ro=16, co=16, kr=3, kc=3, b=32)
+        report = Im2colConvolution().evaluate(params)
+        assert report.flops == params.flops()
+        assert report.seconds > 0

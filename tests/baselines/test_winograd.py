@@ -1,0 +1,122 @@
+"""Winograd F(2x2, 3x3) baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.winograd import (
+    ARITHMETIC_REDUCTION,
+    A_T,
+    B_T,
+    G,
+    WinogradConvolution,
+    transform_filter,
+)
+from repro.common.errors import PlanError
+from repro.core.params import ConvParams
+from repro.core.reference import conv2d_reference
+
+
+class TestTransforms:
+    def test_transform_shapes(self):
+        assert B_T.shape == (4, 4)
+        assert G.shape == (4, 3)
+        assert A_T.shape == (2, 4)
+
+    def test_filter_transform_shape(self, rng):
+        u = transform_filter(rng.standard_normal((5, 3, 3, 3)))
+        assert u.shape == (5, 3, 4, 4)
+
+    def test_scalar_identity(self):
+        """A^T [(G g G^T) .* (B^T d B)] A == conv2d(d, g) for one tile."""
+        rng = np.random.default_rng(0)
+        d = rng.standard_normal((4, 4))
+        g = rng.standard_normal((3, 3))
+        u = G @ g @ G.T
+        v = B_T @ d @ B_T.T
+        out = A_T @ (u * v) @ A_T.T
+        ref = conv2d_reference(d[None, None], g[None, None])[0, 0]
+        assert np.allclose(out, ref)
+
+    def test_arithmetic_reduction(self):
+        assert ARITHMETIC_REDUCTION == pytest.approx(2.25)
+
+    def test_wrong_filter_size_rejected(self, rng):
+        with pytest.raises(PlanError):
+            transform_filter(rng.standard_normal((1, 1, 5, 5)))
+
+
+class TestFunctional:
+    def test_matches_reference_even_output(self, rng):
+        x = rng.standard_normal((2, 3, 10, 10))  # out 8x8
+        w = rng.standard_normal((4, 3, 3, 3))
+        out, _ = WinogradConvolution().run(x, w)
+        assert np.allclose(out, conv2d_reference(x, w))
+
+    def test_matches_reference_odd_output(self, rng):
+        x = rng.standard_normal((1, 2, 9, 11))  # out 7x9 (needs padding)
+        w = rng.standard_normal((2, 2, 3, 3))
+        out, _ = WinogradConvolution().run(x, w)
+        assert np.allclose(out, conv2d_reference(x, w))
+
+    @given(
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=4, max_value=9),
+        st.integers(min_value=4, max_value=9),
+        st.integers(min_value=0, max_value=99),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_matches_reference_property(self, ni, no, ri, ci, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((2, ni, ri, ci))
+        w = rng.standard_normal((no, ni, 3, 3))
+        out, _ = WinogradConvolution().run(x, w)
+        assert np.allclose(out, conv2d_reference(x, w))
+
+    def test_non_3x3_rejected(self, rng):
+        with pytest.raises(PlanError):
+            WinogradConvolution().run(
+                rng.standard_normal((1, 1, 8, 8)), rng.standard_normal((1, 1, 5, 5))
+            )
+
+    def test_channel_mismatch_rejected(self, rng):
+        with pytest.raises(PlanError):
+            WinogradConvolution().run(
+                rng.standard_normal((1, 2, 8, 8)), rng.standard_normal((1, 3, 3, 3))
+            )
+
+
+class TestAnalysis:
+    def test_multiplies_reduced(self):
+        params = ConvParams.from_output(ni=64, no=64, ro=32, co=32, kr=3, kc=3, b=32)
+        direct_multiplies = params.flops() // 2
+        wino = WinogradConvolution().multiplies(params)
+        assert wino < direct_multiplies
+        assert direct_multiplies / wino == pytest.approx(2.25, rel=0.01)
+
+    def test_fusion_decides_the_win(self):
+        """The design takeaway: keeping the pointwise products in LDM is
+        what preserves (most of) the 2.25x arithmetic reduction; spilling
+        them erodes it on the bandwidth-bound chip."""
+        params = ConvParams.from_output(ni=256, no=256, ro=64, co=64, kr=3, kc=3, b=128)
+        conv = WinogradConvolution()
+        fused = conv.advantage(params, fused=True)
+        unfused = conv.advantage(params, fused=False)
+        assert unfused < fused
+        assert 0.5 < unfused
+        assert fused < 2 * ARITHMETIC_REDUCTION  # bounded by the arithmetic win
+
+    def test_traffic_exceeds_direct_unique_bytes(self):
+        params = ConvParams.from_output(ni=64, no=64, ro=32, co=32, kr=3, kc=3, b=32)
+        conv = WinogradConvolution()
+        assert conv.traffic_bytes(params, fused=False) > params.total_bytes()
+        assert conv.traffic_bytes(params, fused=True) < conv.traffic_bytes(
+            params, fused=False
+        )
+
+    def test_evaluate_reports_layer_flops(self):
+        params = ConvParams.from_output(ni=64, no=64, ro=16, co=16, kr=3, kc=3, b=16)
+        report = WinogradConvolution().evaluate(params)
+        assert report.flops == params.flops()
+        assert report.seconds > 0

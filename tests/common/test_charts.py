@@ -1,0 +1,66 @@
+"""ASCII chart renderers."""
+
+import pytest
+
+from repro.common.charts import bar_chart, series_chart
+
+
+class TestBarChart:
+    def test_rows(self):
+        text = bar_chart(["a", "bb"], [1.0, 2.0])
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert lines[1].count("#") > lines[0].count("#")
+
+    def test_scaling_to_max(self):
+        text = bar_chart(["x"], [5.0], width=10)
+        assert text.count("#") == 10
+
+    def test_explicit_max(self):
+        text = bar_chart(["x"], [5.0], width=10, max_value=10.0)
+        assert text.count("#") == 5
+
+    def test_unit_suffix(self):
+        assert "2.00x" in bar_chart(["a"], [2.0], unit="x")
+
+    def test_empty(self):
+        assert bar_chart([], []) == "(no data)"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [-1.0])
+
+
+class TestSeriesChart:
+    def test_two_series_two_glyphs(self):
+        text = series_chart(
+            [("up", [1, 2, 3, 4]), ("flat", [2, 2, 2, 2])], height=6
+        )
+        assert "*" in text and "o" in text
+        assert "up" in text and "flat" in text
+
+    def test_axis_labels_descend(self):
+        text = series_chart([("s", [0.0, 10.0])], height=5)
+        values = [
+            float(line.split("|")[0]) for line in text.splitlines() if "|" in line
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_empty(self):
+        assert series_chart([]) == "(no data)"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            series_chart([("s", [1.0])], height=1)
+
+    def test_fig7_style_render(self):
+        """The real integration: Fig. 7's render embeds a series chart."""
+        from repro.experiments import fig7
+        from repro.experiments.configs import fig8_left
+
+        summary = fig7.run(configs=fig8_left()[::10])
+        text = fig7.render(summary)
+        assert "Tflops vs configuration" in text
+        assert "swDNN" in text

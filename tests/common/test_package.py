@@ -1,0 +1,79 @@
+"""Top-level package surface: lazy exports, error hierarchy, CPE counters."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.common.errors import (
+    BusProtocolError,
+    LDMOverflowError,
+    PlanError,
+    RegisterPressureError,
+    ReproError,
+    SimulationError,
+)
+from repro.hw.cpe import CPE
+
+
+class TestLazyExports:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_lazy_attributes_resolve(self):
+        assert repro.ConvParams(ni=1, no=1, ri=1, ci=1, kr=1, kc=1, b=1)
+        assert callable(repro.conv_forward)
+        assert callable(repro.plan_convolution)
+        assert repro.PerformanceModel is not None
+        assert repro.ConvolutionEngine is not None
+
+    def test_unknown_attribute(self):
+        with pytest.raises(AttributeError):
+            repro.does_not_exist
+
+    def test_all_list_matches_lazy_table(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (
+            LDMOverflowError,
+            RegisterPressureError,
+            PlanError,
+            SimulationError,
+            BusProtocolError,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_bus_error_is_simulation_error(self):
+        assert issubclass(BusProtocolError, SimulationError)
+
+    def test_catchable_as_library_failure(self):
+        from repro.core.params import ConvParams
+
+        with pytest.raises(ReproError):
+            ConvParams(ni=1, no=1, ri=1, ci=1, kr=1, kc=1, b=1).with_rows(5)
+
+
+class TestCPECounters:
+    def test_fma_tile_accounts_flops(self, rng):
+        cpe = CPE(0, 0)
+        acc = np.zeros((2, 3))
+        a = rng.standard_normal((2, 4))
+        b = rng.standard_normal((4, 3))
+        cpe.fma_tile(acc, a, b)
+        assert np.allclose(acc, a @ b)
+        assert cpe.stats.flops == 2 * 2 * 3 * 4
+
+    def test_ldm_counters(self):
+        cpe = CPE(1, 2)
+        cpe.count_ldm_load(64)
+        cpe.count_ldm_store(32)
+        assert cpe.stats.ldm_bytes_loaded == 64
+        assert cpe.stats.ldm_bytes_stored == 32
+        cpe.stats.reset()
+        assert cpe.stats.flops == 0
+
+    def test_coords(self):
+        assert CPE(3, 5).coords == (3, 5)

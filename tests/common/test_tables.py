@@ -1,0 +1,45 @@
+"""Text-table rendering."""
+
+import pytest
+
+from repro.common.tables import TextTable
+
+
+class TestTextTable:
+    def test_renders_header_and_rows(self):
+        t = TextTable(["a", "bb"])
+        t.add_row([1, 2.5])
+        out = t.render()
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "bb" in lines[0]
+        assert "2.50" in lines[2]
+
+    def test_column_alignment(self):
+        t = TextTable(["name", "v"])
+        t.add_row(["x", 1])
+        t.add_row(["longer", 2])
+        lines = t.render().splitlines()
+        # Separator and data lines align on the same column boundary.
+        assert lines[1].index("+") == lines[0].index("|")
+
+    def test_wrong_cell_count_rejected(self):
+        t = TextTable(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_float_format_override(self):
+        t = TextTable(["x"], float_fmt="{:.3f}")
+        t.add_row([1.23456])
+        assert "1.235" in t.render()
+
+    def test_int_not_float_formatted(self):
+        t = TextTable(["x"])
+        t.add_row([42])
+        assert "42" in t.render()
+        assert "42.00" not in t.render()
+
+    def test_empty_table_renders(self):
+        t = TextTable(["only"])
+        out = t.render()
+        assert "only" in out

@@ -1,0 +1,44 @@
+"""Units and conversion helpers."""
+
+import pytest
+
+from repro.common.units import GB, GHZ, KIB, MIB, bytes_to_human, gbps, gflops
+
+
+class TestConstants:
+    def test_binary_units(self):
+        assert KIB == 1024
+        assert MIB == 1024 * 1024
+
+    def test_decimal_units(self):
+        assert GB == 10**9
+        assert GHZ == 10**9
+
+
+class TestBytesToHuman:
+    def test_bytes(self):
+        assert bytes_to_human(512) == "512B"
+
+    def test_kib(self):
+        assert bytes_to_human(64 * KIB) == "64.0KiB"
+
+    def test_mib(self):
+        assert bytes_to_human(3 * MIB) == "3.0MiB"
+
+    def test_zero(self):
+        assert bytes_to_human(0) == "0B"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bytes_to_human(-1)
+
+    def test_non_round_value(self):
+        assert bytes_to_human(1536) == "1.5KiB"
+
+
+class TestRates:
+    def test_gflops(self):
+        assert gflops(742.4e9) == pytest.approx(742.4)
+
+    def test_gbps(self):
+        assert gbps(36e9) == pytest.approx(36.0)

@@ -1,0 +1,31 @@
+"""Shared fixtures for the swDNN reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.params import ConvParams
+from repro.hw.spec import DEFAULT_SPEC, SW26010Spec
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0xC0FFEE)
+
+
+@pytest.fixture
+def spec() -> SW26010Spec:
+    return DEFAULT_SPEC
+
+
+@pytest.fixture
+def small_params() -> ConvParams:
+    """A mesh-divisible configuration small enough for functional runs."""
+    return ConvParams(ni=16, no=16, ri=10, ci=10, kr=3, kc=3, b=8)
+
+
+@pytest.fixture
+def paper_params() -> ConvParams:
+    """A Fig. 7-style configuration for timed-only evaluation."""
+    return ConvParams.from_output(ni=128, no=128, ro=64, co=64, kr=3, kc=3, b=128)

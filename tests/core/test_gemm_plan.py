@@ -1,0 +1,120 @@
+"""swGEMM: the dense-matmul plan for fully-connected layers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import PlanError
+from repro.common.units import GB
+from repro.core.gemm_plan import (
+    GemmEngine,
+    GemmParams,
+    GemmPlan,
+    choose_gemm_blocking,
+    rbw_gemm,
+    swgemm,
+)
+
+
+class TestParams:
+    def test_flops(self):
+        assert GemmParams(4, 5, 6).flops() == 2 * 4 * 5 * 6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GemmParams(0, 1, 1)
+
+
+class TestRBW:
+    def test_bigger_tiles_lower_rbw(self):
+        assert rbw_gemm(64, 64, 256) < rbw_gemm(16, 16, 256)
+
+    def test_deeper_k_lower_rbw(self):
+        assert rbw_gemm(32, 32, 512) < rbw_gemm(32, 32, 64)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rbw_gemm(0, 1, 1)
+
+
+class TestBlockingChooser:
+    def test_small_problem_whole(self):
+        params = GemmParams(16, 16, 32)
+        assert choose_gemm_blocking(params) == (16, 16, 32)
+
+    def test_large_problem_tiled(self):
+        params = GemmParams(4096, 4096, 4096)
+        b_m, b_n, b_k = choose_gemm_blocking(params)
+        assert b_m < 4096 and b_n < 4096 and b_k < 4096
+        assert min(b_m, b_n, b_k) >= 128  # K-chunking keeps tiles large
+
+    def test_k_chunking_unlocks_deep_reductions(self):
+        # A reduction too deep for full-K panels still plans fine.
+        b_m, b_n, b_k = choose_gemm_blocking(GemmParams(8, 8, 10**7))
+        assert b_k < 10**7
+
+
+class TestFunctional:
+    def test_matches_matmul(self, rng):
+        a = rng.standard_normal((48, 40))
+        b = rng.standard_normal((40, 56))
+        assert np.allclose(swgemm(a, b), a @ b)
+
+    def test_mesh_backend_matches(self, rng):
+        a = rng.standard_normal((16, 24))
+        b = rng.standard_normal((24, 32))
+        plan = GemmPlan(GemmParams(16, 32, 24), blocking=(8, 8, 24))
+        out, _ = GemmEngine(plan, backend="mesh").run(a, b)
+        assert np.allclose(out, a @ b)
+
+    def test_tiles_cover_output(self):
+        plan = GemmPlan(GemmParams(20, 30, 8), blocking=(8, 16, 8))
+        covered = np.zeros((20, 30), dtype=bool)
+        for m0, m_len, n0, n_len in plan.tiles():
+            assert not covered[m0 : m0 + m_len, n0 : n0 + n_len].any()
+            covered[m0 : m0 + m_len, n0 : n0 + n_len] = True
+        assert covered.all()
+
+    def test_shape_validation(self, rng):
+        plan = GemmPlan(GemmParams(4, 4, 4))
+        with pytest.raises(PlanError):
+            GemmEngine(plan).run(rng.standard_normal((4, 5)), rng.standard_normal((4, 4)))
+        with pytest.raises(PlanError):
+            swgemm(rng.standard_normal((4, 5)), rng.standard_normal((4, 4)))
+
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=0, max_value=99),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_matches_matmul_property(self, m, n, k, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((m * 4, k * 4))
+        b = rng.standard_normal((k * 4, n * 4))
+        assert np.allclose(swgemm(a, b), a @ b)
+
+
+class TestTiming:
+    def test_fc_layer_performance(self):
+        """A big FC layer (4096x4096 weights, batch 128) should land in the
+        same memory-bound band as the convolutions."""
+        plan = GemmPlan(GemmParams(m=4096, n=128, k=4096))
+        report = GemmEngine(plan).evaluate()
+        assert report.flops == 2 * 4096 * 128 * 4096
+        assert 50 < report.gflops < 742.4
+
+    def test_estimate_positive(self):
+        est = GemmPlan(GemmParams(512, 512, 512)).estimate()
+        assert 0 < est.gflops <= 742.4
+        assert est.rbw_mem / GB > 0
+
+    def test_deep_k_better_efficiency(self):
+        shallow = GemmEngine(GemmPlan(GemmParams(256, 256, 32))).evaluate()
+        deep = GemmEngine(GemmPlan(GemmParams(256, 256, 2048))).evaluate()
+        assert deep.efficiency > shallow.efficiency
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(PlanError):
+            GemmEngine(GemmPlan(GemmParams(4, 4, 4)), backend="tpu")

@@ -1,0 +1,170 @@
+"""Layer forward/backward, validated against numeric gradients."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import PlanError
+from repro.core.layers import (
+    AvgPool2D,
+    Conv2D,
+    Dense,
+    Flatten,
+    ReLU,
+    SoftmaxCrossEntropy,
+)
+
+
+def _numeric_grad(f, x, eps=1e-6):
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        plus = f()
+        x[idx] = orig - eps
+        minus = f()
+        x[idx] = orig
+        grad[idx] = (plus - minus) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+class TestConv2D:
+    def test_forward_shape(self, rng):
+        layer = Conv2D(ni=3, no=5, kr=3, kc=3, rng=rng)
+        out = layer.forward(rng.standard_normal((2, 3, 6, 6)))
+        assert out.shape == (2, 5, 4, 4)
+
+    def test_bias_added(self, rng):
+        layer = Conv2D(ni=1, no=1, kr=1, kc=1, rng=rng)
+        layer.w[...] = 0.0
+        layer.bias[...] = 2.5
+        out = layer.forward(np.zeros((1, 1, 2, 2)))
+        assert np.all(out == 2.5)
+
+    def test_simulated_engine_matches_reference(self, rng):
+        x = rng.standard_normal((8, 8, 6, 6))
+        ref_layer = Conv2D(ni=8, no=8, kr=3, kc=3, rng=np.random.default_rng(1))
+        sim_layer = Conv2D(
+            ni=8, no=8, kr=3, kc=3, rng=np.random.default_rng(1), engine="simulated"
+        )
+        assert np.allclose(ref_layer.forward(x), sim_layer.forward(x))
+
+    def test_weight_gradient_numeric(self, rng):
+        layer = Conv2D(ni=2, no=2, kr=2, kc=2, rng=rng)
+        x = rng.standard_normal((1, 2, 4, 4))
+        g = rng.standard_normal((1, 2, 3, 3))
+        layer.forward(x)
+        layer.backward(g)
+        grads = layer.gradients()
+        numeric = _numeric_grad(lambda: float(np.sum(layer.forward(x) * g)), layer.w)
+        assert np.allclose(grads["w"], numeric, atol=1e-5)
+
+    def test_bias_gradient(self, rng):
+        layer = Conv2D(ni=1, no=2, kr=1, kc=1, rng=rng)
+        x = rng.standard_normal((2, 1, 3, 3))
+        g = rng.standard_normal((2, 2, 3, 3))
+        layer.forward(x)
+        layer.backward(g)
+        assert np.allclose(layer.gradients()["bias"], g.sum(axis=(0, 2, 3)))
+
+    def test_backward_before_forward_rejected(self, rng):
+        layer = Conv2D(ni=1, no=1, kr=1, kc=1, rng=rng)
+        with pytest.raises(PlanError):
+            layer.backward(np.zeros((1, 1, 1, 1)))
+
+    def test_unknown_engine_rejected(self, rng):
+        with pytest.raises(PlanError):
+            Conv2D(ni=1, no=1, kr=1, kc=1, rng=rng, engine="tpu")
+
+
+class TestReLU:
+    def test_forward(self):
+        layer = ReLU()
+        out = layer.forward(np.array([-1.0, 0.0, 2.0]))
+        assert np.array_equal(out, [0.0, 0.0, 2.0])
+
+    def test_backward_masks(self):
+        layer = ReLU()
+        layer.forward(np.array([-1.0, 1.0]))
+        grad = layer.backward(np.array([5.0, 5.0]))
+        assert np.array_equal(grad, [0.0, 5.0])
+
+
+class TestAvgPool:
+    def test_forward_averages(self):
+        layer = AvgPool2D(2)
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = layer.forward(x)
+        assert out.shape == (1, 1, 2, 2)
+        assert out[0, 0, 0, 0] == pytest.approx((0 + 1 + 4 + 5) / 4)
+
+    def test_backward_distributes(self):
+        layer = AvgPool2D(2)
+        layer.forward(np.zeros((1, 1, 4, 4)))
+        grad = layer.backward(np.ones((1, 1, 2, 2)))
+        assert np.all(grad == 0.25)
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(PlanError):
+            AvgPool2D(2).forward(np.zeros((1, 1, 5, 4)))
+
+    def test_numeric_gradient(self, rng):
+        layer = AvgPool2D(2)
+        x = rng.standard_normal((1, 1, 4, 4))
+        g = rng.standard_normal((1, 1, 2, 2))
+        layer.forward(x)
+        grad = layer.backward(g)
+        numeric = _numeric_grad(lambda: float(np.sum(layer.forward(x) * g)), x)
+        assert np.allclose(grad, numeric, atol=1e-6)
+
+
+class TestDense:
+    def test_forward(self, rng):
+        layer = Dense(3, 2, rng=rng)
+        out = layer.forward(rng.standard_normal((4, 3)))
+        assert out.shape == (4, 2)
+
+    def test_gradients_numeric(self, rng):
+        layer = Dense(3, 2, rng=rng)
+        x = rng.standard_normal((4, 3))
+        g = rng.standard_normal((4, 2))
+        layer.forward(x)
+        grad_x = layer.backward(g)
+        grads = layer.gradients()
+        numeric_w = _numeric_grad(lambda: float(np.sum(layer.forward(x) * g)), layer.w)
+        assert np.allclose(grads["w"], numeric_w, atol=1e-5)
+        numeric_x = _numeric_grad(lambda: float(np.sum(layer.forward(x) * g)), x)
+        assert np.allclose(grad_x, numeric_x, atol=1e-5)
+
+
+class TestFlatten:
+    def test_roundtrip(self, rng):
+        layer = Flatten()
+        x = rng.standard_normal((2, 3, 4, 5))
+        out = layer.forward(x)
+        assert out.shape == (2, 60)
+        assert layer.backward(out).shape == x.shape
+
+
+class TestSoftmaxCrossEntropy:
+    def test_loss_of_perfect_prediction_near_zero(self):
+        head = SoftmaxCrossEntropy()
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        loss = head.forward(logits, np.array([0, 1]))
+        assert loss < 1e-6
+
+    def test_uniform_loss_is_log_k(self):
+        head = SoftmaxCrossEntropy()
+        loss = head.forward(np.zeros((3, 4)), np.array([0, 1, 2]))
+        assert loss == pytest.approx(np.log(4))
+
+    def test_gradient_numeric(self, rng):
+        head = SoftmaxCrossEntropy()
+        logits = rng.standard_normal((3, 4))
+        labels = np.array([1, 0, 3])
+        head.forward(logits, labels)
+        grad = head.backward()
+        numeric = _numeric_grad(lambda: head.forward(logits, labels), logits)
+        assert np.allclose(grad, numeric, atol=1e-6)

@@ -1,0 +1,104 @@
+"""LRN and Dropout layers (the AlexNet-era additions)."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import PlanError
+from repro.core.layers import Dropout, LocalResponseNorm
+
+
+def _numeric_grad(f, x, eps=1e-6):
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        plus = f()
+        x[idx] = orig - eps
+        minus = f()
+        x[idx] = orig
+        grad[idx] = (plus - minus) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+class TestLRN:
+    def test_shape_preserved(self, rng):
+        layer = LocalResponseNorm()
+        x = rng.standard_normal((2, 8, 3, 3))
+        assert layer.forward(x).shape == x.shape
+
+    def test_normalizes_toward_smaller_magnitudes(self, rng):
+        layer = LocalResponseNorm(n=3, k=1.0, alpha=1.0, beta=0.75)
+        x = np.full((1, 3, 1, 1), 2.0)
+        out = layer.forward(x)
+        assert np.all(np.abs(out) < np.abs(x))
+
+    def test_single_channel_window(self):
+        layer = LocalResponseNorm(n=1, k=2.0, alpha=1e-4, beta=0.75)
+        x = np.ones((1, 1, 2, 2))
+        out = layer.forward(x)
+        expected = 1.0 / (2.0 + 1e-4) ** 0.75
+        assert np.allclose(out, expected)
+
+    def test_gradient_numeric(self, rng):
+        layer = LocalResponseNorm(n=3, k=2.0, alpha=0.1, beta=0.75)
+        x = rng.standard_normal((1, 4, 2, 2))
+        g = rng.standard_normal((1, 4, 2, 2))
+        layer.forward(x)
+        grad = layer.backward(g)
+        numeric = _numeric_grad(lambda: float(np.sum(layer.forward(x) * g)), x)
+        assert np.allclose(grad, numeric, atol=1e-6)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            LocalResponseNorm(n=4)
+        with pytest.raises(ValueError):
+            LocalResponseNorm(k=0.0)
+        with pytest.raises(PlanError):
+            LocalResponseNorm().forward(rng.standard_normal((3, 3)))
+
+    def test_backward_before_forward(self):
+        with pytest.raises(PlanError):
+            LocalResponseNorm().backward(np.zeros((1, 1, 1, 1)))
+
+
+class TestDropout:
+    def test_eval_mode_identity(self, rng):
+        layer = Dropout(0.5)
+        layer.training = False
+        x = rng.standard_normal((4, 4))
+        assert np.array_equal(layer.forward(x), x)
+
+    def test_train_mode_zeroes_and_scales(self):
+        layer = Dropout(0.5, rng=np.random.default_rng(0))
+        x = np.ones((1000,))
+        out = layer.forward(x)
+        kept = out[out != 0]
+        assert np.allclose(kept, 2.0)  # inverted scaling 1/(1-rate)
+        assert 0.3 < (out == 0).mean() < 0.7
+
+    def test_expectation_preserved(self):
+        layer = Dropout(0.3, rng=np.random.default_rng(1))
+        x = np.ones((20000,))
+        out = layer.forward(x)
+        assert out.mean() == pytest.approx(1.0, abs=0.02)
+
+    def test_backward_uses_same_mask(self):
+        layer = Dropout(0.5, rng=np.random.default_rng(2))
+        x = np.ones((100,))
+        out = layer.forward(x)
+        grad = layer.backward(np.ones((100,)))
+        assert np.array_equal(grad == 0, out == 0)
+
+    def test_zero_rate(self, rng):
+        layer = Dropout(0.0)
+        x = rng.standard_normal((8,))
+        assert np.array_equal(layer.forward(x), x)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+        with pytest.raises(PlanError):
+            Dropout(0.5).backward(np.zeros(3))

@@ -1,0 +1,107 @@
+"""Vectorization-oriented layouts: pack/unpack round-trips and block sizes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import PlanError
+from repro.core.layout import (
+    batch_plan_block_bytes,
+    filter_block_bytes,
+    image_plan_block_bytes,
+    pack_filters,
+    pack_images_batch_plan,
+    pack_images_image_plan,
+    unpack_filters,
+    unpack_images_batch_plan,
+    unpack_images_image_plan,
+)
+
+
+def _images(rng, b=8, n=3, r=4, c=5):
+    return rng.standard_normal((b, n, r, c))
+
+
+class TestImagePlanLayout:
+    def test_shape(self, rng):
+        packed = pack_images_image_plan(_images(rng))
+        assert packed.shape == (4, 5, 4, 3, 2)
+
+    def test_roundtrip(self, rng):
+        x = _images(rng)
+        assert np.array_equal(unpack_images_image_plan(pack_images_image_plan(x)), x)
+
+    def test_vector_holds_consecutive_batch(self, rng):
+        x = _images(rng)
+        packed = pack_images_image_plan(x)
+        # lane v, quad q -> batch q*4+v of pixel (n=0, r=0, c=0)
+        for q in range(2):
+            for v in range(4):
+                assert packed[v, 0, 0, 0, q] == x[q * 4 + v, 0, 0, 0]
+
+    def test_contiguous_along_columns(self, rng):
+        packed = pack_images_image_plan(_images(rng))
+        # C is the second axis: stride between columns at fixed lane is the
+        # product of the trailing dims (r*n*q doubles).
+        assert packed.strides[1] == packed.strides[2] * packed.shape[2]
+
+    def test_batch_not_divisible_rejected(self, rng):
+        with pytest.raises(PlanError):
+            pack_images_image_plan(rng.standard_normal((6, 2, 3, 3)))
+
+    def test_unpack_wrong_lanes_rejected(self, rng):
+        with pytest.raises(PlanError):
+            unpack_images_image_plan(rng.standard_normal((3, 5, 4, 3, 2)))
+
+
+class TestBatchPlanLayout:
+    def test_shape(self, rng):
+        packed = pack_images_batch_plan(_images(rng))
+        assert packed.shape == (4, 2, 5, 4, 3)
+
+    def test_roundtrip(self, rng):
+        x = _images(rng)
+        assert np.array_equal(unpack_images_batch_plan(pack_images_batch_plan(x)), x)
+
+    @given(
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, quads, n, r, c):
+        rng = np.random.default_rng(quads * 64 + n * 16 + r * 4 + c)
+        x = rng.standard_normal((quads * 4, n, r, c))
+        assert np.array_equal(unpack_images_batch_plan(pack_images_batch_plan(x)), x)
+        assert np.array_equal(unpack_images_image_plan(pack_images_image_plan(x)), x)
+
+
+class TestFilterLayout:
+    def test_shape(self, rng):
+        w = rng.standard_normal((6, 3, 2, 5))  # (No, Ni, Kr, Kc)
+        assert pack_filters(w).shape == (5, 2, 3, 6)
+
+    def test_roundtrip(self, rng):
+        w = rng.standard_normal((6, 3, 2, 5))
+        assert np.array_equal(unpack_filters(pack_filters(w)), w)
+
+    def test_output_channel_contiguous(self, rng):
+        packed = pack_filters(rng.standard_normal((6, 3, 2, 5)))
+        assert packed.strides[-1] == packed.itemsize
+
+
+class TestBlockSizes:
+    def test_image_plan_block(self):
+        assert image_plan_block_bytes(16) == 16 * 4 * 8
+
+    def test_batch_plan_block(self):
+        assert batch_plan_block_bytes(128) == 1024
+
+    def test_filter_block(self):
+        assert filter_block_bytes(256) == 2048
+
+    def test_validation(self):
+        for fn in (image_plan_block_bytes, batch_plan_block_bytes, filter_block_bytes):
+            with pytest.raises(PlanError):
+                fn(0)

@@ -1,0 +1,101 @@
+"""Sequential network and SGD training."""
+
+import numpy as np
+import pytest
+
+from repro.core.layers import Conv2D, Dense, Flatten, ReLU
+from repro.core.network import (
+    SGD,
+    Sequential,
+    synthetic_image_dataset,
+    train_classifier,
+)
+
+
+def _tiny_net(rng):
+    return Sequential(
+        [
+            Conv2D(ni=2, no=4, kr=3, kc=3, rng=rng),
+            ReLU(),
+            Flatten(),
+            Dense(4 * 4 * 4, 3, rng=rng),
+        ]
+    )
+
+
+class TestSequential:
+    def test_forward_shape(self, rng):
+        net = _tiny_net(rng)
+        out = net.forward(rng.standard_normal((5, 2, 6, 6)))
+        assert out.shape == (5, 3)
+
+    def test_backward_propagates(self, rng):
+        net = _tiny_net(rng)
+        net.forward(rng.standard_normal((5, 2, 6, 6)))
+        grad = net.backward(rng.standard_normal((5, 3)))
+        assert grad.shape == (5, 2, 6, 6)
+
+    def test_parameter_layers(self, rng):
+        net = _tiny_net(rng)
+        assert len(net.parameter_layers()) == 2
+
+
+class TestSGD:
+    def test_step_moves_parameters(self, rng):
+        net = _tiny_net(rng)
+        x = rng.standard_normal((4, 2, 6, 6))
+        net.forward(x)
+        net.backward(np.ones((4, 3)))
+        conv = net.layers[0]
+        before = conv.w.copy()
+        SGD(net, lr=0.1).step()
+        assert not np.allclose(conv.w, before)
+
+    def test_momentum_accumulates(self, rng):
+        net = _tiny_net(rng)
+        x = rng.standard_normal((4, 2, 6, 6))
+        opt = SGD(net, lr=0.1, momentum=0.9)
+        net.forward(x)
+        net.backward(np.ones((4, 3)))
+        opt.step()
+        first = net.layers[0].w.copy()
+        net.forward(x)
+        net.backward(np.zeros((4, 3)))  # zero gradient, momentum carries on
+        opt.step()
+        assert not np.allclose(net.layers[0].w, first)
+
+    def test_hyperparameters_validated(self, rng):
+        net = _tiny_net(rng)
+        with pytest.raises(ValueError):
+            SGD(net, lr=0.0)
+        with pytest.raises(ValueError):
+            SGD(net, momentum=1.0)
+
+
+class TestTraining:
+    def test_loss_decreases_on_synthetic_task(self):
+        rng = np.random.default_rng(3)
+        x, labels = synthetic_image_dataset(64, 2, 6, 6, 3, rng=rng)
+        net = _tiny_net(rng)
+        result = train_classifier(
+            net, x, labels, epochs=6, batch_size=16, lr=0.02, momentum=0.9, rng=rng
+        )
+        assert result.losses[-1] < result.losses[0]
+        assert result.final_accuracy > 0.5
+
+    def test_label_length_validated(self, rng):
+        net = _tiny_net(rng)
+        with pytest.raises(ValueError):
+            train_classifier(net, np.zeros((4, 2, 6, 6)), np.zeros(3, dtype=int))
+
+    def test_dataset_shapes(self, rng):
+        x, labels = synthetic_image_dataset(10, 2, 5, 5, 4, rng=rng)
+        assert x.shape == (10, 2, 5, 5)
+        assert labels.shape == (10,)
+        assert labels.max() < 4
+
+    def test_dataset_deterministic(self):
+        a = synthetic_image_dataset(5, 1, 3, 3, 2, rng=np.random.default_rng(1))
+        b = synthetic_image_dataset(5, 1, 3, 3, 2, rng=np.random.default_rng(1))
+        assert np.array_equal(a[0], b[0])
+        assert np.array_equal(a[1], b[1])

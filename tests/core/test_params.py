@@ -1,0 +1,90 @@
+"""Convolution parameters (Table I)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.params import ConvParams
+
+
+class TestDerivedSizes:
+    def test_output_size(self):
+        p = ConvParams(ni=3, no=5, ri=10, ci=12, kr=3, kc=4, b=2)
+        assert p.ro == 8
+        assert p.co == 9
+
+    def test_shapes(self):
+        p = ConvParams(ni=3, no=5, ri=10, ci=12, kr=3, kc=4, b=2)
+        assert p.input_shape == (2, 3, 10, 12)
+        assert p.filter_shape == (5, 3, 3, 4)
+        assert p.output_shape == (2, 5, 8, 9)
+
+    def test_flops(self):
+        p = ConvParams(ni=2, no=3, ri=4, ci=4, kr=3, kc=3, b=5)
+        # 2 * B*No*Ro*Co*Ni*Kr*Kc = 2*5*3*2*2*2*3*3
+        assert p.flops() == 2 * 5 * 3 * 2 * 2 * 2 * 3 * 3
+
+    def test_bytes(self):
+        p = ConvParams(ni=2, no=3, ri=4, ci=4, kr=3, kc=3, b=5)
+        assert p.input_bytes() == 5 * 2 * 4 * 4 * 8
+        assert p.filter_bytes() == 3 * 2 * 3 * 3 * 8
+        assert p.output_bytes() == 5 * 3 * 2 * 2 * 8
+        assert p.total_bytes() == (
+            p.input_bytes() + p.filter_bytes() + p.output_bytes()
+        )
+
+    def test_arithmetic_intensity_positive(self):
+        p = ConvParams(ni=16, no=16, ri=8, ci=8, kr=3, kc=3, b=8)
+        assert p.arithmetic_intensity() > 0
+
+
+class TestValidation:
+    def test_positive_required(self):
+        with pytest.raises(ValueError):
+            ConvParams(ni=0, no=1, ri=4, ci=4, kr=1, kc=1, b=1)
+
+    def test_filter_larger_than_image_rejected(self):
+        with pytest.raises(ValueError):
+            ConvParams(ni=1, no=1, ri=2, ci=2, kr=3, kc=3, b=1)
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(ValueError):
+            ConvParams(ni=1.5, no=1, ri=4, ci=4, kr=1, kc=1, b=1)
+
+
+class TestConstructors:
+    def test_from_output(self):
+        p = ConvParams.from_output(ni=64, no=64, ro=64, co=64, kr=3, kc=3, b=128)
+        assert p.ri == 66
+        assert p.ro == 64
+
+    def test_with_rows(self):
+        p = ConvParams.from_output(ni=8, no=8, ro=16, co=16, kr=3, kc=3, b=8)
+        strip = p.with_rows(4)
+        assert strip.ro == 4
+        assert strip.co == p.co
+        assert strip.ri == 4 + p.kr - 1
+
+    def test_with_rows_validated(self):
+        p = ConvParams.from_output(ni=8, no=8, ro=16, co=16, kr=3, kc=3, b=8)
+        with pytest.raises(Exception):
+            p.with_rows(17)
+
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_strip_flops_sum_to_total(self, rows_a, rows_b, k):
+        total_rows = rows_a + rows_b
+        p = ConvParams.from_output(
+            ni=8, no=8, ro=total_rows, co=8, kr=k, kc=k, b=4
+        )
+        assert (
+            p.with_rows(rows_a).flops() + p.with_rows(rows_b).flops() == p.flops()
+        )
+
+    def test_describe_mentions_sizes(self):
+        p = ConvParams(ni=3, no=5, ri=10, ci=12, kr=3, kc=4, b=2)
+        text = p.describe()
+        assert "Ni=3" in text and "No=5" in text

@@ -1,0 +1,91 @@
+"""Register blocking: feasibility against the 32-register file, Eq. 4/5."""
+
+import pytest
+
+from repro.common.errors import RegisterPressureError
+from repro.common.units import GB
+from repro.core.register_blocking import (
+    PAPER_REGISTER_BLOCKING,
+    DirectConvRegisterBlocking,
+    RegisterBlocking,
+    choose_register_blocking,
+    enumerate_gemm_blockings,
+)
+from repro.hw.spec import DEFAULT_SPEC
+
+
+class TestPaperBlocking:
+    def test_is_16_by_4(self):
+        assert PAPER_REGISTER_BLOCKING.rb_b == 16
+        assert PAPER_REGISTER_BLOCKING.rb_no == 4
+
+    def test_register_budget(self):
+        # 4 input vectors + 4 filter vectors + 16 accumulators + reserve.
+        blk = PAPER_REGISTER_BLOCKING
+        assert blk.input_vectors == 4
+        assert blk.accumulators == 16
+        assert blk.registers_needed <= 32
+
+    def test_eq5_value(self):
+        assert PAPER_REGISTER_BLOCKING.rbw_simd() / GB == pytest.approx(23.2)
+
+    def test_fits_ldm_bandwidth(self):
+        assert PAPER_REGISTER_BLOCKING.rbw_simd() < DEFAULT_SPEC.ldm_bandwidth
+
+    def test_fma_per_inner_step_is_16(self):
+        assert PAPER_REGISTER_BLOCKING.fma_per_inner_step() == 16
+
+
+class TestFeasibility:
+    def test_oversized_block_infeasible(self):
+        big = RegisterBlocking(rb_b=64, rb_no=8)  # 16+8+128 registers
+        assert not big.is_feasible()
+        with pytest.raises(RegisterPressureError):
+            big.check_feasible()
+
+    def test_rb_b_must_be_vector_multiple(self):
+        with pytest.raises(ValueError):
+            RegisterBlocking(rb_b=10, rb_no=4)
+
+    def test_enumeration_only_feasible(self):
+        for blocking in enumerate_gemm_blockings():
+            assert blocking.registers_needed <= 32
+
+
+class TestChooser:
+    def test_chooses_paper_setting(self):
+        best = choose_register_blocking()
+        assert (best.rb_b, best.rb_no) == (16, 4)
+
+    def test_non_simd_choice_differs_or_matches_but_is_feasible(self):
+        best = choose_register_blocking(simd=False)
+        assert best.is_feasible()
+
+    def test_chosen_minimizes_rbw(self):
+        best = choose_register_blocking()
+        for other in enumerate_gemm_blockings():
+            assert best.rbw_simd() <= other.rbw_simd() + 1e-6
+
+
+class TestDirectConvBlocking:
+    def test_eq3_depends_on_network_filter(self):
+        a = DirectConvRegisterBlocking(rb_ri=6, rb_ci=6, rb_kr=3, rb_kc=3)
+        b = DirectConvRegisterBlocking(rb_ri=6, rb_ci=6, rb_kr=5, rb_kc=5)
+        assert a.rbw() != b.rbw()
+
+    def test_output_block_derived(self):
+        blk = DirectConvRegisterBlocking(rb_ri=6, rb_ci=6, rb_kr=3, rb_kc=3)
+        assert blk.rb_ro == 4
+        assert blk.rb_co == 4
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            DirectConvRegisterBlocking(rb_ri=2, rb_ci=2, rb_kr=3, rb_kc=3)
+
+    def test_rbw_pinned_by_network_filter(self):
+        """The paper's reason to reject the direct plan: Eq. 3's RBW cannot
+        be tuned freely — it is pinned by the network's Kr/Kc, so a feasible
+        small spatial block stays above the GEMM plan's Eq. 5 value."""
+        direct = DirectConvRegisterBlocking(rb_ri=4, rb_ci=4, rb_kr=3, rb_kc=3)
+        assert direct.is_feasible()
+        assert PAPER_REGISTER_BLOCKING.rbw_simd() < direct.rbw()

@@ -1,0 +1,94 @@
+"""The register-communication mesh GEMM (Fig. 3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import PlanError
+from repro.core.register_comm import MeshGemm, join_grid, split_grid
+from repro.hw.spec import DEFAULT_SPEC
+
+
+class TestGridSplit:
+    def test_roundtrip(self, rng):
+        m = rng.standard_normal((8, 12))
+        assert np.array_equal(join_grid(split_grid(m, 4)), m)
+
+    def test_indivisible_rejected(self, rng):
+        with pytest.raises(PlanError):
+            split_grid(rng.standard_normal((7, 8)), 4)
+
+    def test_block_contents(self):
+        m = np.arange(16.0).reshape(4, 4)
+        blocks = split_grid(m, 2)
+        assert np.array_equal(blocks[0][1], [[2.0, 3.0], [6.0, 7.0]])
+
+
+class TestMeshGemm:
+    def test_matches_matmul_4x4(self, rng):
+        gemm = MeshGemm(spec=DEFAULT_SPEC.shrunk(4))
+        w = rng.standard_normal((8, 12))
+        d = rng.standard_normal((12, 16))
+        assert np.allclose(gemm.multiply(w, d), w @ d)
+
+    def test_matches_matmul_8x8(self, rng):
+        gemm = MeshGemm(spec=DEFAULT_SPEC.shrunk(8))
+        w = rng.standard_normal((16, 24))
+        d = rng.standard_normal((24, 8))
+        assert np.allclose(gemm.multiply(w, d), w @ d)
+
+    def test_buffers_drained(self, rng):
+        gemm = MeshGemm(spec=DEFAULT_SPEC.shrunk(4))
+        gemm.multiply(rng.standard_normal((4, 4)), rng.standard_normal((4, 4)))
+        gemm.mesh.assert_drained()
+
+    def test_bus_traffic_accounted(self, rng):
+        gemm = MeshGemm(spec=DEFAULT_SPEC.shrunk(4))
+        gemm.multiply(rng.standard_normal((8, 8)), rng.standard_normal((8, 8)))
+        # Per step: each of 4 W blocks (2x2 doubles = 32B) broadcast on a
+        # row bus and 4 D blocks on a column bus; 4 steps.
+        assert gemm.bus_bytes() == 4 * (4 * 32 + 4 * 32)
+
+    def test_flops_accounted_on_cpes(self, rng):
+        gemm = MeshGemm(spec=DEFAULT_SPEC.shrunk(4))
+        w = rng.standard_normal((8, 8))
+        d = rng.standard_normal((8, 8))
+        gemm.multiply(w, d)
+        total = sum(cpe.stats.flops for cpe in gemm.mesh)
+        assert total == 2 * 8 * 8 * 8
+
+    def test_mismatched_inner_dims_rejected(self, rng):
+        gemm = MeshGemm(spec=DEFAULT_SPEC.shrunk(4))
+        with pytest.raises(PlanError):
+            gemm.multiply(rng.standard_normal((4, 4)), rng.standard_normal((8, 4)))
+
+    def test_indivisible_dims_rejected(self, rng):
+        gemm = MeshGemm(spec=DEFAULT_SPEC.shrunk(4))
+        with pytest.raises(PlanError):
+            gemm.multiply(rng.standard_normal((6, 4)), rng.standard_normal((4, 4)))
+
+    def test_non_2d_rejected(self, rng):
+        gemm = MeshGemm(spec=DEFAULT_SPEC.shrunk(4))
+        with pytest.raises(PlanError):
+            gemm.multiply(rng.standard_normal((4, 4, 4)), rng.standard_normal((4, 4)))
+
+    @given(
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=0, max_value=99),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_matches_matmul_property(self, a, b, c, seed):
+        rng = np.random.default_rng(seed)
+        gemm = MeshGemm(spec=DEFAULT_SPEC.shrunk(4))
+        w = rng.standard_normal((4 * a, 4 * b))
+        d = rng.standard_normal((4 * b, 4 * c))
+        assert np.allclose(gemm.multiply(w, d), w @ d)
+
+    def test_reuse_of_gemm_object(self, rng):
+        gemm = MeshGemm(spec=DEFAULT_SPEC.shrunk(4))
+        for _ in range(3):
+            w = rng.standard_normal((4, 4))
+            d = rng.standard_normal((4, 4))
+            assert np.allclose(gemm.multiply(w, d), w @ d)

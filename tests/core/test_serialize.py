@@ -1,0 +1,104 @@
+"""Plan/params serialization round-trips."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import PlanError
+from repro.core.ldm_blocking import BatchBlocking, ImageBlocking
+from repro.core.params import ConvParams
+from repro.core.plans import BatchSizeAwarePlan, ImageSizeAwarePlan
+from repro.core.serialize import (
+    blocking_from_dict,
+    blocking_to_dict,
+    params_from_dict,
+    params_to_dict,
+    plan_from_json,
+    plan_to_json,
+)
+
+
+class TestParams:
+    def test_roundtrip(self, small_params):
+        assert params_from_dict(params_to_dict(small_params)) == small_params
+
+    def test_missing_field(self):
+        with pytest.raises(PlanError):
+            params_from_dict({"ni": 1})
+
+    @given(
+        st.integers(min_value=1, max_value=64),
+        st.integers(min_value=1, max_value=64),
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=0, max_value=10),
+        st.integers(min_value=1, max_value=32),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_property(self, ni, no, k, extra, b):
+        params = ConvParams(ni=ni, no=no, ri=k + extra, ci=k + extra, kr=k, kc=k, b=b)
+        assert params_from_dict(params_to_dict(params)) == params
+
+
+class TestBlocking:
+    def test_image_roundtrip(self):
+        blocking = ImageBlocking(b_b=32, b_co=16, promote_filter=True, b_ni=64)
+        assert blocking_from_dict(blocking_to_dict(blocking)) == blocking
+
+    def test_batch_roundtrip(self):
+        blocking = BatchBlocking(b_co=8, promote_filter=False, b_ni=None)
+        assert blocking_from_dict(blocking_to_dict(blocking)) == blocking
+
+    def test_unknown_kind(self):
+        with pytest.raises(PlanError):
+            blocking_from_dict({"kind": "spiral"})
+
+
+class TestPlan:
+    def test_image_plan_roundtrip(self, small_params):
+        plan = ImageSizeAwarePlan(
+            small_params, blocking=ImageBlocking(b_b=8, b_co=4)
+        )
+        rebuilt = plan_from_json(plan_to_json(plan))
+        assert isinstance(rebuilt, ImageSizeAwarePlan)
+        assert rebuilt.params == plan.params
+        assert rebuilt.blocking == plan.blocking
+
+    def test_batch_plan_roundtrip(self, small_params):
+        plan = BatchSizeAwarePlan(small_params)
+        rebuilt = plan_from_json(plan_to_json(plan))
+        assert isinstance(rebuilt, BatchSizeAwarePlan)
+        assert rebuilt.blocking == plan.blocking
+
+    def test_rebuilt_plan_executes_identically(self, rng, small_params):
+        from repro.core.conv import ConvolutionEngine
+
+        plan = BatchSizeAwarePlan(small_params)
+        rebuilt = plan_from_json(plan_to_json(plan))
+        x = rng.standard_normal(small_params.input_shape)
+        w = rng.standard_normal(small_params.filter_shape)
+        out_a, rep_a = ConvolutionEngine(plan).run(x, w)
+        out_b, rep_b = ConvolutionEngine(rebuilt).run(x, w)
+        assert np.array_equal(out_a, out_b)
+        assert rep_a.seconds == pytest.approx(rep_b.seconds)
+
+    def test_version_checked(self, small_params):
+        plan = BatchSizeAwarePlan(small_params)
+        import json
+
+        data = json.loads(plan_to_json(plan))
+        data["format_version"] = 99
+        with pytest.raises(PlanError):
+            plan_from_json(json.dumps(data))
+
+    def test_family_blocking_mismatch(self, small_params):
+        import json
+
+        plan = BatchSizeAwarePlan(small_params)
+        data = json.loads(plan_to_json(plan))
+        data["family"] = "image-size-aware"  # but batch blocking
+        with pytest.raises(PlanError):
+            plan_from_json(json.dumps(data))
+
+    def test_malformed_json(self):
+        with pytest.raises(PlanError):
+            plan_from_json("{not json")

@@ -1,0 +1,64 @@
+"""The user-facing sweep utility."""
+
+import pytest
+
+from repro.common.errors import PlanError
+from repro.core.sweeps import SweepGrid, render_sweep, run_sweep, sweep_to_csv
+
+
+@pytest.fixture(scope="module")
+def small_sweep():
+    grid = SweepGrid(ni=(32, 64), no=(32,), out=(16,), k=(3,), b=(32,))
+    return run_sweep(grid)
+
+
+class TestGrid:
+    def test_cartesian_size(self):
+        grid = SweepGrid(ni=(1, 2), no=(3,), out=(4, 5, 6), k=(3,), b=(8,))
+        assert len(grid) == 6
+        assert len(list(grid.configurations())) == 6
+
+    def test_validation(self):
+        with pytest.raises(PlanError):
+            SweepGrid(ni=())
+        with pytest.raises(PlanError):
+            SweepGrid(b=(0,))
+
+
+class TestRunSweep:
+    def test_rows_per_configuration(self, small_sweep):
+        assert len(small_sweep) == 2
+        for row in small_sweep:
+            assert row.ok
+            assert row.plan in ("image-size-aware", "batch-size-aware")
+            assert row.measured_gflops > 0
+            assert row.chip_tflops > 0
+
+    def test_infeasible_reported_not_raised(self):
+        # No is never blocked, so a huge output-channel count overflows the
+        # per-CPE filter tile for both plan families.
+        grid = SweepGrid(ni=(64,), no=(200_000,), out=(8,), k=(3,), b=(32,))
+        rows = run_sweep(grid, chip=False)
+        assert len(rows) == 1
+        assert not rows[0].ok
+        assert "blocking" in rows[0].error or "LDM" in rows[0].error
+
+    def test_chip_flag(self):
+        grid = SweepGrid(ni=(32,), no=(32,), out=(8,), k=(3,), b=(16,))
+        no_chip = run_sweep(grid, chip=False)[0]
+        assert no_chip.chip_tflops == pytest.approx(
+            4 * no_chip.measured_gflops / 1e3
+        )
+
+
+class TestRendering:
+    def test_table(self, small_sweep):
+        text = render_sweep(small_sweep)
+        assert "plan" in text
+        assert "batch-size-aware" in text or "image-size-aware" in text
+
+    def test_csv(self, small_sweep):
+        csv_text = sweep_to_csv(small_sweep)
+        lines = csv_text.strip().splitlines()
+        assert lines[0].startswith("ni,no,out")
+        assert len(lines) == 1 + len(small_sweep)

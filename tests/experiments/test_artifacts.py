@@ -1,0 +1,61 @@
+"""Artifact saving: text + JSON records per experiment."""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments.artifacts import save_experiments, to_jsonable
+
+
+class TestToJsonable:
+    def test_dataclass_with_properties(self):
+        from repro.experiments.fig6_pipeline import run
+
+        rows = run([64])
+        record = to_jsonable(rows)[0]
+        assert record["ni"] == 64
+        assert record["original_cycles"] == 208
+
+    def test_nested_structures(self):
+        assert to_jsonable({"a": [1, 2.5, None, "x"]}) == {"a": [1, 2.5, None, "x"]}
+
+    def test_numpy_scalar(self):
+        import numpy as np
+
+        assert to_jsonable(np.float64(1.5)) == 1.5
+
+
+class TestSaveExperiments:
+    def test_writes_text_and_json(self, tmp_path):
+        written = save_experiments(str(tmp_path), ["fig2"])
+        assert sorted(os.path.basename(p) for p in written) == [
+            "fig2.json",
+            "fig2.txt",
+        ]
+        text = (tmp_path / "fig2.txt").read_text()
+        assert "742.4" in text
+        payload = json.loads((tmp_path / "fig2.json").read_text())
+        assert payload["experiment"] == "fig2"
+        assert payload["result"]["peak_gflops_cg"] == pytest.approx(742.4)
+        assert "repro_version" in payload
+
+    def test_table_experiment_rows(self, tmp_path):
+        save_experiments(str(tmp_path), ["table2"])
+        payload = json.loads((tmp_path / "table2.json").read_text())
+        rows = payload["result"]
+        assert len(rows) == 12
+        assert rows[0]["size_bytes"] == 32
+        assert rows[0]["get_gbps"] == pytest.approx(4.31, abs=0.01)
+
+    def test_unknown_name_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_experiments(str(tmp_path), ["fig99"])
+
+    def test_cli_save(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["--save", str(tmp_path), "fig6"]) == 0
+        out = capsys.readouterr().out
+        assert "fig6.json" in out
+        assert (tmp_path / "fig6.txt").exists()

@@ -1,0 +1,57 @@
+"""The Fig. 8 configuration scripts."""
+
+from repro.experiments.configs import (
+    BATCH,
+    OUTPUT_SIZE,
+    fig7_configs,
+    fig8_center,
+    fig8_left,
+    fig8_right,
+)
+
+
+class TestCounts:
+    """The paper: configs 1-21 from the left script, 22-101 from the
+    center script, 30 for Fig. 9."""
+
+    def test_left_has_21(self):
+        assert len(fig8_left()) == 21
+
+    def test_center_has_80(self):
+        assert len(fig8_center()) == 80
+
+    def test_fig7_has_101(self):
+        assert len(fig7_configs()) == 101
+
+    def test_right_has_30(self):
+        assert len(fig8_right()) == 30
+
+
+class TestRanges:
+    def test_left_square_channels(self):
+        for p in fig8_left():
+            assert p.ni == p.no
+            assert 64 <= p.ni <= 384
+
+    def test_left_endpoints(self):
+        configs = fig8_left()
+        assert (configs[0].ni, configs[0].no) == (64, 64)
+        assert (configs[-1].ni, configs[-1].no) == (384, 384)
+
+    def test_center_channel_coverage(self):
+        nis = {p.ni for p in fig8_center()}
+        assert nis == {64, 128, 192, 256, 384}
+        nos = {p.no for p in fig8_center()}
+        assert min(nos) == 64 and max(nos) == 384
+
+    def test_right_filter_sizes(self):
+        ks = sorted({p.kr for p in fig8_right()})
+        assert ks == list(range(3, 22, 2))
+        for p in fig8_right():
+            assert p.kr == p.kc
+
+    def test_fixed_evaluation_setting(self):
+        """Caption of Figs. 7/9: B=128, output image 64x64."""
+        for p in fig7_configs() + fig8_right():
+            assert p.b == BATCH == 128
+            assert p.ro == p.co == OUTPUT_SIZE == 64

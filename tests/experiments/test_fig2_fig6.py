@@ -1,0 +1,50 @@
+"""Fig. 2 model design points and Fig. 6 pipeline reordering."""
+
+import pytest
+
+from repro.experiments import fig2_model, fig6_pipeline
+
+
+class TestFig2:
+    def test_paper_pins(self):
+        r = fig2_model.run()
+        assert r.peak_gflops_cg == pytest.approx(742.4)
+        assert r.rbw_direct_gbps == pytest.approx(139.20)
+        assert r.gload_gbps == pytest.approx(8.0)
+        assert r.direct_fraction == pytest.approx(0.0033, abs=2e-4)
+        assert r.ldm_reg_bandwidth_gbps == pytest.approx(46.4)
+        assert r.eq5_rbw_gbps == pytest.approx(23.2)
+
+    def test_hierarchy_orders_of_magnitude_better(self):
+        r = fig2_model.run()
+        assert r.hierarchical_gflops > 100 * r.direct_gflops
+
+    def test_render(self):
+        text = fig2_model.render()
+        assert "742.4" in text
+        assert "0.32%" in text  # paper reference value is quoted
+
+
+class TestFig6:
+    def test_rows(self):
+        rows = fig6_pipeline.run([64, 128])
+        assert len(rows) == 2
+
+    def test_original_always_26_per_iteration(self):
+        for row in fig6_pipeline.run([64, 256]):
+            assert row.original_cycles_per_iter == pytest.approx(26.0)
+            assert row.original_ee == pytest.approx(16 / 26)
+
+    def test_reordered_matches_paper_formula(self):
+        for row in fig6_pipeline.run([32, 128, 384]):
+            assert row.reordered_ee == pytest.approx(row.paper_ee, abs=1e-9)
+            k = row.iterations
+            assert row.reordered_cycles == 5 + 17 * (k - 1) + 16
+
+    def test_speedup_approaches_26_over_17(self):
+        row = fig6_pipeline.run([384])[0]
+        assert row.speedup == pytest.approx(26 / 17, rel=0.02)
+
+    def test_render(self):
+        text = fig6_pipeline.render(fig6_pipeline.run([64]))
+        assert "61.5%" in text or "0.615" in text

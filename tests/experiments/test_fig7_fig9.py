@@ -1,0 +1,61 @@
+"""Fig. 7 and Fig. 9 sweeps (reduced configuration sets for test speed;
+the benchmarks run the full 101/30)."""
+
+import pytest
+
+from repro.experiments import fig7, fig9
+from repro.experiments.configs import fig8_left, fig8_right
+
+
+@pytest.fixture(scope="module")
+def fig7_sample():
+    return fig7.run(configs=fig8_left()[::4])
+
+
+@pytest.fixture(scope="module")
+def fig9_sample():
+    return fig9.run(configs=fig8_right()[::4])
+
+
+class TestFig7:
+    def test_rows_have_both_series(self, fig7_sample):
+        for row in fig7_sample.rows:
+            assert row.swdnn_tflops > 0
+            assert row.k40m_tflops > 0
+
+    def test_swdnn_always_wins(self, fig7_sample):
+        assert fig7_sample.min_speedup > 1.0
+
+    def test_speedup_band_near_paper(self, fig7_sample):
+        """Paper: 1.91x-9.75x.  Accept a modestly wider envelope."""
+        assert 1.5 < fig7_sample.min_speedup
+        assert fig7_sample.max_speedup < 15.0
+
+    def test_most_configs_above_1_6_tflops(self, fig7_sample):
+        assert fig7_sample.fraction_above_1p6 >= 0.5
+
+    def test_swdnn_more_stable_than_cudnn(self, fig7_sample):
+        assert fig7_sample.variation("swdnn") < fig7_sample.variation("k40m")
+
+    def test_render(self, fig7_sample):
+        text = fig7.render(fig7_sample)
+        assert "speedup range" in text
+        assert "1.91" in text  # the paper band is quoted for comparison
+
+
+class TestFig9:
+    def test_swdnn_holds_up_at_large_filters(self, fig9_sample):
+        by_filter = {}
+        for row in fig9_sample.rows:
+            by_filter.setdefault(row.filter_size, []).append(row.swdnn_tflops)
+        small = sum(by_filter[min(by_filter)]) / len(by_filter[min(by_filter)])
+        large = sum(by_filter[max(by_filter)]) / len(by_filter[max(by_filter)])
+        assert large > 0.7 * small
+
+    def test_speedup_grows_with_filter_size(self, fig9_sample):
+        by_filter = fig9_sample.speedup_by_filter()
+        sizes = sorted(by_filter)
+        assert by_filter[sizes[-1]] > by_filter[sizes[0]]
+
+    def test_render(self, fig9_sample):
+        assert "filter size" in fig9.render(fig9_sample)

@@ -1,0 +1,24 @@
+"""Fig. 8: the reconstructed test scripts."""
+
+from repro.experiments import fig8
+
+
+class TestFig8:
+    def test_three_scripts(self):
+        scripts = fig8.run()
+        assert len(scripts) == 3
+
+    def test_counts_match_paper(self):
+        for script in fig8.run():
+            assert script.configs == script.paper_configs
+
+    def test_render_marks_ok(self):
+        text = fig8.render()
+        assert text.count("[OK]") == 3
+        assert "MISMATCH" not in text
+        assert "conv_test" in text
+
+    def test_scripts_cover_fig7_and_fig9(self):
+        names = " ".join(s.name for s in fig8.run())
+        assert "Fig. 7" in names
+        assert "Fig. 9" in names

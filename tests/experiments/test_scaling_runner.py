@@ -1,0 +1,58 @@
+"""Multi-CG scaling experiment and the consolidated runner."""
+
+import pytest
+
+from repro.core.params import ConvParams
+from repro.experiments import scaling
+from repro.experiments.runner import ALL_EXPERIMENTS, run_all
+
+
+class TestScaling:
+    def test_four_rows(self):
+        rows = scaling.run()
+        assert [r.core_groups for r in rows] == [1, 2, 3, 4]
+
+    def test_near_linear(self):
+        """Paper: 'near linear scaling among the four CGs'."""
+        rows = scaling.run()
+        for row in rows:
+            assert row.parallel_efficiency > 0.9
+
+    def test_monotone_throughput(self):
+        rows = scaling.run()
+        tflops = [r.tflops for r in rows]
+        assert tflops == sorted(tflops)
+
+    def test_custom_params(self):
+        params = ConvParams.from_output(ni=64, no=64, ro=32, co=32, kr=3, kc=3, b=64)
+        rows = scaling.run(params)
+        assert rows[0].speedup == pytest.approx(1.0)
+
+    def test_render(self):
+        assert "near linear" in scaling.render(scaling.run())
+
+
+class TestRunner:
+    def test_experiment_registry_complete(self):
+        names = [n for n, _ in ALL_EXPERIMENTS]
+        assert names == [
+            "table2",
+            "fig2",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "table3",
+            "scaling",
+            "scorecard",
+        ]
+
+    def test_selected_subset(self):
+        report = run_all(["table2", "fig2"])
+        assert "Table II" in report
+        assert "Fig. 2" in report
+        assert "Fig. 7" not in report
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            run_all(["fig13"])

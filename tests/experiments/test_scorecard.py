@@ -1,0 +1,32 @@
+"""The reproduction scorecard."""
+
+import pytest
+
+from repro.experiments import scorecard
+
+
+@pytest.fixture(scope="module")
+def checks():
+    return scorecard.run(fast=True)
+
+
+class TestScorecard:
+    def test_all_claims_hold(self, checks):
+        failures = [c.claim for c in checks if not c.passed]
+        assert failures == [], f"claims failed: {failures}"
+
+    def test_covers_every_artifact(self, checks):
+        text = " ".join(c.claim for c in checks)
+        for anchor in ("Table II", "Table III", "Fig.7", "EE", "scaling",
+                       "gload", "Eq.5", "calibration"):
+            assert anchor in text, f"scorecard misses {anchor}"
+
+    def test_exact_pins_are_exact(self, checks):
+        by_claim = {c.claim: c for c in checks}
+        assert by_claim["per-CG peak (Gflops)"].ours == "742.4"
+        assert by_claim["original EE (%)"].ours == "61.5"
+
+    def test_render(self, checks):
+        text = scorecard.render(checks)
+        assert "PASS" in text
+        assert f"{len(checks)}/{len(checks)} claims hold" in text

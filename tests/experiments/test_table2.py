@@ -1,0 +1,29 @@
+"""Table II regeneration on the simulated DMA engine."""
+
+import pytest
+
+from repro.experiments import table2
+from repro.hw.spec import TABLE_II_DMA_BANDWIDTH
+
+
+class TestTable2:
+    def test_all_rows_present(self):
+        rows = table2.run()
+        assert [r.size_bytes for r in rows] == sorted(TABLE_II_DMA_BANDWIDTH)
+
+    def test_measured_matches_paper_exactly(self):
+        """The engine is calibrated to the paper's measurements; the
+        micro-benchmark must read them back verbatim."""
+        for row in table2.run():
+            assert row.get_gbps == pytest.approx(row.paper_get, rel=1e-6)
+            assert row.put_gbps == pytest.approx(row.paper_put, rel=1e-6)
+
+    def test_single_measurement(self):
+        get_bw, put_bw = table2.measure_dma_bandwidth(256)
+        assert get_bw == pytest.approx(22.44e9, rel=1e-6)
+        assert put_bw == pytest.approx(25.80e9, rel=1e-6)
+
+    def test_render_contains_table(self):
+        text = table2.render()
+        assert "Size(Byte)" in text
+        assert "4096" in text

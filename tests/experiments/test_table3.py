@@ -1,0 +1,46 @@
+"""Table III: model-vs-measured evaluation."""
+
+import pytest
+
+from repro.experiments import table3
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return table3.run()
+
+
+class TestTable3:
+    def test_four_rows(self, rows):
+        assert len(rows) == 4
+        assert [r.plan for r in rows] == ["img", "img", "batch", "batch"]
+
+    def test_rbw_matches_paper_exactly(self, rows):
+        for row in rows:
+            assert row.rbw_gbps == pytest.approx(row.paper_rbw, abs=0.1)
+
+    def test_mbw_within_15_percent_of_paper(self, rows):
+        for row in rows:
+            assert row.mbw_gbps == pytest.approx(row.paper_mbw, rel=0.15)
+
+    def test_measured_within_15_percent_of_paper(self, rows):
+        for row in rows:
+            assert row.measured_gflops == pytest.approx(row.paper_measured, rel=0.15)
+
+    def test_model_within_30_percent_of_paper(self, rows):
+        for row in rows:
+            assert row.model_gflops == pytest.approx(row.paper_model, rel=0.30)
+
+    def test_model_tracks_measurement(self, rows):
+        """The paper's claim: 'a reasonable match' between mdl and meas."""
+        for row in rows:
+            ratio = row.model_gflops / row.measured_gflops
+            assert 0.7 < ratio < 1.45
+
+    def test_all_rows_memory_bound(self, rows):
+        for row in rows:
+            assert row.mbw_gbps < row.rbw_gbps
+
+    def test_render(self, rows):
+        text = table3.render(rows)
+        assert "RBW" in text and "meas" in text

@@ -1,0 +1,81 @@
+"""Main memory and the gload port."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.hw.memory import GloadPort, MainMemory
+from repro.hw.spec import DEFAULT_SPEC
+
+
+class TestMainMemory:
+    def test_register_and_get(self):
+        mem = MainMemory()
+        arr = mem.register("x", np.ones((4, 4)))
+        assert mem.get("x") is arr
+        assert "x" in mem
+
+    def test_allocate_zeroed(self):
+        mem = MainMemory()
+        arr = mem.allocate("z", (8,))
+        assert np.all(arr == 0)
+
+    def test_duplicate_name_rejected(self):
+        mem = MainMemory()
+        mem.allocate("x", (4,))
+        with pytest.raises(SimulationError):
+            mem.allocate("x", (4,))
+
+    def test_capacity_enforced(self):
+        mem = MainMemory()
+        too_big = DEFAULT_SPEC.memory_bytes // 8 + 1
+        with pytest.raises(SimulationError):
+            mem.register("huge", np.empty(too_big))
+
+    def test_free_releases_bytes(self):
+        mem = MainMemory()
+        mem.allocate("x", (1024,))
+        used = mem.bytes_used
+        assert used == 1024 * 8
+        mem.free("x")
+        assert mem.bytes_used == 0
+        assert "x" not in mem
+
+    def test_free_unknown_raises(self):
+        with pytest.raises(SimulationError):
+            MainMemory().free("ghost")
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(SimulationError):
+            MainMemory().get("ghost")
+
+
+class TestGloadPort:
+    def test_gload_reads_value(self):
+        mem = MainMemory()
+        mem.register("x", np.arange(10, dtype=np.float64))
+        port = GloadPort(mem)
+        assert port.gload("x", 3) == 3.0
+
+    def test_gstore_writes_value(self):
+        mem = MainMemory()
+        mem.register("x", np.zeros(4))
+        port = GloadPort(mem)
+        port.gstore("x", 1, 7.5)
+        assert mem.get("x")[1] == 7.5
+
+    def test_time_accounting_uses_8_gbps(self):
+        mem = MainMemory()
+        mem.register("x", np.zeros(1000))
+        port = GloadPort(mem)
+        port.gload("x", slice(None))  # 8000 bytes
+        assert port.stats.busy_seconds == pytest.approx(8000 / 8e9)
+        assert port.stats.bytes_read == 8000
+
+    def test_transfer_count(self):
+        mem = MainMemory()
+        mem.register("x", np.zeros(4))
+        port = GloadPort(mem)
+        for i in range(4):
+            port.gload("x", i)
+        assert port.stats.transfers == 4

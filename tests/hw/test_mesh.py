@@ -1,0 +1,123 @@
+"""The 8x8 CPE mesh and register-communication buses."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import BusProtocolError
+from repro.hw.mesh import CPEMesh, TransferBuffer
+from repro.hw.spec import DEFAULT_SPEC
+
+
+@pytest.fixture
+def mesh():
+    return CPEMesh(DEFAULT_SPEC.shrunk(4))
+
+
+class TestTopology:
+    def test_mesh_size(self, mesh):
+        assert mesh.size == 4
+        assert len(list(mesh)) == 16
+
+    def test_cpe_lookup(self, mesh):
+        cpe = mesh.cpe(1, 2)
+        assert cpe.coords == (1, 2)
+
+    def test_out_of_range(self, mesh):
+        with pytest.raises(BusProtocolError):
+            mesh.cpe(4, 0)
+
+
+class TestPut:
+    def test_same_row_put(self, mesh):
+        mesh.put((1, 0), (1, 3), np.arange(4.0))
+        assert np.array_equal(mesh.get((1, 3)), np.arange(4.0))
+
+    def test_same_column_put(self, mesh):
+        mesh.put((0, 2), (3, 2), np.ones(4))
+        assert np.array_equal(mesh.get((3, 2)), np.ones(4))
+
+    def test_diagonal_put_rejected(self, mesh):
+        with pytest.raises(BusProtocolError):
+            mesh.put((0, 0), (1, 1), np.zeros(4))
+
+    def test_self_put_rejected(self, mesh):
+        with pytest.raises(BusProtocolError):
+            mesh.put((0, 0), (0, 0), np.zeros(4))
+
+    def test_payload_copied(self, mesh):
+        data = np.zeros(4)
+        mesh.put((0, 0), (0, 1), data)
+        data[:] = 9.0
+        assert np.all(mesh.get((0, 1)) == 0.0)
+
+
+class TestBroadcast:
+    def test_row_broadcast_reaches_whole_row(self, mesh):
+        mesh.row_broadcast((2, 1), np.full(4, 5.0))
+        for col in range(4):
+            if col == 1:
+                assert mesh.pending((2, col)) == 0
+            else:
+                assert np.all(mesh.get((2, col)) == 5.0)
+
+    def test_col_broadcast_reaches_whole_column(self, mesh):
+        mesh.col_broadcast((0, 3), np.full(2, 7.0))
+        for row in range(1, 4):
+            assert np.all(mesh.get((row, 3)) == 7.0)
+
+    def test_broadcast_charges_bus_once(self, mesh):
+        mesh.row_broadcast((0, 0), np.zeros(4))  # 32 bytes = 1 packet
+        assert mesh.row_buses[0].stats.packets == 1
+        assert mesh.row_buses[0].stats.operations == 1
+
+
+class TestProtocol:
+    def test_fifo_order(self, mesh):
+        mesh.put((0, 0), (0, 1), np.array([1.0]))
+        mesh.put((0, 2), (0, 1), np.array([2.0]))
+        assert mesh.get((0, 1))[0] == 1.0
+        assert mesh.get((0, 1))[0] == 2.0
+
+    def test_empty_get_rejected(self, mesh):
+        with pytest.raises(BusProtocolError):
+            mesh.get((0, 0))
+
+    def test_buffer_overflow_rejected(self, mesh):
+        depth = mesh.spec.transfer_buffer_depth
+        for i in range(depth):
+            mesh.put((0, 0), (0, 1), np.array([float(i)]))
+        with pytest.raises(BusProtocolError):
+            mesh.put((0, 0), (0, 1), np.array([99.0]))
+
+    def test_assert_drained_detects_leftovers(self, mesh):
+        mesh.put((0, 0), (0, 1), np.zeros(1))
+        with pytest.raises(BusProtocolError):
+            mesh.assert_drained()
+
+    def test_assert_drained_passes_when_clean(self, mesh):
+        mesh.put((0, 0), (0, 1), np.zeros(1))
+        mesh.get((0, 1))
+        mesh.assert_drained()
+
+    def test_high_water_mark(self):
+        buf = TransferBuffer((0, 0), depth=4)
+        buf.push(np.zeros(1))
+        buf.push(np.zeros(1))
+        buf.pop()
+        assert buf.high_water == 2
+
+
+class TestAccounting:
+    def test_bytes_accounting(self, mesh):
+        mesh.put((0, 0), (0, 1), np.zeros(8))  # 64 bytes
+        assert mesh.total_bus_bytes() == 64
+
+    def test_packet_rounding(self, mesh):
+        mesh.put((0, 0), (0, 1), np.zeros(5))  # 40 bytes -> 2 packets
+        assert mesh.row_buses[0].stats.packets == 2
+
+    def test_reset_stats(self, mesh):
+        mesh.put((0, 0), (0, 1), np.zeros(4))
+        mesh.get((0, 1))
+        mesh.reset_stats()
+        assert mesh.total_bus_bytes() == 0

@@ -1,0 +1,60 @@
+"""MPE launch-overhead model."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.core.conv import ConvolutionEngine, TimingReport
+from repro.core.params import ConvParams
+from repro.core.plans import BatchSizeAwarePlan
+from repro.hw.mpe import LaunchModel
+
+
+def _report(seconds: float) -> TimingReport:
+    return TimingReport(
+        seconds=seconds,
+        flops=1,
+        dma_seconds=0,
+        compute_seconds=seconds,
+        bytes_get=0,
+        bytes_put=0,
+        tiles=1,
+        peak_flops=742.4e9,
+    )
+
+
+class TestLaunchModel:
+    def test_per_launch(self):
+        model = LaunchModel(spawn_seconds=10e-6, join_seconds=5e-6)
+        assert model.per_launch == pytest.approx(15e-6)
+
+    def test_layer_seconds(self):
+        model = LaunchModel()
+        assert model.layer_seconds(_report(1e-3), launches=2) == pytest.approx(
+            1e-3 + 2 * model.per_launch
+        )
+
+    def test_big_layer_overhead_negligible(self):
+        """A paper-scale layer is far from launch-bound."""
+        params = ConvParams.from_output(ni=128, no=128, ro=64, co=64, kr=3, kc=3, b=128)
+        report = ConvolutionEngine(BatchSizeAwarePlan(params)).evaluate()
+        assert LaunchModel().overhead_fraction(report) < 0.001
+
+    def test_tiny_kernel_launch_bound(self):
+        model = LaunchModel()
+        assert model.overhead_fraction(_report(5e-6)) > 0.5
+
+    def test_threshold(self):
+        model = LaunchModel(spawn_seconds=15e-6, join_seconds=5e-6)
+        t = model.launch_bound_threshold(target_overhead=0.1)
+        assert t == pytest.approx(20e-6 * 9)
+        # At exactly the threshold, overhead is the target.
+        assert model.overhead_fraction(_report(t)) == pytest.approx(0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LaunchModel(spawn_seconds=-1)
+        model = LaunchModel()
+        with pytest.raises(SimulationError):
+            model.layer_seconds(_report(1.0), launches=0)
+        with pytest.raises(SimulationError):
+            model.launch_bound_threshold(target_overhead=1.5)

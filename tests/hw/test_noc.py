@@ -1,0 +1,62 @@
+"""The cross-CG NoC model."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.hw.noc import NoC
+
+
+@pytest.fixture
+def noc():
+    return NoC()
+
+
+class TestTopology:
+    def test_ring_distance(self, noc):
+        assert noc.hops(0, 0) == 0
+        assert noc.hops(0, 1) == 1
+        assert noc.hops(0, 3) == 1  # ring wraps
+        assert noc.hops(0, 2) == 2
+
+    def test_out_of_range(self, noc):
+        with pytest.raises(SimulationError):
+            noc.hops(0, 4)
+
+
+class TestTiming:
+    def test_local_uses_ddr_bandwidth(self, noc):
+        seconds = noc.transfer_seconds(36 * 10**9, 1, 1)
+        assert seconds == pytest.approx(1.0)
+
+    def test_remote_slower_than_local(self, noc):
+        local = noc.transfer_seconds(10**8, 0, 0)
+        remote = noc.transfer_seconds(10**8, 0, 1)
+        assert remote > local
+
+    def test_latency_scales_with_hops(self, noc):
+        near = noc.transfer_seconds(0, 0, 1)
+        far = noc.transfer_seconds(0, 0, 2)
+        assert far == pytest.approx(2 * near)
+
+    def test_stats(self, noc):
+        noc.transfer_seconds(100, 0, 0)
+        noc.transfer_seconds(100, 0, 1)
+        assert noc.stats.bytes_local == 100
+        assert noc.stats.bytes_remote == 100
+        assert noc.stats.transfers == 2
+
+    def test_remote_penalty_about_2x(self, noc):
+        """Why Section III-D partitions by rows: crossing the NoC roughly
+        halves the deliverable bandwidth."""
+        penalty = noc.remote_penalty(10**8)
+        assert 1.5 < penalty < 3.0
+
+    def test_validation(self, noc):
+        with pytest.raises(SimulationError):
+            noc.transfer_seconds(-1, 0, 0)
+        with pytest.raises(SimulationError):
+            noc.remote_penalty(0)
+        with pytest.raises(ValueError):
+            NoC(remote_bandwidth=0)
+        with pytest.raises(ValueError):
+            NoC(hop_latency=-1)

@@ -1,0 +1,80 @@
+"""The 32-entry vector register file."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import RegisterPressureError, SimulationError
+from repro.hw.regfile import VectorRegisterFile
+
+
+class TestAllocation:
+    def test_thirty_two_registers(self):
+        rf = VectorRegisterFile()
+        assert rf.num_registers == 32
+        rf.allocate_block("r", 32)
+        assert rf.registers_free == 0
+
+    def test_overflow_raises(self):
+        rf = VectorRegisterFile()
+        rf.allocate_block("r", 32)
+        with pytest.raises(RegisterPressureError):
+            rf.allocate("one_more")
+
+    def test_duplicate_name_rejected(self):
+        rf = VectorRegisterFile()
+        rf.allocate("a")
+        with pytest.raises(SimulationError):
+            rf.allocate("a")
+
+    def test_free_all(self):
+        rf = VectorRegisterFile()
+        rf.allocate("a")
+        rf.free_all()
+        assert rf.registers_used == 0
+
+
+class TestOperations:
+    def test_write_read_roundtrip(self):
+        rf = VectorRegisterFile()
+        rf.allocate("a")
+        rf.write("a", [1.0, 2.0, 3.0, 4.0])
+        assert np.array_equal(rf.read("a"), [1.0, 2.0, 3.0, 4.0])
+
+    def test_wrong_lane_count_rejected(self):
+        rf = VectorRegisterFile()
+        rf.allocate("a")
+        with pytest.raises(SimulationError):
+            rf.write("a", [1.0, 2.0])
+
+    def test_splat_replicates_scalar(self):
+        rf = VectorRegisterFile()
+        rf.allocate("b")
+        rf.splat("b", 2.5)
+        assert np.all(rf.read("b") == 2.5)
+
+    def test_fma_accumulates(self):
+        rf = VectorRegisterFile()
+        for name in ("acc", "a", "b"):
+            rf.allocate(name)
+        rf.write("a", [1, 2, 3, 4])
+        rf.splat("b", 2.0)
+        rf.fma("acc", "a", "b")
+        rf.fma("acc", "a", "b")
+        assert np.array_equal(rf.read("acc"), [4, 8, 12, 16])
+
+    def test_read_returns_copy(self):
+        rf = VectorRegisterFile()
+        rf.allocate("a")
+        value = rf.read("a")
+        value[:] = 9.0
+        assert np.all(rf.read("a") == 0.0)
+
+    def test_index_out_of_range(self):
+        rf = VectorRegisterFile()
+        with pytest.raises(SimulationError):
+            rf.read(32)
+
+    def test_unknown_name(self):
+        rf = VectorRegisterFile()
+        with pytest.raises(SimulationError):
+            rf.read("ghost")

@@ -1,0 +1,129 @@
+"""Assembler/disassembler round-trips."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.assembler import (
+    AssemblyError,
+    assemble,
+    assemble_line,
+    disassemble,
+    disassemble_instruction,
+)
+from repro.isa.instructions import Instruction
+from repro.isa.kernels import GemmKernelSpec, gemm_kernel_original, gemm_kernel_reordered
+from repro.isa.pipeline import DualPipelineSimulator
+
+
+class TestAssembleLine:
+    def test_load(self):
+        instr = assemble_line("vload A0, A[0, 1]")
+        assert instr.op == "vload"
+        assert instr.dst == "A0"
+        assert instr.addr == ("A", (0, 1))
+
+    def test_fma(self):
+        instr = assemble_line("vfmad C00, A0, B0")
+        assert instr.dst == "C00"
+        assert instr.srcs == ("A0", "B0")
+
+    def test_store(self):
+        instr = assemble_line("vstore C00, OUT[3]")
+        assert instr.srcs == ("C00",)
+        assert instr.addr == ("OUT", (3,))
+
+    def test_immediate(self):
+        instr = assemble_line("cmp flag, cnt, #8")
+        assert instr.imm == 8.0
+
+    def test_branch_sources_only(self):
+        instr = assemble_line("bnw flag")
+        assert instr.dst is None
+        assert instr.srcs == ("flag",)
+
+    def test_comment_only_line(self):
+        assert assemble_line("; nothing here") is None
+
+    def test_unknown_opcode(self):
+        with pytest.raises(AssemblyError):
+            assemble_line("frobnicate x")
+
+    def test_bad_load_operands(self):
+        with pytest.raises(AssemblyError):
+            assemble_line("vload A0, B0")
+
+    def test_bad_index(self):
+        with pytest.raises(AssemblyError):
+            assemble_line("vload A0, A[x]")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblyError):
+            assemble_line("vfmad 1C, A0, B0")
+
+
+class TestAssembleProgram:
+    def test_labels_become_tags(self):
+        prog = assemble(
+            """
+            loop0:
+                vload A0, A[0, 0]
+                vfmad C00, A0, A0
+            """
+        )
+        assert prog[0].tag == "loop0"
+        assert prog[1].tag == ""
+
+    def test_line_numbers_in_errors(self):
+        with pytest.raises(AssemblyError, match="line 3"):
+            assemble("nop\nnop\nbadop x\n")
+
+
+class TestRoundTrip:
+    def test_generated_kernels_roundtrip(self):
+        for builder in (gemm_kernel_original, gemm_kernel_reordered):
+            prog = builder(GemmKernelSpec(iterations=3))
+            text = disassemble(prog)
+            rebuilt = assemble(text, name=prog.name)
+            assert len(rebuilt) == len(prog)
+            for a, b in zip(prog, rebuilt):
+                assert a.op == b.op
+                assert a.dst == b.dst
+                assert a.srcs == b.srcs
+                assert a.addr == b.addr
+                assert a.imm == b.imm
+
+    def test_roundtrip_preserves_timing(self):
+        prog = gemm_kernel_reordered(GemmKernelSpec(iterations=4))
+        rebuilt = assemble(disassemble(prog))
+        sim = DualPipelineSimulator()
+        assert sim.simulate(rebuilt).total_cycles == sim.simulate(prog).total_cycles
+
+    @given(
+        st.lists(
+            st.sampled_from(
+                [
+                    Instruction("vload", dst="r1", addr=("M", (0, 2))),
+                    Instruction("vldde", dst="r2", addr=("W", (1,))),
+                    Instruction("vfmad", dst="acc", srcs=("r1", "r2")),
+                    Instruction("vstore", srcs=("acc",), addr=("O", (0,))),
+                    Instruction("cmp", dst="f", srcs=("cnt",), imm=4.0),
+                    Instruction("bnw", srcs=("f",)),
+                    Instruction("addl", dst="cnt", srcs=("cnt",), imm=1.0),
+                    Instruction("nop"),
+                    Instruction("putr", srcs=("r1",), addr=("BUS", (3,))),
+                    Instruction("getc", dst="r3", addr=("BUS", (1,))),
+                ]
+            ),
+            min_size=0,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, instructions):
+        from repro.isa.program import Program
+
+        prog = Program(instructions)
+        rebuilt = assemble(disassemble(prog))
+        assert [disassemble_instruction(i) for i in rebuilt] == [
+            disassemble_instruction(i) for i in prog
+        ]

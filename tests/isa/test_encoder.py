@@ -1,0 +1,100 @@
+"""Binary kernel encoding round-trips."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.encoder import EncodingError, decode, encode
+from repro.isa.instructions import Instruction
+from repro.isa.kernels import GemmKernelSpec, gemm_kernel_original, gemm_kernel_reordered
+from repro.isa.pipeline import DualPipelineSimulator
+from repro.isa.program import Program
+
+
+def _equal(a: Program, b: Program) -> bool:
+    if len(a) != len(b):
+        return False
+    for x, y in zip(a, b):
+        if (x.op, x.dst, x.srcs, x.addr, x.imm) != (y.op, y.dst, y.srcs, y.addr, y.imm):
+            return False
+    return True
+
+
+class TestRoundTrip:
+    def test_generated_kernels(self):
+        for builder in (gemm_kernel_original, gemm_kernel_reordered):
+            prog = builder(GemmKernelSpec(iterations=4))
+            assert _equal(prog, decode(encode(prog)))
+
+    def test_timing_preserved(self):
+        prog = gemm_kernel_reordered(GemmKernelSpec(iterations=8))
+        rebuilt = decode(encode(prog))
+        sim = DualPipelineSimulator()
+        assert sim.simulate(rebuilt).total_cycles == sim.simulate(prog).total_cycles
+
+    def test_immediates_preserved(self):
+        prog = Program()
+        prog.emit("ldi", dst="x", imm=3.14159)
+        prog.emit("cmp", dst="f", srcs=("x",), imm=-2.5)
+        rebuilt = decode(encode(prog))
+        assert rebuilt[0].imm == pytest.approx(3.14159)
+        assert rebuilt[1].imm == pytest.approx(-2.5)
+
+    def test_empty_program(self):
+        assert len(decode(encode(Program()))) == 0
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["vload", "vldde", "vfmad", "vstore", "nop", "addl"]),
+                st.integers(min_value=0, max_value=5),
+                st.integers(min_value=0, max_value=7),
+            ),
+            max_size=30,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, items):
+        prog = Program()
+        for op, reg, idx in items:
+            if op == "vload" or op == "vldde":
+                prog.emit(op, dst=f"r{reg}", addr=("M", (idx,)))
+            elif op == "vstore":
+                prog.emit(op, srcs=(f"r{reg}",), addr=("O", (idx,)))
+            elif op == "vfmad":
+                prog.emit(op, dst=f"c{reg}", srcs=(f"r{reg}", f"r{(reg + 1) % 6}"))
+            elif op == "addl":
+                prog.emit(op, dst=f"r{reg}", srcs=(f"r{reg}",), imm=float(idx))
+            else:
+                prog.emit("nop")
+        assert _equal(prog, decode(encode(prog)))
+
+
+class TestValidation:
+    def test_bad_magic(self):
+        with pytest.raises(EncodingError):
+            decode(b"NOPE" + b"\x00" * 16)
+
+    def test_bad_version(self):
+        blob = bytearray(encode(Program()))
+        blob[4] = 99
+        with pytest.raises(EncodingError):
+            decode(bytes(blob))
+
+    def test_inconsistent_index_arity(self):
+        prog = Program()
+        prog.emit("vload", dst="a", addr=("M", (0,)))
+        prog.emit("vload", dst="b", addr=("M", (0, 1)))
+        with pytest.raises(EncodingError):
+            encode(prog)
+
+    def test_index_overflow(self):
+        prog = Program()
+        prog.emit("vload", dst="a", addr=("M", (70000,)))
+        with pytest.raises(EncodingError):
+            encode(prog)
+
+    def test_container_is_compact(self):
+        prog = gemm_kernel_reordered(GemmKernelSpec(iterations=16))
+        blob = encode(prog)
+        # 8 bytes/instruction + immediates + small tables.
+        assert len(blob) < len(prog) * 16 + 1024

@@ -1,0 +1,114 @@
+"""Register-level kernel execution on a real CPE."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import LDMOverflowError, RegisterPressureError
+from repro.isa.executor import KernelExecutor
+from repro.isa.kernels import GemmKernelSpec, gemm_kernel_reordered
+from repro.isa.program import Interpreter, MachineState, Program
+
+
+def _stage_kernel_inputs(executor, spec, rng):
+    for it in range(spec.iterations):
+        for i in range(spec.num_a):
+            executor.stage("A", (it, i), rng.standard_normal(4))
+        for j in range(spec.num_b):
+            executor.stage("B", (it, j), rng.standard_normal(1))
+
+
+class TestBasicExecution:
+    def test_load_fma_store(self, rng):
+        ex = KernelExecutor()
+        ex.stage("M", (0,), [1.0, 2.0, 3.0, 4.0])
+        ex.stage("W", (0,), [2.0])
+        prog = Program()
+        prog.emit("vload", dst="a", addr=("M", (0,)))
+        prog.emit("vldde", dst="w", addr=("W", (0,)))
+        prog.emit("ldi", dst="acc", imm=0.0)
+        prog.emit("vfmad", dst="acc", srcs=("a", "w"))
+        prog.emit("vstore", srcs=("acc",), addr=("OUT", (0,)))
+        ex.run(prog)
+        assert np.array_equal(ex.read_back("OUT", (0,)), [2.0, 4.0, 6.0, 8.0])
+
+    def test_flop_accounting(self):
+        ex = KernelExecutor()
+        ex.stage("M", (0,), np.ones(4))
+        prog = Program()
+        prog.emit("vload", dst="a", addr=("M", (0,)))
+        prog.emit("ldi", dst="c", imm=0.0)
+        prog.emit("vfmad", dst="c", srcs=("a", "a"))
+        ex.run(prog)
+        assert ex.flops_executed == 8  # 4 lanes x 2
+
+
+class TestResourceEnforcement:
+    def test_register_pressure_enforced(self):
+        ex = KernelExecutor()
+        prog = Program()
+        for i in range(33):
+            prog.emit("ldi", dst=f"r{i}", imm=float(i))
+        with pytest.raises(RegisterPressureError):
+            ex.run(prog)
+
+    def test_paper_kernel_fits_register_file(self, rng):
+        """The 16+4+4 register plan of Section V must execute within 32."""
+        spec = GemmKernelSpec(iterations=2)
+        ex = KernelExecutor()
+        _stage_kernel_inputs(ex, spec, rng)
+        prog = Program()
+        for i in range(4):
+            for j in range(4):
+                prog.emit("ldi", dst=f"C{i}{j}", imm=0.0)
+        prog.emit("ldi", dst="cnt", imm=0.0)
+        prog.extend(gemm_kernel_reordered(spec))
+        ex.run(prog)
+        assert ex.registers_used <= 32
+
+    def test_ldm_capacity_enforced(self):
+        ex = KernelExecutor()
+        with pytest.raises(LDMOverflowError):
+            for i in range(3000):  # 3000 x 32B > 64 KiB
+                ex.stage("M", (i,), np.ones(4))
+
+
+class TestAgreementWithInterpreter:
+    def test_kernel_matches_interpreter(self, rng):
+        spec = GemmKernelSpec(iterations=3)
+        kernel = gemm_kernel_reordered(spec)
+
+        # Interpreter run.
+        state = MachineState()
+        values = {}
+        gen = np.random.default_rng(5)
+        for it in range(spec.iterations):
+            for i in range(4):
+                values[("A", (it, i))] = gen.standard_normal(4)
+                state.store("A", (it, i), values[("A", (it, i))])
+            for j in range(4):
+                values[("B", (it, j))] = gen.standard_normal(1)
+                state.store("B", (it, j), values[("B", (it, j))])
+        for i in range(4):
+            for j in range(4):
+                state.write_reg(f"C{i}{j}", np.zeros(4))
+        state.write_reg("cnt", np.asarray(0.0))
+        Interpreter(state).run(kernel)
+
+        # Executor run on the CPE.
+        ex = KernelExecutor()
+        for (array, index), value in values.items():
+            ex.stage(array, index, value)
+        prologue = Program()
+        for i in range(4):
+            for j in range(4):
+                prologue.emit("ldi", dst=f"C{i}{j}", imm=0.0)
+        prologue.emit("ldi", dst="cnt", imm=0.0)
+        ex.run(prologue)
+        ex.run(kernel)
+
+        for i in range(4):
+            for j in range(4):
+                name = f"C{i}{j}"
+                assert np.allclose(
+                    ex.cpe.registers.read(name), state.read_reg(name)
+                ), name

@@ -1,0 +1,60 @@
+"""Opcode table and instruction value type."""
+
+import pytest
+
+from repro.isa.instructions import Instruction, OPCODES, PipelineClass
+
+
+class TestOpcodeTable:
+    def test_vfmad_is_p0_with_7_cycle_latency(self):
+        spec = OPCODES["vfmad"]
+        assert spec.pipeline is PipelineClass.P0
+        assert spec.latency == 7
+        assert spec.flops == 8
+
+    def test_loads_are_p1_with_4_cycle_latency(self):
+        for op in ("vload", "vldde", "ldw", "getr", "getc"):
+            assert OPCODES[op].pipeline is PipelineClass.P1
+            assert OPCODES[op].latency == 4
+            assert OPCODES[op].is_load
+
+    def test_branches_are_p1(self):
+        for op in ("bnw", "beq", "jmp"):
+            assert OPCODES[op].pipeline is PipelineClass.P1
+            assert OPCODES[op].is_branch
+
+    def test_integer_ops_either_pipeline(self):
+        for op in ("cmp", "addl", "ldi"):
+            assert OPCODES[op].pipeline is PipelineClass.EITHER
+
+    def test_register_comm_ops(self):
+        assert OPCODES["putr"].is_comm
+        assert OPCODES["getc"].is_comm
+
+
+class TestInstruction:
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction(op="frobnicate")
+
+    def test_fma_reads_accumulator(self):
+        fma = Instruction(op="vfmad", dst="C00", srcs=("A0", "B0"))
+        assert set(fma.reads) == {"A0", "B0", "C00"}
+        assert fma.writes == ("C00",)
+
+    def test_load_reads_nothing(self):
+        load = Instruction(op="vload", dst="A0", addr=("A", (0, 0)))
+        assert load.reads == ()
+        assert load.writes == ("A0",)
+
+    def test_render(self):
+        load = Instruction(op="vload", dst="A0", addr=("A", (0, 1)), tag="iter0")
+        text = load.render()
+        assert "vload" in text
+        assert "A0" in text
+        assert "iter0" in text
+
+    def test_frozen(self):
+        instr = Instruction(op="nop")
+        with pytest.raises(Exception):
+            instr.op = "vload"

@@ -1,0 +1,107 @@
+"""Programs and the sequential functional interpreter."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.isa.program import Interpreter, MachineState, Program
+
+
+class TestProgram:
+    def test_emit_and_len(self):
+        prog = Program()
+        prog.emit("vload", dst="A0", addr=("A", (0,)))
+        prog.emit("vfmad", dst="C", srcs=("A0", "A0"))
+        assert len(prog) == 2
+
+    def test_flop_count(self):
+        prog = Program()
+        prog.emit("vfmad", dst="C", srcs=("A", "B"))
+        prog.emit("vload", dst="A", addr=("A", (0,)))
+        assert prog.flop_count() == 8
+
+    def test_count_op(self):
+        prog = Program()
+        for _ in range(3):
+            prog.emit("nop")
+        assert prog.count_op("nop") == 3
+
+    def test_registers_in_first_use_order(self):
+        prog = Program()
+        prog.emit("vfmad", dst="C", srcs=("A", "B"))
+        regs = prog.registers()
+        assert regs == ["A", "B", "C"]
+
+    def test_render_includes_name(self):
+        prog = Program(name="kernel")
+        prog.emit("nop")
+        assert "kernel" in prog.render()
+
+
+class TestInterpreter:
+    def test_vload(self):
+        st = MachineState()
+        st.store("A", (0,), np.arange(4.0))
+        prog = Program()
+        prog.emit("vload", dst="r", addr=("A", (0,)))
+        Interpreter(st).run(prog)
+        assert np.array_equal(st.read_reg("r"), np.arange(4.0))
+
+    def test_vldde_splats(self):
+        st = MachineState()
+        st.store("B", (0,), np.array([3.0]))
+        prog = Program()
+        prog.emit("vldde", dst="r", addr=("B", (0,)))
+        Interpreter(st).run(prog)
+        assert np.array_equal(st.read_reg("r"), np.full(4, 3.0))
+
+    def test_vfmad_accumulates(self):
+        st = MachineState()
+        st.write_reg("a", np.full(4, 2.0))
+        st.write_reg("b", np.full(4, 3.0))
+        st.write_reg("c", np.ones(4))
+        prog = Program()
+        prog.emit("vfmad", dst="c", srcs=("a", "b"))
+        Interpreter(st).run(prog)
+        assert np.array_equal(st.read_reg("c"), np.full(4, 7.0))
+
+    def test_vstore(self):
+        st = MachineState()
+        st.write_reg("r", np.arange(4.0))
+        prog = Program()
+        prog.emit("vstore", srcs=("r",), addr=("OUT", (1,)))
+        Interpreter(st).run(prog)
+        assert np.array_equal(st.load("OUT", (1,)), np.arange(4.0))
+
+    def test_branch_is_noop(self):
+        st = MachineState()
+        st.write_reg("flag", np.asarray(1.0))
+        prog = Program()
+        prog.emit("bnw", srcs=("flag",))
+        Interpreter(st).run(prog)  # must not raise
+
+    def test_undefined_register_read_raises(self):
+        prog = Program()
+        prog.emit("vfmad", dst="c", srcs=("a", "b"))
+        with pytest.raises(SimulationError):
+            Interpreter().run(prog)
+
+    def test_undefined_memory_load_raises(self):
+        prog = Program()
+        prog.emit("vload", dst="r", addr=("A", (9,)))
+        with pytest.raises(SimulationError):
+            Interpreter().run(prog)
+
+    def test_load_without_address_raises(self):
+        prog = Program()
+        prog.emit("vload", dst="r")
+        with pytest.raises(SimulationError):
+            Interpreter().run(prog)
+
+    def test_ldi_and_addl(self):
+        st = MachineState()
+        prog = Program()
+        prog.emit("ldi", dst="x", imm=5.0)
+        prog.emit("addl", dst="x", srcs=("x",), imm=3.0)
+        Interpreter(st).run(prog)
+        assert float(st.read_reg("x")) == 8.0

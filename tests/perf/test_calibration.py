@@ -1,0 +1,51 @@
+"""Calibration of the two fitted constants is reproducible."""
+
+import pytest
+
+from repro.core.conv import OVERLAP_CONTENTION
+from repro.perf.calibration import (
+    TABLE_III_TARGETS,
+    calibrate,
+    mbw_error,
+    meas_error,
+)
+from repro.perf.dma_model import DMA_STRIDE_EFFICIENCY
+
+
+class TestTargets:
+    def test_four_rows(self):
+        assert len(TABLE_III_TARGETS) == 4
+
+    def test_paper_values_present(self):
+        assert TABLE_III_TARGETS[0].paper_meas_gflops == 350.0
+        assert TABLE_III_TARGETS[2].paper_mbw_gbps == 21.2
+
+
+class TestErrorSurfaces:
+    def test_mbw_error_minimized_near_default(self):
+        default = mbw_error(DMA_STRIDE_EFFICIENCY)
+        assert default < mbw_error(0.5)
+        assert default < mbw_error(1.0)
+
+    def test_meas_error_minimized_near_default(self):
+        default = meas_error(DMA_STRIDE_EFFICIENCY, OVERLAP_CONTENTION)
+        assert default < meas_error(DMA_STRIDE_EFFICIENCY, 0.0)
+        assert default < meas_error(DMA_STRIDE_EFFICIENCY, 1.0)
+
+    def test_default_fit_quality(self):
+        """The shipped constants reproduce Table III within ~10% mean error."""
+        assert mbw_error(DMA_STRIDE_EFFICIENCY) < 0.10
+        assert meas_error(DMA_STRIDE_EFFICIENCY, OVERLAP_CONTENTION) < 0.10
+
+
+class TestGridSearch:
+    def test_recovers_shipped_constants(self):
+        result = calibrate()
+        assert result.stride_efficiency == pytest.approx(DMA_STRIDE_EFFICIENCY)
+        assert result.contention == pytest.approx(OVERLAP_CONTENTION)
+
+    def test_result_errors_reported(self):
+        result = calibrate(stride_grid=(0.7,), contention_grid=(0.5,))
+        assert result.total_error == pytest.approx(
+            result.mbw_error + result.meas_error
+        )

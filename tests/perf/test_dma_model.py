@@ -1,0 +1,93 @@
+"""MEM<->LDM measured-bandwidth helpers and the stream blend."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.units import GB
+from repro.perf.dma_model import (
+    DMA_STRIDE_EFFICIENCY,
+    DMAStream,
+    blended_mbw,
+    measured_dma_bandwidth,
+    mem_ldm_mbw,
+)
+
+
+class TestMeasuredBandwidth:
+    def test_matches_table(self):
+        assert measured_dma_bandwidth(256, "get") == pytest.approx(22.44 * GB)
+        assert measured_dma_bandwidth(256, "put") == pytest.approx(25.80 * GB)
+
+    def test_mixed_blend_between_endpoints(self):
+        eff = mem_ldm_mbw(256, get_fraction=0.5)
+        assert 22.44 * GB < eff < 25.80 * GB
+
+
+class TestDMAStream:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DMAStream("x", -1.0, 256, "get")
+        with pytest.raises(ValueError):
+            DMAStream("x", 1.0, 0, "get")
+        with pytest.raises(ValueError):
+            DMAStream("x", 1.0, 256, "sideways")
+
+
+class TestBlendedMBW:
+    def test_single_stream_equals_derated_table(self):
+        mbw = blended_mbw([DMAStream("in", 1e9, 256, "get")])
+        assert mbw == pytest.approx(22.44 * GB * DMA_STRIDE_EFFICIENCY)
+
+    def test_blend_is_harmonic(self):
+        # Equal bytes at 1024B get (29.79) and 1024B put (33.44).
+        streams = [
+            DMAStream("a", 1e9, 1024, "get"),
+            DMAStream("b", 1e9, 1024, "put"),
+        ]
+        expected = 2.0 / (1 / 29.79 + 1 / 33.44) * GB * DMA_STRIDE_EFFICIENCY
+        assert blended_mbw(streams) == pytest.approx(expected, rel=1e-6)
+
+    def test_small_block_stream_drags_down(self):
+        fast = blended_mbw([DMAStream("a", 1e9, 4096, "get")])
+        mixed = blended_mbw(
+            [
+                DMAStream("a", 1e9, 4096, "get"),
+                DMAStream("b", 1e9, 32, "get"),
+            ]
+        )
+        assert mixed < fast
+
+    def test_empty_streams_rejected(self):
+        with pytest.raises(ValueError):
+            blended_mbw([])
+
+    def test_zero_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            blended_mbw([DMAStream("a", 0.0, 256, "get")])
+
+    def test_stride_efficiency_validated(self):
+        with pytest.raises(ValueError):
+            blended_mbw([DMAStream("a", 1.0, 256, "get")], stride_efficiency=0.0)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=1.0, max_value=1e9),
+                st.sampled_from([32, 128, 256, 1024, 4096]),
+                st.sampled_from(["get", "put"]),
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_blend_bounded_by_fastest_and_slowest(self, raw):
+        streams = [
+            DMAStream(f"s{i}", nbytes, block, direction)
+            for i, (nbytes, block, direction) in enumerate(raw)
+        ]
+        per_stream = [
+            measured_dma_bandwidth(s.block_bytes, s.direction) for s in streams
+        ]
+        blend = blended_mbw(streams, stride_efficiency=1.0)
+        assert min(per_stream) * (1 - 1e-9) <= blend <= max(per_stream) * (1 + 1e-9)

@@ -1,0 +1,58 @@
+"""The precision what-if analysis (§VII discussion)."""
+
+import pytest
+
+from repro.core.params import ConvParams
+from repro.core.plans import BatchSizeAwarePlan
+from repro.perf.precision import (
+    PRECISIONS,
+    max_precision_speedup,
+    precision_sweep,
+)
+
+
+@pytest.fixture(scope="module")
+def estimate():
+    params = ConvParams.from_output(ni=256, no=256, ro=64, co=64, kr=3, kc=3, b=128)
+    return BatchSizeAwarePlan(params).estimate()
+
+
+class TestPrecisionSweep:
+    def test_three_points(self, estimate):
+        points = precision_sweep(estimate)
+        assert [p.precision for p in points] == ["double", "single", "half"]
+
+    def test_double_is_baseline(self, estimate):
+        points = precision_sweep(estimate)
+        assert points[0].speedup_vs_double == pytest.approx(1.0)
+
+    def test_narrower_is_never_slower(self, estimate):
+        speedups = [p.speedup_vs_double for p in precision_sweep(estimate)]
+        assert speedups == sorted(speedups)
+
+    def test_memory_bound_plan_gains(self, estimate):
+        """A memory-bound double-precision plan must speed up in single."""
+        points = precision_sweep(estimate)
+        assert points[0].bound == "MEM"
+        assert points[1].speedup_vs_double > 1.2
+
+    def test_gain_saturates_at_compute_roof(self, estimate):
+        """The paper's constraint: arithmetic cannot double, so the win is
+        capped — half precision must not reach the naive 4x."""
+        assert max_precision_speedup(estimate) < 4.0
+
+    def test_rbw_scales_with_itemsize(self, estimate):
+        points = {p.precision: p for p in precision_sweep(estimate)}
+        assert points["single"].rbw_gbps == pytest.approx(
+            points["double"].rbw_gbps / 2
+        )
+        assert points["half"].rbw_gbps == pytest.approx(
+            points["double"].rbw_gbps / 4
+        )
+
+    def test_bound_moves_off_mem_eventually(self, estimate):
+        points = precision_sweep(estimate)
+        assert points[-1].bound in ("compute", "REG")
+
+    def test_itemsizes(self):
+        assert PRECISIONS == {"double": 8, "single": 4, "half": 2}

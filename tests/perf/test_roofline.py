@@ -1,0 +1,51 @@
+"""Roofline primitives."""
+
+import pytest
+
+from repro.perf.roofline import Roofline, bandwidth_bound_fraction
+
+
+class TestBandwidthBoundFraction:
+    def test_saturates_at_one(self):
+        assert bandwidth_bound_fraction(10.0, 20.0) == 1.0
+
+    def test_linear_below(self):
+        assert bandwidth_bound_fraction(20.0, 10.0) == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bandwidth_bound_fraction(0.0, 1.0)
+        with pytest.raises(ValueError):
+            bandwidth_bound_fraction(1.0, -1.0)
+
+
+class TestRoofline:
+    def test_ridge(self):
+        r = Roofline(peak_flops=742.4e9, peak_bandwidth=36e9)
+        assert r.ridge_intensity == pytest.approx(742.4 / 36)
+
+    def test_attainable_memory_bound(self):
+        r = Roofline(peak_flops=100.0, peak_bandwidth=10.0)
+        assert r.attainable(5.0) == 50.0
+
+    def test_attainable_compute_bound(self):
+        r = Roofline(peak_flops=100.0, peak_bandwidth=10.0)
+        assert r.attainable(100.0) == 100.0
+
+    def test_required_bandwidth_for(self):
+        r = Roofline(peak_flops=100.0, peak_bandwidth=10.0)
+        # 1 byte per flop -> need 100 B/s to stay at peak.
+        assert r.required_bandwidth_for(bytes_moved=1.0, flops=1.0) == 100.0
+
+    def test_quadratic_fraction(self):
+        r = Roofline(peak_flops=100.0, peak_bandwidth=10.0)
+        assert r.quadratic_fraction(5.0, 10.0) == pytest.approx(0.25)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Roofline(peak_flops=0, peak_bandwidth=1)
+        r = Roofline(peak_flops=1, peak_bandwidth=1)
+        with pytest.raises(ValueError):
+            r.attainable(-1.0)
+        with pytest.raises(ValueError):
+            r.required_bandwidth_for(1.0, 0.0)

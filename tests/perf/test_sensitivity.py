@@ -1,0 +1,59 @@
+"""Architecture sensitivity sweeps."""
+
+import pytest
+
+from repro.core.params import ConvParams
+from repro.perf.sensitivity import (
+    KNOBS,
+    most_valuable_knob,
+    sweep_all,
+    sweep_knob,
+)
+
+
+SMALL = ConvParams.from_output(ni=64, no=64, ro=16, co=16, kr=3, kc=3, b=64)
+
+
+class TestSweepKnob:
+    def test_baseline_scale_is_one(self):
+        points = sweep_knob("ddr_bandwidth", scales=[1.0], params=SMALL)
+        assert points[0].speedup_vs_default == pytest.approx(1.0)
+
+    def test_more_ddr_bandwidth_helps(self):
+        points = sweep_knob("ddr_bandwidth", scales=[0.5, 1.0, 2.0], params=SMALL)
+        speedups = [p.speedup_vs_default for p in points]
+        assert speedups == sorted(speedups)
+        assert speedups[-1] > 1.1
+
+    def test_clock_alone_helps_less_than_bandwidth(self):
+        """The paper's thesis in one assertion: the chip is DDR-starved."""
+        ddr = sweep_knob("ddr_bandwidth", scales=[2.0], params=SMALL)[0]
+        clock = sweep_knob("clock", scales=[2.0], params=SMALL)[0]
+        assert ddr.speedup_vs_default > clock.speedup_vs_default
+
+    def test_more_clock_never_hurts(self):
+        points = sweep_knob("clock", scales=[1.0, 2.0], params=SMALL)
+        assert points[1].speedup_vs_default >= 1.0
+
+    def test_ldm_capacity_monotone(self):
+        points = sweep_knob("ldm_capacity", scales=[1.0, 4.0], params=SMALL)
+        assert points[1].speedup_vs_default >= points[0].speedup_vs_default - 1e-9
+
+    def test_value_labels(self):
+        points = sweep_knob("ddr_bandwidth", scales=[2.0], params=SMALL)
+        assert points[0].value == "72 GB/s"
+
+    def test_unknown_knob(self):
+        with pytest.raises(ValueError):
+            sweep_knob("quantum_bus")
+
+
+class TestSweepAll:
+    def test_covers_all_knobs(self):
+        results = sweep_all(scales=[1.0], params=SMALL)
+        assert set(results) == set(KNOBS)
+
+    def test_most_valuable_is_memory_side(self):
+        """Doubling DDR bandwidth must be the top knob for a memory-bound
+        convolution (the conclusion's architectural message)."""
+        assert most_valuable_knob(params=SMALL) == "ddr_bandwidth"

@@ -1,0 +1,59 @@
+"""Timeline traces and the Gantt renderer."""
+
+import pytest
+
+from repro.core.params import ConvParams
+from repro.core.plans import BatchSizeAwarePlan, ImageSizeAwarePlan
+from repro.perf.trace import overlap_summary, render_gantt, trace_plan
+
+
+@pytest.fixture(scope="module")
+def traces():
+    params = ConvParams.from_output(ni=64, no=64, ro=16, co=16, kr=3, kc=3, b=64)
+    return trace_plan(BatchSizeAwarePlan(params), max_tiles=12)
+
+
+class TestTrace:
+    def test_requested_count(self, traces):
+        assert len(traces) == 12
+
+    def test_intervals_ordered(self, traces):
+        for t in traces:
+            assert t.get_start <= t.get_end <= t.compute_start <= t.compute_end
+            assert t.compute_end <= t.put_start <= t.put_end
+
+    def test_compute_serializes(self, traces):
+        for prev, cur in zip(traces, traces[1:]):
+            assert cur.compute_start >= prev.compute_end - 1e-15
+
+    def test_double_buffering_overlaps(self, traces):
+        """The point of Section IV-A: most tiles' loads run under the
+        previous tile's compute."""
+        assert overlap_summary(traces) > 0.5
+
+    def test_buffer_constraint(self, traces):
+        """Tile i's get waits for tile i-2's compute (ping/pong)."""
+        for i in range(2, len(traces)):
+            assert traces[i].get_start >= traces[i - 2].compute_end - 1e-15
+
+
+class TestGantt:
+    def test_renders_rows(self, traces):
+        text = render_gantt(traces)
+        rows = [l for l in text.splitlines() if l.startswith("tile")]
+        assert len(rows) == len(traces)
+        assert "#" in text and "=" in text
+
+    def test_empty(self):
+        assert render_gantt([]) == "(no tiles)"
+
+    def test_image_plan_traces_too(self):
+        params = ConvParams.from_output(ni=64, no=64, ro=16, co=16, kr=3, kc=3, b=64)
+        traces = trace_plan(ImageSizeAwarePlan(params), max_tiles=6)
+        assert len(traces) == 6
+        assert "tile" in render_gantt(traces)
+
+
+class TestOverlapSummary:
+    def test_short_traces(self, traces):
+        assert overlap_summary(traces[:1]) == 0.0

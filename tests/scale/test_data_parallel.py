@@ -1,0 +1,98 @@
+"""Data-parallel scaling model."""
+
+import pytest
+
+from repro.common.errors import PlanError
+from repro.core.params import ConvParams
+from repro.scale.data_parallel import DataParallelModel, LayerSpec, vgg_like_stack
+from repro.scale.network import InterconnectModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return DataParallelModel(vgg_like_stack(batch=32, channels=32))
+
+
+class TestLayerSpec:
+    def test_conv_gradient_bytes(self):
+        p = ConvParams.from_output(ni=8, no=16, ro=8, co=8, kr=3, kc=3, b=4)
+        layer = LayerSpec(kind="conv", params=p)
+        assert layer.gradient_bytes() == 16 * 8 * 3 * 3 * 8
+
+    def test_fc_gradient_bytes(self):
+        layer = LayerSpec(kind="fc", fc_in=100, fc_out=10)
+        assert layer.gradient_bytes() == 100 * 10 * 8
+
+    def test_with_batch_conv(self):
+        p = ConvParams.from_output(ni=8, no=8, ro=8, co=8, kr=3, kc=3, b=4)
+        layer = LayerSpec(kind="conv", params=p).with_batch(16)
+        assert layer.params.b == 16
+
+    def test_with_batch_fc_unchanged(self):
+        layer = LayerSpec(kind="fc", fc_in=10, fc_out=10)
+        assert layer.with_batch(99) is layer
+
+    def test_validation(self):
+        with pytest.raises(PlanError):
+            LayerSpec(kind="conv")
+        with pytest.raises(PlanError):
+            LayerSpec(kind="fc", fc_in=0, fc_out=10)
+        with pytest.raises(PlanError):
+            LayerSpec(kind="pooling")
+
+
+class TestIteration:
+    def test_single_node_no_comm_penalty(self, model):
+        point = model.iteration(nodes=1, per_node_batch=32)
+        assert point.iteration_seconds == pytest.approx(point.compute_seconds)
+        assert point.efficiency == pytest.approx(1.0)
+
+    def test_throughput_grows_with_nodes(self, model):
+        p1 = model.iteration(1, 32)
+        p64 = model.iteration(64, 32)
+        assert p64.samples_per_second > p1.samples_per_second
+
+    def test_efficiency_decreases_with_nodes(self, model):
+        effs = [model.iteration(n, 32).efficiency for n in (1, 64, 4096)]
+        assert effs[0] >= effs[1] >= effs[2]
+
+    def test_overlap_helps(self):
+        stack = vgg_like_stack(batch=32, channels=32)
+        with_overlap = DataParallelModel(stack, overlap=True).iteration(256, 32)
+        without = DataParallelModel(stack, overlap=False).iteration(256, 32)
+        assert with_overlap.iteration_seconds <= without.iteration_seconds
+
+    def test_slow_network_hurts(self):
+        stack = vgg_like_stack(batch=32, channels=32)
+        fast = DataParallelModel(stack, network=InterconnectModel(bandwidth=16e9))
+        slow = DataParallelModel(stack, network=InterconnectModel(bandwidth=1e9))
+        assert (
+            slow.iteration(64, 32).iteration_seconds
+            > fast.iteration(64, 32).iteration_seconds
+        )
+
+    def test_validation(self, model):
+        with pytest.raises(PlanError):
+            model.iteration(0, 32)
+        with pytest.raises(PlanError):
+            model.iteration(4, 0)
+
+
+class TestSweeps:
+    def test_weak_scaling_near_flat_at_modest_scale(self, model):
+        points = model.weak_scaling([1, 4, 16], per_node_batch=32)
+        assert points[-1].efficiency > 0.8
+
+    def test_strong_scaling_per_node_batch_shrinks(self, model):
+        points = model.strong_scaling([1, 4, 16], global_batch=128)
+        assert points[0].samples_per_second > 0
+        # Strong scaling keeps global throughput from growing linearly at
+        # high node counts (batch per node hits 1).
+        assert points[-1].nodes == 16
+
+    def test_total_gradient_bytes(self, model):
+        assert model.total_gradient_bytes() > 0
+
+    def test_empty_stack_rejected(self):
+        with pytest.raises(PlanError):
+            DataParallelModel([])

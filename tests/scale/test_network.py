@@ -1,0 +1,84 @@
+"""Interconnect allreduce cost models."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.scale.network import InterconnectModel, allreduce_time
+
+
+@pytest.fixture
+def net():
+    return InterconnectModel()
+
+
+class TestRing:
+    def test_single_node_free(self, net):
+        assert net.ring_allreduce(10**9, 1) == 0.0
+
+    def test_bandwidth_term(self):
+        net = InterconnectModel(bandwidth=1e9, latency=0.0)
+        # 2(N-1)/N * bytes / bw with N=4: 1.5 seconds for 1 GB.
+        assert net.ring_allreduce(10**9, 4) == pytest.approx(1.5)
+
+    def test_bandwidth_term_saturates_with_nodes(self):
+        net = InterconnectModel(latency=0.0)
+        t64 = net.ring_allreduce(10**8, 64)
+        t1024 = net.ring_allreduce(10**8, 1024)
+        assert t1024 / t64 < 1.05  # approaches 2*bytes/bw
+
+    def test_latency_grows_linearly(self):
+        net = InterconnectModel(bandwidth=1e15, latency=1e-6)
+        assert net.ring_allreduce(8, 101) == pytest.approx(200e-6, rel=1e-3)
+
+
+class TestTree:
+    def test_rounds_logarithmic(self):
+        net = InterconnectModel(bandwidth=1e15, latency=1e-6)
+        assert net.tree_allreduce(8, 1024) == pytest.approx(20e-6, rel=1e-3)
+
+    def test_single_node_free(self, net):
+        assert net.tree_allreduce(10**9, 1) == 0.0
+
+
+class TestBest:
+    def test_small_message_prefers_tree(self, net):
+        nodes = 1024
+        assert net.best_allreduce(64, nodes) == pytest.approx(
+            net.tree_allreduce(64, nodes)
+        )
+
+    def test_large_message_prefers_ring(self, net):
+        nodes = 8
+        assert net.best_allreduce(10**9, nodes) == pytest.approx(
+            net.ring_allreduce(10**9, nodes)
+        )
+
+    def test_module_convenience(self):
+        assert allreduce_time(10**6, 4) > 0
+
+    @given(
+        st.integers(min_value=0, max_value=10**9),
+        st.integers(min_value=1, max_value=4096),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_best_never_worse_than_either(self, nbytes, nodes):
+        net = InterconnectModel()
+        best = net.best_allreduce(nbytes, nodes)
+        assert best <= net.ring_allreduce(nbytes, nodes) + 1e-12
+        assert best <= net.tree_allreduce(nbytes, nodes) + 1e-12
+
+
+class TestValidation:
+    def test_bandwidth_positive(self):
+        with pytest.raises(ValueError):
+            InterconnectModel(bandwidth=0)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            InterconnectModel(latency=-1)
+
+    def test_bad_args(self, net):
+        with pytest.raises(ValueError):
+            net.ring_allreduce(-1, 4)
+        with pytest.raises(ValueError):
+            net.ring_allreduce(8, 0)
