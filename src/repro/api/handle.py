@@ -15,7 +15,7 @@ import numpy as np
 from repro.common.errors import PlanError
 from repro.hw.spec import SW26010Spec, DEFAULT_SPEC
 from repro.core.backward import BackwardConvolution
-from repro.core.conv import ConvolutionEngine, TimingReport
+from repro.core.conv import BACKENDS, ConvolutionEngine, TimingReport
 from repro.core.gemm_plan import GemmEngine, GemmParams, GemmPlan
 from repro.core.params import ConvParams
 from repro.core.plans import ConvPlan
@@ -34,13 +34,28 @@ from repro.api.descriptors import (
 
 
 class SwDNNHandle:
-    """Library context: create once, run many layers through it."""
+    """Library context: create once, run many layers through it.
+
+    ``backend`` picks the execution tier for every operation: ``"numpy"``
+    (vectorized reference), ``"mesh"`` (full register-communication
+    simulation), or ``"mesh-fast"`` (bus protocol verified once per shape,
+    then vectorized block-GEMM execution).  Engines are cached alongside
+    plans, so with ``"mesh-fast"`` repeated layer invocations pay the full
+    simulation only on their first batch.
+    """
 
     def __init__(self, spec: SW26010Spec = DEFAULT_SPEC, backend: str = "numpy"):
+        if backend not in BACKENDS:
+            raise PlanError(
+                f"unknown compute backend {backend!r}; expected one of {BACKENDS}"
+            )
         self.spec = spec
         self.backend = backend
         self._plan_cache: Dict[Tuple, ConvPlan] = {}
         self._gemm_cache: Dict[GemmParams, GemmPlan] = {}
+        self._engine_cache: Dict[Tuple, ConvolutionEngine] = {}
+        self._backward_cache: Dict[ConvParams, BackwardConvolution] = {}
+        self._gemm_engine_cache: Dict[GemmParams, GemmEngine] = {}
 
     # -- planning -------------------------------------------------------------
 
@@ -79,6 +94,22 @@ class SwDNNHandle:
                 plan = _build(algo, params, self.spec)
             self._plan_cache[key] = plan
         return plan
+
+    def _engine_for(self, params: ConvParams, algo: ConvolutionFwdAlgo) -> ConvolutionEngine:
+        key = (params, algo)
+        engine = self._engine_cache.get(key)
+        if engine is None:
+            plan = self._plan_for(params, algo)
+            engine = ConvolutionEngine(plan, spec=self.spec, backend=self.backend)
+            self._engine_cache[key] = engine
+        return engine
+
+    def _backward_for(self, params: ConvParams) -> BackwardConvolution:
+        bwd = self._backward_cache.get(params)
+        if bwd is None:
+            bwd = BackwardConvolution(params, spec=self.spec, backend=self.backend)
+            self._backward_cache[params] = bwd
+        return bwd
 
     @property
     def cached_plans(self) -> int:
@@ -134,8 +165,7 @@ class SwDNNHandle:
             raise PlanError(
                 f"input has {params.ni} channels but the filter expects {w.shape[1]}"
             )
-        plan = self._plan_for(params, algo)
-        engine = ConvolutionEngine(plan, spec=self.spec, backend=self.backend)
+        engine = self._engine_for(params, algo)
         return engine.run(x, w, bias=bias, activation=activation)
 
     def convolution_backward_data(
@@ -151,7 +181,7 @@ class SwDNNHandle:
             kc=w.shape[3],
             b=x_desc.n,
         )
-        return BackwardConvolution(params, spec=self.spec).grad_input(w, grad_out)
+        return self._backward_for(params).grad_input(w, grad_out)
 
     def convolution_backward_filter(
         self, x: np.ndarray, grad_out: np.ndarray, w_desc: FilterDescriptor
@@ -166,7 +196,7 @@ class SwDNNHandle:
             kc=w_desc.kw,
             b=x.shape[0],
         )
-        return BackwardConvolution(params, spec=self.spec).grad_filter(x, grad_out)
+        return self._backward_for(params).grad_filter(x, grad_out)
 
     def gemm(self, a: np.ndarray, b: np.ndarray) -> Tuple[np.ndarray, TimingReport]:
         """Dense matmul (fully-connected layers) through swGEMM."""
@@ -175,8 +205,12 @@ class SwDNNHandle:
         if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
             raise PlanError(f"gemm shapes incompatible: {a.shape} @ {b.shape}")
         params = GemmParams(m=a.shape[0], n=b.shape[1], k=a.shape[1])
-        plan = self._gemm_cache.get(params)
-        if plan is None:
-            plan = GemmPlan(params, spec=self.spec)
-            self._gemm_cache[params] = plan
-        return GemmEngine(plan, backend=self.backend).run(a, b)
+        engine = self._gemm_engine_cache.get(params)
+        if engine is None:
+            plan = self._gemm_cache.get(params)
+            if plan is None:
+                plan = GemmPlan(params, spec=self.spec)
+                self._gemm_cache[params] = plan
+            engine = GemmEngine(plan, backend=self.backend)
+            self._gemm_engine_cache[params] = engine
+        return engine.run(a, b)

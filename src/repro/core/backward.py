@@ -23,7 +23,7 @@ Each pass returns both the numeric result (validated against
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -71,11 +71,32 @@ def backward_filter_params(params: ConvParams) -> ConvParams:
 
 
 class BackwardConvolution:
-    """Executes dL/dx and dL/dw through the forward plan machinery."""
+    """Executes dL/dx and dL/dw through the forward plan machinery.
 
-    def __init__(self, params: ConvParams, spec: SW26010Spec = DEFAULT_SPEC):
+    ``backend`` selects the execution tier of the underlying engines
+    (``"numpy"``, ``"mesh"``, ``"mesh-fast"``); engines are built once per
+    pass and reused, so with ``"mesh-fast"`` the bus-protocol verification
+    cost is paid only on the first gradient call per shape.
+    """
+
+    def __init__(
+        self,
+        params: ConvParams,
+        spec: SW26010Spec = DEFAULT_SPEC,
+        backend: str = "numpy",
+    ):
         self.params = params
         self.spec = spec
+        self.backend = backend
+        self._engines: Dict[str, ConvolutionEngine] = {}
+
+    def _engine(self, pass_name: str, eq: ConvParams) -> ConvolutionEngine:
+        engine = self._engines.get(pass_name)
+        if engine is None:
+            plan = plan_convolution(eq, spec=self.spec).plan
+            engine = ConvolutionEngine(plan, spec=self.spec, backend=self.backend)
+            self._engines[pass_name] = engine
+        return engine
 
     # -- backward data ---------------------------------------------------
 
@@ -94,8 +115,7 @@ class BackwardConvolution:
             np.asarray(w, float).transpose(1, 0, 2, 3)[:, :, ::-1, ::-1]
         )
         eq = backward_data_params(p)
-        plan = plan_convolution(eq, spec=self.spec).plan
-        grad_x, report = ConvolutionEngine(plan, spec=self.spec).run(padded, w_t)
+        grad_x, report = self._engine("data", eq).run(padded, w_t)
         return grad_x, report
 
     def evaluate_grad_input(self) -> TimingReport:
@@ -120,8 +140,7 @@ class BackwardConvolution:
         x_t = np.ascontiguousarray(np.asarray(x, float).transpose(1, 0, 2, 3))
         g_t = np.ascontiguousarray(np.asarray(grad_out, float).transpose(1, 0, 2, 3))
         eq = backward_filter_params(p)
-        plan = plan_convolution(eq, spec=self.spec).plan
-        out, report = ConvolutionEngine(plan, spec=self.spec).run(x_t, g_t)
+        out, report = self._engine("filter", eq).run(x_t, g_t)
         # out is (Ni, No, Kr, Kc) -> (No, Ni, Kr, Kc).
         grad_w = np.ascontiguousarray(out.transpose(1, 0, 2, 3))
         return grad_w, report

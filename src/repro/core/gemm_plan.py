@@ -30,6 +30,7 @@ from repro.perf.dma_model import DMAStream, blended_mbw
 from repro.perf.equations import DS, rbw_ldm_reg_gemm_simd
 from repro.perf.model import PerformanceEstimate, _measured_ee
 from repro.core.conv import (
+    BACKENDS,
     OVERLAP_CONTENTION,
     TimingReport,
     _pipeline_timeline,
@@ -195,15 +196,19 @@ class GemmEngine:
         stride_efficiency: float = DMA_STRIDE_EFFICIENCY,
         overlap_contention: float = OVERLAP_CONTENTION,
     ):
-        if backend not in ("numpy", "mesh"):
-            raise PlanError(f"unknown GEMM backend {backend!r}")
+        if backend not in BACKENDS:
+            raise PlanError(f"unknown GEMM backend {backend!r}; known: {BACKENDS}")
         self.plan = plan
         self.spec = plan.spec
         self.backend = backend
         self.stride_efficiency = stride_efficiency
         self.overlap_contention = overlap_contention
         self._dma = DMABandwidthModel(alignment=self.spec.dma_alignment)
-        self._mesh = MeshGemm(spec=self.spec) if backend == "mesh" else None
+        if backend in ("mesh", "mesh-fast"):
+            mode = "session" if backend == "mesh-fast" else "full"
+            self._mesh = MeshGemm(spec=self.spec, mode=mode)
+        else:
+            self._mesh = None
 
     def _cost(self, m_len: int, n_len: int, k_len: int, last_chunk: bool) -> _StepCost:
         plan = self.plan
@@ -262,10 +267,13 @@ class GemmEngine:
         a = np.asarray(a, float)
         b = np.asarray(b, float)
         c = np.zeros((p.m, p.n))
+        if self._mesh is not None:
+            # Stats are per-execution; verified fast-path signatures survive.
+            self._mesh.reset_stats()
         for m0, m_len, n0, n_len in self.plan.tiles():
             a_tile = a[m0 : m0 + m_len, :]
             b_tile = b[:, n0 : n0 + n_len]
-            if self.backend == "mesh" and self._mesh is not None:
+            if self._mesh is not None:
                 c[m0 : m0 + m_len, n0 : n0 + n_len] = self._mesh.multiply(
                     a_tile, b_tile
                 )

@@ -47,8 +47,12 @@ class Conv2D(Layer):
     ``engine="simulated"`` runs the forward pass through the planned tile
     schedule on the simulated core group (identical numerics, exercised end
     to end); ``engine="reference"`` calls the NumPy oracle directly, which
-    is what the training examples use for speed.  Backward always uses the
-    reference gradients.
+    is what the training examples use for speed.  ``backend`` selects the
+    simulated engine's execution tier (``"numpy"``, ``"mesh"``,
+    ``"mesh-fast"``); engines are cached per input shape, so training loops
+    that feed the same shape every batch plan once and — with
+    ``"mesh-fast"`` — verify the bus protocol once.  Backward always uses
+    the reference gradients.
     """
 
     def __init__(
@@ -59,6 +63,7 @@ class Conv2D(Layer):
         kc: int,
         rng: Optional[np.random.Generator] = None,
         engine: str = "reference",
+        backend: str = "numpy",
     ):
         if engine not in ("reference", "simulated"):
             raise PlanError(f"unknown conv engine {engine!r}")
@@ -67,20 +72,29 @@ class Conv2D(Layer):
         self.w = rng.standard_normal((no, ni, kr, kc)) * scale
         self.bias = np.zeros(no)
         self.engine = engine
+        self.backend = backend
         self._x: Optional[np.ndarray] = None
         self._grad_w: Optional[np.ndarray] = None
         self._grad_b: Optional[np.ndarray] = None
+        self._engine_cache: Dict[ConvParams, ConvolutionEngine] = {}
+
+    def _simulated_engine(self, params: ConvParams) -> ConvolutionEngine:
+        engine = self._engine_cache.get(params)
+        if engine is None:
+            from repro.core.planner import plan_convolution
+
+            plan = plan_convolution(params).plan
+            engine = ConvolutionEngine(plan, backend=self.backend)
+            self._engine_cache[params] = engine
+        return engine
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         self._x = np.asarray(x, dtype=np.float64)
         if self.engine == "simulated":
-            from repro.core.planner import plan_convolution
-
             b, ni, ri, ci = self._x.shape
             no, _, kr, kc = self.w.shape
             params = ConvParams(ni=ni, no=no, ri=ri, ci=ci, kr=kr, kc=kc, b=b)
-            plan = plan_convolution(params).plan
-            out, _ = ConvolutionEngine(plan).run(self._x, self.w)
+            out, _ = self._simulated_engine(params).run(self._x, self.w)
         else:
             out = conv2d_reference(self._x, self.w)
         return out + self.bias[None, :, None, None]

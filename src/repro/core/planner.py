@@ -13,6 +13,7 @@ strategies according to the performance model", Section VII).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import List, Optional
 
 from repro.common.errors import PlanError
@@ -55,8 +56,26 @@ def plan_convolution(
     Both plan families are constructed with their best LDM blocking; a
     family whose blocking cannot fit the LDM for these parameters is simply
     not a candidate.  Raises :class:`PlanError` when nothing is feasible.
+
+    With the default model the decision is memoized per (params, spec):
+    repeated layer invocations — the common case in training and sweeps —
+    share one :class:`PlanChoice` (and therefore one compiled plan), so
+    planning is paid once per distinct layer shape.  Callers must not
+    mutate the shared plan.
     """
-    model = model or PerformanceModel(spec)
+    if model is None:
+        return _plan_convolution_cached(params, spec)
+    return _plan_convolution(params, spec, model)
+
+
+@lru_cache(maxsize=1024)
+def _plan_convolution_cached(params: ConvParams, spec: SW26010Spec) -> PlanChoice:
+    return _plan_convolution(params, spec, PerformanceModel(spec))
+
+
+def _plan_convolution(
+    params: ConvParams, spec: SW26010Spec, model: PerformanceModel
+) -> PlanChoice:
     candidates: List[ConvPlan] = []
     failures: List[str] = []
     for family in (BatchSizeAwarePlan, ImageSizeAwarePlan):

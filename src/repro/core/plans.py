@@ -113,6 +113,7 @@ class ConvPlan(abc.ABC):
         self.spec = spec
         register_blocking.check_feasible(spec)
         self._streams_cache: Optional[List[DMAStream]] = None
+        self._schedule_cache: dict = {}
 
     # -- schedule -------------------------------------------------------------
 
@@ -127,6 +128,36 @@ class ConvPlan(abc.ABC):
         the traffic aggregation use.  The functional engine always walks
         the full schedule.
         """
+
+    def compiled_schedule(self, coalesced: bool = False) -> Tuple[TileStep, ...]:
+        """The tile schedule, materialized once and cached.
+
+        Generating a schedule walks the full blocked loop nest in Python;
+        for repeated executions of the same plan (training, sweeps, the
+        handle's plan cache) that regeneration dominates, so the first call
+        compiles the schedule to a tuple and later calls reuse it.  Callers
+        must treat the cached steps as immutable.
+        """
+        key = bool(coalesced)
+        cached = self._schedule_cache.get(key)
+        if cached is None:
+            cached = tuple(self.tile_schedule(coalesced=key))
+            self._schedule_cache[key] = cached
+        return cached
+
+    def signature(self) -> Tuple:
+        """Hashable identity of the schedule this plan generates.
+
+        Two plans with equal signatures produce identical tile schedules
+        and model inputs — the key the timing memoization layers use.
+        """
+        return (
+            self.name,
+            self.params,
+            getattr(self, "blocking", None),
+            self.register_blocking,
+            self.spec,
+        )
 
     @abc.abstractmethod
     def ldm_regions(self) -> List[Tuple[str, int]]:
@@ -151,7 +182,7 @@ class ConvPlan(abc.ABC):
         if self._streams_cache is not None:
             return self._streams_cache
         totals: dict = {}
-        for step in self.tile_schedule(coalesced=True):
+        for step in self.compiled_schedule(coalesced=True):
             for tr in list(step.gets) + list(step.puts):
                 key = (tr.tensor, tr.direction)
                 bytes_so_far, weighted_block = totals.get(key, (0, 0.0))

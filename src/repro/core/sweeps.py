@@ -12,9 +12,11 @@ import csv
 import io
 import itertools
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence
 
 from repro.common.errors import PlanError
+from repro.common.parallel import parallel_map
 from repro.common.tables import TextTable
 from repro.hw.spec import SW26010Spec, DEFAULT_SPEC
 from repro.core.conv import ConvolutionEngine, evaluate_chip
@@ -73,45 +75,51 @@ class SweepRow:
         return not self.error
 
 
+def _sweep_row(params: ConvParams, spec: SW26010Spec, chip: bool) -> SweepRow:
+    """Worker for the parallel fan-out: plan, model and time one config.
+
+    Infeasible configurations become rows with ``error`` set rather than
+    exceptions, so a sweep never aborts on one bad grid point.
+    """
+    try:
+        choice = plan_convolution(params, spec=spec)
+        measured = ConvolutionEngine(choice.plan, spec=spec).evaluate()
+        chip_gflops = (
+            evaluate_chip(params, spec=spec)[0] if chip else 4 * measured.gflops
+        )
+        return SweepRow(
+            params=params,
+            plan=choice.kind,
+            model_gflops=choice.estimate.gflops,
+            measured_gflops=measured.gflops,
+            chip_tflops=chip_gflops / 1e3,
+        )
+    except PlanError as exc:
+        return SweepRow(
+            params=params,
+            plan="-",
+            model_gflops=0.0,
+            measured_gflops=0.0,
+            chip_tflops=0.0,
+            error=str(exc),
+        )
+
+
 def run_sweep(
     grid: SweepGrid,
     spec: SW26010Spec = DEFAULT_SPEC,
     chip: bool = True,
+    jobs: int = 1,
 ) -> List[SweepRow]:
     """Plan, model and time every configuration of the grid.
 
-    Infeasible configurations are reported as rows with ``error`` set
-    rather than aborting the sweep.
+    ``jobs > 1`` fans configurations over worker processes; rows come back
+    in grid order either way, so parallel and serial sweeps render
+    identically.  Infeasible configurations are reported as rows with
+    ``error`` set rather than aborting the sweep.
     """
-    rows: List[SweepRow] = []
-    for params in grid.configurations():
-        try:
-            choice = plan_convolution(params, spec=spec)
-            measured = ConvolutionEngine(choice.plan, spec=spec).evaluate()
-            chip_gflops = (
-                evaluate_chip(params, spec=spec)[0] if chip else 4 * measured.gflops
-            )
-            rows.append(
-                SweepRow(
-                    params=params,
-                    plan=choice.kind,
-                    model_gflops=choice.estimate.gflops,
-                    measured_gflops=measured.gflops,
-                    chip_tflops=chip_gflops / 1e3,
-                )
-            )
-        except PlanError as exc:
-            rows.append(
-                SweepRow(
-                    params=params,
-                    plan="-",
-                    model_gflops=0.0,
-                    measured_gflops=0.0,
-                    chip_tflops=0.0,
-                    error=str(exc),
-                )
-            )
-    return rows
+    worker = partial(_sweep_row, spec=spec, chip=chip)
+    return parallel_map(worker, grid.configurations(), jobs=jobs)
 
 
 def render_sweep(rows: Sequence[SweepRow]) -> str:

@@ -14,15 +14,23 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="repro.experiments")
     parser.add_argument("names", nargs="*", help="experiment subset")
     parser.add_argument("--save", metavar="DIR", help="write artifacts to DIR")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for sweep-style experiments (default: 1; "
+        "output is byte-identical to the serial run)",
+    )
     args = parser.parse_args(argv if argv is not None else sys.argv[1:])
     if args.save:
         from repro.experiments.artifacts import save_experiments
 
-        written = save_experiments(args.save, args.names or None)
+        written = save_experiments(args.save, args.names or None, jobs=args.jobs)
         for path in written:
             print(f"wrote {path}")
         return 0
-    print(run_all(args.names or None))
+    print(run_all(args.names or None, jobs=args.jobs))
     return 0
 
 

@@ -10,10 +10,11 @@ dataclass-heavy result types generically.
 from __future__ import annotations
 
 import dataclasses
+import inspect
 import json
 import os
 from datetime import datetime, timezone
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 from repro import __version__
 from repro.experiments.runner import ALL_EXPERIMENTS
@@ -76,11 +77,12 @@ def _structured_runners() -> Dict[str, Any]:
 
 
 def save_experiments(
-    directory: str, names: List[str] = None
+    directory: str, names: Optional[List[str]] = None, jobs: int = 1
 ) -> List[str]:
     """Run experiments and write ``<name>.txt`` + ``<name>.json`` files.
 
-    Returns the list of file paths written.
+    ``jobs`` is forwarded to runners whose signature accepts it (the
+    sweep-style experiments).  Returns the list of file paths written.
     """
     os.makedirs(directory, exist_ok=True)
     runners = _structured_runners()
@@ -91,7 +93,11 @@ def save_experiments(
         raise ValueError(f"unknown experiments {unknown}; known: {sorted(renderers)}")
     written: List[str] = []
     for name in selected:
-        result = runners[name]()
+        runner = runners[name]
+        if "jobs" in inspect.signature(runner).parameters:
+            result = runner(jobs=jobs)
+        else:
+            result = runner()
         txt_path = os.path.join(directory, f"{name}.txt")
         with open(txt_path, "w") as fh:
             fh.write(renderers[name](result) if _accepts_arg(renderers[name]) else renderers[name]())

@@ -17,7 +17,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+from functools import partial
+
 from repro.baselines.k40m import K40mCuDNNModel
+from repro.common.parallel import parallel_map
 from repro.common.tables import TextTable
 from repro.core.conv import evaluate_chip
 from repro.core.params import ConvParams
@@ -66,15 +69,21 @@ class Fig7Summary:
         return float(np.std(values) / np.mean(values))
 
 
+def _chip_gflops(params: ConvParams, spec: SW26010Spec) -> float:
+    """Worker for the parallel fan-out: one configuration's chip Gflop/s."""
+    return evaluate_chip(params, spec=spec)[0]
+
+
 def run(
     configs: Optional[List[ConvParams]] = None,
     spec: SW26010Spec = DEFAULT_SPEC,
+    jobs: int = 1,
 ) -> Fig7Summary:
     configs = configs if configs is not None else fig7_configs()
     gpu = K40mCuDNNModel()
+    chip_results = parallel_map(partial(_chip_gflops, spec=spec), configs, jobs=jobs)
     rows = []
-    for i, params in enumerate(configs, start=1):
-        chip_gflops, _ = evaluate_chip(params, spec=spec)
+    for i, (params, chip_gflops) in enumerate(zip(configs, chip_results), start=1):
         swdnn_tflops = chip_gflops / 1e3
         k40m_tflops = gpu.gflops(params) / 1e3
         rows.append(
@@ -91,8 +100,8 @@ def run(
     return Fig7Summary(rows=rows)
 
 
-def render(summary: Optional[Fig7Summary] = None) -> str:
-    summary = summary if summary is not None else run()
+def render(summary: Optional[Fig7Summary] = None, jobs: int = 1) -> str:
+    summary = summary if summary is not None else run(jobs=jobs)
     from repro.common.charts import series_chart
 
     chart = series_chart(

@@ -12,7 +12,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+from functools import partial
+
 from repro.baselines.k40m import K40mCuDNNModel
+from repro.common.parallel import parallel_map
 from repro.common.tables import TextTable
 from repro.core.conv import evaluate_chip
 from repro.core.params import ConvParams
@@ -51,15 +54,21 @@ class Fig9Summary:
         return {k: sum(v) / len(v) for k, v in sorted(acc.items())}
 
 
+def _chip_gflops(params: ConvParams, spec: SW26010Spec) -> float:
+    """Worker for the parallel fan-out: one configuration's chip Gflop/s."""
+    return evaluate_chip(params, spec=spec)[0]
+
+
 def run(
     configs: Optional[List[ConvParams]] = None,
     spec: SW26010Spec = DEFAULT_SPEC,
+    jobs: int = 1,
 ) -> Fig9Summary:
     configs = configs if configs is not None else fig8_right()
     gpu = K40mCuDNNModel()
+    chip_results = parallel_map(partial(_chip_gflops, spec=spec), configs, jobs=jobs)
     rows = []
-    for i, params in enumerate(configs, start=1):
-        chip_gflops, _ = evaluate_chip(params, spec=spec)
+    for i, (params, chip_gflops) in enumerate(zip(configs, chip_results), start=1):
         swdnn = chip_gflops / 1e3
         k40m = gpu.gflops(params) / 1e3
         rows.append(
@@ -76,8 +85,8 @@ def run(
     return Fig9Summary(rows=rows)
 
 
-def render(summary: Optional[Fig9Summary] = None) -> str:
-    summary = summary if summary is not None else run()
+def render(summary: Optional[Fig9Summary] = None, jobs: int = 1) -> str:
+    summary = summary if summary is not None else run(jobs=jobs)
     table = TextTable(
         ["#", "filter", "Ni", "No", "swDNN Tflops", "K40m Tflops", "speedup"],
         float_fmt="{:.2f}",

@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Callable, List, Tuple
+import inspect
+from typing import Callable, List, Optional, Tuple
 
 from repro.experiments import (
     fig2_model,
@@ -31,19 +32,35 @@ ALL_EXPERIMENTS: List[Tuple[str, Callable[[], str]]] = [
 ]
 
 
-def run_all(names: List[str] = None) -> str:
-    """Render the selected experiments (all by default) as one report."""
-    selected = ALL_EXPERIMENTS
-    if names:
-        wanted = set(names)
-        selected = [(n, f) for n, f in ALL_EXPERIMENTS if n in wanted]
-        missing = wanted - {n for n, _ in selected}
-        if missing:
-            known = ", ".join(n for n, _ in ALL_EXPERIMENTS)
-            raise ValueError(f"unknown experiments {sorted(missing)}; known: {known}")
+def select_experiments(
+    names: Optional[List[str]] = None,
+) -> List[Tuple[str, Callable[..., str]]]:
+    """Resolve a name subset (all by default), rejecting unknown names."""
+    if not names:
+        return list(ALL_EXPERIMENTS)
+    wanted = set(names)
+    selected = [(n, f) for n, f in ALL_EXPERIMENTS if n in wanted]
+    missing = wanted - {n for n, _ in selected}
+    if missing:
+        known = ", ".join(n for n, _ in ALL_EXPERIMENTS)
+        raise ValueError(f"unknown experiments {sorted(missing)}; known: {known}")
+    return selected
+
+
+def _accepts_jobs(render: Callable[..., str]) -> bool:
+    return "jobs" in inspect.signature(render).parameters
+
+
+def run_all(names: Optional[List[str]] = None, jobs: int = 1) -> str:
+    """Render the selected experiments (all by default) as one report.
+
+    ``jobs`` fans the sweep-style experiments (Fig. 7, Fig. 9, Table III)
+    over worker processes; output is byte-identical to a serial run.
+    """
+    selected = select_experiments(names)
     sections = []
     for name, render in selected:
         sections.append("=" * 72)
-        sections.append(render())
+        sections.append(render(jobs=jobs) if _accepts_jobs(render) else render())
         sections.append("")
     return "\n".join(sections)

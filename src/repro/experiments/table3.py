@@ -12,6 +12,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+from functools import partial
+
+from repro.common.parallel import parallel_map
 from repro.common.tables import TextTable
 from repro.common.units import GB
 from repro.core.conv import ConvolutionEngine
@@ -48,41 +51,42 @@ PAPER_ROWS = [
 ]
 
 
-def run(spec: SW26010Spec = DEFAULT_SPEC) -> List[Table3Row]:
-    rows = []
-    for kind, b_b, b_co, ni, no, prbw, pmbw, pmdl, pmeas in PAPER_ROWS:
-        params = ConvParams.from_output(ni=ni, no=no, ro=64, co=64, kr=3, kc=3, b=128)
-        if kind == "img":
-            plan = ImageSizeAwarePlan(
-                params, blocking=ImageBlocking(b_b=b_b, b_co=b_co), spec=spec
-            )
-        else:
-            plan = BatchSizeAwarePlan(params, spec=spec)
-        estimate = plan.estimate()
-        measured = ConvolutionEngine(plan, spec=spec).evaluate()
-        rows.append(
-            Table3Row(
-                plan=kind,
-                kc=params.kc,
-                b_b=b_b,
-                b_co=b_co,
-                ni=ni,
-                no=no,
-                rbw_gbps=estimate.rbw_mem / GB,
-                mbw_gbps=estimate.mbw_mem / GB,
-                model_gflops=estimate.gflops,
-                measured_gflops=measured.gflops,
-                paper_rbw=prbw,
-                paper_mbw=pmbw,
-                paper_model=pmdl,
-                paper_measured=pmeas,
-            )
+def _table3_row(paper_row: tuple, spec: SW26010Spec) -> Table3Row:
+    """Worker for the parallel fan-out: evaluate one Table III row."""
+    kind, b_b, b_co, ni, no, prbw, pmbw, pmdl, pmeas = paper_row
+    params = ConvParams.from_output(ni=ni, no=no, ro=64, co=64, kr=3, kc=3, b=128)
+    if kind == "img":
+        plan = ImageSizeAwarePlan(
+            params, blocking=ImageBlocking(b_b=b_b, b_co=b_co), spec=spec
         )
-    return rows
+    else:
+        plan = BatchSizeAwarePlan(params, spec=spec)
+    estimate = plan.estimate()
+    measured = ConvolutionEngine(plan, spec=spec).evaluate()
+    return Table3Row(
+        plan=kind,
+        kc=params.kc,
+        b_b=b_b,
+        b_co=b_co,
+        ni=ni,
+        no=no,
+        rbw_gbps=estimate.rbw_mem / GB,
+        mbw_gbps=estimate.mbw_mem / GB,
+        model_gflops=estimate.gflops,
+        measured_gflops=measured.gflops,
+        paper_rbw=prbw,
+        paper_mbw=pmbw,
+        paper_model=pmdl,
+        paper_measured=pmeas,
+    )
 
 
-def render(rows: Optional[List[Table3Row]] = None) -> str:
-    rows = rows if rows is not None else run()
+def run(spec: SW26010Spec = DEFAULT_SPEC, jobs: int = 1) -> List[Table3Row]:
+    return parallel_map(partial(_table3_row, spec=spec), PAPER_ROWS, jobs=jobs)
+
+
+def render(rows: Optional[List[Table3Row]] = None, jobs: int = 1) -> str:
+    rows = rows if rows is not None else run(jobs=jobs)
     table = TextTable(
         [
             "Plan",

@@ -71,6 +71,20 @@ class RegisterBus:
         self.stats.bytes += nbytes
         self.stats.operations += 1
 
+    def account_bulk(self, nbytes: int, receivers: int, operations: int) -> None:
+        """Record ``operations`` equal-sized puts in one call.
+
+        Equivalent to calling :meth:`account` ``operations`` times — the
+        fast-path GEMM uses it to charge a whole schedule's traffic without
+        walking the per-step broadcast loops.
+        """
+        if operations < 0:
+            raise ValueError(f"operations must be non-negative, got {operations}")
+        packets = -(-nbytes // self.packet_bytes)
+        self.stats.packets += packets * operations
+        self.stats.bytes += nbytes * operations
+        self.stats.operations += operations
+
 
 class TransferBuffer:
     """The receive-side FIFO of one CPE (producer-consumer protocol)."""

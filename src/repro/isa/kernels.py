@@ -195,8 +195,13 @@ def paper_execution_efficiency(ni: int) -> float:
 
 
 def kernel_execution_efficiency(spec: GemmKernelSpec) -> float:
-    """Measured EE: simulate the reordered kernel on the dual pipelines."""
-    from repro.isa.pipeline import DualPipelineSimulator
+    """Measured EE: simulate the reordered kernel on the dual pipelines.
 
-    report = DualPipelineSimulator().simulate(gemm_kernel_reordered(spec))
+    Reports are memoized on the program signature (see
+    :func:`repro.isa.pipeline.simulate_cached`), complementing the
+    per-(iterations, block) cache in :mod:`repro.perf.model`.
+    """
+    from repro.isa.pipeline import simulate_cached
+
+    report = simulate_cached(gemm_kernel_reordered(spec))
     return report.fma_efficiency

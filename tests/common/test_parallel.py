@@ -1,0 +1,60 @@
+"""Deterministic multiprocessing fan-out (`repro.common.parallel`)."""
+
+import pytest
+
+from repro.common.parallel import parallel_map, resolve_jobs
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def _flaky_order(x: float) -> float:
+    # Unequal work per item: later items finish first under parallelism,
+    # which is exactly what order preservation must survive.
+    total = 0.0
+    for _ in range(int(1000 * (10 - x))):
+        total += x
+    return x
+
+
+class TestResolveJobs:
+    def test_clamped_to_task_count(self):
+        assert resolve_jobs(8, 3) == 3
+
+    def test_serial_passthrough(self):
+        assert resolve_jobs(1, 100) == 1
+
+    def test_zero_tasks(self):
+        assert resolve_jobs(4, 0) == 1
+
+    @pytest.mark.parametrize("bad", [0, -1, -100])
+    def test_non_positive_rejected(self, bad):
+        with pytest.raises(ValueError):
+            resolve_jobs(bad, 10)
+
+
+class TestParallelMap:
+    def test_serial_matches_list_comprehension(self):
+        items = list(range(20))
+        assert parallel_map(_square, items, jobs=1) == [x * x for x in items]
+
+    def test_parallel_matches_serial(self):
+        items = list(range(20))
+        serial = parallel_map(_square, items, jobs=1)
+        parallel = parallel_map(_square, items, jobs=4)
+        assert parallel == serial
+
+    def test_order_preserved_with_skewed_work(self):
+        items = [float(x) for x in range(10)]
+        assert parallel_map(_flaky_order, items, jobs=4) == items
+
+    def test_empty_items(self):
+        assert parallel_map(_square, [], jobs=4) == []
+
+    def test_iterable_input(self):
+        assert parallel_map(_square, iter(range(5)), jobs=2) == [0, 1, 4, 9, 16]
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            parallel_map(_square, [1, 2, 3], jobs=0)

@@ -1,0 +1,220 @@
+"""Fast-path (session-mode) execution parity with the full mesh simulation.
+
+The ``mesh-fast`` tier promises *bit-identical* results to the ``mesh``
+backend: session mode verifies the Fig. 3 bus protocol once per operand
+signature, then executes the same block schedule as batched NumPy GEMMs.
+These tests pin that contract — numerics, statistics accounting, and the
+``reset_stats`` semantics between plan executions.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import PlanError
+from repro.core.backward import BackwardConvolution
+from repro.core.conv import BACKENDS, ConvolutionEngine
+from repro.core.params import ConvParams
+from repro.core.planner import plan_convolution
+from repro.core.reference import conv2d_reference
+from repro.core.register_comm import MeshGemm
+from repro.hw.spec import DEFAULT_SPEC
+
+
+SMALL = DEFAULT_SPEC.shrunk(4)
+
+
+def _pair(rng, shape_w, shape_d):
+    return rng.standard_normal(shape_w), rng.standard_normal(shape_d)
+
+
+class TestSessionMeshGemm:
+    def test_mode_validated(self):
+        with pytest.raises(PlanError):
+            MeshGemm(spec=SMALL, mode="warp")
+
+    def test_first_multiply_verifies_then_fast(self, rng):
+        gemm = MeshGemm(spec=SMALL, mode="session")
+        w, d = _pair(rng, (8, 12), (12, 16))
+        assert gemm.verified_signatures == 0
+        first = gemm.multiply(w, d)
+        assert gemm.verified_signatures == 1
+        second = gemm.multiply(w, d)
+        assert gemm.verified_signatures == 1  # same signature, no re-verify
+        assert np.array_equal(first, second)
+
+    @given(
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=0, max_value=99),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_fast_path_bit_identical_to_full(self, a, b, c, seed):
+        rng = np.random.default_rng(seed)
+        w = rng.standard_normal((4 * a, 4 * b))
+        d = rng.standard_normal((4 * b, 4 * c))
+        full = MeshGemm(spec=SMALL, mode="full").multiply(w, d)
+        session = MeshGemm(spec=SMALL, mode="session")
+        session.multiply(w, d)  # verification run
+        fast = session.multiply(w, d)  # fast path
+        assert np.array_equal(full, fast)
+
+    def test_fast_path_statistics_match_full(self, rng):
+        w, d = _pair(rng, (16, 24), (24, 16))
+        full = MeshGemm(spec=SMALL, mode="full")
+        full.multiply(w, d)
+        session = MeshGemm(spec=SMALL, mode="session")
+        session.multiply(w, d)  # verify (runs the full protocol once)
+        session.reset_stats()
+        session.multiply(w, d)  # pure fast path
+
+        def bus_stats(g):
+            return [
+                (b.stats.packets, b.stats.bytes, b.stats.operations)
+                for b in g.mesh.row_buses + g.mesh.col_buses
+            ]
+
+        def cpe_stats(g):
+            return [
+                (c.stats.bus_puts, c.stats.bus_gets, c.stats.flops)
+                for c in g.mesh
+            ]
+
+        assert bus_stats(session) == bus_stats(full)
+        assert cpe_stats(session) == cpe_stats(full)
+        assert session.bus_bytes() == full.bus_bytes()
+
+    def test_reset_stats_clears_counters_keeps_signatures(self, rng):
+        gemm = MeshGemm(spec=SMALL, mode="session")
+        w, d = _pair(rng, (8, 8), (8, 8))
+        gemm.multiply(w, d)
+        assert gemm.bus_bytes() > 0
+        assert gemm.verified_signatures == 1
+        gemm.reset_stats()
+        assert gemm.bus_bytes() == 0
+        assert all(c.stats.flops == 0 for c in gemm.mesh)
+        assert all(c.stats.bus_puts == 0 for c in gemm.mesh)
+        assert gemm.verified_signatures == 1  # fast path still armed
+        # Next multiply of the same signature goes straight to the fast path
+        # and accounts exactly one schedule's traffic.
+        before = gemm.verified_signatures
+        gemm.multiply(w, d)
+        assert gemm.verified_signatures == before
+
+    def test_distinct_signatures_verified_separately(self, rng):
+        gemm = MeshGemm(spec=SMALL, mode="session")
+        gemm.multiply(*_pair(rng, (8, 8), (8, 8)))
+        gemm.multiply(*_pair(rng, (8, 12), (12, 8)))
+        assert gemm.verified_signatures == 2
+
+
+#: Mesh-divisible layer shapes for the engine-level parity property.
+PARITY_CONFIGS = [
+    ConvParams(ni=8, no=8, ri=10, ci=10, kr=3, kc=3, b=8),
+    ConvParams(ni=16, no=8, ri=8, ci=8, kr=3, kc=3, b=8),
+    ConvParams(ni=8, no=16, ri=6, ci=6, kr=1, kc=1, b=16),
+    ConvParams(ni=16, no=16, ri=10, ci=10, kr=5, kc=5, b=8),
+    ConvParams(ni=8, no=8, ri=12, ci=8, kr=3, kc=1, b=8),
+]
+
+
+def _engines(params, backends=("mesh", "mesh-fast")):
+    plan = plan_convolution(params).plan
+    return [ConvolutionEngine(plan, backend=b) for b in backends]
+
+
+class TestConvForwardParity:
+    @pytest.mark.parametrize("params", PARITY_CONFIGS, ids=str)
+    def test_forward_bit_identical_to_mesh(self, params, rng):
+        x = rng.standard_normal(params.input_shape)
+        w = rng.standard_normal(params.filter_shape)
+        mesh_engine, fast_engine = _engines(params)
+        y_mesh, _ = mesh_engine.run(x, w)
+        y_fast, _ = fast_engine.run(x, w)
+        assert np.array_equal(y_mesh, y_fast)
+        assert np.allclose(y_fast, conv2d_reference(x, w), rtol=1e-10, atol=1e-10)
+
+    def test_repeated_runs_stay_identical(self, rng):
+        params = PARITY_CONFIGS[0]
+        x = rng.standard_normal(params.input_shape)
+        w = rng.standard_normal(params.filter_shape)
+        (fast_engine,) = _engines(params, backends=("mesh-fast",))
+        first, _ = fast_engine.run(x, w)
+        verified = fast_engine._mesh_gemm.verified_signatures
+        assert verified > 0
+        second, _ = fast_engine.run(x, w)
+        assert fast_engine._mesh_gemm.verified_signatures == verified
+        assert np.array_equal(first, second)
+
+    def test_run_resets_stats_between_executions(self, rng):
+        params = PARITY_CONFIGS[0]
+        x = rng.standard_normal(params.input_shape)
+        w = rng.standard_normal(params.filter_shape)
+        (fast_engine,) = _engines(params, backends=("mesh-fast",))
+        fast_engine.run(x, w)
+        traffic_first = fast_engine._mesh_gemm.bus_bytes()
+        fast_engine.run(x, w)
+        # Same plan, same shapes: one execution's traffic, not the lifetime's.
+        assert fast_engine._mesh_gemm.bus_bytes() == traffic_first
+
+    def test_unknown_backend_rejected(self):
+        plan = plan_convolution(PARITY_CONFIGS[0]).plan
+        with pytest.raises(PlanError):
+            ConvolutionEngine(plan, backend="cuda")
+        assert "mesh-fast" in BACKENDS
+
+
+class TestBackwardParity:
+    @pytest.mark.parametrize("params", PARITY_CONFIGS[:3], ids=str)
+    def test_backward_data_bit_identical_to_mesh(self, params, rng):
+        w = rng.standard_normal(params.filter_shape)
+        grad_out = rng.standard_normal(params.output_shape)
+        gx_mesh, _ = BackwardConvolution(params, backend="mesh").grad_input(
+            w, grad_out
+        )
+        gx_fast, _ = BackwardConvolution(params, backend="mesh-fast").grad_input(
+            w, grad_out
+        )
+        assert np.array_equal(gx_mesh, gx_fast)
+
+    @pytest.mark.parametrize("params", PARITY_CONFIGS[:3], ids=str)
+    def test_backward_filter_bit_identical_to_mesh(self, params, rng):
+        x = rng.standard_normal(params.input_shape)
+        grad_out = rng.standard_normal(params.output_shape)
+        gw_mesh, _ = BackwardConvolution(params, backend="mesh").grad_filter(
+            x, grad_out
+        )
+        gw_fast, _ = BackwardConvolution(params, backend="mesh-fast").grad_filter(
+            x, grad_out
+        )
+        assert np.array_equal(gw_mesh, gw_fast)
+
+    def test_backward_engines_reused(self, rng):
+        params = PARITY_CONFIGS[0]
+        bwd = BackwardConvolution(params, backend="mesh-fast")
+        w = rng.standard_normal(params.filter_shape)
+        grad_out = rng.standard_normal(params.output_shape)
+        g1, _ = bwd.grad_input(w, grad_out)
+        engine = bwd._engines["data"]
+        g2, _ = bwd.grad_input(w, grad_out)
+        assert bwd._engines["data"] is engine
+        assert np.array_equal(g1, g2)
+
+
+class TestPaddedParity:
+    def test_handle_padding_bit_identical_to_mesh(self, rng):
+        from repro.api.descriptors import ConvolutionDescriptor
+        from repro.api.handle import SwDNNHandle
+
+        x = rng.standard_normal((8, 8, 8, 8))
+        w = rng.standard_normal((8, 8, 3, 3))
+        desc = ConvolutionDescriptor(pad_h=1, pad_w=1)
+        y_mesh, _ = SwDNNHandle(backend="mesh").convolution_forward(
+            x, w, conv_desc=desc
+        )
+        y_fast, _ = SwDNNHandle(backend="mesh-fast").convolution_forward(
+            x, w, conv_desc=desc
+        )
+        assert y_mesh.shape == (8, 8, 8, 8)  # same-padding output
+        assert np.array_equal(y_mesh, y_fast)

@@ -1,0 +1,60 @@
+"""Parallel experiment fan-out: determinism and runner name validation."""
+
+import pytest
+
+from repro.core.sweeps import SweepGrid, run_sweep
+from repro.experiments import fig7, fig9, table3
+from repro.experiments.runner import ALL_EXPERIMENTS, run_all, select_experiments
+
+
+class TestRunAllNames:
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown experiments"):
+            run_all(["fig7", "fig99"])
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(ValueError, match="table3"):
+            select_experiments(["nope"])
+
+    def test_none_selects_all(self):
+        assert select_experiments(None) == list(ALL_EXPERIMENTS)
+        assert select_experiments([]) == list(ALL_EXPERIMENTS)
+
+    def test_subset_preserves_order(self):
+        selected = select_experiments(["table3", "fig7"])
+        assert [n for n, _ in selected] == ["fig7", "table3"]
+
+
+class TestParallelDeterminism:
+    def test_table3_parallel_identical_to_serial(self):
+        assert table3.render(jobs=2) == table3.render(jobs=1)
+
+    def test_fig7_parallel_identical_to_serial(self):
+        configs = fig7.fig7_configs()[:6]
+        serial = fig7.run(configs=configs, jobs=1)
+        parallel = fig7.run(configs=configs, jobs=3)
+        assert parallel == serial
+
+    def test_fig9_parallel_identical_to_serial(self):
+        configs = fig9.fig8_right()[:4]
+        assert fig9.run(configs=configs, jobs=2) == fig9.run(configs=configs, jobs=1)
+
+    def test_sweep_parallel_identical_to_serial(self):
+        grid = SweepGrid(ni=(32, 64), no=(32, 64), out=(8,), b=(16,))
+        serial = run_sweep(grid, chip=False, jobs=1)
+        parallel = run_sweep(grid, chip=False, jobs=2)
+        assert parallel == serial
+
+    def test_sweep_parallel_keeps_error_rows(self):
+        # An infeasible grid point must come back as an error row from a
+        # worker process, same as it does serially.
+        grid = SweepGrid(ni=(64,), no=(200_000,), out=(8,), k=(3,), b=(32,))
+        rows = run_sweep(grid, chip=False, jobs=2)
+        assert len(rows) == 1
+        assert not rows[0].ok
+        assert "blocking" in rows[0].error or "LDM" in rows[0].error
+
+    def test_run_all_accepts_jobs(self):
+        report = run_all(["table3"], jobs=2)
+        assert "Table III" in report
+        assert report == run_all(["table3"], jobs=1)
