@@ -1,0 +1,13 @@
+PYTHONPATH := src
+export PYTHONPATH
+
+.PHONY: test faults verify
+
+test:
+	python -m pytest -x -q
+
+faults:
+	python -m pytest -x -q -m faults tests/faults
+
+verify:
+	sh scripts/verify.sh

@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# Repo verification: tier-1 suite + seeded fault-sweep smoke test.
+#
+# Both stages run under a hard coreutils timeout(1) so a wedged sweep (a
+# hung worker, a deadlocked pool) fails loudly instead of hanging CI.
+# Exit code is non-zero if either stage fails or times out.
+set -eu
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="${PYTHONPATH:-src}"
+
+TIER1_TIMEOUT="${TIER1_TIMEOUT:-1200}"
+FAULTS_TIMEOUT="${FAULTS_TIMEOUT:-300}"
+
+echo "== tier-1 suite (timeout ${TIER1_TIMEOUT}s) =="
+timeout "${TIER1_TIMEOUT}" python -m pytest -x -q
+
+echo "== seeded fault-sweep smoke test (timeout ${FAULTS_TIMEOUT}s) =="
+timeout "${FAULTS_TIMEOUT}" python -m pytest -x -q -m faults tests/faults
+
+echo "verify: OK"

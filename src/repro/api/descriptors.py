@@ -31,7 +31,10 @@ class TensorDescriptor:
     def __post_init__(self) -> None:
         for name in ("n", "c", "h", "w"):
             if getattr(self, name) < 1:
-                raise PlanError(f"tensor dim {name} must be positive, got {getattr(self, name)}")
+                raise PlanError(
+                    f"TensorDescriptor.{name} must be positive, got "
+                    f"{getattr(self, name)}"
+                )
         if self.dtype != "float64":
             raise PlanError(
                 f"swDNN evaluates in double precision; dtype {self.dtype!r} "
@@ -61,7 +64,10 @@ class FilterDescriptor:
     def __post_init__(self) -> None:
         for name in ("k", "c", "kh", "kw"):
             if getattr(self, name) < 1:
-                raise PlanError(f"filter dim {name} must be positive")
+                raise PlanError(
+                    f"FilterDescriptor.{name} must be positive, got "
+                    f"{getattr(self, name)}"
+                )
 
     @property
     def shape(self) -> Tuple[int, int, int, int]:
@@ -90,10 +96,18 @@ class ConvolutionDescriptor:
     stride_w: int = 1
 
     def __post_init__(self) -> None:
-        if self.pad_h < 0 or self.pad_w < 0:
-            raise PlanError("padding must be non-negative")
-        if self.stride_h != 1 or self.stride_w != 1:
-            raise PlanError("only stride 1 is implemented (as in the paper)")
+        for name in ("pad_h", "pad_w"):
+            if getattr(self, name) < 0:
+                raise PlanError(
+                    f"ConvolutionDescriptor.{name} must be non-negative, got "
+                    f"{getattr(self, name)}"
+                )
+        for name in ("stride_h", "stride_w"):
+            if getattr(self, name) != 1:
+                raise PlanError(
+                    f"ConvolutionDescriptor.{name} must be 1 (only stride 1 "
+                    f"is implemented, as in the paper), got {getattr(self, name)}"
+                )
 
     @property
     def has_padding(self) -> bool:
@@ -112,13 +126,26 @@ def resolve_conv_params(
     """
     if x_desc.c != w_desc.c:
         raise PlanError(
-            f"input has {x_desc.c} channels but the filter expects {w_desc.c}"
+            f"TensorDescriptor.c = {x_desc.c} does not match "
+            f"FilterDescriptor.c = {w_desc.c}"
         )
     ri = x_desc.h + 2 * conv_desc.pad_h
     ci = x_desc.w + 2 * conv_desc.pad_w
-    if w_desc.kh > ri or w_desc.kw > ci:
+    # Eager output-size validation: a combination that makes the output
+    # empty is named here, not discovered deep in the planner.
+    ro = (ri - w_desc.kh) // conv_desc.stride_h + 1
+    co = (ci - w_desc.kw) // conv_desc.stride_w + 1
+    if ro < 1:
         raise PlanError(
-            f"filter {w_desc.kh}x{w_desc.kw} larger than (padded) image {ri}x{ci}"
+            f"output height would be {ro} <= 0: FilterDescriptor.kh = "
+            f"{w_desc.kh} exceeds TensorDescriptor.h = {x_desc.h} + "
+            f"2 * pad_h = {2 * conv_desc.pad_h}"
+        )
+    if co < 1:
+        raise PlanError(
+            f"output width would be {co} <= 0: FilterDescriptor.kw = "
+            f"{w_desc.kw} exceeds TensorDescriptor.w = {x_desc.w} + "
+            f"2 * pad_w = {2 * conv_desc.pad_w}"
         )
     return ConvParams(
         ni=x_desc.c,

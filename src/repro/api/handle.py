@@ -44,13 +44,28 @@ class SwDNNHandle:
     simulation only on their first batch.
     """
 
-    def __init__(self, spec: SW26010Spec = DEFAULT_SPEC, backend: str = "numpy"):
+    def __init__(
+        self,
+        spec: SW26010Spec = DEFAULT_SPEC,
+        backend: str = "numpy",
+        fault_plan=None,
+        guarded: bool = False,
+        parity_check: bool = False,
+    ):
         if backend not in BACKENDS:
             raise PlanError(
                 f"unknown compute backend {backend!r}; expected one of {BACKENDS}"
             )
         self.spec = spec
         self.backend = backend
+        #: Optional :class:`repro.faults.FaultPlan` degrading the device.
+        self.fault_plan = fault_plan
+        #: Guarded mode wraps every forward engine in the fallback ladder
+        #: (mesh-fast -> mesh -> numpy -> reference) with NaN/Inf guards;
+        #: it is implied whenever a fault plan is attached.
+        self.guarded = guarded or fault_plan is not None
+        self.parity_check = parity_check
+        self._last_outcome = None
         self._plan_cache: Dict[Tuple, ConvPlan] = {}
         self._gemm_cache: Dict[GemmParams, GemmPlan] = {}
         self._engine_cache: Dict[Tuple, ConvolutionEngine] = {}
@@ -95,14 +110,35 @@ class SwDNNHandle:
             self._plan_cache[key] = plan
         return plan
 
-    def _engine_for(self, params: ConvParams, algo: ConvolutionFwdAlgo) -> ConvolutionEngine:
+    def _engine_for(self, params: ConvParams, algo: ConvolutionFwdAlgo):
         key = (params, algo)
         engine = self._engine_cache.get(key)
         if engine is None:
             plan = self._plan_for(params, algo)
-            engine = ConvolutionEngine(plan, spec=self.spec, backend=self.backend)
+            if self.guarded:
+                from repro.core.guarded import GuardedConvolutionEngine
+
+                engine = GuardedConvolutionEngine(
+                    plan,
+                    spec=self.spec,
+                    backend=self.backend,
+                    fault_plan=self.fault_plan,
+                    parity_check=self.parity_check,
+                )
+            else:
+                engine = ConvolutionEngine(plan, spec=self.spec, backend=self.backend)
             self._engine_cache[key] = engine
         return engine
+
+    @property
+    def last_outcome(self):
+        """The most recent guarded forward's outcome, or ``None``.
+
+        In guarded mode this reports which ladder tier produced the last
+        ``convolution_forward`` result and any demotions taken; unguarded
+        handles always return ``None``.
+        """
+        return self._last_outcome
 
     def _backward_for(self, params: ConvParams) -> BackwardConvolution:
         bwd = self._backward_cache.get(params)
@@ -142,6 +178,18 @@ class SwDNNHandle:
             w_desc.matches(w)
         if x.ndim != 4 or w.ndim != 4:
             raise PlanError("convolution_forward expects 4-D NCHW operands")
+        # Eager validation: fail here with the offending field named, not
+        # deep inside the planner.
+        for name, extent in zip("nchw", x.shape):
+            if extent < 1:
+                raise PlanError(
+                    f"input tensor dim {name!r} must be positive, got {extent}"
+                )
+        for name, extent in zip(("k", "c", "kh", "kw"), w.shape):
+            if extent < 1:
+                raise PlanError(
+                    f"filter dim {name!r} must be positive, got {extent}"
+                )
         if conv_desc is not None and conv_desc.has_padding:
             x = np.pad(
                 x,
@@ -151,6 +199,12 @@ class SwDNNHandle:
                     (conv_desc.pad_h, conv_desc.pad_h),
                     (conv_desc.pad_w, conv_desc.pad_w),
                 ),
+            )
+        if w.shape[2] > x.shape[2] or w.shape[3] > x.shape[3]:
+            raise PlanError(
+                f"output size would be <= 0: filter kh x kw = "
+                f"{w.shape[2]}x{w.shape[3]} exceeds the (padded) input "
+                f"h x w = {x.shape[2]}x{x.shape[3]}"
             )
         params = ConvParams(
             ni=x.shape[1],
@@ -166,7 +220,9 @@ class SwDNNHandle:
                 f"input has {params.ni} channels but the filter expects {w.shape[1]}"
             )
         engine = self._engine_for(params, algo)
-        return engine.run(x, w, bias=bias, activation=activation)
+        result = engine.run(x, w, bias=bias, activation=activation)
+        self._last_outcome = getattr(engine, "last_outcome", None)
+        return result
 
     def convolution_backward_data(
         self, w: np.ndarray, grad_out: np.ndarray, x_desc: TensorDescriptor

@@ -17,6 +17,13 @@ from repro.common.errors import (
     PlanError,
     SimulationError,
     BusProtocolError,
+    HardwareFaultError,
+    DMATimeoutError,
+    CPEFaultError,
+    BusStallError,
+    ECCError,
+    WorkerError,
+    JobTimeoutError,
 )
 from repro.common.tables import TextTable
 
@@ -35,5 +42,12 @@ __all__ = [
     "PlanError",
     "SimulationError",
     "BusProtocolError",
+    "HardwareFaultError",
+    "DMATimeoutError",
+    "CPEFaultError",
+    "BusStallError",
+    "ECCError",
+    "WorkerError",
+    "JobTimeoutError",
     "TextTable",
 ]

@@ -30,3 +30,47 @@ class SimulationError(ReproError):
 
 class BusProtocolError(SimulationError):
     """Register-communication bus misuse (mismatched put/get, overflow)."""
+
+
+class HardwareFaultError(SimulationError):
+    """An injected degraded-hardware condition fired (see ``repro.faults``).
+
+    Unlike the protocol errors above — which mark bugs in a schedule — a
+    hardware fault models the machine misbehaving under a seeded
+    :class:`~repro.faults.FaultPlan`; the guarded execution layer catches
+    these and degrades (fallback, replan, retry) instead of aborting.
+    """
+
+
+class DMATimeoutError(HardwareFaultError):
+    """A DMA transfer exceeded its completion deadline (hung descriptor)."""
+
+
+class CPEFaultError(HardwareFaultError):
+    """A fenced (disabled) CPE was asked to compute or communicate."""
+
+
+class BusStallError(HardwareFaultError):
+    """A register-bus transfer stalled, or a put/get pair was dropped."""
+
+
+class ECCError(HardwareFaultError):
+    """An LDM bit-flip was detected by ECC (uncorrectable double-bit)."""
+
+
+class WorkerError(ReproError):
+    """A parallel worker failed; carries the job's arguments and traceback.
+
+    ``item_repr`` is the ``repr`` of the failing job's input and
+    ``original_traceback`` the formatted traceback from the worker process,
+    so a remote failure is debuggable without re-running the sweep serially.
+    """
+
+    def __init__(self, message: str, item_repr: str = "", original_traceback: str = ""):
+        super().__init__(message)
+        self.item_repr = item_repr
+        self.original_traceback = original_traceback
+
+
+class JobTimeoutError(WorkerError):
+    """A parallel job exceeded its per-attempt timeout (hung or dead worker)."""

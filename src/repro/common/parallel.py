@@ -1,4 +1,4 @@
-"""Deterministic multiprocessing fan-out for independent configurations.
+"""Deterministic, fault-tolerant multiprocessing fan-out.
 
 The evaluation sweeps (Fig. 7's 101 configurations, Fig. 9's filter grid,
 Table III, user sweeps) are embarrassingly parallel: every configuration
@@ -10,12 +10,33 @@ serial one — parallelism is purely a wall-clock optimization.
 ``jobs=1`` (the default everywhere) bypasses multiprocessing entirely; the
 serial path stays the reference behavior and the one test suites exercise
 by default.
+
+Robustness (used by chaos sweeps and long production runs):
+
+* A worker exception is re-raised in the parent as
+  :class:`~repro.common.errors.WorkerError` carrying the failing job's
+  input ``repr`` and the worker's original traceback — never a bare remote
+  error with no context.
+* ``retries``/``backoff`` re-run an individual failed job with exponential
+  backoff before giving up; one bad draw does not kill a 100-config sweep.
+* ``timeout`` bounds each attempt; combined with per-job dispatch it also
+  provides **crash isolation**: a worker process that dies outright (OOM
+  kill, segfault, ``os._exit``) loses only its own job — the pool replaces
+  the worker, the lost job times out and is retried or reported as
+  :class:`~repro.common.errors.JobTimeoutError`, and every other job
+  completes normally.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-from typing import Callable, Iterable, List, Sequence, TypeVar
+import time
+import traceback
+from dataclasses import dataclass
+from functools import partial
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+from repro.common.errors import JobTimeoutError, WorkerError
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -32,8 +53,67 @@ def resolve_jobs(jobs: int, tasks: int) -> int:
     return max(1, min(jobs, tasks))
 
 
+@dataclass
+class _RemoteFailure:
+    """A worker-side exception, shipped back to the parent picklably."""
+
+    item_repr: str
+    exc_type: str
+    exc_message: str
+    traceback: str
+
+    def to_error(self) -> WorkerError:
+        return WorkerError(
+            f"worker failed on item {self.item_repr}: "
+            f"{self.exc_type}: {self.exc_message}\n"
+            f"--- worker traceback ---\n{self.traceback}",
+            item_repr=self.item_repr,
+            original_traceback=self.traceback,
+        )
+
+
+def _guarded_call(fn: Callable[[T], R], item: T) -> object:
+    """Worker wrapper: capture any exception with its context, picklably."""
+    try:
+        return fn(item)
+    except Exception as exc:  # noqa: BLE001 - shipped to the parent intact
+        return _RemoteFailure(
+            item_repr=repr(item),
+            exc_type=type(exc).__name__,
+            exc_message=str(exc),
+            traceback=traceback.format_exc(),
+        )
+
+
+def _backoff_sleep(backoff: float, attempt: int) -> None:
+    if backoff > 0:
+        time.sleep(backoff * (2 ** attempt))
+
+
+def _serial_map(
+    fn: Callable[[T], R], items: Sequence[T], retries: int, backoff: float
+) -> List[R]:
+    results: List[R] = []
+    for item in items:
+        for attempt in range(retries + 1):
+            outcome = _guarded_call(fn, item)
+            if not isinstance(outcome, _RemoteFailure):
+                results.append(outcome)
+                break
+            if attempt < retries:
+                _backoff_sleep(backoff, attempt)
+                continue
+            raise outcome.to_error()
+    return results
+
+
 def parallel_map(
-    fn: Callable[[T], R], items: Iterable[T], jobs: int = 1
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    jobs: int = 1,
+    retries: int = 0,
+    backoff: float = 0.0,
+    timeout: Optional[float] = None,
 ) -> List[R]:
     """``[fn(x) for x in items]`` over ``jobs`` processes, order-preserving.
 
@@ -41,12 +121,67 @@ def parallel_map(
     :func:`functools.partial` over them).  Results are returned in input
     order regardless of completion order, so output built from them is
     deterministic and byte-identical to the serial run.
+
+    ``retries`` re-runs an individual failed (or timed-out) job up to that
+    many extra times, sleeping ``backoff * 2**attempt`` seconds between
+    attempts.  ``timeout`` bounds each attempt in seconds; a job whose
+    worker died or hung past the deadline raises
+    :class:`~repro.common.errors.JobTimeoutError` once retries are
+    exhausted, without affecting any other job.  Failures always surface as
+    :class:`~repro.common.errors.WorkerError` carrying the job's input and
+    the worker's original traceback.
     """
+    if retries < 0:
+        raise ValueError(f"retries must be non-negative, got {retries}")
+    if backoff < 0:
+        raise ValueError(f"backoff must be non-negative, got {backoff}")
+    if timeout is not None and timeout <= 0:
+        raise ValueError(f"timeout must be positive, got {timeout}")
     items = list(items)
     jobs = resolve_jobs(jobs, len(items))
     if jobs == 1:
-        return [fn(item) for item in items]
-    # chunksize > 1 amortizes IPC for large sweeps without affecting order.
-    chunksize = max(1, len(items) // (jobs * 4))
+        return _serial_map(fn, items, retries, backoff)
+    call = partial(_guarded_call, fn)
+    if retries == 0 and timeout is None:
+        # Fast path: chunked pool.map amortizes IPC for large sweeps.
+        chunksize = max(1, len(items) // (jobs * 4))
+        with multiprocessing.Pool(processes=jobs) as pool:
+            results = pool.map(call, items, chunksize=chunksize)
+        for outcome in results:
+            if isinstance(outcome, _RemoteFailure):
+                raise outcome.to_error()
+        return results
+    # Robust path: per-job dispatch so a single dead/hung worker can only
+    # take down its own job, and failed jobs can be retried individually.
     with multiprocessing.Pool(processes=jobs) as pool:
-        return pool.map(fn, items, chunksize=chunksize)
+        pending = [pool.apply_async(call, (item,)) for item in items]
+        results: List[R] = [None] * len(items)  # type: ignore[list-item]
+        for index, item in enumerate(items):
+            async_result = pending[index]
+            for attempt in range(retries + 1):
+                try:
+                    outcome = async_result.get(timeout)
+                except multiprocessing.TimeoutError:
+                    outcome = _RemoteFailure(
+                        item_repr=repr(item),
+                        exc_type="JobTimeout",
+                        exc_message=f"no result within {timeout}s "
+                        f"(worker hung or died)",
+                        traceback="<job timed out; no worker traceback>",
+                    )
+                if not isinstance(outcome, _RemoteFailure):
+                    results[index] = outcome
+                    break
+                if attempt < retries:
+                    _backoff_sleep(backoff, attempt)
+                    async_result = pool.apply_async(call, (item,))
+                    continue
+                if outcome.exc_type == "JobTimeout":
+                    raise JobTimeoutError(
+                        f"job for item {outcome.item_repr} timed out after "
+                        f"{retries + 1} attempt(s) of {timeout}s each",
+                        item_repr=outcome.item_repr,
+                        original_traceback=outcome.traceback,
+                    )
+                raise outcome.to_error()
+        return results

@@ -23,7 +23,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
-from repro.common.errors import PlanError, SimulationError
+from repro.common.errors import CPEFaultError, PlanError, SimulationError
 from repro.hw.dma import DMABandwidthModel
 from repro.hw.spec import SW26010Spec, DEFAULT_SPEC
 from repro.perf.dma_model import DMA_STRIDE_EFFICIENCY
@@ -162,8 +162,38 @@ def _pipeline_timeline(
     return total, dma_busy, comp_busy
 
 
+def effective_mesh_size(mesh_size: int, fenced) -> int:
+    """Largest usable square submesh when some CPEs are fenced off.
+
+    Dropping every mesh row (or column — whichever set is smaller) that
+    contains a fenced CPE leaves a fully healthy rectangular region at least
+    ``mesh_size - dropped`` on a side.  Of the sizes that fit, the largest
+    *divisor* of the original mesh size is chosen: any operand that divided
+    into the full mesh's blocks also divides into the submesh's, so the same
+    tile schedule replays on the smaller mesh without re-planning shapes.
+    Returns 0 when no healthy submesh exists.
+    """
+    if not fenced:
+        return mesh_size
+    rows = {r for r, _ in fenced}
+    cols = {c for _, c in fenced}
+    bound = mesh_size - min(len(rows), len(cols))
+    for size in range(mesh_size, 0, -1):
+        if size <= bound and mesh_size % size == 0:
+            return size
+    return 0
+
+
 class ConvolutionEngine:
-    """Executes a convolution plan on one simulated core group."""
+    """Executes a convolution plan on one simulated core group.
+
+    With a :class:`repro.faults.FaultPlan` attached the engine runs the
+    degraded machine: DMA time is charged at the derated bandwidth, and if
+    the plan fences CPEs the mesh backends *replan around them* — the
+    register-communication GEMM executes on the largest healthy square
+    submesh (see :func:`effective_mesh_size`) with compute time charged for
+    the surviving CPEs only, instead of aborting the layer.
+    """
 
     def __init__(
         self,
@@ -172,6 +202,7 @@ class ConvolutionEngine:
         backend: str = "numpy",
         stride_efficiency: float = DMA_STRIDE_EFFICIENCY,
         overlap_contention: float = OVERLAP_CONTENTION,
+        fault_plan=None,
     ):
         if backend not in BACKENDS:
             raise PlanError(f"unknown compute backend {backend!r}")
@@ -180,12 +211,41 @@ class ConvolutionEngine:
         self.backend = backend
         self.stride_efficiency = stride_efficiency
         self.overlap_contention = overlap_contention
+        self.fault_plan = fault_plan
         self._dma_model = DMABandwidthModel(alignment=self.spec.dma_alignment)
         self._step_cost_cache: Dict[Tuple, _StepCost] = {}
         self._mesh_gemm: Optional[MeshGemm] = None
+        self.mesh_size = self.spec.mesh_size
+        self._effective_cpes = self.spec.cpes_per_group
+        if fault_plan is not None:
+            fenced = fault_plan.fenced(self.spec.mesh_size)
+            if fenced:
+                self.mesh_size = effective_mesh_size(self.spec.mesh_size, fenced)
+                if self.mesh_size < 1:
+                    raise CPEFaultError(
+                        f"no healthy submesh remains: {len(fenced)} of "
+                        f"{self.spec.cpes_per_group} CPEs fenced"
+                    )
+                self._effective_cpes = self.mesh_size * self.mesh_size
+                if self.mesh_size != self.spec.mesh_size:
+                    fault_plan.ledger.record(
+                        "engine",
+                        "replan",
+                        f"replanned around {len(fenced)} fenced CPE(s): "
+                        f"{self.spec.mesh_size}x{self.spec.mesh_size} mesh -> "
+                        f"{self.mesh_size}x{self.mesh_size}",
+                    )
         if backend in ("mesh", "mesh-fast"):
             mode = "session" if backend == "mesh-fast" else "full"
-            self._mesh_gemm = MeshGemm(spec=self.spec, mode=mode)
+            mesh_spec = (
+                self.spec
+                if self.mesh_size == self.spec.mesh_size
+                else self.spec.shrunk(self.mesh_size)
+            )
+            # The replanned submesh is built fence-free: the fenced CPEs
+            # were excluded by shrinking, the survivors are healthy.
+            gemm_faults = None if mesh_spec is not self.spec else fault_plan
+            self._mesh_gemm = MeshGemm(spec=mesh_spec, mode=mode, fault_plan=gemm_faults)
 
     # -- timing -----------------------------------------------------------------
 
@@ -193,6 +253,8 @@ class ConvolutionEngine:
         bw = self._dma_model.bandwidth(
             block, direction, aligned=self._dma_model.is_aligned(block)
         )
+        if self.fault_plan is not None:
+            bw *= self.fault_plan.dma_bandwidth_factor
         return nbytes / (bw * self.stride_efficiency)
 
     def _compute_seconds(self, flops: int) -> float:
@@ -209,8 +271,10 @@ class ConvolutionEngine:
             ni = blocking.ni_block(ni)
         iterations = max(1, -(-ni // 8))
         ee = _measured_ee(iterations)
+        # Fenced CPEs shrink the cluster: the surviving submesh carries the
+        # whole layer's flops.
         vfmas_per_cpe = flops / (
-            self.spec.cpes_per_group * self.spec.flops_per_cycle
+            self._effective_cpes * self.spec.flops_per_cycle
         )
         cycles = vfmas_per_cpe / ee
         return self.spec.cycles_to_seconds(cycles)
@@ -244,11 +308,16 @@ class ConvolutionEngine:
         return cost
 
     def _timing_key(self) -> Tuple:
+        degraded_bw = (
+            self.fault_plan.dma_bandwidth_factor if self.fault_plan is not None else 1.0
+        )
         return (
             self.plan.signature(),
             self.spec,
             self.stride_efficiency,
             self.overlap_contention,
+            degraded_bw,
+            self._effective_cpes,
         )
 
     def evaluate(self) -> TimingReport:

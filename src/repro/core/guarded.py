@@ -1,0 +1,228 @@
+"""Guarded execution: fallback ladder, numeric guards, degraded replans.
+
+The fast path earns its speed from certification (``mesh-fast``) and from
+assumptions a degraded machine violates.  :class:`GuardedConvolutionEngine`
+wraps :class:`~repro.core.conv.ConvolutionEngine` so that on a faulty or
+degraded machine a layer *degrades instead of dying*:
+
+* **Fallback ladder** — ``mesh-fast -> mesh -> numpy -> reference``.  A tier
+  that raises a hardware fault (:class:`~repro.common.errors.HardwareFaultError`),
+  fails fast-path certification (:class:`~repro.common.errors.SimulationError`),
+  or cannot plan (:class:`~repro.common.errors.PlanError`) is abandoned and
+  the next tier runs.  The terminal ``reference`` tier is the direct im2col-
+  style :func:`~repro.core.reference.conv2d_reference` evaluation, which has
+  no simulated-hardware dependencies at all.
+* **Numeric guards** — after any tier completes, the output is checked for
+  NaN/Inf (always) and, with ``parity_check=True``, against the reference
+  convolution; a tripped guard demotes to the next tier.
+* **Fenced-CPE replan** — inherited from the engine: mesh tiers execute on
+  the largest healthy square submesh (see
+  :func:`~repro.core.conv.effective_mesh_size`) rather than aborting.
+
+Every degradation is recorded in the fault plan's ledger (or a private one
+when no fault plan is attached), so a run reports *how* it survived.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.common.errors import PlanError, ReproError, SimulationError
+from repro.hw.spec import SW26010Spec
+from repro.core.conv import ConvolutionEngine, TimingReport
+from repro.core.plans import ConvPlan
+from repro.core.reference import conv2d_reference
+
+#: Fallback ladders per requested backend, most capable tier first.
+FALLBACK_LADDERS: Dict[str, Tuple[str, ...]] = {
+    "mesh-fast": ("mesh-fast", "mesh", "numpy", "reference"),
+    "mesh": ("mesh", "numpy", "reference"),
+    "numpy": ("numpy", "reference"),
+}
+
+
+@dataclass
+class GuardedOutcome:
+    """How one guarded run survived: the tier used and the demotions taken."""
+
+    backend_used: str = ""
+    degradations: List[str] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.degradations)
+
+
+class GuardedConvolutionEngine:
+    """A ConvolutionEngine that degrades through the fallback ladder.
+
+    Drop-in for :class:`~repro.core.conv.ConvolutionEngine`: ``run`` and
+    ``evaluate`` have the same signatures and return types.  After ``run``,
+    :attr:`last_outcome` tells which tier produced the result and which
+    guards/faults demoted it there.
+    """
+
+    def __init__(
+        self,
+        plan: ConvPlan,
+        spec: Optional[SW26010Spec] = None,
+        backend: str = "mesh-fast",
+        fault_plan=None,
+        parity_check: bool = False,
+        parity_tol: float = 1e-8,
+    ):
+        if backend not in FALLBACK_LADDERS:
+            raise PlanError(
+                f"unknown compute backend {backend!r}; "
+                f"expected one of {tuple(FALLBACK_LADDERS)}"
+            )
+        self.plan = plan
+        self.spec = spec or plan.spec
+        self.backend = backend
+        self.fault_plan = fault_plan
+        self.parity_check = parity_check
+        self.parity_tol = parity_tol
+        if fault_plan is not None:
+            self.ledger = fault_plan.ledger
+        else:
+            from repro.faults.plan import FaultLedger
+
+            self.ledger = FaultLedger()
+        self._engines: Dict[str, ConvolutionEngine] = {}
+        self.last_outcome = GuardedOutcome()
+
+    # -- tiers -------------------------------------------------------------
+
+    def _engine_for(self, tier: str) -> ConvolutionEngine:
+        engine = self._engines.get(tier)
+        if engine is None:
+            engine = ConvolutionEngine(
+                self.plan,
+                spec=self.spec,
+                backend=tier,
+                fault_plan=self.fault_plan,
+            )
+            self._engines[tier] = engine
+        return engine
+
+    def _degrade(self, tier: str, reason: str) -> None:
+        detail = f"backend {tier!r} abandoned: {reason}"
+        self.ledger.record("guard", "fallback", detail)
+        self.last_outcome.degradations.append(detail)
+
+    def _reference_run(
+        self,
+        x: np.ndarray,
+        w: np.ndarray,
+        bias: Optional[np.ndarray],
+        activation: Optional[str],
+    ) -> Tuple[np.ndarray, TimingReport]:
+        """Terminal tier: direct reference convolution, no simulated hardware."""
+        out = conv2d_reference(x, w)
+        if bias is not None:
+            out = out + np.asarray(bias, dtype=np.float64)[None, :, None, None]
+        if activation == "relu":
+            out = np.maximum(out, 0.0)
+        try:
+            timing = self._engine_for("numpy").evaluate()
+        except ReproError:
+            p = self.plan.params
+            timing = TimingReport(
+                seconds=0.0,
+                flops=p.flops(),
+                dma_seconds=0.0,
+                compute_seconds=0.0,
+                bytes_get=0,
+                bytes_put=0,
+                tiles=0,
+                peak_flops=self.spec.peak_flops_per_cg,
+            )
+        return out, timing
+
+    # -- guards ------------------------------------------------------------
+
+    def _guard_output(
+        self,
+        tier: str,
+        out: np.ndarray,
+        x: np.ndarray,
+        w: np.ndarray,
+        reference: Optional[np.ndarray],
+    ) -> Tuple[bool, Optional[np.ndarray]]:
+        """Post-run guards.  Returns (passed, possibly-computed reference)."""
+        if not np.isfinite(out).all():
+            bad = int(np.size(out) - np.isfinite(out).sum())
+            self._degrade(tier, f"NaN/Inf guard tripped ({bad} non-finite values)")
+            return False, reference
+        if self.parity_check and tier != "reference":
+            if reference is None:
+                reference = conv2d_reference(x, w)
+            if not np.allclose(out, reference, rtol=self.parity_tol, atol=self.parity_tol):
+                err = float(np.max(np.abs(out - reference)))
+                self._degrade(tier, f"parity guard tripped (max |err| = {err:.3e})")
+                return False, reference
+        return True, reference
+
+    # -- public surface ----------------------------------------------------
+
+    def run(
+        self,
+        x: np.ndarray,
+        w: np.ndarray,
+        bias: Optional[np.ndarray] = None,
+        activation: Optional[str] = None,
+    ) -> Tuple[np.ndarray, TimingReport]:
+        """Execute the layer, degrading down the ladder as needed.
+
+        Raises only if *every* tier fails — and the ``reference`` tier has
+        no simulated-hardware failure modes, so in practice a shape-valid
+        layer always completes.
+        """
+        self.last_outcome = GuardedOutcome()
+        reference: Optional[np.ndarray] = None
+        last_error: Optional[Exception] = None
+        for tier in FALLBACK_LADDERS[self.backend]:
+            if tier == "reference":
+                out, timing = self._reference_run(x, w, bias, activation)
+                self.last_outcome.backend_used = tier
+                return out, timing
+            try:
+                engine = self._engine_for(tier)
+                out, timing = engine.run(x, w, bias=bias, activation=activation)
+            except ReproError as exc:
+                # Hardware faults, certification failures, infeasible plans:
+                # all survivable — log and demote.  Programming errors
+                # (TypeError, ValueError...) still propagate.
+                self._degrade(tier, f"{type(exc).__name__}: {exc}")
+                last_error = exc
+                continue
+            passed, reference = self._guard_output(tier, out, x, w, reference)
+            if not passed:
+                continue
+            self.last_outcome.backend_used = tier
+            return out, timing
+        raise SimulationError(
+            f"all backends failed for {self.plan.params.describe()}"
+        ) from last_error
+
+    def evaluate(self) -> TimingReport:
+        """Timed walk on the degraded machine (no tensor data touched).
+
+        Falls back across tiers the same way ``run`` does; tier choice only
+        matters when a tier cannot even construct (e.g. no healthy submesh).
+        """
+        last_error: Optional[Exception] = None
+        for tier in FALLBACK_LADDERS[self.backend]:
+            if tier == "reference":
+                break
+            try:
+                return self._engine_for(tier).evaluate()
+            except ReproError as exc:
+                self._degrade(tier, f"{type(exc).__name__}: {exc}")
+                last_error = exc
+        raise SimulationError(
+            f"no backend could time {self.plan.params.describe()}"
+        ) from last_error

@@ -88,12 +88,13 @@ class MeshGemm:
         mesh: Optional[CPEMesh] = None,
         spec: SW26010Spec = DEFAULT_SPEC,
         mode: str = "full",
+        fault_plan=None,
     ):
         if mode not in self.MODES:
             raise PlanError(
                 f"unknown MeshGemm mode {mode!r}; expected one of {self.MODES}"
             )
-        self.mesh = mesh if mesh is not None else CPEMesh(spec)
+        self.mesh = mesh if mesh is not None else CPEMesh(spec, fault_plan=fault_plan)
         self.spec = self.mesh.spec
         self.mode = mode
         #: signature -> certified fast-path strategy name.

@@ -11,9 +11,11 @@ from __future__ import annotations
 import csv
 import io
 import itertools
+import json
+import os
 from dataclasses import dataclass, field
 from functools import partial
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.common.errors import PlanError
 from repro.common.parallel import parallel_map
@@ -105,11 +107,76 @@ def _sweep_row(params: ConvParams, spec: SW26010Spec, chip: bool) -> SweepRow:
         )
 
 
+def _row_to_record(index: int, row: SweepRow) -> Dict:
+    """JSON record for one checkpointed row (floats round-trip exactly)."""
+    p = row.params
+    return {
+        "index": index,
+        "params": [p.ni, p.no, p.ri, p.ci, p.kr, p.kc, p.b],
+        "plan": row.plan,
+        "model_gflops": row.model_gflops,
+        "measured_gflops": row.measured_gflops,
+        "chip_tflops": row.chip_tflops,
+        "error": row.error,
+    }
+
+
+def _row_from_record(record: Dict) -> Tuple[int, SweepRow]:
+    ni, no, ri, ci, kr, kc, b = record["params"]
+    row = SweepRow(
+        params=ConvParams(ni=ni, no=no, ri=ri, ci=ci, kr=kr, kc=kc, b=b),
+        plan=record["plan"],
+        model_gflops=record["model_gflops"],
+        measured_gflops=record["measured_gflops"],
+        chip_tflops=record["chip_tflops"],
+        error=record["error"],
+    )
+    return record["index"], row
+
+
+class SweepCheckpoint:
+    """Append-only JSONL checkpoint of completed sweep rows.
+
+    One line per completed configuration, written as soon as its result is
+    known and flushed to disk, so a killed sweep resumes from the last
+    completed configuration.  JSON floats round-trip through ``repr``, so
+    the rows a resumed sweep loads are *value-identical* to the ones the
+    original run computed — final artifacts come out byte-identical.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self._completed: Dict[int, SweepRow] = {}
+        if os.path.exists(path):
+            with open(path) as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    index, row = _row_from_record(json.loads(line))
+                    self._completed[index] = row
+
+    @property
+    def completed(self) -> Dict[int, SweepRow]:
+        return dict(self._completed)
+
+    def append(self, index: int, row: SweepRow) -> None:
+        with open(self.path, "a") as fh:
+            fh.write(json.dumps(_row_to_record(index, row)) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        self._completed[index] = row
+
+
 def run_sweep(
     grid: SweepGrid,
     spec: SW26010Spec = DEFAULT_SPEC,
     chip: bool = True,
     jobs: int = 1,
+    checkpoint: Optional[str] = None,
+    retries: int = 0,
+    backoff: float = 0.0,
+    timeout: Optional[float] = None,
 ) -> List[SweepRow]:
     """Plan, model and time every configuration of the grid.
 
@@ -117,9 +184,42 @@ def run_sweep(
     in grid order either way, so parallel and serial sweeps render
     identically.  Infeasible configurations are reported as rows with
     ``error`` set rather than aborting the sweep.
+
+    ``checkpoint`` names a JSONL file recording each completed
+    configuration (in batches of ``jobs`` under parallelism, per
+    configuration serially): a killed sweep re-run with the same arguments
+    skips everything already checkpointed and produces rows — and therefore
+    rendered/CSV artifacts — byte-identical to an uninterrupted run.
+    ``retries``/``backoff``/``timeout`` are forwarded to
+    :func:`~repro.common.parallel.parallel_map` for per-job fault
+    tolerance and crash isolation.
     """
     worker = partial(_sweep_row, spec=spec, chip=chip)
-    return parallel_map(worker, grid.configurations(), jobs=jobs)
+    configs = list(grid.configurations())
+    if checkpoint is None:
+        return parallel_map(
+            worker, configs, jobs=jobs, retries=retries, backoff=backoff, timeout=timeout
+        )
+    store = SweepCheckpoint(checkpoint)
+    done = store.completed
+    pending = [(i, params) for i, params in enumerate(configs) if i not in done]
+    # Process pending configs in batches so the checkpoint advances as the
+    # sweep runs; a kill loses at most one in-flight batch.
+    batch_size = max(1, jobs)
+    for start in range(0, len(pending), batch_size):
+        batch = pending[start : start + batch_size]
+        rows = parallel_map(
+            worker,
+            [params for _, params in batch],
+            jobs=jobs,
+            retries=retries,
+            backoff=backoff,
+            timeout=timeout,
+        )
+        for (index, _), row in zip(batch, rows):
+            store.append(index, row)
+    completed = store.completed
+    return [completed[i] for i in range(len(configs))]
 
 
 def render_sweep(rows: Sequence[SweepRow]) -> str:

@@ -22,6 +22,13 @@ def main(argv=None) -> int:
         help="worker processes for sweep-style experiments (default: 1; "
         "output is byte-identical to the serial run)",
     )
+    parser.add_argument(
+        "--checkpoint",
+        metavar="DIR",
+        help="resume checkpoint directory: completed experiment sections "
+        "are persisted there and reused by a re-run, so a killed report "
+        "restarts from the last completed experiment",
+    )
     args = parser.parse_args(argv if argv is not None else sys.argv[1:])
     if args.save:
         from repro.experiments.artifacts import save_experiments
@@ -30,7 +37,7 @@ def main(argv=None) -> int:
         for path in written:
             print(f"wrote {path}")
         return 0
-    print(run_all(args.names or None, jobs=args.jobs))
+    print(run_all(args.names or None, jobs=args.jobs, checkpoint_dir=args.checkpoint))
     return 0
 
 

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import inspect
+import os
 from typing import Callable, List, Optional, Tuple
 
 from repro.experiments import (
@@ -51,16 +52,42 @@ def _accepts_jobs(render: Callable[..., str]) -> bool:
     return "jobs" in inspect.signature(render).parameters
 
 
-def run_all(names: Optional[List[str]] = None, jobs: int = 1) -> str:
+def run_all(
+    names: Optional[List[str]] = None,
+    jobs: int = 1,
+    checkpoint_dir: Optional[str] = None,
+) -> str:
     """Render the selected experiments (all by default) as one report.
 
     ``jobs`` fans the sweep-style experiments (Fig. 7, Fig. 9, Table III)
     over worker processes; output is byte-identical to a serial run.
+
+    ``checkpoint_dir`` makes the run resumable at experiment granularity:
+    each experiment's rendered section is written to
+    ``<dir>/<name>.section.txt`` as soon as it completes, and a re-run
+    reuses every section already on disk instead of recomputing it.  The
+    sections are deterministic text, so a killed-and-resumed report is
+    byte-identical to an uninterrupted one.
     """
     selected = select_experiments(names)
+    if checkpoint_dir:
+        os.makedirs(checkpoint_dir, exist_ok=True)
     sections = []
     for name, render in selected:
+        section_path = (
+            os.path.join(checkpoint_dir, f"{name}.section.txt")
+            if checkpoint_dir
+            else None
+        )
+        if section_path and os.path.exists(section_path):
+            with open(section_path) as fh:
+                section = fh.read()
+        else:
+            section = render(jobs=jobs) if _accepts_jobs(render) else render()
+            if section_path:
+                with open(section_path, "w") as fh:
+                    fh.write(section)
         sections.append("=" * 72)
-        sections.append(render(jobs=jobs) if _accepts_jobs(render) else render())
+        sections.append(section)
         sections.append("")
     return "\n".join(sections)

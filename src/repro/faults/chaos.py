@@ -1,0 +1,267 @@
+"""Seeded chaos sweeps: the Fig. 7 evaluation on a degraded machine.
+
+A chaos sweep runs a (small) Fig. 7-style ``(Ni, No)`` grid with a
+:class:`~repro.faults.plan.FaultPlan` active on every configuration:
+derated/hung DMA, fenced CPEs, bus faults and LDM ECC events, plus —
+optionally — an injected worker-process crash recovered by the parallel
+runner's per-job retry.  Every configuration must come back with *correct
+numerics* (guarded execution degrades through the fallback ladder instead
+of aborting), and the merged fault ledger lists every injected event.
+
+Determinism: per-configuration fault plans, probe data and the DMA staging
+exercise all derive from the base seed and the configuration index, never
+from pool scheduling — two sweeps with the same seed produce bit-identical
+reports, serial or parallel.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from functools import partial
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.errors import DMATimeoutError, ReproError
+from repro.common.parallel import parallel_map
+from repro.common.rng import derive_rng
+from repro.common.tables import TextTable
+from repro.hw.chip import CoreGroup
+from repro.hw.spec import SW26010Spec, DEFAULT_SPEC
+from repro.core.params import ConvParams
+from repro.core.planner import plan_convolution
+from repro.core.reference import conv2d_reference
+from repro.faults.plan import FaultEvent, FaultLedger, FaultPlan, FaultSpec
+
+
+def default_chaos_configs() -> List[ConvParams]:
+    """A miniature Fig. 7 grid: (Ni, No) sweep, fixed batch/output/filter."""
+    return [
+        ConvParams.from_output(ni=ni, no=no, ro=6, co=6, kr=3, kc=3, b=2)
+        for ni in (16, 32)
+        for no in (16, 32)
+    ]
+
+
+@dataclass(frozen=True)
+class ChaosRow:
+    """Outcome of one configuration of a chaos sweep."""
+
+    index: int
+    params: ConvParams
+    backend_used: str
+    degradations: Tuple[str, ...]
+    fault_events: Tuple[FaultEvent, ...]
+    max_abs_err: float
+    numerics_ok: bool
+    dma_retries: int
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.numerics_ok and not self.error
+
+
+@dataclass
+class ChaosReport:
+    """All rows of one chaos sweep plus the merged fault ledger."""
+
+    seed: int
+    rows: List[ChaosRow]
+    ledger: FaultLedger
+
+    @property
+    def all_ok(self) -> bool:
+        return all(row.ok for row in self.rows)
+
+    @property
+    def surviving(self) -> int:
+        return sum(1 for row in self.rows if row.ok)
+
+    def render(self) -> str:
+        """Deterministic text report: per-config outcomes + fault ledger."""
+        table = TextTable(
+            ["#", "Ni", "No", "backend", "falls", "faults", "max|err|", "ok"],
+            float_fmt="{:.2e}",
+        )
+        for row in self.rows:
+            table.add_row(
+                [
+                    row.index,
+                    row.params.ni,
+                    row.params.no,
+                    row.backend_used or "-",
+                    len(row.degradations),
+                    len(row.fault_events),
+                    row.max_abs_err,
+                    "yes" if row.ok else f"NO ({row.error[:30]})",
+                ]
+            )
+        lines = [
+            f"chaos sweep — seed {self.seed:#x}, "
+            f"{self.surviving}/{len(self.rows)} configs survived",
+            table.render(),
+            "",
+            self.ledger.render(),
+        ]
+        return "\n".join(lines)
+
+
+def _staged_dma_exercise(
+    params: ConvParams,
+    spec: SW26010Spec,
+    fault_plan: FaultPlan,
+    x: np.ndarray,
+    dma_retries: int,
+) -> int:
+    """Stage the input through a faulty DMA engine, retrying hung transfers.
+
+    Models the load phase of a plan on the degraded CG: each batch image's
+    first row block is DMA'd into LDM.  A :class:`DMATimeoutError` (already
+    ledgered by the plan) is retried up to ``dma_retries`` times — the
+    driver-level recovery a production run performs.  Returns the number of
+    retries that were needed; raises only if a transfer times out on every
+    attempt.
+    """
+    cg = CoreGroup(0, spec, fault_plan=fault_plan)
+    cg.memory.register("chaos.x", x)
+    # Stage through the first *healthy* CPE's LDM (mesh.cpe() would raise
+    # CPEFaultError if (0, 0) happens to be fenced by this plan).
+    healthy = next(cpe for cpe in cg.mesh if not cpe.fenced)
+    buf = healthy.ldm.alloc("chaos.tile", (params.ci,))
+    retries_used = 0
+    for b in range(params.b):
+        for attempt in range(dma_retries + 1):
+            try:
+                cg.dma.dma_get("chaos.x", (b, 0, 0), buf)
+                break
+            except DMATimeoutError:
+                if attempt == dma_retries:
+                    raise
+                retries_used += 1
+    return retries_used
+
+
+def _chaos_row(
+    job: Tuple[int, ConvParams],
+    spec: SW26010Spec,
+    fault_spec: FaultSpec,
+    backend: str,
+    dma_retries: int,
+    crash_indices: Tuple[int, ...],
+    crash_marker_dir: Optional[str],
+) -> ChaosRow:
+    """Worker: run one configuration on its derived degraded machine."""
+    index, params = job
+    if index in crash_indices and crash_marker_dir:
+        # Injected worker crash: the first attempt for this configuration
+        # dies; the marker file makes the parallel runner's retry succeed.
+        marker = os.path.join(crash_marker_dir, f"crash-{index}")
+        if not os.path.exists(marker):
+            with open(marker, "w") as fh:
+                fh.write("crashed\n")
+            raise RuntimeError(f"injected worker crash on config {index}")
+    fault_plan = FaultPlan(fault_spec.derive(index))
+    data_rng = derive_rng(fault_spec.seed, "chaos.data", index)
+    x = data_rng.standard_normal(params.input_shape)
+    w = data_rng.standard_normal(params.filter_shape)
+    try:
+        retries_used = _staged_dma_exercise(params, spec, fault_plan, x, dma_retries)
+        from repro.core.guarded import GuardedConvolutionEngine
+
+        plan = plan_convolution(params, spec=spec).plan
+        engine = GuardedConvolutionEngine(
+            plan, spec=spec, backend=backend, fault_plan=fault_plan
+        )
+        out, _ = engine.run(x, w)
+        reference = conv2d_reference(x, w)
+        max_err = float(np.max(np.abs(out - reference))) if out.size else 0.0
+        ok = bool(np.isfinite(out).all()) and bool(
+            np.allclose(out, reference, rtol=1e-8, atol=1e-8)
+        )
+        return ChaosRow(
+            index=index,
+            params=params,
+            backend_used=engine.last_outcome.backend_used,
+            degradations=tuple(engine.last_outcome.degradations),
+            fault_events=tuple(fault_plan.ledger.events),
+            max_abs_err=max_err,
+            numerics_ok=ok,
+            dma_retries=retries_used,
+        )
+    except ReproError as exc:
+        # A configuration the degraded machine genuinely cannot serve:
+        # reported as a failed row, never as an aborted sweep.
+        return ChaosRow(
+            index=index,
+            params=params,
+            backend_used="",
+            degradations=(),
+            fault_events=tuple(fault_plan.ledger.events),
+            max_abs_err=float("nan"),
+            numerics_ok=False,
+            dma_retries=0,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+
+
+def run_chaos_sweep(
+    fault_spec: FaultSpec,
+    configs: Optional[Sequence[ConvParams]] = None,
+    spec: SW26010Spec = DEFAULT_SPEC,
+    backend: str = "mesh-fast",
+    jobs: int = 1,
+    retries: int = 1,
+    backoff: float = 0.0,
+    timeout: Optional[float] = None,
+    dma_retries: int = 3,
+    crash_indices: Sequence[int] = (),
+    crash_marker_dir: Optional[str] = None,
+) -> ChaosReport:
+    """Run a Fig. 7-style sweep with fault injection enabled everywhere.
+
+    Each configuration gets a fault plan derived from ``fault_spec`` and
+    its index (so results do not depend on worker scheduling), runs the
+    staged-DMA exercise and the guarded convolution on its degraded
+    machine, and reports its outcome plus the fault events it observed.
+    ``crash_indices`` additionally kills the *worker process's first
+    attempt* at those configurations (markers in ``crash_marker_dir``
+    make retries succeed), exercising the pool's crash isolation.
+
+    Returns a :class:`ChaosReport` whose merged ledger lists every
+    injected event across the sweep; two calls with the same arguments
+    produce bit-identical reports.
+    """
+    configs = list(configs) if configs is not None else default_chaos_configs()
+    if crash_indices and not crash_marker_dir:
+        raise ValueError("crash_indices requires crash_marker_dir")
+    worker = partial(
+        _chaos_row,
+        spec=spec,
+        fault_spec=fault_spec,
+        backend=backend,
+        dma_retries=dma_retries,
+        crash_indices=tuple(crash_indices),
+        crash_marker_dir=crash_marker_dir,
+    )
+    rows = parallel_map(
+        worker,
+        list(enumerate(configs)),
+        jobs=jobs,
+        retries=retries,
+        backoff=backoff,
+        timeout=timeout,
+    )
+    ledger = FaultLedger()
+    for index in sorted(crash_indices):
+        marker = os.path.join(crash_marker_dir, f"crash-{index}")  # type: ignore[arg-type]
+        if os.path.exists(marker):
+            ledger.record(
+                "pool",
+                "worker-crash",
+                f"injected worker crash on config {index} (recovered by retry)",
+            )
+    for row in rows:
+        ledger.extend(list(row.fault_events))
+    return ChaosReport(seed=fault_spec.seed, rows=rows, ledger=ledger)

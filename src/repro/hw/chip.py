@@ -43,21 +43,31 @@ class MPE:
 
 
 class CoreGroup:
-    """One of the four core groups: MPE + 8x8 CPE mesh + memory + DMA."""
+    """One of the four core groups: MPE + 8x8 CPE mesh + memory + DMA.
 
-    def __init__(self, index: int, spec: SW26010Spec = DEFAULT_SPEC):
+    ``fault_plan`` (a :class:`repro.faults.FaultPlan`) degrades this CG:
+    DMA bandwidth derating and transfer timeouts, fenced CPEs, bus
+    stalls/drops and LDM ECC events, all seeded and ledgered.
+    """
+
+    def __init__(self, index: int, spec: SW26010Spec = DEFAULT_SPEC, fault_plan=None):
         self.index = index
         self.spec = spec
+        self.fault_plan = fault_plan
         self.memory = MainMemory(spec)
-        self.dma = DMAEngine(self.memory, spec)
+        self.dma = DMAEngine(self.memory, spec, fault_plan=fault_plan)
         self.gload = GloadPort(self.memory, spec)
-        self.mesh = CPEMesh(spec)
+        self.mesh = CPEMesh(spec, fault_plan=fault_plan)
         self.mpe = MPE(core_group=index)
 
     @property
     def peak_flops(self) -> float:
         """Peak double-precision flop/s of this CG (742.4 Gflops)."""
         return self.spec.peak_flops_per_cg
+
+    def healthy_cpes(self) -> int:
+        """Number of CPEs not fenced off by the fault plan."""
+        return sum(1 for cpe in self.mesh if not cpe.fenced)
 
     def total_cpe_flops(self) -> int:
         """Sum of flops actually executed by the CPEs (functional count)."""
@@ -95,10 +105,12 @@ class SW26010Chip:
     near-linear scaling claim checkable).
     """
 
-    def __init__(self, spec: SW26010Spec = DEFAULT_SPEC):
+    def __init__(self, spec: SW26010Spec = DEFAULT_SPEC, fault_plan=None):
         self.spec = spec
+        self.fault_plan = fault_plan
         self.core_groups: List[CoreGroup] = [
-            CoreGroup(i, spec) for i in range(spec.num_core_groups)
+            CoreGroup(i, spec, fault_plan=fault_plan)
+            for i in range(spec.num_core_groups)
         ]
         total = spec.memory_bytes * spec.num_core_groups
         # Default partition: all private, no shared window.

@@ -14,6 +14,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.common.errors import CPEFaultError
 from repro.hw.ldm import LDM
 from repro.hw.regfile import VectorRegisterFile
 from repro.hw.spec import SW26010Spec, DEFAULT_SPEC
@@ -40,17 +41,37 @@ class CPEStats:
 class CPE:
     """A computing processing element at mesh position (row, col)."""
 
-    def __init__(self, row: int, col: int, spec: SW26010Spec = DEFAULT_SPEC):
+    def __init__(
+        self,
+        row: int,
+        col: int,
+        spec: SW26010Spec = DEFAULT_SPEC,
+        fault_plan=None,
+    ):
         self.row = row
         self.col = col
         self.spec = spec
-        self.ldm = LDM(spec)
+        self.ldm = LDM(spec, fault_plan=fault_plan)
         self.registers = VectorRegisterFile(spec)
         self.stats = CPEStats()
+        #: A fenced CPE is disabled by the resource manager (degraded CG);
+        #: any attempt to compute on it raises :class:`CPEFaultError`.
+        self.fenced = False
 
     @property
     def coords(self) -> Tuple[int, int]:
         return (self.row, self.col)
+
+    def fence(self) -> None:
+        """Disable this CPE (degraded-hardware simulation)."""
+        self.fenced = True
+
+    def check_available(self) -> None:
+        """Raise :class:`CPEFaultError` if this CPE is fenced."""
+        if self.fenced:
+            raise CPEFaultError(
+                f"CPE({self.row},{self.col}) is fenced and cannot execute"
+            )
 
     def count_fma(self, elements: int) -> None:
         """Record ``elements`` fused multiply-adds (2 flops each)."""
@@ -68,6 +89,7 @@ class CPE:
         ``a`` is (m, k), ``b`` is (k, n), ``acc`` is (m, n).  This is the
         work one CPE performs per register-communication step of Fig. 3.
         """
+        self.check_available()
         acc += a @ b
         m, k = a.shape
         n = b.shape[1]

@@ -158,12 +158,15 @@ class DMAEngine:
         memory: MainMemory,
         spec: Optional[SW26010Spec] = None,
         bandwidth_model: Optional[DMABandwidthModel] = None,
+        fault_plan=None,
     ):
         self.memory = memory
         self.spec = spec or memory.spec
         self.model = bandwidth_model or DMABandwidthModel(
             alignment=self.spec.dma_alignment
         )
+        #: Optional :class:`repro.faults.FaultPlan`; ``None`` = healthy DMA.
+        self.fault_plan = fault_plan
         self.stats = MemoryStats()
         self._channel_free_at: Dict[int, float] = {}
         self.log: List[DMATransfer] = []
@@ -237,6 +240,12 @@ class DMAEngine:
             raise SimulationError("negative transfer size")
         aligned = self.model.is_aligned(block_bytes)
         bandwidth = self.model.bandwidth(block_bytes, direction, aligned=aligned)
+        if self.fault_plan is not None:
+            # Injected degradation: a hung descriptor raises DMATimeoutError
+            # (recorded in the plan's ledger); surviving transfers run at
+            # the derated bandwidth.
+            self.fault_plan.maybe_dma_timeout(nbytes, direction, tensor)
+            bandwidth *= self.fault_plan.dma_bandwidth_factor
         start = max(at_time, self._channel_free_at.get(channel, 0.0))
         duration = nbytes / bandwidth if nbytes else 0.0
         finish = start + duration

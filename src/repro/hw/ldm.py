@@ -30,6 +30,8 @@ class LDMBuffer:
     name: str
     offset: int
     data: np.ndarray
+    #: Optional :class:`repro.faults.FaultPlan` injecting ECC events on reads.
+    fault_plan: Optional[object] = None
 
     @property
     def nbytes(self) -> int:
@@ -40,7 +42,14 @@ class LDMBuffer:
         return self.data.shape
 
     def read(self, index=slice(None)) -> np.ndarray:
-        """Read a slice of the buffer."""
+        """Read a slice of the buffer.
+
+        With a fault plan attached, the read may observe an LDM bit-flip:
+        corrected (single-bit) events are logged to the ledger only;
+        uncorrectable ones raise :class:`~repro.common.errors.ECCError`.
+        """
+        if self.fault_plan is not None:
+            self.fault_plan.maybe_ecc(self.name, self.nbytes)
         return self.data[index]
 
     def write(self, index, value) -> None:
@@ -68,10 +77,11 @@ class LDMAllocator:
 
     ALIGN = 32
 
-    def __init__(self, capacity: int):
+    def __init__(self, capacity: int, fault_plan=None):
         if capacity <= 0:
             raise ValueError(f"LDM capacity must be positive, got {capacity}")
         self.capacity = capacity
+        self.fault_plan = fault_plan
         self._cursor = 0
         self._buffers: Dict[str, LDMBuffer] = {}
 
@@ -96,7 +106,9 @@ class LDMAllocator:
                 f"free {bytes_to_human(self.bytes_free)} of "
                 f"{bytes_to_human(self.capacity)}"
             )
-        buffer = LDMBuffer(name=name, offset=self._cursor, data=data)
+        buffer = LDMBuffer(
+            name=name, offset=self._cursor, data=data, fault_plan=self.fault_plan
+        )
         self._cursor += padded
         self._buffers[name] = buffer
         return buffer
@@ -136,8 +148,8 @@ class LDMAllocator:
 class LDM(LDMAllocator):
     """One CPE's LDM, sized from the architecture spec."""
 
-    def __init__(self, spec: SW26010Spec = DEFAULT_SPEC):
-        super().__init__(capacity=spec.ldm_bytes)
+    def __init__(self, spec: SW26010Spec = DEFAULT_SPEC, fault_plan=None):
+        super().__init__(capacity=spec.ldm_bytes, fault_plan=fault_plan)
         self.spec = spec
 
 

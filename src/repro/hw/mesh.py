@@ -118,15 +118,27 @@ class TransferBuffer:
 
 
 class CPEMesh:
-    """A square mesh of CPEs with row/column register-communication buses."""
+    """A square mesh of CPEs with row/column register-communication buses.
 
-    def __init__(self, spec: SW26010Spec = DEFAULT_SPEC):
+    With a :class:`repro.faults.FaultPlan` attached, the mesh models a
+    degraded CG: CPEs the plan fences are disabled (touching one raises
+    :class:`~repro.common.errors.CPEFaultError`), and bus operations may
+    stall or drop per the plan's seeded rates
+    (:class:`~repro.common.errors.BusStallError`).
+    """
+
+    def __init__(self, spec: SW26010Spec = DEFAULT_SPEC, fault_plan=None):
         self.spec = spec
+        self.fault_plan = fault_plan
         n = spec.mesh_size
         self.size = n
         self.cpes: List[List[CPE]] = [
-            [CPE(row=r, col=c, spec=spec) for c in range(n)] for r in range(n)
+            [CPE(row=r, col=c, spec=spec, fault_plan=fault_plan) for c in range(n)]
+            for r in range(n)
         ]
+        if fault_plan is not None:
+            for coords in fault_plan.fenced(n):
+                self.cpes[coords[0]][coords[1]].fence()
         self._buffers: Dict[Tuple[int, int], TransferBuffer] = {
             (r, c): TransferBuffer((r, c), spec.transfer_buffer_depth)
             for r in range(n)
@@ -151,6 +163,7 @@ class CPEMesh:
             raise BusProtocolError(
                 f"CPE({row},{col}) outside {self.size}x{self.size} mesh"
             )
+        self.cpes[row][col].check_available()
 
     # -- register communication ------------------------------------------
 
@@ -167,6 +180,8 @@ class CPEMesh:
         if src == dst:
             raise BusProtocolError(f"CPE{src} cannot put to itself")
         payload = np.asarray(payload)
+        if self.fault_plan is not None:
+            self.fault_plan.maybe_bus_fault(src, f"CPE{dst}", payload.nbytes)
         if src[0] == dst[0]:
             self.row_buses[src[0]].account(payload.nbytes, receivers=1)
         elif src[1] == dst[1]:
@@ -186,7 +201,11 @@ class CPEMesh:
         self._check(*src)
         payload = np.asarray(payload)
         row = src[0]
+        if self.fault_plan is not None:
+            self.fault_plan.maybe_bus_fault(src, f"row {row} broadcast", payload.nbytes)
         receivers = [(row, c) for c in range(self.size) if c != src[1]]
+        for dst in receivers:
+            self.cpes[dst[0]][dst[1]].check_available()
         self.row_buses[row].account(payload.nbytes, receivers=len(receivers))
         for dst in receivers:
             self._buffers[dst].push(payload.copy())
@@ -196,7 +215,11 @@ class CPEMesh:
         self._check(*src)
         payload = np.asarray(payload)
         col = src[1]
+        if self.fault_plan is not None:
+            self.fault_plan.maybe_bus_fault(src, f"col {col} broadcast", payload.nbytes)
         receivers = [(r, col) for r in range(self.size) if r != src[0]]
+        for dst in receivers:
+            self.cpes[dst[0]][dst[1]].check_available()
         self.col_buses[col].account(payload.nbytes, receivers=len(receivers))
         for dst in receivers:
             self._buffers[dst].push(payload.copy())

@@ -81,3 +81,47 @@ class TestResolution:
             ConvolutionDescriptor(),
         )
         assert out.shape == (8, 32, 8, 8)
+
+
+class TestEagerValidationMessages:
+    """Every validation error names the offending field."""
+
+    def test_tensor_field_named(self):
+        with pytest.raises(PlanError, match=r"TensorDescriptor\.h"):
+            TensorDescriptor(1, 1, 0, 1)
+        with pytest.raises(PlanError, match=r"TensorDescriptor\.n"):
+            TensorDescriptor(-3, 1, 1, 1)
+
+    def test_filter_field_named(self):
+        with pytest.raises(PlanError, match=r"FilterDescriptor\.kw"):
+            FilterDescriptor(1, 1, 1, 0)
+
+    def test_conv_field_named(self):
+        with pytest.raises(PlanError, match=r"ConvolutionDescriptor\.pad_w"):
+            ConvolutionDescriptor(pad_w=-1)
+        with pytest.raises(PlanError, match=r"ConvolutionDescriptor\.stride_h"):
+            ConvolutionDescriptor(stride_h=2)
+
+    def test_channel_mismatch_names_both_fields(self):
+        with pytest.raises(
+            PlanError, match=r"TensorDescriptor\.c = 3 .* FilterDescriptor\.c = 4"
+        ):
+            resolve_conv_params(
+                TensorDescriptor(1, 3, 5, 5),
+                FilterDescriptor(2, 4, 3, 3),
+                ConvolutionDescriptor(),
+            )
+
+    def test_empty_output_named_eagerly(self):
+        with pytest.raises(PlanError, match=r"output height .* FilterDescriptor\.kh"):
+            resolve_conv_params(
+                TensorDescriptor(1, 3, 2, 5),
+                FilterDescriptor(2, 3, 3, 3),
+                ConvolutionDescriptor(),
+            )
+        with pytest.raises(PlanError, match=r"output width .* FilterDescriptor\.kw"):
+            resolve_conv_params(
+                TensorDescriptor(1, 3, 5, 2),
+                FilterDescriptor(2, 3, 3, 3),
+                ConvolutionDescriptor(),
+            )

@@ -136,3 +136,60 @@ class TestPlanCaching:
             w = rng.standard_normal((8, 8, 3, 3))
             handle.convolution_forward(x, w)
         assert handle.cached_plans == 2
+
+
+class TestEagerHandleValidation:
+    def test_non_4d_rejected(self, handle, rng):
+        with pytest.raises(PlanError, match="4-D NCHW"):
+            handle.convolution_forward(
+                rng.standard_normal((4, 4)), rng.standard_normal((2, 2, 2, 2))
+            )
+
+    def test_filter_larger_than_input_named(self, handle, rng):
+        with pytest.raises(PlanError, match="output size would be <= 0"):
+            handle.convolution_forward(
+                rng.standard_normal((1, 4, 2, 2)), rng.standard_normal((4, 4, 3, 3))
+            )
+
+    def test_channel_mismatch_named(self, handle, rng):
+        with pytest.raises(PlanError, match="channels"):
+            handle.convolution_forward(
+                rng.standard_normal((1, 4, 6, 6)), rng.standard_normal((4, 5, 3, 3))
+            )
+
+
+class TestGuardedHandle:
+    def test_unguarded_has_no_outcome(self, handle, rng, small_params):
+        x = rng.standard_normal(small_params.input_shape)
+        w = rng.standard_normal(small_params.filter_shape)
+        handle.convolution_forward(x, w)
+        assert handle.last_outcome is None
+
+    def test_fault_plan_implies_guarded(self):
+        from repro.faults import FaultPlan, FaultSpec
+
+        h = SwDNNHandle(fault_plan=FaultPlan(FaultSpec()))
+        assert h.guarded
+
+    def test_guarded_run_reports_outcome(self, rng, small_params):
+        h = SwDNNHandle(backend="mesh-fast", guarded=True)
+        x = rng.standard_normal(small_params.input_shape)
+        w = rng.standard_normal(small_params.filter_shape)
+        out, _ = h.convolution_forward(x, w)
+        assert h.last_outcome is not None
+        assert h.last_outcome.backend_used == "mesh-fast"
+        assert not h.last_outcome.degraded
+        ref = conv2d_reference(x, w)
+        assert np.allclose(out, ref)
+
+    def test_degraded_device_survives(self, rng, small_params):
+        from repro.faults import FaultPlan, FaultSpec
+
+        plan = FaultPlan(FaultSpec(bus_stall_rate=1.0))
+        h = SwDNNHandle(backend="mesh", fault_plan=plan)
+        x = rng.standard_normal(small_params.input_shape)
+        w = rng.standard_normal(small_params.filter_shape)
+        out, _ = h.convolution_forward(x, w)
+        assert h.last_outcome.backend_used == "numpy"
+        assert h.last_outcome.degraded
+        assert np.allclose(out, conv2d_reference(x, w))

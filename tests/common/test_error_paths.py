@@ -1,0 +1,103 @@
+"""Typed errors at the documented simulator boundaries.
+
+Each simulated resource limit raises its own error class, and every one of
+them is catchable as :class:`~repro.common.errors.ReproError` — the contract
+client code (and the guarded executor) relies on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import (
+    BusProtocolError,
+    LDMOverflowError,
+    RegisterPressureError,
+    ReproError,
+    SimulationError,
+)
+from repro.hw.ldm import LDM
+from repro.hw.mesh import CPEMesh
+from repro.hw.regfile import VectorRegisterFile
+from repro.hw.spec import DEFAULT_SPEC
+
+
+class TestLDMOverflow:
+    def test_oversized_alloc_raises(self):
+        ldm = LDM(DEFAULT_SPEC)
+        with pytest.raises(LDMOverflowError):
+            # 64 KB LDM cannot hold a megabyte of doubles.
+            ldm.alloc("huge", (1 << 17,))
+
+    def test_cumulative_overflow(self):
+        ldm = LDM(DEFAULT_SPEC)
+        ldm.alloc("half", (DEFAULT_SPEC.ldm_bytes // 16,))
+        with pytest.raises(LDMOverflowError):
+            ldm.alloc("other-half-plus", (DEFAULT_SPEC.ldm_bytes // 16 + 1,))
+
+    def test_catchable_as_repro_error(self):
+        with pytest.raises(ReproError):
+            LDM(DEFAULT_SPEC).alloc("huge", (1 << 17,))
+
+    def test_message_names_buffer_and_sizes(self):
+        with pytest.raises(LDMOverflowError, match="huge"):
+            LDM(DEFAULT_SPEC).alloc("huge", (1 << 17,))
+
+
+class TestRegisterPressure:
+    def test_33rd_register_raises(self):
+        regs = VectorRegisterFile(DEFAULT_SPEC)
+        regs.allocate_block("acc", DEFAULT_SPEC.vector_registers)
+        with pytest.raises(RegisterPressureError):
+            regs.allocate("one-too-many")
+
+    def test_catchable_as_repro_error(self):
+        regs = VectorRegisterFile(DEFAULT_SPEC)
+        regs.allocate_block("acc", DEFAULT_SPEC.vector_registers)
+        with pytest.raises(ReproError):
+            regs.allocate("spill")
+
+    def test_free_all_recovers(self):
+        regs = VectorRegisterFile(DEFAULT_SPEC)
+        regs.allocate_block("acc", DEFAULT_SPEC.vector_registers)
+        regs.free_all()
+        regs.allocate("fresh")
+
+    def test_duplicate_name_is_simulation_error(self):
+        regs = VectorRegisterFile(DEFAULT_SPEC)
+        regs.allocate("a")
+        with pytest.raises(SimulationError):
+            regs.allocate("a")
+
+
+class TestBusProtocol:
+    def test_diagonal_put_rejected(self):
+        mesh = CPEMesh(DEFAULT_SPEC)
+        with pytest.raises(BusProtocolError):
+            mesh.put((0, 0), (1, 1), np.zeros(4))
+
+    def test_self_put_rejected(self):
+        mesh = CPEMesh(DEFAULT_SPEC)
+        with pytest.raises(BusProtocolError):
+            mesh.put((2, 2), (2, 2), np.zeros(4))
+
+    def test_get_on_empty_buffer(self):
+        mesh = CPEMesh(DEFAULT_SPEC)
+        with pytest.raises(BusProtocolError):
+            mesh.get((0, 0))
+
+    def test_transfer_buffer_overflow(self):
+        mesh = CPEMesh(DEFAULT_SPEC)
+        payload = np.zeros(4)
+        with pytest.raises(BusProtocolError):
+            for _ in range(DEFAULT_SPEC.transfer_buffer_depth + 1):
+                mesh.put((0, 0), (0, 1), payload)
+
+    def test_out_of_mesh_coordinates(self):
+        mesh = CPEMesh(DEFAULT_SPEC)
+        with pytest.raises(BusProtocolError):
+            mesh.cpe(8, 0)
+
+    def test_catchable_as_repro_error(self):
+        mesh = CPEMesh(DEFAULT_SPEC)
+        with pytest.raises(ReproError):
+            mesh.put((0, 0), (1, 1), np.zeros(4))

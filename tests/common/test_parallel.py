@@ -1,12 +1,50 @@
 """Deterministic multiprocessing fan-out (`repro.common.parallel`)."""
 
+import os
+import time
+
 import pytest
 
+from repro.common.errors import JobTimeoutError, ReproError, WorkerError
 from repro.common.parallel import parallel_map, resolve_jobs
 
 
 def _square(x: int) -> int:
     return x * x
+
+
+def _explode_on_three(x: int) -> int:
+    if x == 3:
+        raise ValueError(f"cannot process {x}")
+    return x * x
+
+
+def _flaky(job) -> int:
+    """Fails until its marker file exists; succeeds on retry."""
+    x, marker_dir = job
+    marker = os.path.join(marker_dir, f"seen-{x}")
+    if x == 2 and not os.path.exists(marker):
+        with open(marker, "w") as fh:
+            fh.write("attempted\n")
+        raise RuntimeError("transient failure")
+    return x * x
+
+
+def _crash_once(job) -> int:
+    """Kills its worker process outright on the first attempt for x == 1."""
+    x, marker_dir = job
+    marker = os.path.join(marker_dir, f"crashed-{x}")
+    if x == 1 and not os.path.exists(marker):
+        with open(marker, "w") as fh:
+            fh.write("crashing\n")
+        os._exit(1)
+    return x * x
+
+
+def _hang_on_seven(x: int) -> int:
+    if x == 7:
+        time.sleep(60)
+    return x
 
 
 def _flaky_order(x: float) -> float:
@@ -58,3 +96,66 @@ class TestParallelMap:
     def test_bad_jobs_rejected(self):
         with pytest.raises(ValueError):
             parallel_map(_square, [1, 2, 3], jobs=0)
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"retries": -1}, {"backoff": -0.5}, {"timeout": 0}]
+    )
+    def test_bad_robustness_knobs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            parallel_map(_square, [1, 2, 3], jobs=1, **kwargs)
+
+
+class TestWorkerErrors:
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_failure_carries_item_and_traceback(self, jobs):
+        with pytest.raises(WorkerError) as excinfo:
+            parallel_map(_explode_on_three, [1, 2, 3, 4], jobs=jobs)
+        err = excinfo.value
+        assert err.item_repr == "3"
+        assert "ValueError" in str(err)
+        assert "cannot process 3" in str(err)
+        assert "_explode_on_three" in err.original_traceback
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_worker_error_catchable_as_repro_error(self, jobs):
+        with pytest.raises(ReproError):
+            parallel_map(_explode_on_three, [3], jobs=jobs)
+
+    def test_failure_with_retries_still_carries_context(self):
+        with pytest.raises(WorkerError) as excinfo:
+            parallel_map(_explode_on_three, [3], jobs=2, retries=1)
+        assert excinfo.value.item_repr == "3"
+
+
+class TestRetries:
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_transient_failure_recovered(self, jobs, tmp_path):
+        items = [(x, str(tmp_path)) for x in range(4)]
+        result = parallel_map(_flaky, items, jobs=jobs, retries=1)
+        assert result == [0, 1, 4, 9]
+        assert os.path.exists(tmp_path / "seen-2")
+
+    def test_no_retries_means_failure(self, tmp_path):
+        items = [(x, str(tmp_path)) for x in range(4)]
+        with pytest.raises(WorkerError):
+            parallel_map(_flaky, items, jobs=1, retries=0)
+
+
+class TestTimeoutsAndCrashes:
+    def test_hung_job_times_out(self):
+        with pytest.raises(JobTimeoutError) as excinfo:
+            parallel_map(_hang_on_seven, [7, 1], jobs=2, timeout=1.0)
+        assert excinfo.value.item_repr == "7"
+
+    def test_job_timeout_is_worker_error(self):
+        assert issubclass(JobTimeoutError, WorkerError)
+        assert issubclass(JobTimeoutError, ReproError)
+
+    def test_dead_worker_loses_only_its_job(self, tmp_path):
+        # x == 1 kills its worker process outright on the first attempt;
+        # the pool replaces the worker, the lost job times out and its
+        # retry succeeds, and every other job is unaffected.
+        items = [(x, str(tmp_path)) for x in range(4)]
+        result = parallel_map(_crash_once, items, jobs=2, retries=1, timeout=5.0)
+        assert result == [0, 1, 4, 9]
+        assert os.path.exists(tmp_path / "crashed-1")

@@ -1,0 +1,131 @@
+"""Seeded chaos sweeps and checkpoint/resume determinism."""
+
+import json
+import os
+
+import pytest
+
+from repro.core.sweeps import (
+    SweepGrid,
+    render_sweep,
+    run_sweep,
+    sweep_to_csv,
+)
+from repro.experiments.runner import run_all
+from repro.faults import ChaosReport, FaultSpec, run_chaos_sweep
+
+pytestmark = pytest.mark.faults
+
+#: The acceptance scenario: degraded DMA, hung transfers, two fenced CPEs,
+#: occasional bus/ECC noise — everything the guarded paths must survive.
+CHAOS_SPEC = FaultSpec(
+    seed=0x5157,
+    dma_bandwidth_factor=0.5,
+    dma_timeout_rate=0.2,
+    fenced_cpes=((1, 2), (6, 6)),
+    bus_stall_rate=0.001,
+    ecc_corrected_rate=0.01,
+)
+
+
+class TestChaosSweep:
+    @pytest.fixture(scope="class")
+    def report(self, tmp_path_factory) -> ChaosReport:
+        marker_dir = str(tmp_path_factory.mktemp("crash-markers"))
+        return run_chaos_sweep(
+            CHAOS_SPEC,
+            jobs=2,
+            retries=1,
+            crash_indices=(1,),
+            crash_marker_dir=marker_dir,
+        )
+
+    def test_all_configs_survive_with_correct_numerics(self, report):
+        assert report.all_ok
+        assert report.surviving == len(report.rows)
+        for row in report.rows:
+            assert row.numerics_ok
+            assert row.max_abs_err < 1e-8
+
+    def test_ledger_lists_every_injected_condition(self, report):
+        counts = report.ledger.counts()
+        # Standing degradations recorded once per configuration's machine.
+        assert counts["dma/degraded-bandwidth"] == len(report.rows)
+        assert counts["cpe/fenced"] == 2 * len(report.rows)
+        # The two fenced CPEs forced a submesh replan on every config.
+        assert counts["engine/replan"] == len(report.rows)
+        # The injected worker crash was recovered and recorded.
+        assert counts["pool/worker-crash"] == 1
+
+    def test_crash_recovered_by_retry(self, report):
+        # The crashed config's row is indistinguishable from the others.
+        crashed = report.rows[1]
+        assert crashed.ok
+        assert crashed.backend_used
+
+    def test_bit_identical_across_same_seed_runs(self, report, tmp_path):
+        rerun = run_chaos_sweep(
+            CHAOS_SPEC,
+            jobs=2,
+            retries=1,
+            crash_indices=(1,),
+            crash_marker_dir=str(tmp_path),
+        )
+        assert rerun.render() == report.render()
+
+    def test_serial_matches_parallel(self):
+        serial = run_chaos_sweep(CHAOS_SPEC, jobs=1)
+        parallel = run_chaos_sweep(CHAOS_SPEC, jobs=2)
+        assert serial.render() == parallel.render()
+
+    def test_crash_indices_require_marker_dir(self):
+        with pytest.raises(ValueError):
+            run_chaos_sweep(CHAOS_SPEC, crash_indices=(0,))
+
+
+class TestSweepResume:
+    GRID = SweepGrid(ni=(32, 64), no=(32,), out=(8,), k=(3,), b=(16,))
+
+    def test_checkpointed_matches_plain(self, tmp_path):
+        plain = run_sweep(self.GRID, chip=False)
+        ckpt = run_sweep(
+            self.GRID, chip=False, checkpoint=str(tmp_path / "sweep.jsonl")
+        )
+        assert sweep_to_csv(ckpt) == sweep_to_csv(plain)
+        assert render_sweep(ckpt) == render_sweep(plain)
+
+    def test_kill_and_resume_byte_identical(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        full_rows = run_sweep(self.GRID, chip=False, checkpoint=path)
+        full_csv = sweep_to_csv(full_rows)
+        # Simulate a mid-run kill: keep only the first completed row.
+        with open(path) as fh:
+            lines = fh.readlines()
+        assert len(lines) == len(full_rows)
+        with open(path, "w") as fh:
+            fh.write(lines[0])
+        resumed = run_sweep(self.GRID, chip=False, checkpoint=path)
+        assert sweep_to_csv(resumed) == full_csv
+        # The resumed run recomputed only the missing row.
+        with open(path) as fh:
+            records = [json.loads(line) for line in fh]
+        assert sorted(r["index"] for r in records) == list(range(len(full_rows)))
+
+    def test_resume_skips_completed_rows(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        run_sweep(self.GRID, chip=False, checkpoint=path)
+        before = os.path.getmtime(path)
+        size = os.path.getsize(path)
+        run_sweep(self.GRID, chip=False, checkpoint=path)
+        # Nothing to recompute: the checkpoint file is untouched.
+        assert os.path.getsize(path) == size
+        assert os.path.getmtime(path) == before
+
+
+class TestRunAllResume:
+    def test_sections_cached_byte_identical(self, tmp_path):
+        first = run_all(["table2"], checkpoint_dir=str(tmp_path))
+        assert os.path.exists(tmp_path / "table2.section.txt")
+        # The resumed run reads the section from disk — same bytes out.
+        assert run_all(["table2"], checkpoint_dir=str(tmp_path)) == first
+        assert first == run_all(["table2"])

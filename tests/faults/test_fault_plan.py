@@ -1,0 +1,211 @@
+"""The seeded fault injector (`repro.faults.plan`) and its hardware hooks."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import (
+    BusStallError,
+    CPEFaultError,
+    DMATimeoutError,
+    ECCError,
+    HardwareFaultError,
+    ReproError,
+)
+from repro.faults import FaultEvent, FaultLedger, FaultPlan, FaultSpec
+from repro.hw.chip import CoreGroup
+from repro.hw.ldm import LDM
+from repro.hw.mesh import CPEMesh
+from repro.hw.spec import DEFAULT_SPEC
+
+pytestmark = pytest.mark.faults
+
+
+class TestFaultSpec:
+    def test_default_is_healthy(self):
+        assert FaultSpec().healthy
+
+    def test_any_rate_breaks_healthy(self):
+        assert not FaultSpec(dma_bandwidth_factor=0.5).healthy
+        assert not FaultSpec(fenced_cpes=((0, 0),)).healthy
+        assert not FaultSpec(ecc_corrected_rate=0.1).healthy
+
+    @pytest.mark.parametrize("factor", [0.0, -0.5, 1.5])
+    def test_bandwidth_factor_validated(self, factor):
+        with pytest.raises(ValueError):
+            FaultSpec(dma_bandwidth_factor=factor)
+
+    @pytest.mark.parametrize("rate", [-0.1, 1.1])
+    def test_rates_validated(self, rate):
+        with pytest.raises(ValueError):
+            FaultSpec(dma_timeout_rate=rate)
+        with pytest.raises(ValueError):
+            FaultSpec(bus_stall_rate=rate)
+
+    def test_negative_random_fenced_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec(num_random_fenced=-1)
+
+    def test_derive_is_deterministic(self):
+        spec = FaultSpec(seed=7, dma_timeout_rate=0.3)
+        assert spec.derive(4).seed == spec.derive(4).seed
+        assert spec.derive(4).seed != spec.derive(5).seed
+        # Rates carry over; only the seed changes.
+        assert spec.derive(4).dma_timeout_rate == 0.3
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "error", [DMATimeoutError, CPEFaultError, BusStallError, ECCError]
+    )
+    def test_fault_errors_catchable_as_repro_error(self, error):
+        assert issubclass(error, HardwareFaultError)
+        assert issubclass(error, ReproError)
+        with pytest.raises(ReproError):
+            raise error("injected")
+
+
+class TestFaultLedger:
+    def test_sequence_numbers(self):
+        ledger = FaultLedger()
+        ledger.record("dma", "timeout", "first")
+        ledger.record("bus", "stall", "second")
+        assert [e.seq for e in ledger.events] == [0, 1]
+        assert len(ledger) == 2
+
+    def test_counts(self):
+        ledger = FaultLedger()
+        ledger.record("dma", "timeout", "a")
+        ledger.record("dma", "timeout", "b")
+        ledger.record("cpe", "fenced", "c")
+        assert ledger.counts() == {"dma/timeout": 2, "cpe/fenced": 1}
+
+    def test_extend_renumbers(self):
+        ledger = FaultLedger()
+        ledger.record("dma", "timeout", "local")
+        foreign = [FaultEvent(seq=17, subsystem="bus", kind="stall", detail="remote")]
+        ledger.extend(foreign)
+        assert [e.seq for e in ledger.events] == [0, 1]
+        assert ledger.events[1].detail == "remote"
+
+    def test_render_and_jsonable(self):
+        ledger = FaultLedger()
+        assert "no events" in ledger.render()
+        ledger.record("ldm", "ecc-corrected", "bit flip")
+        assert "ldm/ecc-corrected" in ledger.render()
+        assert ledger.to_jsonable() == [
+            {"seq": 0, "subsystem": "ldm", "kind": "ecc-corrected", "detail": "bit flip"}
+        ]
+
+
+class TestFaultPlanStreams:
+    def test_same_seed_same_fault_sequence(self):
+        spec = FaultSpec(seed=123, dma_timeout_rate=0.5)
+
+        def observe():
+            plan = FaultPlan(spec)
+            fired = []
+            for i in range(30):
+                try:
+                    plan.maybe_dma_timeout(64, "get", f"t{i}")
+                    fired.append(False)
+                except DMATimeoutError:
+                    fired.append(True)
+            return fired, plan.ledger.render()
+
+        assert observe() == observe()
+
+    def test_healthy_plan_injects_nothing(self):
+        plan = FaultPlan(FaultSpec())
+        for _ in range(50):
+            plan.maybe_dma_timeout(1024, "get")
+            plan.maybe_bus_fault((0, 0), "CPE(0, 1)", 32)
+            plan.maybe_ecc("buf", 64)
+        assert len(plan.ledger) == 0
+
+    def test_degraded_bandwidth_recorded_once(self):
+        plan = FaultPlan(FaultSpec(dma_bandwidth_factor=0.25))
+        assert plan.ledger.counts() == {"dma/degraded-bandwidth": 1}
+        assert plan.dma_bandwidth_factor == 0.25
+
+    def test_fenced_memoized_and_filtered(self):
+        spec = FaultSpec(fenced_cpes=((1, 1), (63, 63)), num_random_fenced=2)
+        plan = FaultPlan(spec)
+        fenced = plan.fenced(8)
+        # (63, 63) belongs to a larger machine and is filtered out.
+        assert (1, 1) in fenced and (63, 63) not in fenced
+        assert len(fenced) == 3  # explicit (1,1) + 2 random
+        # Memoized: asking again neither redraws nor re-ledgers.
+        assert plan.fenced(8) is fenced
+        assert plan.ledger.counts() == {"cpe/fenced": 3}
+
+    def test_check_cpe(self):
+        plan = FaultPlan(FaultSpec(fenced_cpes=((2, 3),)))
+        plan.check_cpe((0, 0), 8, "compute")
+        with pytest.raises(CPEFaultError):
+            plan.check_cpe((2, 3), 8, "compute")
+
+    def test_bus_stall_and_drop_distinguished(self):
+        stall = FaultPlan(FaultSpec(bus_stall_rate=1.0))
+        with pytest.raises(BusStallError):
+            stall.maybe_bus_fault((0, 0), "CPE(0, 1)", 32)
+        assert stall.ledger.counts() == {"bus/stall": 1}
+        drop = FaultPlan(FaultSpec(bus_drop_rate=1.0))
+        with pytest.raises(BusStallError):
+            drop.maybe_bus_fault((0, 0), "CPE(0, 1)", 32)
+        assert drop.ledger.counts() == {"bus/drop": 1}
+
+    def test_ecc_corrected_logs_uncorrectable_raises(self):
+        corrected = FaultPlan(FaultSpec(ecc_corrected_rate=1.0))
+        corrected.maybe_ecc("acc", 256)
+        assert corrected.ledger.counts() == {"ldm/ecc-corrected": 1}
+        fatal = FaultPlan(FaultSpec(ecc_uncorrectable_rate=1.0))
+        with pytest.raises(ECCError):
+            fatal.maybe_ecc("acc", 256)
+
+
+class TestHardwareHooks:
+    def test_dma_derating_scales_duration(self):
+        healthy = CoreGroup(0, DEFAULT_SPEC)
+        degraded = CoreGroup(
+            0, DEFAULT_SPEC, fault_plan=FaultPlan(FaultSpec(dma_bandwidth_factor=0.5))
+        )
+        x = np.ones((4, 1024))
+        for cg in (healthy, degraded):
+            cg.memory.register("x", x)
+            buf = cg.mesh.cpes[0][0].ldm.alloc("tile", (1024,))
+            cg.dma.dma_get("x", 0, buf)
+        assert degraded.dma.log[0].duration == pytest.approx(
+            2.0 * healthy.dma.log[0].duration
+        )
+
+    def test_dma_timeout_raises_and_ledgers(self):
+        plan = FaultPlan(FaultSpec(dma_timeout_rate=1.0))
+        cg = CoreGroup(0, DEFAULT_SPEC, fault_plan=plan)
+        cg.memory.register("x", np.ones((8,)))
+        buf = cg.mesh.cpes[0][0].ldm.alloc("tile", (8,))
+        with pytest.raises(DMATimeoutError):
+            cg.dma.dma_get("x", slice(None), buf)
+        assert plan.ledger.counts() == {"dma/timeout": 1}
+
+    def test_fenced_cpe_unusable_in_mesh(self):
+        plan = FaultPlan(FaultSpec(fenced_cpes=((1, 2),)))
+        mesh = CPEMesh(DEFAULT_SPEC, fault_plan=plan)
+        assert mesh.cpes[1][2].fenced
+        with pytest.raises(CPEFaultError):
+            mesh.cpe(1, 2)
+        with pytest.raises(CPEFaultError):
+            mesh.put((1, 0), (1, 2), np.zeros(4))
+        assert CoreGroup(0, DEFAULT_SPEC, fault_plan=plan).healthy_cpes() == 63
+
+    def test_bus_fault_on_put(self):
+        plan = FaultPlan(FaultSpec(bus_stall_rate=1.0))
+        mesh = CPEMesh(DEFAULT_SPEC, fault_plan=plan)
+        with pytest.raises(BusStallError):
+            mesh.put((0, 0), (0, 1), np.zeros(4))
+
+    def test_ldm_ecc_on_read(self):
+        plan = FaultPlan(FaultSpec(ecc_uncorrectable_rate=1.0))
+        ldm = LDM(DEFAULT_SPEC, fault_plan=plan)
+        buf = ldm.alloc("tile", (16,))
+        with pytest.raises(ECCError):
+            buf.read(slice(None))
