@@ -1,13 +1,16 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: test faults verify
+.PHONY: test faults tune verify
 
 test:
 	python -m pytest -x -q
 
 faults:
 	python -m pytest -x -q -m faults tests/faults
+
+tune:
+	python -m pytest -x -q -m tune tests/tune
 
 verify:
 	sh scripts/verify.sh

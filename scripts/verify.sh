@@ -11,11 +11,15 @@ export PYTHONPATH="${PYTHONPATH:-src}"
 
 TIER1_TIMEOUT="${TIER1_TIMEOUT:-1200}"
 FAULTS_TIMEOUT="${FAULTS_TIMEOUT:-300}"
+TUNE_TIMEOUT="${TUNE_TIMEOUT:-120}"
 
 echo "== tier-1 suite (timeout ${TIER1_TIMEOUT}s) =="
 timeout "${TIER1_TIMEOUT}" python -m pytest -x -q
 
 echo "== seeded fault-sweep smoke test (timeout ${FAULTS_TIMEOUT}s) =="
 timeout "${FAULTS_TIMEOUT}" python -m pytest -x -q -m faults tests/faults
+
+echo "== autotuner smoke test (timeout ${TUNE_TIMEOUT}s) =="
+timeout "${TUNE_TIMEOUT}" python -m pytest -x -q -m tune tests/tune
 
 echo "verify: OK"

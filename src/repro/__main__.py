@@ -8,6 +8,9 @@ Subcommands::
     kernel --ni [--original]     dump the (reordered) GEMM inner kernel as
                                  assembly with its simulated timeline
     experiments [names...]       regenerate the paper's tables and figures
+    tune  --ni --no --out --k --batch
+                                 autotune a convolution, report heuristic vs
+                                 tuned, and persist the winner to the plan cache
 """
 
 from __future__ import annotations
@@ -81,6 +84,38 @@ def cmd_kernel(args) -> int:
           f"dual-issue on {report.dual_issue_cycles} cycles")
     if args.timeline:
         print(report.timeline())
+    return 0
+
+
+def cmd_tune(args) -> int:
+    from repro.core.conv import ConvolutionEngine
+    from repro.core.params import ConvParams
+    from repro.core.planner import plan_convolution
+    from repro.tune import PlanCache, autotune, enumerate_candidates
+
+    params = ConvParams.from_output(
+        ni=args.ni, no=args.no, ro=args.out, co=args.out,
+        kr=args.k, kc=args.k, b=args.batch,
+    )
+    print(params.describe())
+    cache = False if args.no_cache else (
+        PlanCache(args.cache) if args.cache else None
+    )
+    heuristic = plan_convolution(params)
+    baseline = ConvolutionEngine(heuristic.plan).evaluate()
+    result = autotune(
+        params, cache=cache, top_k=args.top_k, jobs=args.jobs, force=args.force
+    )
+    space = len(enumerate_candidates(params))
+    print(f"search space: {space} legal candidates, "
+          f"{result.measured} measured ({result.source})")
+    print(f"heuristic: {heuristic.plan.describe()}")
+    print(f"           {baseline.gflops:.1f} Gflops")
+    print(f"tuned:     {result.candidate.describe()}")
+    print(f"           {result.gflops:.1f} Gflops "
+          f"({result.gflops / baseline.gflops:.3f}x heuristic)")
+    if result.cache_path:
+        print(f"plan cache: {result.cache_path}")
     return 0
 
 
@@ -171,6 +206,19 @@ def build_parser() -> argparse.ArgumentParser:
     kernel.add_argument("--original", action="store_true", help="compiler order")
     kernel.add_argument("--timeline", action="store_true", help="cycle timeline")
     kernel.set_defaults(func=cmd_kernel)
+
+    tune = sub.add_parser("tune", help="autotune one convolution's plan")
+    tune.add_argument("--ni", type=int, default=256, help="input channels")
+    tune.add_argument("--no", type=int, default=256, help="output channels")
+    tune.add_argument("--out", type=int, default=64, help="output image size")
+    tune.add_argument("--k", type=int, default=3, help="filter size")
+    tune.add_argument("--batch", type=int, default=128, help="batch size")
+    tune.add_argument("--top-k", type=int, default=12, help="candidates measured")
+    tune.add_argument("--jobs", type=int, default=1, help="measurement workers")
+    tune.add_argument("--cache", metavar="PATH", help="plan-cache directory")
+    tune.add_argument("--no-cache", action="store_true", help="skip the cache")
+    tune.add_argument("--force", action="store_true", help="re-tune even on hit")
+    tune.set_defaults(func=cmd_tune)
 
     exp = sub.add_parser("experiments", help="regenerate tables and figures")
     exp.add_argument("names", nargs="*", help="subset (table2 fig2 fig6 ...)")

@@ -12,7 +12,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.common.errors import PlanError
+from repro.common.errors import LDMOverflowError, PlanError
 from repro.hw.spec import SW26010Spec, DEFAULT_SPEC
 from repro.core.backward import BackwardConvolution
 from repro.core.conv import BACKENDS, ConvolutionEngine, TimingReport
@@ -51,6 +51,10 @@ class SwDNNHandle:
         fault_plan=None,
         guarded: bool = False,
         parity_check: bool = False,
+        autotune: bool = False,
+        plan_cache=None,
+        fused: bool = False,
+        batch_shards: Optional[int] = None,
     ):
         if backend not in BACKENDS:
             raise PlanError(
@@ -65,12 +69,41 @@ class SwDNNHandle:
         #: it is implied whenever a fault plan is attached.
         self.guarded = guarded or fault_plan is not None
         self.parity_check = parity_check
+        #: ``autotune=True`` replaces the AUTO-algorithm heuristic with the
+        #: measured plan search of :mod:`repro.tune`.  ``plan_cache`` names
+        #: its on-disk cache directory (a path, ``True`` for the default
+        #: ``~/.cache/swdnn-repro`` location, or a PlanCache); setting it
+        #: implies autotuning.  Without a plan cache the tune is in-process
+        #: only (nothing is written to disk).
+        self.autotune = autotune or plan_cache is not None
+        self.plan_cache = plan_cache
+        #: ``fused=True`` lets ``convolution_forward(pool=s)`` run the
+        #: ``s x s`` average pool inside the conv engine's LDM epilogue
+        #: (pooled bytes only are DMA-put); unfused handles charge the pool
+        #: as a separate full-tensor memory pass.
+        self.fused = fused
+        #: ``batch_shards=n`` splits every forward batch across ``n`` core
+        #: groups executed concurrently (inference throughput mode).
+        if batch_shards is not None and not 1 <= batch_shards <= spec.num_core_groups:
+            raise PlanError(
+                f"batch_shards must be in [1, {spec.num_core_groups}], "
+                f"got {batch_shards}"
+            )
+        self.batch_shards = batch_shards
         self._last_outcome = None
         self._plan_cache: Dict[Tuple, ConvPlan] = {}
         self._gemm_cache: Dict[GemmParams, GemmPlan] = {}
         self._engine_cache: Dict[Tuple, ConvolutionEngine] = {}
         self._backward_cache: Dict[ConvParams, BackwardConvolution] = {}
         self._gemm_engine_cache: Dict[GemmParams, GemmEngine] = {}
+
+    def _tune_cache(self):
+        """The ``cache`` argument for :func:`repro.tune.autotune`."""
+        if self.plan_cache is None:
+            return False  # tune in-process, persist nothing
+        if self.plan_cache is True:
+            return None  # the default on-disk location
+        return self.plan_cache
 
     # -- planning -------------------------------------------------------------
 
@@ -96,26 +129,49 @@ class SwDNNHandle:
         plan = self._plan_for(params, algo)
         return sum(nbytes for _, nbytes in plan.ldm_regions())
 
-    def _plan_for(self, params: ConvParams, algo: ConvolutionFwdAlgo) -> ConvPlan:
-        key = (params, algo)
+    def _plan_for(
+        self,
+        params: ConvParams,
+        algo: ConvolutionFwdAlgo,
+        fused_pool: int = 1,
+    ) -> ConvPlan:
+        key = (params, algo, fused_pool)
         plan = self._plan_cache.get(key)
         if plan is None:
             if algo is ConvolutionFwdAlgo.AUTO:
-                best: AlgorithmPerf = find_convolution_forward_algorithm(
-                    params, spec=self.spec, requested=1
-                )[0]
-                plan = _build(best.algo, params, self.spec)
+                if self.autotune:
+                    from repro.tune import autotune
+
+                    plan = autotune(
+                        params,
+                        spec=self.spec,
+                        backend=self.backend,
+                        cache=self._tune_cache(),
+                        fault_plan=self.fault_plan,
+                        fused_pool=fused_pool,
+                    ).plan
+                else:
+                    best: AlgorithmPerf = find_convolution_forward_algorithm(
+                        params, spec=self.spec, requested=1
+                    )[0]
+                    plan = _build(best.algo, params, self.spec)
             else:
                 plan = _build(algo, params, self.spec)
             self._plan_cache[key] = plan
         return plan
 
-    def _engine_for(self, params: ConvParams, algo: ConvolutionFwdAlgo):
-        key = (params, algo)
+    def _engine_for(
+        self, params: ConvParams, algo: ConvolutionFwdAlgo, fused_pool: int = 1
+    ):
+        key = (params, algo, fused_pool)
         engine = self._engine_cache.get(key)
         if engine is None:
-            plan = self._plan_for(params, algo)
+            plan = self._plan_for(params, algo, fused_pool)
             if self.guarded:
+                if fused_pool > 1:
+                    raise PlanError(
+                        "fused pooling is not available in guarded mode"
+                    )
                 from repro.core.guarded import GuardedConvolutionEngine
 
                 engine = GuardedConvolutionEngine(
@@ -126,7 +182,12 @@ class SwDNNHandle:
                     parity_check=self.parity_check,
                 )
             else:
-                engine = ConvolutionEngine(plan, spec=self.spec, backend=self.backend)
+                engine = ConvolutionEngine(
+                    plan,
+                    spec=self.spec,
+                    backend=self.backend,
+                    fused_pool=fused_pool,
+                )
             self._engine_cache[key] = engine
         return engine
 
@@ -163,13 +224,21 @@ class SwDNNHandle:
         conv_desc: Optional[ConvolutionDescriptor] = None,
         bias: Optional[np.ndarray] = None,
         activation: Optional[str] = None,
+        pool: int = 1,
     ) -> Tuple[np.ndarray, TimingReport]:
         """y = act(conv(pad(x), w) + bias) through the simulated device.
 
         ``conv_desc`` padding is applied by explicit-pad lowering;
         ``bias``/``activation`` run fused in the output tiles' epilogue
         (no extra memory traffic), mirroring cuDNN's fused convolutions.
+
+        ``pool=s`` appends an ``s x s`` average pool: on a ``fused=True``
+        handle it runs inside the engine's LDM epilogue (only pooled bytes
+        are stored); otherwise it is applied after the conv with its
+        full-tensor memory pass charged to the returned timing.
         """
+        if pool < 1:
+            raise PlanError(f"pool must be >= 1, got {pool}")
         x = np.asarray(x, dtype=np.float64)
         w = np.asarray(w, dtype=np.float64)
         if x_desc is not None:
@@ -219,10 +288,56 @@ class SwDNNHandle:
             raise PlanError(
                 f"input has {params.ni} channels but the filter expects {w.shape[1]}"
             )
-        engine = self._engine_for(params, algo)
-        result = engine.run(x, w, bias=bias, activation=activation)
-        self._last_outcome = getattr(engine, "last_outcome", None)
-        return result
+        fused_pool = pool if (pool > 1 and self.fused) else 1
+        if self.batch_shards is not None and self.batch_shards > 1:
+            if self.guarded:
+                raise PlanError("batch sharding is not available in guarded mode")
+            from repro.core.sharding import run_sharded
+
+            out, report = run_sharded(
+                x,
+                w,
+                num_groups=self.batch_shards,
+                spec=self.spec,
+                backend=self.backend,
+                bias=bias,
+                activation=activation,
+                plan_cache=self._tune_cache() if self.autotune else None,
+                fused_pool=fused_pool,
+            )
+            self._last_outcome = None
+        else:
+            engine = None
+            if fused_pool > 1:
+                try:
+                    engine = self._engine_for(params, algo, fused_pool)
+                except (PlanError, LDMOverflowError):
+                    # No plan leaves room for the fused pool accumulator
+                    # (or guarded mode forbids fusing): degrade to the
+                    # unfused pool with its memory pass charged below.
+                    fused_pool = 1
+            if engine is None:
+                engine = self._engine_for(params, algo)
+            out, report = engine.run(x, w, bias=bias, activation=activation)
+            self._last_outcome = getattr(engine, "last_outcome", None)
+        if pool > 1 and fused_pool == 1:
+            # Unfused pooling: a separate layer streaming the conv output
+            # through LDM and back — charged as the extra MEM pass it is.
+            from dataclasses import replace
+
+            from repro.core.fusion import elementwise_pass_seconds
+
+            s = pool
+            b_, c_, h_, w_ = out.shape
+            if h_ % s != 0 or w_ % s != 0:
+                raise PlanError(f"pooling {s}x{s} does not divide {h_}x{w_}")
+            out = out.reshape(b_, c_, h_ // s, s, w_ // s, s).mean(axis=(3, 5))
+            out_bytes = b_ * c_ * h_ * w_ * self.spec.double_bytes
+            extra = elementwise_pass_seconds(
+                out_bytes, out_bytes // (s * s), self.spec
+            )
+            report = replace(report, seconds=report.seconds + extra)
+        return out, report
 
     def convolution_backward_data(
         self, w: np.ndarray, grad_out: np.ndarray, x_desc: TensorDescriptor

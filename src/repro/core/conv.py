@@ -203,6 +203,7 @@ class ConvolutionEngine:
         stride_efficiency: float = DMA_STRIDE_EFFICIENCY,
         overlap_contention: float = OVERLAP_CONTENTION,
         fault_plan=None,
+        fused_pool: int = 1,
     ):
         if backend not in BACKENDS:
             raise PlanError(f"unknown compute backend {backend!r}")
@@ -212,6 +213,27 @@ class ConvolutionEngine:
         self.stride_efficiency = stride_efficiency
         self.overlap_contention = overlap_contention
         self.fault_plan = fault_plan
+        if fused_pool < 1:
+            raise PlanError(f"fused_pool must be >= 1, got {fused_pool}")
+        if fused_pool > 1:
+            p = plan.params
+            if p.ro % fused_pool != 0 or p.co % fused_pool != 0:
+                raise PlanError(
+                    f"fused {fused_pool}x{fused_pool} pooling does not divide "
+                    f"the {p.ro}x{p.co} output"
+                )
+            # The fused epilogue holds a pooled-row accumulator in LDM (the
+            # output tile averaged down by s^2) on top of the plan's own
+            # regions; the combined footprint must still fit.
+            from repro.core.ldm_blocking import assert_fits_in_ldm
+
+            regions = plan.ldm_regions()
+            out_bytes = sum(n for name, n in regions if name.startswith("output"))
+            pool_bytes = -(-out_bytes // (fused_pool * fused_pool))
+            assert_fits_in_ldm(
+                regions + [("pool.accumulator", pool_bytes)], self.spec
+            )
+        self.fused_pool = fused_pool
         self._dma_model = DMABandwidthModel(alignment=self.spec.dma_alignment)
         self._step_cost_cache: Dict[Tuple, _StepCost] = {}
         self._mesh_gemm: Optional[MeshGemm] = None
@@ -261,7 +283,11 @@ class ConvolutionEngine:
         """Time for the CPE cluster to execute ``flops`` through the kernel.
 
         Per-CPE vector FMAs divided by the reordered kernel's simulated
-        FMA-per-cycle rate (its execution efficiency for Ni/8 iterations).
+        FMA-per-cycle rate — the execution efficiency for Ni/8 iterations of
+        the plan's *register blocking* shape (``rbB/4`` input vectors x
+        ``rbNo`` splat vectors).  The paper's (16, 4) blocking reproduces
+        the Section VI-B numbers; the autotuner may select other shapes,
+        whose pipeline efficiency is simulated the same way.
         """
         if flops == 0:
             return 0.0
@@ -270,7 +296,8 @@ class ConvolutionEngine:
         if blocking is not None and hasattr(blocking, "ni_block"):
             ni = blocking.ni_block(ni)
         iterations = max(1, -(-ni // 8))
-        ee = _measured_ee(iterations)
+        rb = self.plan.register_blocking
+        ee = _measured_ee(iterations, rb.rb_b // 4, rb.rb_no)
         # Fenced CPEs shrink the cluster: the surviving submesh carries the
         # whole layer's flops.
         vfmas_per_cpe = flops / (
@@ -293,8 +320,19 @@ class ConvolutionEngine:
         get_s = sum(
             self._transfer_seconds(t.nbytes, t.block_bytes, "get") for t in step.gets
         )
+        # A fused s x s pooling epilogue averages each output tile down in
+        # LDM before its DMA put: 1/s^2 of the bytes move, in runs 1/s as
+        # long (pooled rows are co/s elements).
+        s = self.fused_pool
+        if s > 1:
+            puts = [
+                (-(-t.nbytes // (s * s)), max(1, t.block_bytes // s))
+                for t in step.puts
+            ]
+        else:
+            puts = [(t.nbytes, t.block_bytes) for t in step.puts]
         put_s = sum(
-            self._transfer_seconds(t.nbytes, t.block_bytes, "put") for t in step.puts
+            self._transfer_seconds(nbytes, block, "put") for nbytes, block in puts
         )
         cost = _StepCost(
             get_seconds=get_s,
@@ -302,12 +340,19 @@ class ConvolutionEngine:
             put_seconds=put_s,
             flops=step.flops,
             bytes_get=sum(t.nbytes for t in step.gets),
-            bytes_put=sum(t.nbytes for t in step.puts),
+            bytes_put=sum(nbytes for nbytes, _ in puts),
         )
         self._step_cost_cache[key] = cost
         return cost
 
     def _timing_key(self) -> Tuple:
+        """Memoization key for a timed walk of this engine's schedule.
+
+        Beyond the plan signature and the timing knobs, the key carries the
+        fault plan's *standing degradations* — the DMA bandwidth derate and
+        the effective mesh size left after fencing — so a timing cached on a
+        healthy chip is never reused for a degraded one (or vice versa).
+        """
         degraded_bw = (
             self.fault_plan.dma_bandwidth_factor if self.fault_plan is not None else 1.0
         )
@@ -317,7 +362,9 @@ class ConvolutionEngine:
             self.stride_efficiency,
             self.overlap_contention,
             degraded_bw,
+            self.mesh_size,
             self._effective_cpes,
+            self.fused_pool,
         )
 
     def evaluate(self) -> TimingReport:
@@ -386,6 +433,11 @@ class ConvolutionEngine:
         LDM, before its DMA put, so the fusion costs no extra memory
         traffic — the standard library trick (cuDNN's activation-fused
         convolutions) that keeps the streaming ops off the critical path.
+
+        With ``fused_pool=s`` the epilogue also average-pools each output
+        tile ``s x s`` in LDM, so the returned tensor is the *pooled*
+        output (B, No, Ro/s, Co/s) and the DMA puts move only the pooled
+        bytes (see :class:`repro.core.fusion.FusedConvBlock`).
         """
         p = self.plan.params
         if x.shape != p.input_shape:
@@ -443,6 +495,13 @@ class ConvolutionEngine:
             out += bias[None, :, None, None]
         if activation == "relu":
             np.maximum(out, 0.0, out=out)
+        if self.fused_pool > 1:
+            # Fused average pooling: tiles are averaged down in LDM before
+            # their (already pool-scaled) DMA puts; functionally elementwise
+            # over disjoint windows, so pooling once at the end is identical.
+            s = self.fused_pool
+            b, no, ro, co = out.shape
+            out = out.reshape(b, no, ro // s, s, co // s, s).mean(axis=(3, 5))
         total, dma_busy, comp_busy = _pipeline_timeline(costs, self.overlap_contention)
         report = TimingReport(
             seconds=total,
@@ -496,12 +555,18 @@ def evaluate_chip(
     plan_kind: Optional[str] = None,
     num_groups: Optional[int] = None,
     spec: SW26010Spec = DEFAULT_SPEC,
+    plan_cache: Optional[str] = None,
 ) -> Tuple[float, List[TimingReport]]:
     """Timed multi-CG execution (Section III-D row partitioning).
 
     Output rows are split across ``num_groups`` core groups, each running
     its strip with the same plan family; the slowest strip gates the layer.
     Returns (chip Gflop/s, per-CG reports).
+
+    ``plan_cache`` names an on-disk plan-cache directory: each strip's plan
+    then comes from the autotuner (see :mod:`repro.tune`) — tuned once,
+    persisted, and shared across every sweep configuration and resumed run
+    that passes the same path.
     """
     from repro.hw.chip import SW26010Chip
     from repro.core.planner import plan_convolution
@@ -516,7 +581,11 @@ def evaluate_chip(
         if rows == 0:
             continue
         strip_params = params.with_rows(rows)
-        if plan_kind is None:
+        if plan_cache is not None:
+            from repro.tune import autotune
+
+            plan = autotune(strip_params, spec=spec, cache=plan_cache).plan
+        elif plan_kind is None:
             plan = plan_convolution(strip_params, spec=spec).plan
         else:
             plan = make_plan(plan_kind, strip_params, spec=spec)

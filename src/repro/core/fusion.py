@@ -1,0 +1,244 @@
+"""Fused forward pipelines: conv -> ReLU (-> pool) without MEM round trips.
+
+An unfused network spills every intermediate activation to simulated main
+memory: the conv engine DMA-puts its output tiles, the ReLU streams the
+whole tensor back through LDM and out again, and the pooling layer does the
+same.  On a machine whose conv kernels already run at 60-90% of the DMA
+roofline those two extra full-tensor passes are pure loss.
+
+:class:`FusedConvBlock` runs the stack as one pipeline on the simulated
+core group: the engine's epilogue applies bias + ReLU to each output tile
+*while it is still resident in LDM* (free — it hides under P1, see
+``tests/core/test_fusion.py``), an ``s x s`` average pool consumes the tile
+in LDM (``fused_pool=s``), and only the pooled bytes are DMA-put — 1/s^2 of
+the traffic on the store side, and the ReLU/pool MEM passes disappear
+entirely.
+
+Backward uses the standard recompute trick for fused pipelines (the
+intermediate activation was never materialized): the pre-activation output
+is recomputed with the reference conv, then the usual pool -> ReLU -> conv
+gradient chain runs.  Parameters stay owned by the wrapped
+:class:`~repro.core.layers.Conv2D`, so optimizers see the same tensors
+whether or not the network is fused.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.common.errors import LDMOverflowError, PlanError
+from repro.core.conv import ConvolutionEngine, TimingReport
+from repro.core.layers import AvgPool2D, Conv2D, Layer, ReLU
+from repro.core.params import ConvParams
+from repro.core.reference import conv2d_backward_reference, conv2d_reference
+from repro.hw.dma import DMABandwidthModel
+from repro.hw.spec import SW26010Spec, DEFAULT_SPEC
+from repro.perf.dma_model import DMA_STRIDE_EFFICIENCY
+
+
+def elementwise_pass_seconds(
+    bytes_in: int,
+    bytes_out: int,
+    spec: SW26010Spec = DEFAULT_SPEC,
+    block_bytes: int = 1024,
+    stride_efficiency: float = DMA_STRIDE_EFFICIENCY,
+) -> float:
+    """Time for one streaming elementwise pass over a tensor in MEM.
+
+    An unfused ReLU or pooling layer reads its input from main memory
+    through LDM and writes its output back — the cost the fused pipeline
+    eliminates.  Charged against the same Table II model the conv engine
+    uses, at a generous (1 KB) contiguous block size.
+    """
+    model = DMABandwidthModel(alignment=spec.dma_alignment)
+    get_bw = model.bandwidth(block_bytes, "get", aligned=True) * stride_efficiency
+    put_bw = model.bandwidth(block_bytes, "put", aligned=True) * stride_efficiency
+    return bytes_in / get_bw + bytes_out / put_bw
+
+
+def unfused_pipeline_seconds(
+    conv_report: TimingReport,
+    params: ConvParams,
+    pool: int = 1,
+    relu: bool = True,
+    spec: SW26010Spec = DEFAULT_SPEC,
+) -> float:
+    """Step time of the *unfused* conv -> ReLU (-> pool) stack.
+
+    The conv's own time plus one full-tensor MEM pass per trailing
+    elementwise layer — the baseline the fused pipeline is measured
+    against.
+    """
+    out_bytes = params.b * params.no * params.ro * params.co * spec.double_bytes
+    seconds = conv_report.seconds
+    if relu:
+        seconds += elementwise_pass_seconds(out_bytes, out_bytes, spec)
+    if pool > 1:
+        seconds += elementwise_pass_seconds(
+            out_bytes, out_bytes // (pool * pool), spec
+        )
+    return seconds
+
+
+class FusedConvBlock(Layer):
+    """Conv2D (+bias) -> ReLU (-> AvgPool2D) as one LDM-resident pipeline.
+
+    Wraps an existing :class:`Conv2D` (sharing its weight/bias tensors) and
+    optionally absorbs a trailing ReLU and a non-overlapping average pool.
+    The forward pass always runs the simulated engine — fusion is a
+    property of the execution schedule, not of the math.
+
+    ``autotune``/``plan_cache`` route planning through :mod:`repro.tune`
+    instead of the one-shot heuristic.
+    """
+
+    def __init__(
+        self,
+        conv: Conv2D,
+        relu: bool = True,
+        pool: int = 1,
+        autotune: bool = False,
+        plan_cache: Optional[Union[str, "object"]] = None,
+        spec: SW26010Spec = DEFAULT_SPEC,
+    ):
+        if pool < 1:
+            raise PlanError(f"pool size must be >= 1, got {pool}")
+        self.conv = conv
+        self.relu = relu
+        self.pool = pool
+        self.autotune = autotune or plan_cache is not None
+        self.plan_cache = plan_cache
+        self.spec = spec
+        self._x: Optional[np.ndarray] = None
+        self._engine_cache: Dict[ConvParams, ConvolutionEngine] = {}
+        self.last_report: Optional[TimingReport] = None
+
+    def _plan(self, params: ConvParams, fused_pool: int):
+        if self.autotune:
+            from repro.tune import autotune as tune
+
+            cache = self.plan_cache if self.plan_cache is not None else False
+            return tune(
+                params, spec=self.spec, cache=cache, fused_pool=fused_pool
+            ).plan
+        from repro.core.planner import plan_convolution
+
+        return plan_convolution(params, spec=self.spec).plan
+
+    def _engine(self, params: ConvParams) -> "tuple[ConvolutionEngine, int]":
+        entry = self._engine_cache.get(params)
+        if entry is None:
+            try:
+                # Tuned-and-fused: the autotuner only considers candidates
+                # that can host the pool accumulator, so plan and epilogue
+                # are feasible together or fail together.
+                engine = ConvolutionEngine(
+                    self._plan(params, self.pool),
+                    spec=self.spec,
+                    backend=self.conv.backend,
+                    fused_pool=self.pool,
+                )
+                fused_pool = self.pool
+            except (PlanError, LDMOverflowError):
+                # Pool does not divide this shape (or no plan leaves room
+                # for its accumulator): run conv+ReLU fused, pool unfused.
+                engine = ConvolutionEngine(
+                    self._plan(params, 1),
+                    spec=self.spec,
+                    backend=self.conv.backend,
+                )
+                fused_pool = 1
+            entry = (engine, fused_pool)
+            self._engine_cache[params] = entry
+        return entry
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = np.asarray(x, dtype=np.float64)
+        b, ni, ri, ci = self._x.shape
+        no, _, kr, kc = self.conv.w.shape
+        params = ConvParams(ni=ni, no=no, ri=ri, ci=ci, kr=kr, kc=kc, b=b)
+        engine, fused_pool = self._engine(params)
+        out, report = engine.run(
+            self._x,
+            self.conv.w,
+            bias=self.conv.bias,
+            activation="relu" if self.relu else None,
+        )
+        if fused_pool == 1 and self.pool > 1:
+            s = self.pool
+            b_, c_, h_, w_ = out.shape
+            if h_ % s != 0 or w_ % s != 0:
+                raise PlanError(f"pooling {s}x{s} does not divide {h_}x{w_}")
+            out = out.reshape(b_, c_, h_ // s, s, w_ // s, s).mean(axis=(3, 5))
+        self.last_report = report
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise PlanError("backward called before forward")
+        # Recompute the pre-pool activation (it was never spilled to MEM).
+        y = conv2d_reference(self._x, self.conv.w) + self.conv.bias[
+            None, :, None, None
+        ]
+        s = self.pool
+        if s > 1:
+            grad = np.repeat(np.repeat(grad, s, axis=2), s, axis=3) / (s * s)
+        if self.relu:
+            grad = grad * (y > 0)
+        grad_x, grad_w = conv2d_backward_reference(self._x, self.conv.w, grad)
+        self.conv._grad_w = grad_w
+        self.conv._grad_b = grad.sum(axis=(0, 2, 3))
+        return grad_x
+
+    def parameters(self) -> Dict[str, np.ndarray]:
+        return self.conv.parameters()
+
+    def gradients(self) -> Dict[str, np.ndarray]:
+        return self.conv.gradients()
+
+
+def fuse_layers(
+    layers: Sequence[Layer],
+    autotune: bool = False,
+    plan_cache: Optional[Union[str, "object"]] = None,
+    spec: SW26010Spec = DEFAULT_SPEC,
+) -> List[Layer]:
+    """Pattern-match Conv2D [-> ReLU] [-> AvgPool2D] runs into fused blocks.
+
+    Layers that do not match pass through unchanged; parameter tensors are
+    shared with the original conv layers, so a network can be fused after
+    construction (or even mid-training) without re-initializing weights.
+    """
+    fused: List[Layer] = []
+    i = 0
+    n = len(layers)
+    while i < n:
+        layer = layers[i]
+        if isinstance(layer, Conv2D):
+            j = i + 1
+            relu = False
+            pool = 1
+            if j < n and isinstance(layers[j], ReLU):
+                relu = True
+                j += 1
+            if j < n and isinstance(layers[j], AvgPool2D):
+                pool = layers[j].size
+                j += 1
+            if relu or pool > 1:
+                fused.append(
+                    FusedConvBlock(
+                        layer,
+                        relu=relu,
+                        pool=pool,
+                        autotune=autotune,
+                        plan_cache=plan_cache,
+                        spec=spec,
+                    )
+                )
+                i = j
+                continue
+        fused.append(layer)
+        i += 1
+    return fused

@@ -51,8 +51,10 @@ class Conv2D(Layer):
     simulated engine's execution tier (``"numpy"``, ``"mesh"``,
     ``"mesh-fast"``); engines are cached per input shape, so training loops
     that feed the same shape every batch plan once and — with
-    ``"mesh-fast"`` — verify the bus protocol once.  Backward always uses
-    the reference gradients.
+    ``"mesh-fast"`` — verify the bus protocol once.  ``autotune=True``
+    replaces the heuristic planner with the measured search of
+    :mod:`repro.tune`; ``plan_cache`` names its on-disk cache directory
+    (implies autotuning).  Backward always uses the reference gradients.
     """
 
     def __init__(
@@ -64,6 +66,8 @@ class Conv2D(Layer):
         rng: Optional[np.random.Generator] = None,
         engine: str = "reference",
         backend: str = "numpy",
+        autotune: bool = False,
+        plan_cache=None,
     ):
         if engine not in ("reference", "simulated"):
             raise PlanError(f"unknown conv engine {engine!r}")
@@ -73,6 +77,8 @@ class Conv2D(Layer):
         self.bias = np.zeros(no)
         self.engine = engine
         self.backend = backend
+        self.autotune = autotune or plan_cache is not None
+        self.plan_cache = plan_cache
         self._x: Optional[np.ndarray] = None
         self._grad_w: Optional[np.ndarray] = None
         self._grad_b: Optional[np.ndarray] = None
@@ -81,9 +87,15 @@ class Conv2D(Layer):
     def _simulated_engine(self, params: ConvParams) -> ConvolutionEngine:
         engine = self._engine_cache.get(params)
         if engine is None:
-            from repro.core.planner import plan_convolution
+            if self.autotune:
+                from repro.tune import autotune as tune
 
-            plan = plan_convolution(params).plan
+                cache = self.plan_cache if self.plan_cache is not None else False
+                plan = tune(params, cache=cache).plan
+            else:
+                from repro.core.planner import plan_convolution
+
+                plan = plan_convolution(params).plan
             engine = ConvolutionEngine(plan, backend=self.backend)
             self._engine_cache[params] = engine
         return engine

@@ -36,6 +36,22 @@ class Sequential:
     def parameter_layers(self) -> List[Layer]:
         return [layer for layer in self.layers if layer.parameters()]
 
+    def fused(self, autotune: bool = False, plan_cache=None) -> "Sequential":
+        """A fused view of this network: conv -> ReLU (-> pool) runs become
+        :class:`~repro.core.fusion.FusedConvBlock` pipelines.
+
+        Parameter tensors are shared with this network's layers (the blocks
+        wrap the original :class:`~repro.core.layers.Conv2D` objects), so
+        training the fused view updates the same weights.  ``autotune=True``
+        plans each fused conv with :mod:`repro.tune`; ``plan_cache`` names
+        the plan-cache directory (implies autotuning).
+        """
+        from repro.core.fusion import fuse_layers
+
+        return Sequential(
+            fuse_layers(self.layers, autotune=autotune, plan_cache=plan_cache)
+        )
+
 
 class SGD:
     """Plain stochastic gradient descent with optional momentum."""

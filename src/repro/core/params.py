@@ -118,6 +118,22 @@ class ConvParams:
             b=self.b,
         )
 
+    def with_batch(self, b: int) -> "ConvParams":
+        """Restrict to a batch slice (the per-CG shard of batch sharding)."""
+        if not 1 <= b <= self.b:
+            raise PlanError(
+                f"cannot take a {b}-sample shard of a batch of {self.b}"
+            )
+        return ConvParams(
+            ni=self.ni,
+            no=self.no,
+            ri=self.ri,
+            ci=self.ci,
+            kr=self.kr,
+            kc=self.kc,
+            b=b,
+        )
+
     def describe(self) -> str:
         return (
             f"Conv(Ni={self.ni}, No={self.no}, in={self.ri}x{self.ci}, "

@@ -18,6 +18,7 @@ from repro.core.ldm_blocking import BatchBlocking, ImageBlocking
 from repro.core.params import ConvParams
 from repro.core.plans import BatchSizeAwarePlan, ConvPlan, ImageSizeAwarePlan
 from repro.core.register_blocking import RegisterBlocking
+from repro.hw.spec import SW26010Spec, DEFAULT_SPEC
 
 #: Envelope format version.
 FORMAT_VERSION = 1
@@ -95,13 +96,17 @@ def plan_to_dict(plan: ConvPlan) -> Dict[str, Any]:
     }
 
 
-def plan_from_dict(data: Dict[str, Any]) -> ConvPlan:
+def plan_from_dict(data: Dict[str, Any], spec: Optional["SW26010Spec"] = None) -> ConvPlan:
+    """Rebuild a plan, optionally against a non-default machine ``spec``
+    (the plan cache stores plans tuned for shrunken or degraded meshes)."""
     version = data.get("format_version")
     if version != FORMAT_VERSION:
         raise PlanError(
             f"unsupported plan format version {version!r} "
             f"(this library reads {FORMAT_VERSION})"
         )
+    if spec is None:
+        spec = DEFAULT_SPEC
     params = params_from_dict(data["params"])
     blocking = blocking_from_dict(data["blocking"])
     reg = data.get("register_blocking", {})
@@ -113,13 +118,13 @@ def plan_from_dict(data: Dict[str, Any]) -> ConvPlan:
         if not isinstance(blocking, ImageBlocking):
             raise PlanError("image-size-aware plan needs an image blocking")
         return ImageSizeAwarePlan(
-            params, blocking=blocking, register_blocking=register_blocking
+            params, blocking=blocking, register_blocking=register_blocking, spec=spec
         )
     if family == "batch-size-aware":
         if not isinstance(blocking, BatchBlocking):
             raise PlanError("batch-size-aware plan needs a batch blocking")
         return BatchSizeAwarePlan(
-            params, blocking=blocking, register_blocking=register_blocking
+            params, blocking=blocking, register_blocking=register_blocking, spec=spec
         )
     raise PlanError(f"unknown plan family {family!r}")
 
@@ -128,9 +133,9 @@ def plan_to_json(plan: ConvPlan, indent: Optional[int] = 2) -> str:
     return json.dumps(plan_to_dict(plan), indent=indent)
 
 
-def plan_from_json(text: str) -> ConvPlan:
+def plan_from_json(text: str, spec: Optional[SW26010Spec] = None) -> ConvPlan:
     try:
         data = json.loads(text)
     except json.JSONDecodeError as exc:
         raise PlanError(f"malformed plan JSON: {exc}") from None
-    return plan_from_dict(data)
+    return plan_from_dict(data, spec=spec)

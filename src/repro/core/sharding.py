@@ -1,0 +1,168 @@
+"""Multi-CG batch sharding: inference throughput across the chip's 4 CGs.
+
+:func:`repro.core.conv.evaluate_chip` scales a layer across core groups by
+splitting *output rows* — the paper's Section III-D partitioning, right for
+one big training layer.  For inference serving the natural axis is the
+*batch*: each core group runs the full layer on its own slice of the batch,
+concurrently and independently (no cross-CG halo, no shared filter state —
+each CG DMA-reads its own filter copy).  The chip finishes when the slowest
+shard does.
+
+Sharding composes with everything below it: each shard plans with the
+heuristic planner or the autotuner (``plan_cache=``), runs any backend, and
+reuses the process-wide timing memoization — four equal shards walk one
+timed schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.common.errors import PlanError
+from repro.core.conv import ConvolutionEngine, TimingReport
+from repro.core.params import ConvParams
+from repro.hw.spec import SW26010Spec, DEFAULT_SPEC
+
+
+@dataclass
+class ShardedReport:
+    """Chip-level timing of one batch-sharded layer execution."""
+
+    seconds: float  # the slowest shard (shards run concurrently)
+    flops: int  # total across shards
+    shards: List[TimingReport]
+    peak_flops: float  # per-CG peak x active shards
+
+    @property
+    def gflops(self) -> float:
+        if self.seconds <= 0:
+            return 0.0
+        return self.flops / self.seconds / 1e9
+
+    @property
+    def efficiency(self) -> float:
+        if self.seconds <= 0:
+            return 0.0
+        return (self.flops / self.seconds) / self.peak_flops
+
+
+def shard_batch(b: int, num_shards: int) -> List[int]:
+    """Balanced shard sizes for a batch of ``b`` (largest first, no zeros).
+
+    ``b`` smaller than ``num_shards`` uses fewer shards rather than empty
+    ones.
+    """
+    if b < 1:
+        raise PlanError(f"batch must be positive, got {b}")
+    if num_shards < 1:
+        raise PlanError(f"num_shards must be positive, got {num_shards}")
+    n = min(b, num_shards)
+    base, extra = divmod(b, n)
+    return [base + 1] * extra + [base] * (n - extra)
+
+
+def _shard_engine(
+    params: ConvParams,
+    spec: SW26010Spec,
+    backend: str,
+    plan_cache: Optional[Union[str, "object"]],
+    fused_pool: int = 1,
+) -> ConvolutionEngine:
+    if plan_cache is not None:
+        from repro.tune import autotune
+
+        plan = autotune(
+            params, spec=spec, cache=plan_cache, fused_pool=fused_pool
+        ).plan
+    else:
+        from repro.core.planner import plan_convolution
+
+        plan = plan_convolution(params, spec=spec).plan
+    return ConvolutionEngine(plan, spec=spec, backend=backend, fused_pool=fused_pool)
+
+
+def evaluate_chip_sharded(
+    params: ConvParams,
+    num_groups: Optional[int] = None,
+    spec: SW26010Spec = DEFAULT_SPEC,
+    plan_cache: Optional[Union[str, "object"]] = None,
+    fused_pool: int = 1,
+) -> ShardedReport:
+    """Timed batch-sharded chip execution (no tensor data).
+
+    Each shard's timed walk memoizes process-wide, so equal-size shards
+    cost one schedule walk total.
+    """
+    n = num_groups if num_groups is not None else spec.num_core_groups
+    if not 1 <= n <= spec.num_core_groups:
+        raise PlanError(
+            f"num_groups must be in [1, {spec.num_core_groups}], got {n}"
+        )
+    reports = []
+    for shard_b in shard_batch(params.b, n):
+        shard_params = params.with_batch(shard_b)
+        engine = _shard_engine(shard_params, spec, "numpy", plan_cache, fused_pool)
+        reports.append(engine.evaluate())
+    return ShardedReport(
+        seconds=max(r.seconds for r in reports),
+        flops=sum(r.flops for r in reports),
+        shards=reports,
+        peak_flops=spec.peak_flops_per_cg * len(reports),
+    )
+
+
+def run_sharded(
+    x: np.ndarray,
+    w: np.ndarray,
+    num_groups: Optional[int] = None,
+    spec: SW26010Spec = DEFAULT_SPEC,
+    backend: str = "numpy",
+    bias: Optional[np.ndarray] = None,
+    activation: Optional[str] = None,
+    plan_cache: Optional[Union[str, "object"]] = None,
+    fused_pool: int = 1,
+) -> Tuple[np.ndarray, ShardedReport]:
+    """Functional batch-sharded convolution; returns (output, chip timing).
+
+    The output is byte-identical to the unsharded engine's (each batch
+    element's convolution is independent); the report models the four CGs
+    running their shards concurrently.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    w = np.asarray(w, dtype=np.float64)
+    b, ni, ri, ci = x.shape
+    no, _, kr, kc = w.shape
+    params = ConvParams(ni=ni, no=no, ri=ri, ci=ci, kr=kr, kc=kc, b=b)
+    n = num_groups if num_groups is not None else spec.num_core_groups
+    if not 1 <= n <= spec.num_core_groups:
+        raise PlanError(
+            f"num_groups must be in [1, {spec.num_core_groups}], got {n}"
+        )
+    outputs = []
+    reports = []
+    start = 0
+    engines: dict = {}
+    for shard_b in shard_batch(b, n):
+        shard_params = params.with_batch(shard_b)
+        engine = engines.get(shard_params)
+        if engine is None:
+            engine = _shard_engine(
+                shard_params, spec, backend, plan_cache, fused_pool
+            )
+            engines[shard_params] = engine
+        out, report = engine.run(
+            x[start : start + shard_b], w, bias=bias, activation=activation
+        )
+        outputs.append(out)
+        reports.append(report)
+        start += shard_b
+    report = ShardedReport(
+        seconds=max(r.seconds for r in reports),
+        flops=sum(r.flops for r in reports),
+        shards=reports,
+        peak_flops=spec.peak_flops_per_cg * len(reports),
+    )
+    return np.concatenate(outputs, axis=0), report

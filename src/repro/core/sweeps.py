@@ -77,22 +77,43 @@ class SweepRow:
         return not self.error
 
 
-def _sweep_row(params: ConvParams, spec: SW26010Spec, chip: bool) -> SweepRow:
+def _sweep_row(
+    params: ConvParams,
+    spec: SW26010Spec,
+    chip: bool,
+    plan_cache: Optional[str] = None,
+) -> SweepRow:
     """Worker for the parallel fan-out: plan, model and time one config.
 
     Infeasible configurations become rows with ``error`` set rather than
-    exceptions, so a sweep never aborts on one bad grid point.
+    exceptions, so a sweep never aborts on one bad grid point.  With
+    ``plan_cache`` every configuration plans through the autotuner's
+    on-disk cache — tuned once, shared by every worker process and every
+    resumed run.
     """
     try:
         choice = plan_convolution(params, spec=spec)
-        measured = ConvolutionEngine(choice.plan, spec=spec).evaluate()
+        if plan_cache is not None:
+            from repro.tune import autotune, score_candidate
+
+            tuned = autotune(params, spec=spec, cache=plan_cache)
+            plan = tuned.plan
+            kind = tuned.plan.name
+            model_gflops = score_candidate(tuned.candidate, params, spec).gflops
+        else:
+            plan = choice.plan
+            kind = choice.kind
+            model_gflops = choice.estimate.gflops
+        measured = ConvolutionEngine(plan, spec=spec).evaluate()
         chip_gflops = (
-            evaluate_chip(params, spec=spec)[0] if chip else 4 * measured.gflops
+            evaluate_chip(params, spec=spec, plan_cache=plan_cache)[0]
+            if chip
+            else 4 * measured.gflops
         )
         return SweepRow(
             params=params,
-            plan=choice.kind,
-            model_gflops=choice.estimate.gflops,
+            plan=kind,
+            model_gflops=model_gflops,
             measured_gflops=measured.gflops,
             chip_tflops=chip_gflops / 1e3,
         )
@@ -177,6 +198,7 @@ def run_sweep(
     retries: int = 0,
     backoff: float = 0.0,
     timeout: Optional[float] = None,
+    plan_cache: Optional[str] = None,
 ) -> List[SweepRow]:
     """Plan, model and time every configuration of the grid.
 
@@ -193,8 +215,13 @@ def run_sweep(
     ``retries``/``backoff``/``timeout`` are forwarded to
     :func:`~repro.common.parallel.parallel_map` for per-job fault
     tolerance and crash isolation.
+
+    ``plan_cache`` names an on-disk plan-cache directory: every
+    configuration (and chip strip) then plans through the autotuner, with
+    tuned winners shared across grid points, worker processes and resumed
+    runs (the cache's atomic writes make concurrent workers safe).
     """
-    worker = partial(_sweep_row, spec=spec, chip=chip)
+    worker = partial(_sweep_row, spec=spec, chip=chip, plan_cache=plan_cache)
     configs = list(grid.configurations())
     if checkpoint is None:
         return parallel_map(

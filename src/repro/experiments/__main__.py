@@ -29,6 +29,13 @@ def main(argv=None) -> int:
         "are persisted there and reused by a re-run, so a killed report "
         "restarts from the last completed experiment",
     )
+    parser.add_argument(
+        "--plan-cache",
+        metavar="PATH",
+        help="plan-cache directory: sweep-style experiments plan every "
+        "configuration through the autotuner, sharing tuned plans across "
+        "configs, worker processes and resumed runs",
+    )
     args = parser.parse_args(argv if argv is not None else sys.argv[1:])
     if args.save:
         from repro.experiments.artifacts import save_experiments
@@ -37,7 +44,14 @@ def main(argv=None) -> int:
         for path in written:
             print(f"wrote {path}")
         return 0
-    print(run_all(args.names or None, jobs=args.jobs, checkpoint_dir=args.checkpoint))
+    print(
+        run_all(
+            args.names or None,
+            jobs=args.jobs,
+            checkpoint_dir=args.checkpoint,
+            plan_cache=args.plan_cache,
+        )
+    )
     return 0
 
 

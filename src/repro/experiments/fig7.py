@@ -69,19 +69,24 @@ class Fig7Summary:
         return float(np.std(values) / np.mean(values))
 
 
-def _chip_gflops(params: ConvParams, spec: SW26010Spec) -> float:
+def _chip_gflops(
+    params: ConvParams, spec: SW26010Spec, plan_cache: Optional[str] = None
+) -> float:
     """Worker for the parallel fan-out: one configuration's chip Gflop/s."""
-    return evaluate_chip(params, spec=spec)[0]
+    return evaluate_chip(params, spec=spec, plan_cache=plan_cache)[0]
 
 
 def run(
     configs: Optional[List[ConvParams]] = None,
     spec: SW26010Spec = DEFAULT_SPEC,
     jobs: int = 1,
+    plan_cache: Optional[str] = None,
 ) -> Fig7Summary:
     configs = configs if configs is not None else fig7_configs()
     gpu = K40mCuDNNModel()
-    chip_results = parallel_map(partial(_chip_gflops, spec=spec), configs, jobs=jobs)
+    chip_results = parallel_map(
+        partial(_chip_gflops, spec=spec, plan_cache=plan_cache), configs, jobs=jobs
+    )
     rows = []
     for i, (params, chip_gflops) in enumerate(zip(configs, chip_results), start=1):
         swdnn_tflops = chip_gflops / 1e3
@@ -100,8 +105,12 @@ def run(
     return Fig7Summary(rows=rows)
 
 
-def render(summary: Optional[Fig7Summary] = None, jobs: int = 1) -> str:
-    summary = summary if summary is not None else run(jobs=jobs)
+def render(
+    summary: Optional[Fig7Summary] = None,
+    jobs: int = 1,
+    plan_cache: Optional[str] = None,
+) -> str:
+    summary = summary if summary is not None else run(jobs=jobs, plan_cache=plan_cache)
     from repro.common.charts import series_chart
 
     chart = series_chart(

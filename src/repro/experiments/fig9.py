@@ -54,19 +54,24 @@ class Fig9Summary:
         return {k: sum(v) / len(v) for k, v in sorted(acc.items())}
 
 
-def _chip_gflops(params: ConvParams, spec: SW26010Spec) -> float:
+def _chip_gflops(
+    params: ConvParams, spec: SW26010Spec, plan_cache: Optional[str] = None
+) -> float:
     """Worker for the parallel fan-out: one configuration's chip Gflop/s."""
-    return evaluate_chip(params, spec=spec)[0]
+    return evaluate_chip(params, spec=spec, plan_cache=plan_cache)[0]
 
 
 def run(
     configs: Optional[List[ConvParams]] = None,
     spec: SW26010Spec = DEFAULT_SPEC,
     jobs: int = 1,
+    plan_cache: Optional[str] = None,
 ) -> Fig9Summary:
     configs = configs if configs is not None else fig8_right()
     gpu = K40mCuDNNModel()
-    chip_results = parallel_map(partial(_chip_gflops, spec=spec), configs, jobs=jobs)
+    chip_results = parallel_map(
+        partial(_chip_gflops, spec=spec, plan_cache=plan_cache), configs, jobs=jobs
+    )
     rows = []
     for i, (params, chip_gflops) in enumerate(zip(configs, chip_results), start=1):
         swdnn = chip_gflops / 1e3
@@ -85,8 +90,12 @@ def run(
     return Fig9Summary(rows=rows)
 
 
-def render(summary: Optional[Fig9Summary] = None, jobs: int = 1) -> str:
-    summary = summary if summary is not None else run(jobs=jobs)
+def render(
+    summary: Optional[Fig9Summary] = None,
+    jobs: int = 1,
+    plan_cache: Optional[str] = None,
+) -> str:
+    summary = summary if summary is not None else run(jobs=jobs, plan_cache=plan_cache)
     table = TextTable(
         ["#", "filter", "Ni", "No", "swDNN Tflops", "K40m Tflops", "speedup"],
         float_fmt="{:.2f}",

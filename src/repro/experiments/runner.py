@@ -48,14 +48,17 @@ def select_experiments(
     return selected
 
 
-def _accepts_jobs(render: Callable[..., str]) -> bool:
-    return "jobs" in inspect.signature(render).parameters
+def _accepted_kwargs(render: Callable[..., str], available: dict) -> dict:
+    """The subset of ``available`` kwargs this render callable accepts."""
+    params = inspect.signature(render).parameters
+    return {k: v for k, v in available.items() if k in params}
 
 
 def run_all(
     names: Optional[List[str]] = None,
     jobs: int = 1,
     checkpoint_dir: Optional[str] = None,
+    plan_cache: Optional[str] = None,
 ) -> str:
     """Render the selected experiments (all by default) as one report.
 
@@ -68,6 +71,11 @@ def run_all(
     reuses every section already on disk instead of recomputing it.  The
     sections are deterministic text, so a killed-and-resumed report is
     byte-identical to an uninterrupted one.
+
+    ``plan_cache`` names an on-disk plan-cache directory; the sweep-style
+    experiments then plan every configuration through the autotuner, with
+    tuned plans shared across configurations, worker processes and resumed
+    runs.
     """
     selected = select_experiments(names)
     if checkpoint_dir:
@@ -83,7 +91,10 @@ def run_all(
             with open(section_path) as fh:
                 section = fh.read()
         else:
-            section = render(jobs=jobs) if _accepts_jobs(render) else render()
+            kwargs = _accepted_kwargs(
+                render, {"jobs": jobs, "plan_cache": plan_cache}
+            )
+            section = render(**kwargs)
             if section_path:
                 with open(section_path, "w") as fh:
                     fh.write(section)

@@ -191,6 +191,38 @@ def run(fast: bool = True) -> List[Check]:
             cal_ok,
         )
     )
+
+    # -- plan cache ---------------------------------------------------------------
+    # Cold tune -> miss + store; identical second call -> hit, nothing
+    # re-measured.  Runs against a throwaway directory so the scorecard
+    # never touches (or depends on) the user's real cache.
+    import tempfile
+
+    from repro.core.params import ConvParams as _ConvParams
+    from repro.tune import PlanCache, autotune
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = PlanCache(tmp)
+        tiny = _ConvParams(ni=16, no=16, ri=6, ci=6, kr=3, kc=3, b=8)
+        cold = autotune(tiny, cache=cache, top_k=2)
+        warm = autotune(tiny, cache=cache, top_k=2)
+        cache_ok = (
+            cold.source == "tuned"
+            and warm.source == "cache"
+            and warm.measured == 0
+            and cache.stats.hits == 1
+            and cache.stats.misses == 1
+            and cache.stats.stores == 1
+        )
+        checks.append(
+            Check(
+                "plan cache cold->warm",
+                "1 miss, 1 store, 1 hit, 0 re-measured",
+                f"{cache.stats.misses} miss, {cache.stats.stores} store, "
+                f"{cache.stats.hits} hit, {warm.measured} re-measured",
+                cache_ok,
+            )
+        )
     return checks
 
 

@@ -1,0 +1,48 @@
+"""Autotuned execution plans (swTVM / MG3MConv-style schedule search).
+
+The paper's headline gains come from *choosing the right mapping* — LDM
+blocking sizes, the image-size-aware vs. batch-size-aware loop-schedule
+families, and register-blocking shapes — guided by the three-level
+REG/LDM/MEM performance model.  The heuristic planner
+(:mod:`repro.core.planner`) makes that choice with one closed-form rule per
+family; this package replaces the rule with a *measured search*:
+
+1. :func:`~repro.tune.space.enumerate_candidates` walks the legal blocking
+   space (LDM-capacity-feasible ``bB``/``bCo``/``bNi`` x both loop-schedule
+   families x DMA-promotion flags x register-feasible ``(rbB, rbNo)``
+   shapes);
+2. the analytic roofline model prunes it to the most promising ``top_k``
+   candidates (:func:`~repro.tune.tuner.score_candidate`);
+3. the survivors are *measured* on the simulator — in parallel via
+   :func:`~repro.common.parallel.parallel_map` — and the fastest wins;
+4. the winner is persisted in a versioned on-disk plan cache
+   (:class:`~repro.tune.cache.PlanCache`) keyed by (params, spec
+   fingerprint, backend tier, effective mesh size), so every later process
+   loads the tuned plan instead of re-searching.
+"""
+
+from repro.tune.cache import (
+    CACHE_SCHEMA_VERSION,
+    CacheStats,
+    PlanCache,
+    default_cache_dir,
+    global_cache_stats,
+    reset_global_cache_stats,
+)
+from repro.tune.space import Candidate, enumerate_candidates
+from repro.tune.tuner import TunedPlan, autotune, score_candidate, warm_cache
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "CacheStats",
+    "Candidate",
+    "PlanCache",
+    "TunedPlan",
+    "autotune",
+    "default_cache_dir",
+    "enumerate_candidates",
+    "global_cache_stats",
+    "reset_global_cache_stats",
+    "score_candidate",
+    "warm_cache",
+]

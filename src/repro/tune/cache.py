@@ -1,0 +1,215 @@
+"""Versioned on-disk plan cache.
+
+Tuned plans are persisted as one JSON file per cache key under a cache
+root (default ``~/.cache/swdnn-repro/plans``, overridable with the
+``SWDNN_PLAN_CACHE`` environment variable or an explicit path).  The key is
+a SHA-256 fingerprint of:
+
+* the cache schema version (bumping it invalidates every entry),
+* the :class:`~repro.core.params.ConvParams`,
+* every field of the :class:`~repro.hw.spec.SW26010Spec` (a changed LDM
+  size, clock or bandwidth is a different machine — its tuned plans do not
+  transfer),
+* the backend tier ("numpy" / "mesh" / "mesh-fast"),
+* the effective mesh size (a chip degraded by fenced CPEs tunes
+  separately from a healthy one), and
+* the fused-pool factor (a plan tuned to leave room for the fused pooling
+  accumulator is a different plan from the unfused winner).
+
+Each entry also embeds the full key payload, and :meth:`PlanCache.load`
+re-verifies it against the caller's request before trusting the entry, so a
+hash collision or a hand-edited file can never smuggle in a stale plan.
+
+Writes are atomic (temp file + ``os.replace``), so concurrent tuners — the
+sweep runner fans out worker processes — can share one cache directory; the
+last writer wins and every reader sees a complete file.
+
+Hit/miss/store counters are kept per-instance and aggregated process-wide
+(:func:`global_cache_stats`) for the scorecard.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.core.params import ConvParams
+from repro.core.serialize import params_to_dict
+from repro.hw.spec import SW26010Spec
+
+#: Bump to invalidate every existing cache entry (e.g. when the timing
+#: model changes enough that old winners are no longer trustworthy).
+CACHE_SCHEMA_VERSION = 1
+
+#: Environment override for the default cache root.
+CACHE_ENV_VAR = "SWDNN_PLAN_CACHE"
+
+
+def default_cache_dir() -> Path:
+    """The cache root: ``$SWDNN_PLAN_CACHE`` or ``~/.cache/swdnn-repro/plans``."""
+    env = os.environ.get(CACHE_ENV_VAR)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "swdnn-repro" / "plans"
+
+
+def spec_fingerprint(spec: SW26010Spec) -> Dict[str, Any]:
+    """Every architectural field of the spec, JSON-ready."""
+    return dataclasses.asdict(spec)
+
+
+@dataclass
+class CacheStats:
+    """Plan-cache traffic counters."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+
+
+_GLOBAL_STATS = CacheStats()
+
+
+def global_cache_stats() -> CacheStats:
+    """Process-wide aggregate over every PlanCache instance."""
+    return _GLOBAL_STATS
+
+
+def reset_global_cache_stats() -> None:
+    _GLOBAL_STATS.hits = 0
+    _GLOBAL_STATS.misses = 0
+    _GLOBAL_STATS.stores = 0
+
+
+class PlanCache:
+    """One cache directory of tuned-plan JSON entries."""
+
+    def __init__(self, root: Optional[Union[str, Path]] = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.stats = CacheStats()
+
+    # -- keying ---------------------------------------------------------------
+
+    def key_payload(
+        self,
+        params: ConvParams,
+        spec: SW26010Spec,
+        backend: str,
+        mesh_size: int,
+        fused_pool: int = 1,
+    ) -> Dict[str, Any]:
+        return {
+            "schema_version": CACHE_SCHEMA_VERSION,
+            "params": params_to_dict(params),
+            "spec": spec_fingerprint(spec),
+            "backend": backend,
+            "mesh_size": int(mesh_size),
+            "fused_pool": int(fused_pool),
+        }
+
+    def key(
+        self,
+        params: ConvParams,
+        spec: SW26010Spec,
+        backend: str,
+        mesh_size: int,
+        fused_pool: int = 1,
+    ) -> str:
+        payload = self.key_payload(params, spec, backend, mesh_size, fused_pool)
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:40]
+
+    def path_for(
+        self,
+        params: ConvParams,
+        spec: SW26010Spec,
+        backend: str,
+        mesh_size: int,
+        fused_pool: int = 1,
+    ) -> Path:
+        key = self.key(params, spec, backend, mesh_size, fused_pool)
+        return self.root / f"{key}.json"
+
+    # -- traffic --------------------------------------------------------------
+
+    def load(
+        self,
+        params: ConvParams,
+        spec: SW26010Spec,
+        backend: str,
+        mesh_size: int,
+        fused_pool: int = 1,
+    ) -> Optional[Dict[str, Any]]:
+        """The stored entry for this key, or None (counted as hit/miss).
+
+        An unreadable, schema-mismatched or key-mismatched file is a miss —
+        the tuner re-tunes and overwrites it.
+        """
+        path = self.path_for(params, spec, backend, mesh_size, fused_pool)
+        entry: Optional[Dict[str, Any]] = None
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            data = None
+        if isinstance(data, dict):
+            expected = self.key_payload(params, spec, backend, mesh_size, fused_pool)
+            if data.get("key") == expected and "plan" in data:
+                entry = data
+        if entry is None:
+            self.stats.misses += 1
+            _GLOBAL_STATS.misses += 1
+        else:
+            self.stats.hits += 1
+            _GLOBAL_STATS.hits += 1
+        return entry
+
+    def store(
+        self,
+        params: ConvParams,
+        spec: SW26010Spec,
+        backend: str,
+        mesh_size: int,
+        plan_dict: Dict[str, Any],
+        tuning: Dict[str, Any],
+        fused_pool: int = 1,
+    ) -> Path:
+        """Persist a tuned winner atomically; returns the entry path."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(params, spec, backend, mesh_size, fused_pool)
+        entry = {
+            "key": self.key_payload(params, spec, backend, mesh_size, fused_pool),
+            "plan": plan_dict,
+            "tuning": tuning,
+        }
+        fd, tmp = tempfile.mkstemp(
+            dir=str(self.root), prefix=path.stem, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(entry, fh, indent=2, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+        _GLOBAL_STATS.stores += 1
+        return path
+
+    def entries(self) -> int:
+        """Number of entry files currently in the cache directory."""
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*.json"))

@@ -1,0 +1,199 @@
+"""Enumeration of the legal blocking/schedule space for one conv shape.
+
+A :class:`Candidate` is one point of the autotuner's search space: a
+loop-schedule family (Algorithm 1 or 2), its LDM blocking, and a
+register-blocking shape for the inner GEMM kernel.  The enumeration walks:
+
+* ``bB`` (batch block) and ``bCo`` (output-column block) doubling sweeps for
+  the image-size-aware family, ``bCo`` alone for the batch-size-aware family
+  (the batch is kept whole there by construction);
+* ``bNi`` (input-channel reduction block): the full reduction plus halvings
+  down to one 8-deep kernel iteration;
+* both DMA-promotion flags — notably ``promote_input``, which the heuristic
+  planner never picks (it reads the kc-wide input halo once per ``kr``
+  instead of once per ``(kr, kc)``, cutting input traffic by ~Kc) but which
+  the measured search is free to exploit;
+* a small set of register-feasible ``(rbB, rbNo)`` shapes around the paper's
+  (16, 4).
+
+Every candidate returned is **LDM-capacity-feasible**: its per-CPE regions
+were allocated in a scratch :class:`~repro.hw.ldm.LDMAllocator` exactly the
+way the execution engine will allocate them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
+
+from repro.core.ldm_blocking import (
+    BatchBlocking,
+    ImageBlocking,
+    batch_plan_ldm_bytes,
+    fits_in_ldm,
+    image_plan_ldm_bytes,
+)
+from repro.core.params import ConvParams
+from repro.core.plans import ConvPlan, make_plan
+from repro.core.register_blocking import (
+    PAPER_REGISTER_BLOCKING,
+    RegisterBlocking,
+)
+from repro.core.serialize import blocking_from_dict, blocking_to_dict
+from repro.hw.spec import SW26010Spec, DEFAULT_SPEC
+
+#: Register-blocking shapes the search considers by default: the paper's
+#: (16, 4) plus the feasible corners of the (rbB, rbNo) plane (all use
+#: <= 32 registers; see RegisterBlocking.registers_needed).
+DEFAULT_REGISTER_BLOCKINGS = (
+    RegisterBlocking(rb_b=16, rb_no=4),  # the paper's choice
+    RegisterBlocking(rb_b=8, rb_no=8),
+    RegisterBlocking(rb_b=12, rb_no=4),
+    RegisterBlocking(rb_b=8, rb_no=4),
+    RegisterBlocking(rb_b=16, rb_no=2),
+)
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One (family, LDM blocking, register blocking) search point."""
+
+    family: str  # "image-size-aware" | "batch-size-aware"
+    blocking: Union[ImageBlocking, BatchBlocking]
+    register_blocking: RegisterBlocking = PAPER_REGISTER_BLOCKING
+
+    def build(self, params: ConvParams, spec: SW26010Spec = DEFAULT_SPEC) -> ConvPlan:
+        """Materialize the candidate as an executable plan (validates LDM)."""
+        kind = "image" if self.family == "image-size-aware" else "batch"
+        return make_plan(
+            kind,
+            params,
+            spec=spec,
+            blocking=self.blocking,
+            register_blocking=self.register_blocking,
+        )
+
+    def describe(self) -> str:
+        blk = self.blocking
+        rb = self.register_blocking
+        if isinstance(blk, ImageBlocking):
+            body = (
+                f"bB={blk.b_b} bCo={blk.b_co} bNi={blk.b_ni or 'full'}"
+                f"{' +in' if blk.promote_input else ''}"
+                f"{' +flt' if blk.promote_filter else ''}"
+            )
+        else:
+            body = (
+                f"bCo={blk.b_co} bNi={blk.b_ni or 'full'}"
+                f"{' +flt' if blk.promote_filter else ''}"
+            )
+        return f"{self.family}({body}) rb=({rb.rb_b},{rb.rb_no})"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "family": self.family,
+            "blocking": blocking_to_dict(self.blocking),
+            "register_blocking": {
+                "rb_b": self.register_blocking.rb_b,
+                "rb_no": self.register_blocking.rb_no,
+            },
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "Candidate":
+        reg = data.get("register_blocking", {})
+        return Candidate(
+            family=str(data["family"]),
+            blocking=blocking_from_dict(data["blocking"]),
+            register_blocking=RegisterBlocking(
+                rb_b=int(reg.get("rb_b", 16)), rb_no=int(reg.get("rb_no", 4))
+            ),
+        )
+
+
+def _doubling(limit: int, start: int) -> Iterator[int]:
+    """``start, 2*start, ...`` up to ``limit``, always including ``limit``."""
+    value = start
+    emitted_limit = False
+    while value <= limit:
+        yield value
+        emitted_limit = emitted_limit or value == limit
+        value *= 2
+    if not emitted_limit and limit >= 1:
+        yield limit
+
+
+def _ni_blocks(ni: int) -> Iterator[Optional[int]]:
+    """Full reduction first, then halvings down to one 8-deep iteration."""
+    yield None
+    value = ni // 2
+    while value >= 8:
+        yield value
+        value //= 2
+
+
+def _image_blockings(
+    params: ConvParams, spec: SW26010Spec
+) -> Iterator[ImageBlocking]:
+    for b_ni in _ni_blocks(params.ni):
+        for b_b in _doubling(min(params.b, 256), 8):
+            for b_co in _doubling(min(params.co, 128), 4):
+                for promote_input in (False, True):
+                    for promote_filter in (False, True):
+                        blocking = ImageBlocking(
+                            b_b=b_b,
+                            b_co=b_co,
+                            promote_input=promote_input,
+                            promote_filter=promote_filter,
+                            b_ni=b_ni,
+                        )
+                        if fits_in_ldm(
+                            image_plan_ldm_bytes(params, blocking, spec), spec
+                        ):
+                            yield blocking
+
+
+def _batch_blockings(
+    params: ConvParams, spec: SW26010Spec
+) -> Iterator[BatchBlocking]:
+    for b_ni in _ni_blocks(params.ni):
+        for b_co in _doubling(min(params.co, 128), 1):
+            for promote_filter in (False, True):
+                blocking = BatchBlocking(
+                    b_co=b_co, promote_filter=promote_filter, b_ni=b_ni
+                )
+                if fits_in_ldm(batch_plan_ldm_bytes(params, blocking, spec), spec):
+                    yield blocking
+
+
+def enumerate_candidates(
+    params: ConvParams,
+    spec: SW26010Spec = DEFAULT_SPEC,
+    register_blockings: Optional[Sequence[RegisterBlocking]] = None,
+) -> List[Candidate]:
+    """All LDM- and register-feasible candidates for one conv shape.
+
+    The cross product (families x blockings x register shapes) is pruned to
+    feasibility only — ranking is the tuner's job (the analytic model scores
+    candidates in closed form, so a few thousand points cost milliseconds).
+    """
+    if register_blockings is None:
+        register_blockings = DEFAULT_REGISTER_BLOCKINGS
+    shapes = [rb for rb in register_blockings if rb.is_feasible(spec)]
+    if not shapes:
+        raise ValueError("no register-feasible blocking shape in the search set")
+    out: List[Candidate] = []
+    seen = set()
+    for blocking in _image_blockings(params, spec):
+        for rb in shapes:
+            cand = Candidate("image-size-aware", blocking, rb)
+            if cand not in seen:
+                seen.add(cand)
+                out.append(cand)
+    for blocking in _batch_blockings(params, spec):
+        for rb in shapes:
+            cand = Candidate("batch-size-aware", blocking, rb)
+            if cand not in seen:
+                seen.add(cand)
+                out.append(cand)
+    return out

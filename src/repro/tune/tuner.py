@@ -1,0 +1,361 @@
+"""The autotuner: model-pruned, simulator-measured plan search.
+
+``autotune()`` picks the fastest execution plan for one conv shape:
+
+1. every LDM/register-feasible candidate is enumerated
+   (:func:`~repro.tune.space.enumerate_candidates`);
+2. each is scored with the closed-form three-level roofline model
+   (:func:`score_candidate` — no schedule is compiled, so thousands of
+   points cost milliseconds);
+3. the best ``top_k`` by model score — plus the heuristic planner's choice,
+   so the tuner can never do worse than the status quo — are *measured* by
+   walking their timed schedules on the simulator, fanned out over
+   processes with :func:`~repro.common.parallel.parallel_map`;
+4. the measured winner is persisted in the :class:`~repro.tune.cache.PlanCache`
+   so later processes skip straight to step 0: a cache hit returns the
+   stored plan with zero candidates measured.
+
+The model is a *pruning oracle*, not the judge: ranking errors only cost a
+candidate its slot in the measured set, never a wrong winner among the
+measured ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.common.errors import LDMOverflowError, PlanError
+from repro.common.parallel import parallel_map
+from repro.core.conv import ConvolutionEngine, effective_mesh_size
+from repro.core.ldm_blocking import ImageBlocking
+from repro.core.params import ConvParams
+from repro.core.plans import ConvPlan
+from repro.core.layout import batch_plan_block_bytes, image_plan_block_bytes
+from repro.core.register_blocking import RegisterBlocking
+from repro.core.serialize import params_from_dict, params_to_dict, plan_from_dict, plan_to_dict
+from repro.hw.spec import SW26010Spec, DEFAULT_SPEC
+from repro.perf.dma_model import DMAStream, blended_mbw
+from repro.perf.equations import (
+    rbw_ldm_reg_gemm_simd,
+    rbw_mem_ldm_batch_plan,
+    rbw_mem_ldm_batch_plan_promoted,
+    rbw_mem_ldm_image_plan,
+    rbw_mem_ldm_image_plan_promoted,
+)
+from repro.perf.model import PerformanceEstimate, _measured_ee
+from repro.tune.cache import PlanCache
+from repro.tune.space import Candidate, enumerate_candidates
+
+
+@dataclass
+class TunedPlan:
+    """Result of one autotune call."""
+
+    plan: ConvPlan
+    candidate: Candidate
+    gflops: float  # measured (simulated) per-CG Gflop/s of the winner
+    seconds: float  # measured layer time of the winner
+    source: str  # "cache" | "tuned"
+    candidates: int  # feasible points enumerated
+    measured: int  # points actually timed on the simulator (0 on a hit)
+    cache_path: Optional[Path] = None
+
+
+def score_candidate(
+    candidate: Candidate,
+    params: ConvParams,
+    spec: SW26010Spec = DEFAULT_SPEC,
+) -> PerformanceEstimate:
+    """Closed-form three-level estimate of a candidate (the pruning oracle).
+
+    Mirrors :meth:`~repro.core.plans.ConvPlan.estimate` without building a
+    plan or compiling a schedule: RBW_mem comes from the family's Eq. 1/2
+    variant (promotion-aware), MBW_mem from a single-stream Table II read at
+    the family's leading-dimension block size, and EE from the simulated
+    dual-pipeline kernel at the candidate's register shape and ``bNi``.
+    """
+    p = params
+    blk = candidate.blocking
+    rb = candidate.register_blocking
+    ni_block = blk.ni_block(p.ni)
+    iterations = max(1, -(-ni_block // 8))
+    ee = _measured_ee(iterations, rb.rb_b // 4, rb.rb_no)
+    if isinstance(blk, ImageBlocking):
+        if blk.promote_input:
+            rbw_mem = rbw_mem_ldm_image_plan_promoted(
+                blk.b_co, blk.b_b, p.no, p.kc, peak_flops=spec.peak_flops_per_cg
+            )
+            block = image_plan_block_bytes(min(p.co, blk.b_co) + p.kc - 1)
+        else:
+            rbw_mem = rbw_mem_ldm_image_plan(
+                blk.b_co, blk.b_b, p.no, peak_flops=spec.peak_flops_per_cg
+            )
+            block = image_plan_block_bytes(min(p.co, blk.b_co))
+    else:
+        if blk.promote_filter:
+            rbw_mem = rbw_mem_ldm_batch_plan_promoted(
+                p.kc, p.no, p.b, blk.b_co, peak_flops=spec.peak_flops_per_cg
+            )
+        else:
+            rbw_mem = rbw_mem_ldm_batch_plan(
+                p.kc, p.no, p.b, peak_flops=spec.peak_flops_per_cg
+            )
+        block = batch_plan_block_bytes(p.b)
+    mbw_mem = blended_mbw(
+        [
+            DMAStream("get", 1.0, block, "get"),
+            DMAStream("put", 0.25, block, "put"),
+        ]
+    )
+    return PerformanceEstimate(
+        plan=candidate.family,
+        peak_flops=spec.peak_flops_per_cg,
+        execution_efficiency=ee,
+        rbw_mem=rbw_mem,
+        mbw_mem=mbw_mem,
+        rbw_reg=rbw_ldm_reg_gemm_simd(
+            rb.rb_b, rb.rb_no, peak_flops=spec.peak_flops_per_cpe
+        ),
+        mbw_reg=spec.ldm_bandwidth,
+    )
+
+
+def _measure_job(
+    job: Tuple[Dict[str, Any], Dict[str, int], SW26010Spec, int]
+) -> Tuple[float, float]:
+    """Worker: timed schedule walk of one candidate; returns (seconds, gflops).
+
+    Module-level so :func:`parallel_map` can pickle it.
+    """
+    cand_dict, params_dict, spec, fused_pool = job
+    candidate = Candidate.from_dict(cand_dict)
+    params = params_from_dict(params_dict)
+    plan = candidate.build(params, spec)
+    report = ConvolutionEngine(plan, spec=spec, fused_pool=fused_pool).evaluate()
+    return report.seconds, report.gflops
+
+
+def _resolve_cache(
+    cache: Union[None, bool, str, Path, PlanCache],
+) -> Optional[PlanCache]:
+    """None -> default on-disk cache; False -> no persistence; path -> there."""
+    if cache is False:
+        return None
+    if cache is None or cache is True:
+        return PlanCache()
+    if isinstance(cache, PlanCache):
+        return cache
+    return PlanCache(cache)
+
+
+def _heuristic_candidate(params: ConvParams, spec: SW26010Spec) -> Candidate:
+    """The one-shot planner's choice, as a search point."""
+    from repro.core.planner import plan_convolution
+
+    plan = plan_convolution(params, spec=spec).plan
+    return Candidate(
+        family=plan.name,
+        blocking=plan.blocking,
+        register_blocking=plan.register_blocking,
+    )
+
+
+def _fused_feasible(
+    candidate: Candidate,
+    params: ConvParams,
+    spec: SW26010Spec,
+    fused_pool: int,
+) -> bool:
+    """Whether the candidate's plan still fits LDM with the pool accumulator.
+
+    The fastest unfused plans pack LDM to the byte; tuning *for* a fused
+    pipeline must reject them up front, or the measured winner would be
+    unbuildable at execution time.
+    """
+    if fused_pool <= 1:
+        return True
+    try:
+        ConvolutionEngine(
+            candidate.build(params, spec), spec=spec, fused_pool=fused_pool
+        )
+    except (PlanError, LDMOverflowError):
+        return False
+    return True
+
+
+def autotune(
+    params: ConvParams,
+    spec: SW26010Spec = DEFAULT_SPEC,
+    backend: str = "numpy",
+    cache: Union[None, bool, str, Path, PlanCache] = None,
+    top_k: int = 12,
+    jobs: int = 1,
+    fault_plan=None,
+    register_blockings: Optional[Sequence[RegisterBlocking]] = None,
+    force: bool = False,
+    fused_pool: int = 1,
+) -> TunedPlan:
+    """Pick (and persist) the fastest plan for one conv shape.
+
+    ``cache`` is a :class:`PlanCache`, a path to a cache directory, ``None``
+    for the default on-disk cache, or ``False`` for a pure in-process tune
+    with no persistence.  ``force=True`` skips the cache read (the winner is
+    still stored).  With a ``fault_plan`` the degraded machine is tuned:
+    candidates are timed at the derated DMA bandwidth on the surviving
+    submesh, and the cache key carries the *effective* mesh size so healthy
+    and degraded plans never alias.  ``fused_pool=s`` tunes for a fused
+    ``s x s`` pooling epilogue: candidates whose plan cannot also host the
+    LDM pool accumulator are rejected, the survivors are timed *with* the
+    epilogue's put savings, and the winner is cached under a fused key.
+    """
+    plan_cache = _resolve_cache(cache)
+    mesh_size = spec.mesh_size
+    if fault_plan is not None:
+        fenced = fault_plan.fenced(spec.mesh_size)
+        if fenced:
+            mesh_size = effective_mesh_size(spec.mesh_size, fenced)
+
+    if plan_cache is not None and not force:
+        entry = plan_cache.load(params, spec, backend, mesh_size, fused_pool)
+        if entry is not None:
+            plan = plan_from_dict(entry["plan"], spec=spec)
+            tuning = entry.get("tuning", {})
+            return TunedPlan(
+                plan=plan,
+                candidate=Candidate(
+                    family=plan.name,
+                    blocking=plan.blocking,
+                    register_blocking=plan.register_blocking,
+                ),
+                gflops=float(tuning.get("gflops", 0.0)),
+                seconds=float(tuning.get("seconds", 0.0)),
+                source="cache",
+                candidates=int(tuning.get("candidates", 0)),
+                measured=0,
+                cache_path=plan_cache.path_for(
+                    params, spec, backend, mesh_size, fused_pool
+                ),
+            )
+
+    candidates = enumerate_candidates(
+        params, spec, register_blockings=register_blockings
+    )
+    scored = sorted(
+        candidates,
+        key=lambda c: score_candidate(c, params, spec).flops,
+        reverse=True,
+    )
+    survivors: List[Candidate] = []
+    heuristic = _heuristic_candidate(params, spec)
+    for cand in [heuristic] + scored:
+        if len(survivors) > max(1, top_k):
+            break
+        if cand in survivors:
+            continue
+        if not _fused_feasible(cand, params, spec, fused_pool):
+            continue
+        survivors.append(cand)
+    if not survivors:
+        raise PlanError(
+            f"no candidate for {params.describe()} can host a fused "
+            f"{fused_pool}x{fused_pool} pooling accumulator in LDM"
+        )
+
+    params_dict = params_to_dict(params)
+    if fault_plan is None:
+        results = parallel_map(
+            _measure_job,
+            [(c.to_dict(), params_dict, spec, fused_pool) for c in survivors],
+            jobs=jobs,
+        )
+    else:
+        # Degraded tuning runs in-process: the fault plan's RNG streams and
+        # ledger stay attached to the caller's instance.
+        results = []
+        for cand in survivors:
+            plan = cand.build(params, spec)
+            report = ConvolutionEngine(
+                plan, spec=spec, fault_plan=fault_plan, fused_pool=fused_pool
+            ).evaluate()
+            results.append((report.seconds, report.gflops))
+
+    best_i = min(
+        range(len(survivors)),
+        key=lambda i: (results[i][0], survivors[i].describe()),
+    )
+    winner = survivors[best_i]
+    seconds, gflops = results[best_i]
+    plan = winner.build(params, spec)
+
+    cache_path: Optional[Path] = None
+    if plan_cache is not None:
+        tuning = {
+            "gflops": gflops,
+            "seconds": seconds,
+            "candidates": len(candidates),
+            "measured": len(survivors),
+            "winner": winner.describe(),
+        }
+        cache_path = plan_cache.store(
+            params,
+            spec,
+            backend,
+            mesh_size,
+            plan_to_dict(plan),
+            tuning,
+            fused_pool,
+        )
+    return TunedPlan(
+        plan=plan,
+        candidate=winner,
+        gflops=gflops,
+        seconds=seconds,
+        source="tuned",
+        candidates=len(candidates),
+        measured=len(survivors),
+        cache_path=cache_path,
+    )
+
+
+def warm_cache(
+    shapes: Sequence[ConvParams],
+    spec: SW26010Spec = DEFAULT_SPEC,
+    backend: str = "numpy",
+    cache: Union[None, str, Path, PlanCache] = None,
+    top_k: int = 12,
+    jobs: int = 1,
+    num_groups: Optional[int] = None,
+) -> List[TunedPlan]:
+    """Pre-tune a model zoo entry's conv shapes (and their CG row strips).
+
+    ``evaluate_chip`` splits output rows across core groups and plans each
+    strip, so warming tunes both every full shape and the per-CG strip
+    shapes it will actually request — a warmed sweep never tunes inline.
+    """
+    from repro.hw.chip import SW26010Chip
+
+    plan_cache = _resolve_cache(cache)
+    chip = SW26010Chip(spec)
+    n = num_groups if num_groups is not None else spec.num_core_groups
+    wanted: List[ConvParams] = []
+    for params in shapes:
+        for candidate_shape in [params] + [
+            params.with_rows(stop - start)
+            for start, stop in chip.partition_rows(params.ro, n)
+            if stop > start
+        ]:
+            if candidate_shape not in wanted:
+                wanted.append(candidate_shape)
+    return [
+        autotune(
+            shape,
+            spec=spec,
+            backend=backend,
+            cache=plan_cache if plan_cache is not None else False,
+            top_k=top_k,
+            jobs=jobs,
+        )
+        for shape in wanted
+    ]

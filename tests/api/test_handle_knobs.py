@@ -1,0 +1,81 @@
+"""Handle-level autotune / fused / batch-shard knobs."""
+
+import numpy as np
+import pytest
+
+from repro.api import SwDNNHandle
+from repro.common.errors import PlanError
+from repro.core.reference import conv2d_reference
+from repro.tune import PlanCache
+
+
+@pytest.fixture
+def operands(rng, small_params):
+    x = rng.standard_normal(small_params.input_shape)
+    w = rng.standard_normal(small_params.filter_shape)
+    return x, w
+
+
+class TestAutotuneKnob:
+    def test_autotuned_forward_parity(self, operands):
+        x, w = operands
+        handle = SwDNNHandle(autotune=True)  # in-process tune, no disk
+        out, report = handle.convolution_forward(x, w)
+        assert np.allclose(out, conv2d_reference(x, w))
+        assert report.seconds > 0
+
+    def test_plan_cache_implies_autotune(self, tmp_path, operands):
+        x, w = operands
+        cache = PlanCache(tmp_path)
+        handle = SwDNNHandle(plan_cache=cache)
+        assert handle.autotune
+        handle.convolution_forward(x, w)
+        assert cache.stats.stores >= 1
+        # A second handle sharing the cache hits instead of re-tuning.
+        other = SwDNNHandle(plan_cache=cache)
+        other.convolution_forward(x, w)
+        assert cache.stats.hits >= 1
+
+
+class TestFusedKnob:
+    def test_fused_pool_parity(self, operands):
+        x, w = operands
+        fused = SwDNNHandle(fused=True)
+        plain = SwDNNHandle()
+        out_f, rep_f = fused.convolution_forward(x, w, activation="relu", pool=2)
+        out_p, rep_p = plain.convolution_forward(x, w, activation="relu", pool=2)
+        assert np.allclose(out_f, out_p)
+        # The fused epilogue beats conv + separate pool pass.
+        assert rep_f.seconds < rep_p.seconds
+
+    def test_unfused_pool_charges_a_mem_pass(self, operands):
+        x, w = operands
+        handle = SwDNNHandle()
+        _, pooled = handle.convolution_forward(x, w, pool=2)
+        _, plain = handle.convolution_forward(x, w)
+        assert pooled.seconds > plain.seconds
+
+    def test_pool_validation(self, operands):
+        x, w = operands
+        with pytest.raises(PlanError):
+            SwDNNHandle().convolution_forward(x, w, pool=0)
+
+
+class TestBatchShardKnob:
+    def test_sharded_forward_parity(self, operands):
+        x, w = operands
+        handle = SwDNNHandle(batch_shards=4)
+        out, report = handle.convolution_forward(x, w)
+        assert np.allclose(out, conv2d_reference(x, w))
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(PlanError):
+            SwDNNHandle(batch_shards=5)
+        with pytest.raises(PlanError):
+            SwDNNHandle(batch_shards=0)
+
+    def test_guarded_mode_rejects_sharding(self, operands):
+        x, w = operands
+        handle = SwDNNHandle(guarded=True, batch_shards=4)
+        with pytest.raises(PlanError):
+            handle.convolution_forward(x, w)

@@ -1,0 +1,145 @@
+"""Fused conv -> ReLU (-> pool) pipelines: parity, gradients, and timing."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import PlanError
+from repro.core.conv import ConvolutionEngine
+from repro.core.fusion import (
+    FusedConvBlock,
+    elementwise_pass_seconds,
+    fuse_layers,
+    unfused_pipeline_seconds,
+)
+from repro.core.layers import AvgPool2D, Conv2D, Flatten, ReLU
+from repro.core.network import Sequential
+from repro.core.planner import plan_convolution
+from repro.core.reference import conv2d_reference
+
+
+@pytest.fixture
+def stack(rng):
+    """An unfused conv -> ReLU -> pool stack plus matching input."""
+    conv = Conv2D(ni=16, no=16, kr=3, kc=3, rng=rng)
+    x = rng.standard_normal((8, 16, 10, 10))
+    return conv, x
+
+
+def _reference_pipeline(conv, x, pool=2):
+    y = conv2d_reference(x, conv.w) + conv.bias[None, :, None, None]
+    y = np.maximum(y, 0.0)
+    b, c, h, w = y.shape
+    s = pool
+    return y.reshape(b, c, h // s, s, w // s, s).mean(axis=(3, 5))
+
+
+class TestFusedForward:
+    def test_conv_relu_pool_parity(self, stack):
+        conv, x = stack
+        block = FusedConvBlock(conv, relu=True, pool=2)
+        out = block.forward(x)
+        assert np.allclose(out, _reference_pipeline(conv, x))
+
+    def test_conv_relu_only(self, stack):
+        conv, x = stack
+        block = FusedConvBlock(conv, relu=True, pool=1)
+        expected = np.maximum(
+            conv2d_reference(x, conv.w) + conv.bias[None, :, None, None], 0.0
+        )
+        assert np.allclose(block.forward(x), expected)
+
+    def test_nondividing_pool_raises(self, stack):
+        conv, x = stack
+        block = FusedConvBlock(conv, relu=True, pool=3)  # 8x8 output, s=3
+        with pytest.raises(PlanError):
+            block.forward(x)
+
+    def test_invalid_pool_size(self, stack):
+        conv, _ = stack
+        with pytest.raises(PlanError):
+            FusedConvBlock(conv, pool=0)
+
+
+class TestFusedBackward:
+    def test_gradients_match_unfused_stack(self, stack, rng):
+        conv, x = stack
+        unfused = Sequential([conv, ReLU(), AvgPool2D(2)])
+        out = unfused.forward(x)
+        grad_out = rng.standard_normal(out.shape)
+        grad_x_ref = unfused.backward(grad_out)
+        grads_ref = {k: v.copy() for k, v in conv.gradients().items()}
+
+        fused = FusedConvBlock(conv, relu=True, pool=2)
+        assert np.allclose(fused.forward(x), out)
+        grad_x = fused.backward(grad_out)
+        assert np.allclose(grad_x, grad_x_ref)
+        for name, ref in grads_ref.items():
+            assert np.allclose(fused.gradients()[name], ref)
+
+    def test_backward_before_forward_raises(self, stack):
+        conv, _ = stack
+        with pytest.raises(PlanError):
+            FusedConvBlock(conv).backward(np.zeros((8, 16, 8, 8)))
+
+
+class TestFuseLayers:
+    def test_pattern_matching(self, rng):
+        layers = [
+            Conv2D(ni=16, no=16, kr=3, kc=3, rng=rng),
+            ReLU(),
+            AvgPool2D(2),
+            Conv2D(ni=16, no=16, kr=3, kc=3, rng=rng),
+            ReLU(),
+            Flatten(),
+        ]
+        fused = fuse_layers(layers)
+        assert [type(l).__name__ for l in fused] == [
+            "FusedConvBlock",
+            "FusedConvBlock",
+            "Flatten",
+        ]
+        assert fused[0].pool == 2 and fused[1].pool == 1
+
+    def test_bare_conv_passes_through(self, rng):
+        conv = Conv2D(ni=16, no=16, kr=3, kc=3, rng=rng)
+        fused = fuse_layers([conv, Flatten()])
+        assert fused[0] is conv
+
+    def test_sequential_fused_shares_parameters(self, stack):
+        conv, x = stack
+        net = Sequential([conv, ReLU(), AvgPool2D(2)])
+        fused = net.fused()
+        assert fused.layers[0].parameters()["w"] is conv.w
+        assert np.allclose(fused.forward(x), net.forward(x))
+
+
+class TestFusedTiming:
+    def test_fused_pipeline_is_faster(self, small_params):
+        """The whole point: fused saves the ReLU + pool MEM passes."""
+        plan = plan_convolution(small_params).plan
+        fused_report = ConvolutionEngine(plan, fused_pool=2).evaluate()
+        unfused_conv = ConvolutionEngine(plan).evaluate()
+        baseline = unfused_pipeline_seconds(unfused_conv, small_params, pool=2)
+        assert fused_report.seconds < baseline
+
+    def test_fused_put_traffic_shrinks(self, small_params):
+        plan = plan_convolution(small_params).plan
+        plain = ConvolutionEngine(plan).evaluate()
+        fused = ConvolutionEngine(plan, fused_pool=2).evaluate()
+        # 2x2 pooling stores ~1/4 of the output bytes (ceil per tile).
+        assert fused.bytes_put <= -(-plain.bytes_put // 4) * 1.05
+        assert fused.bytes_get == plain.bytes_get
+
+    def test_elementwise_pass_is_positive_and_linear(self, spec):
+        one = elementwise_pass_seconds(1 << 20, 1 << 20, spec)
+        two = elementwise_pass_seconds(2 << 20, 2 << 20, spec)
+        assert one > 0
+        assert two == pytest.approx(2 * one)
+
+    def test_unfused_baseline_exceeds_conv_alone(self, small_params):
+        plan = plan_convolution(small_params).plan
+        conv_report = ConvolutionEngine(plan).evaluate()
+        assert (
+            unfused_pipeline_seconds(conv_report, small_params, pool=2)
+            > conv_report.seconds
+        )

@@ -1,0 +1,100 @@
+"""Multi-CG batch sharding: balanced splits, parity, and chip scaling."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import PlanError
+from repro.core.params import ConvParams
+from repro.core.reference import conv2d_reference
+from repro.core.sharding import (
+    evaluate_chip_sharded,
+    run_sharded,
+    shard_batch,
+)
+
+
+class TestShardBatch:
+    def test_balanced_and_complete(self):
+        assert shard_batch(128, 4) == [32, 32, 32, 32]
+        assert shard_batch(10, 4) == [3, 3, 2, 2]
+        assert shard_batch(7, 4) == [2, 2, 2, 1]
+
+    def test_small_batch_uses_fewer_shards(self):
+        assert shard_batch(2, 4) == [1, 1]
+        assert shard_batch(1, 4) == [1]
+
+    def test_sums_to_batch(self):
+        for b in range(1, 40):
+            for n in range(1, 5):
+                shards = shard_batch(b, n)
+                assert sum(shards) == b
+                assert max(shards) - min(shards) <= 1
+                assert all(s >= 1 for s in shards)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(PlanError):
+            shard_batch(0, 4)
+        with pytest.raises(PlanError):
+            shard_batch(8, 0)
+
+
+class TestRunSharded:
+    def test_output_matches_reference(self, small_params, rng):
+        x = rng.standard_normal(small_params.input_shape)
+        w = rng.standard_normal(small_params.filter_shape)
+        bias = rng.standard_normal(small_params.no)
+        out, report = run_sharded(x, w, num_groups=4, bias=bias, activation="relu")
+        expected = np.maximum(
+            conv2d_reference(x, w) + bias[None, :, None, None], 0.0
+        )
+        assert np.allclose(out, expected)
+        assert len(report.shards) == 4
+        assert report.flops == small_params.flops()
+
+    def test_uneven_batch(self, rng):
+        params = ConvParams(ni=16, no=16, ri=10, ci=10, kr=3, kc=3, b=7)
+        x = rng.standard_normal(params.input_shape)
+        w = rng.standard_normal(params.filter_shape)
+        out, report = run_sharded(x, w, num_groups=4)
+        assert np.allclose(out, conv2d_reference(x, w))
+        assert sorted(r.flops for r in report.shards) == sorted(
+            params.with_batch(s).flops() for s in shard_batch(7, 4)
+        )
+
+    def test_invalid_num_groups(self, small_params, rng):
+        x = rng.standard_normal(small_params.input_shape)
+        w = rng.standard_normal(small_params.filter_shape)
+        with pytest.raises(PlanError):
+            run_sharded(x, w, num_groups=5)
+        with pytest.raises(PlanError):
+            run_sharded(x, w, num_groups=0)
+
+
+class TestChipSharded:
+    def test_four_groups_beat_one(self, paper_params):
+        one = evaluate_chip_sharded(paper_params, num_groups=1)
+        four = evaluate_chip_sharded(paper_params, num_groups=4)
+        assert four.gflops > 2.5 * one.gflops
+        assert four.seconds < one.seconds
+
+    def test_report_shape(self, paper_params):
+        report = evaluate_chip_sharded(paper_params, num_groups=4)
+        assert report.seconds == max(r.seconds for r in report.shards)
+        assert report.flops == sum(r.flops for r in report.shards)
+        assert 0 < report.efficiency <= 1
+
+    def test_equal_shards_share_one_timing(self, paper_params):
+        """Equal shard shapes memoize: all four reports are identical."""
+        report = evaluate_chip_sharded(paper_params, num_groups=4)
+        seconds = {r.seconds for r in report.shards}
+        assert len(seconds) == 1
+
+    def test_plan_cache_shards_hit_on_rerun(self, tmp_path, small_params):
+        from repro.tune import PlanCache
+
+        cache = PlanCache(tmp_path)
+        evaluate_chip_sharded(small_params, num_groups=4, plan_cache=cache)
+        stores = cache.stats.stores
+        assert stores >= 1
+        evaluate_chip_sharded(small_params, num_groups=4, plan_cache=cache)
+        assert cache.stats.stores == stores  # warm: nothing re-tuned

@@ -1,0 +1,56 @@
+"""Regression: degraded engines never share timing-memo entries with healthy.
+
+The process-wide ``_TIMING_CACHE`` memoizes timed schedule walks on
+``ConvolutionEngine._timing_key()``.  Before the key carried the fault
+plan's standing degradations, a healthy chip's timing could be replayed for
+a derated or fenced one (and vice versa) whenever both ran in one process —
+exactly the sweep-runner scenario.  These tests pin the fix: the DMA
+bandwidth derate and the post-fencing effective mesh size are part of the
+key, and the memoized timings differ accordingly.
+"""
+
+from repro.core.conv import ConvolutionEngine
+from repro.core.planner import plan_convolution
+from repro.faults import FaultPlan, FaultSpec
+
+
+def _engine(params, fault_plan=None):
+    return ConvolutionEngine(plan_convolution(params).plan, fault_plan=fault_plan)
+
+
+class TestTimingKeyDegradations:
+    def test_derated_dma_changes_key_and_time(self, small_params):
+        healthy = _engine(small_params)
+        derated = _engine(
+            small_params, FaultPlan(FaultSpec(dma_bandwidth_factor=0.5))
+        )
+        assert healthy._timing_key() != derated._timing_key()
+        # Order matters for the regression: the healthy walk populates the
+        # memo first; the derated engine must not replay it.
+        t_healthy = healthy.evaluate()
+        t_derated = derated.evaluate()
+        assert t_derated.seconds > t_healthy.seconds
+
+    def test_fenced_mesh_changes_key_and_time(self, small_params):
+        healthy = _engine(small_params)
+        fenced = _engine(small_params, FaultPlan(FaultSpec(fenced_cpes=((0, 0),))))
+        assert fenced.mesh_size < healthy.mesh_size
+        assert healthy._timing_key() != fenced._timing_key()
+        t_healthy = healthy.evaluate()
+        t_fenced = fenced.evaluate()
+        # Fewer surviving CPEs carry the same flops: compute takes longer.
+        assert t_fenced.seconds > t_healthy.seconds
+
+    def test_healthy_fault_plan_shares_the_key(self, small_params):
+        """An attached-but-healthy plan must not split the memo needlessly."""
+        healthy = _engine(small_params)
+        attached = _engine(small_params, FaultPlan(FaultSpec()))
+        assert healthy._timing_key() == attached._timing_key()
+
+    def test_fused_pool_in_key(self, small_params):
+        plain = _engine(small_params)
+        fused = ConvolutionEngine(
+            plan_convolution(small_params).plan, fused_pool=2
+        )
+        assert plain._timing_key() != fused._timing_key()
+        assert fused.evaluate().bytes_put < plain.evaluate().bytes_put

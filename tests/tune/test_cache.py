@@ -1,0 +1,116 @@
+"""Plan-cache keying, round trips, and — critically — invalidation."""
+
+import dataclasses
+import json
+
+from repro.core.planner import plan_convolution
+from repro.core.serialize import plan_to_dict
+from repro.hw.spec import DEFAULT_SPEC
+from repro.tune import (
+    CACHE_SCHEMA_VERSION,
+    PlanCache,
+    default_cache_dir,
+    global_cache_stats,
+    reset_global_cache_stats,
+)
+
+
+def _store_heuristic(cache, params, spec=DEFAULT_SPEC, mesh=None):
+    plan = plan_convolution(params, spec=spec).plan
+    mesh = mesh if mesh is not None else spec.mesh_size
+    return cache.store(
+        params, spec, "numpy", mesh, plan_to_dict(plan), {"gflops": 1.0}
+    )
+
+
+class TestRoundTrip:
+    def test_store_then_load(self, tmp_path, small_params):
+        cache = PlanCache(tmp_path)
+        path = _store_heuristic(cache, small_params)
+        assert path.is_file()
+        entry = cache.load(small_params, DEFAULT_SPEC, "numpy", 8)
+        assert entry is not None
+        assert entry["tuning"]["gflops"] == 1.0
+        assert cache.stats.hits == 1
+        assert cache.stats.stores == 1
+        assert cache.entries() == 1
+
+    def test_cold_load_is_miss(self, tmp_path, small_params):
+        cache = PlanCache(tmp_path)
+        assert cache.load(small_params, DEFAULT_SPEC, "numpy", 8) is None
+        assert cache.stats.misses == 1
+
+    def test_global_stats_aggregate(self, tmp_path, small_params):
+        reset_global_cache_stats()
+        a, b = PlanCache(tmp_path / "a"), PlanCache(tmp_path / "b")
+        a.load(small_params, DEFAULT_SPEC, "numpy", 8)
+        _store_heuristic(b, small_params)
+        b.load(small_params, DEFAULT_SPEC, "numpy", 8)
+        stats = global_cache_stats()
+        assert (stats.hits, stats.misses, stats.stores) == (1, 1, 1)
+        assert stats.as_dict() == {"hits": 1, "misses": 1, "stores": 1}
+
+
+class TestInvalidation:
+    def test_changed_spec_misses(self, tmp_path, small_params):
+        """A different machine (smaller LDM) must never see these plans."""
+        cache = PlanCache(tmp_path)
+        _store_heuristic(cache, small_params)
+        other = dataclasses.replace(DEFAULT_SPEC, ldm_bytes=32 * 1024)
+        assert cache.load(small_params, other, "numpy", 8) is None
+
+    def test_changed_bandwidth_misses(self, tmp_path, small_params):
+        cache = PlanCache(tmp_path)
+        _store_heuristic(cache, small_params)
+        other = dataclasses.replace(
+            DEFAULT_SPEC, ddr_peak_bandwidth=DEFAULT_SPEC.ddr_peak_bandwidth / 2
+        )
+        assert cache.load(small_params, other, "numpy", 8) is None
+
+    def test_backend_and_mesh_size_separate_keys(self, tmp_path, small_params):
+        cache = PlanCache(tmp_path)
+        base = cache.key(small_params, DEFAULT_SPEC, "numpy", 8)
+        assert cache.key(small_params, DEFAULT_SPEC, "mesh-fast", 8) != base
+        assert cache.key(small_params, DEFAULT_SPEC, "numpy", 4) != base
+
+    def test_schema_bump_invalidates_everything(
+        self, tmp_path, small_params, monkeypatch
+    ):
+        cache = PlanCache(tmp_path)
+        _store_heuristic(cache, small_params)
+        assert cache.load(small_params, DEFAULT_SPEC, "numpy", 8) is not None
+        import repro.tune.cache as cache_mod
+
+        monkeypatch.setattr(
+            cache_mod, "CACHE_SCHEMA_VERSION", CACHE_SCHEMA_VERSION + 1
+        )
+        assert cache.load(small_params, DEFAULT_SPEC, "numpy", 8) is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path, small_params):
+        cache = PlanCache(tmp_path)
+        path = _store_heuristic(cache, small_params)
+        path.write_text("not json {")
+        assert cache.load(small_params, DEFAULT_SPEC, "numpy", 8) is None
+
+    def test_tampered_key_is_a_miss(self, tmp_path, small_params):
+        """A file whose embedded payload disagrees with its name is rejected."""
+        cache = PlanCache(tmp_path)
+        path = _store_heuristic(cache, small_params)
+        entry = json.loads(path.read_text())
+        entry["key"]["mesh_size"] = 4
+        path.write_text(json.dumps(entry))
+        assert cache.load(small_params, DEFAULT_SPEC, "numpy", 8) is None
+
+
+class TestLocation:
+    def test_env_var_overrides_default(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("SWDNN_PLAN_CACHE", str(tmp_path / "plans"))
+        assert default_cache_dir() == tmp_path / "plans"
+        assert PlanCache().root == tmp_path / "plans"
+
+    def test_default_under_home_cache(self, monkeypatch):
+        monkeypatch.delenv("SWDNN_PLAN_CACHE", raising=False)
+        assert default_cache_dir().parts[-3:] == (".cache", "swdnn-repro", "plans")
+
+    def test_empty_cache_has_no_entries(self, tmp_path):
+        assert PlanCache(tmp_path / "nonexistent").entries() == 0
