@@ -1,7 +1,7 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: test faults tune verify
+.PHONY: test faults tune profile verify
 
 test:
 	python -m pytest -x -q
@@ -11,6 +11,11 @@ faults:
 
 tune:
 	python -m pytest -x -q -m tune tests/tune
+
+profile:
+	python -m repro profile --ni 32 --no 32 --out 16 --batch 16 \
+	    --tiles 8 --guarded --trace-out /tmp/repro-profile.json
+	python -m repro.telemetry.validate /tmp/repro-profile.json
 
 verify:
 	sh scripts/verify.sh

@@ -1,0 +1,128 @@
+"""Telemetry bench: instrumented-vs-disabled overhead + Table III drift.
+
+Records, into ``benchmarks/BENCH_telemetry.json``:
+
+* wall time of a Table III row-1 schedule walk and of a steady-state
+  ``mesh-fast`` forward pass, with telemetry disabled (the null-singleton
+  default) vs an attached :class:`~repro.telemetry.Telemetry` session,
+  plus the relative overhead of each;
+* the per-layer model-vs-measured drift report for the four Table III
+  configurations (``drift_report(...).as_dict()``).
+
+The acceptance bars asserted here: the *disabled* path must stay within
+2% of the instrumented run's floor (i.e. enabling telemetry never makes
+the disabled path the slower one by more than noise), and the enabled
+session itself must cost < 50% on the schedule walk — it is a profiling
+tool, not a production tax, but it must not be pathological either.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.core.conv import ConvolutionEngine, clear_timing_cache
+from repro.core.ldm_blocking import ImageBlocking
+from repro.core.params import ConvParams
+from repro.core.planner import plan_convolution
+from repro.core.plans import ImageSizeAwarePlan
+from repro.experiments.table3 import PAPER_ROWS
+from repro.telemetry import Telemetry
+from repro.telemetry.drift import drift_report
+
+RESULTS_PATH = os.path.join(os.path.dirname(__file__), "BENCH_telemetry.json")
+
+#: Table III row 1 (Ni=128, No=128, 64x64 output, 3x3 filters, B=128).
+ROW1 = ConvParams.from_output(ni=128, no=128, ro=64, co=64, kr=3, kc=3, b=128)
+
+#: Small fast-path layer for the functional-run overhead measurement.
+FAST_PARAMS = ConvParams.from_output(ni=8, no=8, ro=64, co=64, kr=3, kc=3, b=128)
+FAST_BLOCKING = ImageBlocking(b_b=128, b_co=64)
+
+
+def _best_of(fn, repeats=5):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _walk_seconds(telemetry):
+    engine = ConvolutionEngine(plan_convolution(ROW1).plan, telemetry=telemetry)
+
+    def walk():
+        clear_timing_cache()
+        engine.evaluate()
+
+    return _best_of(walk)
+
+
+def _fast_run_seconds(telemetry):
+    engine = ConvolutionEngine(
+        ImageSizeAwarePlan(FAST_PARAMS, blocking=FAST_BLOCKING),
+        backend="mesh-fast",
+        telemetry=telemetry,
+    )
+    rng = np.random.default_rng(0xFEED)
+    x = rng.standard_normal(FAST_PARAMS.input_shape)
+    w = rng.standard_normal(FAST_PARAMS.filter_shape)
+    engine.run(x, w)  # verification run: certifies the fast path
+    return _best_of(lambda: engine.run(x, w), repeats=3)
+
+
+def test_bench_telemetry(benchmark):
+    record = {}
+
+    # -- 1. schedule-walk overhead: disabled vs enabled session ------------
+    disabled_walk = _walk_seconds(None)
+    enabled_walk = _walk_seconds(Telemetry())
+    walk_overhead = enabled_walk / disabled_walk - 1.0
+    assert disabled_walk <= enabled_walk * 1.02, (
+        f"disabled walk ({disabled_walk:.4f}s) slower than enabled "
+        f"({enabled_walk:.4f}s) beyond the 2% noise bar"
+    )
+    assert walk_overhead < 0.50, (
+        f"enabled telemetry costs {walk_overhead:.1%} on the schedule walk"
+    )
+    record["schedule_walk"] = {
+        "params": str(ROW1),
+        "disabled_seconds": round(disabled_walk, 5),
+        "enabled_seconds": round(enabled_walk, 5),
+        "enabled_overhead_pct": round(100.0 * walk_overhead, 2),
+    }
+
+    # -- 2. fast-path forward overhead: disabled vs enabled session --------
+    disabled_run = benchmark.pedantic(
+        _fast_run_seconds, args=(None,), rounds=1, iterations=1
+    )
+    enabled_run = _fast_run_seconds(Telemetry())
+    run_overhead = enabled_run / disabled_run - 1.0
+    assert disabled_run <= enabled_run * 1.02, (
+        f"disabled fast path ({disabled_run:.4f}s) slower than enabled "
+        f"({enabled_run:.4f}s) beyond the 2% noise bar"
+    )
+    record["fast_path_forward"] = {
+        "params": str(FAST_PARAMS),
+        "disabled_seconds": round(disabled_run, 5),
+        "enabled_seconds": round(enabled_run, 5),
+        "enabled_overhead_pct": round(100.0 * run_overhead, 2),
+    }
+
+    # -- 3. Table III drift report -----------------------------------------
+    configs = [
+        ConvParams.from_output(ni=row[3], no=row[4], ro=64, co=64, kr=3, kc=3, b=128)
+        for row in PAPER_ROWS
+    ]
+    report = drift_report(configs)
+    assert len(report.rows) == len(PAPER_ROWS)
+    record["table3_drift"] = report.as_dict()
+
+    with open(RESULTS_PATH, "w") as fh:
+        json.dump(record, fh, indent=2)
+        fh.write("\n")
+    print()
+    print(json.dumps(record, indent=2))
+    benchmark.extra_info.update(record)

@@ -12,6 +12,7 @@ export PYTHONPATH="${PYTHONPATH:-src}"
 TIER1_TIMEOUT="${TIER1_TIMEOUT:-1200}"
 FAULTS_TIMEOUT="${FAULTS_TIMEOUT:-300}"
 TUNE_TIMEOUT="${TUNE_TIMEOUT:-120}"
+PROFILE_TIMEOUT="${PROFILE_TIMEOUT:-120}"
 
 echo "== tier-1 suite (timeout ${TIER1_TIMEOUT}s) =="
 timeout "${TIER1_TIMEOUT}" python -m pytest -x -q
@@ -21,5 +22,13 @@ timeout "${FAULTS_TIMEOUT}" python -m pytest -x -q -m faults tests/faults
 
 echo "== autotuner smoke test (timeout ${TUNE_TIMEOUT}s) =="
 timeout "${TUNE_TIMEOUT}" python -m pytest -x -q -m tune tests/tune
+
+echo "== telemetry profile smoke test (timeout ${PROFILE_TIMEOUT}s) =="
+PROFILE_TRACE="$(mktemp /tmp/repro-profile-XXXXXX.json)"
+trap 'rm -f "${PROFILE_TRACE}"' EXIT
+timeout "${PROFILE_TIMEOUT}" python -m repro profile \
+    --ni 32 --no 32 --out 16 --batch 16 --tiles 8 --guarded \
+    --trace-out "${PROFILE_TRACE}"
+timeout "${PROFILE_TIMEOUT}" python -m repro.telemetry.validate "${PROFILE_TRACE}"
 
 echo "verify: OK"

@@ -11,6 +11,10 @@ Subcommands::
     tune  --ni --no --out --k --batch
                                  autotune a convolution, report heuristic vs
                                  tuned, and persist the winner to the plan cache
+    profile --ni --no --out --k --batch | --row N
+                                 run one layer with telemetry attached: drift
+                                 report, hardware counters, and (with
+                                 --trace-out) a Chrome trace_event JSON
 """
 
 from __future__ import annotations
@@ -173,6 +177,105 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def _profile_params(args):
+    """Resolve the profiled layer: an explicit shape or a Table III row."""
+    from repro.core.params import ConvParams
+
+    if args.row is not None:
+        from repro.experiments.table3 import PAPER_ROWS
+
+        if not 1 <= args.row <= len(PAPER_ROWS):
+            raise SystemExit(
+                f"--row must be in [1, {len(PAPER_ROWS)}], got {args.row}"
+            )
+        ni, no = PAPER_ROWS[args.row - 1][3:5]
+        return ConvParams.from_output(ni=ni, no=no, ro=64, co=64, kr=3, kc=3, b=128)
+    return ConvParams.from_output(
+        ni=args.ni, no=args.no, ro=args.out, co=args.out,
+        kr=args.k, kc=args.k, b=args.batch,
+    )
+
+
+def _guarded_probe(args, telemetry) -> None:
+    """Small functional run on the degraded machine.
+
+    Exercises the fault-injection hooks and the fallback ladder so the
+    profile's counter dump includes ``faults.*`` and ``guard.fallbacks``
+    alongside the healthy layer's traffic.
+    """
+    import numpy as np
+
+    from repro.core.guarded import GuardedConvolutionEngine
+    from repro.core.params import ConvParams
+    from repro.core.planner import plan_convolution
+    from repro.faults import FaultPlan, FaultSpec
+
+    fault_spec = FaultSpec(
+        seed=args.seed,
+        dma_bandwidth_factor=args.dma_derate,
+        fenced_cpes=tuple((i, i) for i in range(args.fenced)),
+        bus_stall_rate=0.05,
+    )
+    small = ConvParams.from_output(ni=16, no=16, ro=8, co=8, kr=3, kc=3, b=8)
+    plan = plan_convolution(small).plan
+    engine = GuardedConvolutionEngine(
+        plan,
+        backend="mesh-fast",
+        fault_plan=FaultPlan(fault_spec),
+        telemetry=telemetry,
+    )
+    rng = np.random.default_rng(args.seed)
+    x = rng.standard_normal(small.input_shape)
+    w = rng.standard_normal(small.filter_shape)
+    with telemetry.tracer.span("profile.guarded", cat="cli"):
+        engine.run(x, w)
+    outcome = engine.last_outcome
+    print(f"guarded probe: ran on {outcome.backend_used!r} tier "
+          f"({len(outcome.degradations)} demotion(s))")
+
+
+def cmd_profile(args) -> int:
+    from repro.core.conv import ConvolutionEngine, evaluate_chip
+    from repro.core.planner import plan_convolution
+    from repro.telemetry import Telemetry, use_telemetry
+    from repro.telemetry.drift import drift_report
+    from repro.telemetry.validate import validate_chrome_trace_file
+
+    params = _profile_params(args)
+    telemetry = Telemetry()
+    with use_telemetry(telemetry), telemetry.tracer.span(
+        "profile", cat="cli", params=repr(params)
+    ):
+        report = drift_report(
+            [params], threshold=args.threshold, telemetry=telemetry
+        )
+        choice = plan_convolution(params)
+        engine = ConvolutionEngine(choice.plan, telemetry=telemetry)
+        recorded = engine.record_tile_spans(max_tiles=args.tiles)
+        chip_gflops, _ = evaluate_chip(params, telemetry=telemetry)
+        if args.guarded:
+            _guarded_probe(args, telemetry)
+    print(params.describe())
+    print()
+    print(report.render())
+    print()
+    print(f"chip (4 CG): {chip_gflops / 1e3:.2f} Tflops; "
+          f"{recorded} tile interval(s) traced")
+    print()
+    print(telemetry.counters.render())
+    if args.trace_out:
+        telemetry.tracer.write(args.trace_out)
+        violations = validate_chrome_trace_file(args.trace_out)
+        if violations:
+            print(f"trace: INVALID ({len(violations)} violation(s))")
+            for violation in violations[:5]:
+                print(f"  {violation}")
+            return 1
+        print(f"trace: {args.trace_out} ({len(telemetry.tracer)} span(s), "
+              f"valid chrome://tracing JSON)")
+    return 0
+
+
 def cmd_calibrate(args) -> int:
     from repro.perf.calibration import calibrate
 
@@ -240,6 +343,34 @@ def build_parser() -> argparse.ArgumentParser:
 
     cal = sub.add_parser("calibrate", help="re-derive the fitted constants")
     cal.set_defaults(func=cmd_calibrate)
+
+    profile = sub.add_parser(
+        "profile", help="telemetry profile: counters, spans, drift report"
+    )
+    profile.add_argument("--ni", type=int, default=128, help="input channels")
+    profile.add_argument("--no", type=int, default=128, help="output channels")
+    profile.add_argument("--out", type=int, default=64, help="output image size")
+    profile.add_argument("--k", type=int, default=3, help="filter size")
+    profile.add_argument("--batch", type=int, default=128, help="batch size")
+    profile.add_argument(
+        "--row", type=int, default=None,
+        help="profile Table III row N (1-based) instead of --ni/--no/...",
+    )
+    profile.add_argument("--tiles", type=int, default=32,
+                         help="tile intervals exported as sim spans")
+    profile.add_argument("--trace-out", metavar="PATH",
+                         help="write Chrome trace_event JSON here")
+    profile.add_argument("--threshold", type=float, default=0.25,
+                         help="relative drift beyond which a layer is flagged")
+    profile.add_argument("--guarded", action="store_true",
+                         help="also run a small guarded probe on a faulty machine")
+    profile.add_argument("--fenced", type=int, default=1,
+                         help="CPEs fenced in the guarded probe")
+    profile.add_argument("--dma-derate", type=float, default=1.0,
+                         help="DMA bandwidth factor for the guarded probe")
+    profile.add_argument("--seed", type=int, default=42,
+                         help="fault/operand seed for the guarded probe")
+    profile.set_defaults(func=cmd_profile)
     return parser
 
 

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.common.errors import LDMOverflowError, PlanError
 from repro.hw.spec import SW26010Spec, DEFAULT_SPEC
+from repro.telemetry import current_telemetry, use_telemetry
 from repro.core.backward import BackwardConvolution
 from repro.core.conv import BACKENDS, ConvolutionEngine, TimingReport
 from repro.core.gemm_plan import GemmEngine, GemmParams, GemmPlan
@@ -55,6 +56,7 @@ class SwDNNHandle:
         plan_cache=None,
         fused: bool = False,
         batch_shards: Optional[int] = None,
+        telemetry=None,
     ):
         if backend not in BACKENDS:
             raise PlanError(
@@ -90,6 +92,10 @@ class SwDNNHandle:
                 f"got {batch_shards}"
             )
         self.batch_shards = batch_shards
+        #: Observability session shared by every engine this handle builds
+        #: (see :mod:`repro.telemetry`); defaults to the ambient session,
+        #: which is the shared null (disabled) one unless installed.
+        self.telemetry = telemetry if telemetry is not None else current_telemetry()
         self._last_outcome = None
         self._plan_cache: Dict[Tuple, ConvPlan] = {}
         self._gemm_cache: Dict[GemmParams, GemmPlan] = {}
@@ -180,6 +186,7 @@ class SwDNNHandle:
                     backend=self.backend,
                     fault_plan=self.fault_plan,
                     parity_check=self.parity_check,
+                    telemetry=self.telemetry,
                 )
             else:
                 engine = ConvolutionEngine(
@@ -187,6 +194,7 @@ class SwDNNHandle:
                     spec=self.spec,
                     backend=self.backend,
                     fused_pool=fused_pool,
+                    telemetry=self.telemetry,
                 )
             self._engine_cache[key] = engine
         return engine
@@ -289,37 +297,53 @@ class SwDNNHandle:
                 f"input has {params.ni} channels but the filter expects {w.shape[1]}"
             )
         fused_pool = pool if (pool > 1 and self.fused) else 1
-        if self.batch_shards is not None and self.batch_shards > 1:
-            if self.guarded:
-                raise PlanError("batch sharding is not available in guarded mode")
-            from repro.core.sharding import run_sharded
+        self.telemetry.counters.add("handle.calls")
+        # Install the handle's session ambiently for the call so per-call
+        # ambient consumers (plan-cache traffic, fault ledgers) report here.
+        with use_telemetry(self.telemetry), self.telemetry.tracer.span(
+            "handle.convolution_forward",
+            cat="handle",
+            params=repr(params),
+            backend=self.backend,
+        ):
+            if self.batch_shards is not None and self.batch_shards > 1:
+                if self.guarded:
+                    raise PlanError(
+                        "batch sharding is not available in guarded mode"
+                    )
+                from repro.core.sharding import run_sharded
 
-            out, report = run_sharded(
-                x,
-                w,
-                num_groups=self.batch_shards,
-                spec=self.spec,
-                backend=self.backend,
-                bias=bias,
-                activation=activation,
-                plan_cache=self._tune_cache() if self.autotune else None,
-                fused_pool=fused_pool,
-            )
-            self._last_outcome = None
-        else:
-            engine = None
-            if fused_pool > 1:
-                try:
-                    engine = self._engine_for(params, algo, fused_pool)
-                except (PlanError, LDMOverflowError):
-                    # No plan leaves room for the fused pool accumulator
-                    # (or guarded mode forbids fusing): degrade to the
-                    # unfused pool with its memory pass charged below.
-                    fused_pool = 1
-            if engine is None:
-                engine = self._engine_for(params, algo)
-            out, report = engine.run(x, w, bias=bias, activation=activation)
-            self._last_outcome = getattr(engine, "last_outcome", None)
+                out, report = run_sharded(
+                    x,
+                    w,
+                    num_groups=self.batch_shards,
+                    spec=self.spec,
+                    backend=self.backend,
+                    bias=bias,
+                    activation=activation,
+                    plan_cache=self._tune_cache() if self.autotune else None,
+                    fused_pool=fused_pool,
+                    telemetry=self.telemetry,
+                )
+                self._last_outcome = None
+            else:
+                with self.telemetry.tracer.span(
+                    "handle.plan", cat="handle", algo=algo.name
+                ):
+                    engine = None
+                    if fused_pool > 1:
+                        try:
+                            engine = self._engine_for(params, algo, fused_pool)
+                        except (PlanError, LDMOverflowError):
+                            # No plan leaves room for the fused pool
+                            # accumulator (or guarded mode forbids fusing):
+                            # degrade to the unfused pool with its memory
+                            # pass charged below.
+                            fused_pool = 1
+                    if engine is None:
+                        engine = self._engine_for(params, algo)
+                out, report = engine.run(x, w, bias=bias, activation=activation)
+                self._last_outcome = getattr(engine, "last_outcome", None)
         if pool > 1 and fused_pool == 1:
             # Unfused pooling: a separate layer streaming the conv output
             # through LDM and back — charged as the extra MEM pass it is.

@@ -26,6 +26,7 @@ import numpy as np
 from repro.common.errors import CPEFaultError, PlanError, SimulationError
 from repro.hw.dma import DMABandwidthModel
 from repro.hw.spec import SW26010Spec, DEFAULT_SPEC
+from repro.telemetry import current_telemetry
 from repro.perf.dma_model import DMA_STRIDE_EFFICIENCY
 from repro.perf.model import _measured_ee
 from repro.core.params import ConvParams
@@ -117,24 +118,50 @@ def clear_timing_cache() -> None:
 OVERLAP_CONTENTION = 0.5
 
 
-def _pipeline_timeline(
-    costs: Iterable[_StepCost], contention: float = OVERLAP_CONTENTION
-) -> Tuple[float, float, float]:
-    """Double-buffered timeline: returns (total, dma_busy, compute_busy).
+@dataclass(frozen=True)
+class TileInterval:
+    """Scheduled (get, compute, put) intervals of one tile, in seconds.
+
+    The single source of truth for the double-buffered recurrence: the
+    timed evaluation, the Gantt tracer (:mod:`repro.perf.trace`) and the
+    telemetry span export all consume these intervals, so the three views
+    of a schedule can never drift apart.
+    """
+
+    index: int
+    get_start: float
+    get_end: float
+    compute_start: float
+    compute_end: float
+    put_start: float
+    put_end: float
+
+    @property
+    def get_seconds(self) -> float:
+        return self.get_end - self.get_start
+
+    @property
+    def compute_seconds(self) -> float:
+        return self.compute_end - self.compute_start
+
+    @property
+    def put_seconds(self) -> float:
+        return self.put_end - self.put_start
+
+
+def pipeline_intervals(costs: Iterable[_StepCost]) -> Iterable[TileInterval]:
+    """The double-buffered schedule of a cost stream, tile by tile.
 
     Gets and puts run on separate descriptor queues (every CPE issues its
     own DMA requests), so a store-back never blocks the next tile's
     prefetch; a tile's load waits for the ping/pong buffer to free (the
-    compute of two tiles earlier).  The single memory interface is enforced
-    as a throughput bound: the whole layer can finish no faster than the
-    serial sum of all transfer times.
+    compute of two tiles earlier).  Zero-length puts are pinned to the
+    tile's compute end (there is nothing to schedule).
     """
     get_free = 0.0
     put_free = 0.0
     comp_free = 0.0
     comp_done_history: List[float] = []
-    dma_busy = 0.0
-    comp_busy = 0.0
     for i, cost in enumerate(costs):
         buffer_ready = comp_done_history[i - 2] if i >= 2 else 0.0
         get_start = max(get_free, buffer_ready)
@@ -143,20 +170,50 @@ def _pipeline_timeline(
         comp_done = comp_start + cost.compute_seconds
         if cost.put_seconds > 0:
             put_start = max(put_free, comp_done)
-            put_free = put_start + cost.put_seconds
+            put_end = put_start + cost.put_seconds
+            put_free = put_end
+        else:
+            put_start = put_end = comp_done
         get_free = get_done
         comp_free = comp_done
         comp_done_history.append(comp_done)
-        dma_busy += cost.get_seconds + cost.put_seconds
-        comp_busy += cost.compute_seconds
+        yield TileInterval(
+            index=i,
+            get_start=get_start,
+            get_end=get_done,
+            compute_start=comp_start,
+            compute_end=comp_done,
+            put_start=put_start,
+            put_end=put_end,
+        )
+
+
+def _pipeline_timeline(
+    costs: Iterable[_StepCost], contention: float = OVERLAP_CONTENTION
+) -> Tuple[float, float, float]:
+    """Double-buffered timeline: returns (total, dma_busy, compute_busy).
+
+    Folds :func:`pipeline_intervals` down to totals.  The single memory
+    interface is enforced as a throughput bound: the whole layer can
+    finish no faster than the serial sum of all transfer times.
+    """
+    if not 0.0 <= contention <= 1.0:
+        raise ValueError(f"contention must be in [0, 1], got {contention}")
+    end_get = end_put = end_comp = 0.0
+    dma_busy = 0.0
+    comp_busy = 0.0
+    for interval in pipeline_intervals(costs):
+        end_get = interval.get_end
+        end_comp = interval.compute_end
+        end_put = max(end_put, interval.put_end)
+        dma_busy += interval.get_seconds + interval.put_seconds
+        comp_busy += interval.compute_seconds
     # Shared memory interface: gets and puts cannot truly run concurrently
     # at full bandwidth, so the interface's serial busy time lower-bounds
     # the layer.
-    total = max(get_free, put_free, comp_free, dma_busy)
+    total = max(end_get, end_put, end_comp, dma_busy)
     # LDM-port contention: a fraction of the overlapped time is not actually
     # hidden because DMA writes and kernel loads share the LDM ports.
-    if not 0.0 <= contention <= 1.0:
-        raise ValueError(f"contention must be in [0, 1], got {contention}")
     hidden = max(0.0, dma_busy + comp_busy - total)
     total += contention * hidden
     return total, dma_busy, comp_busy
@@ -204,6 +261,7 @@ class ConvolutionEngine:
         overlap_contention: float = OVERLAP_CONTENTION,
         fault_plan=None,
         fused_pool: int = 1,
+        telemetry=None,
     ):
         if backend not in BACKENDS:
             raise PlanError(f"unknown compute backend {backend!r}")
@@ -213,6 +271,9 @@ class ConvolutionEngine:
         self.stride_efficiency = stride_efficiency
         self.overlap_contention = overlap_contention
         self.fault_plan = fault_plan
+        #: Observability session (captured ambient when not passed); the
+        #: disabled default dispatches to shared no-op singletons.
+        self.telemetry = telemetry if telemetry is not None else current_telemetry()
         if fused_pool < 1:
             raise PlanError(f"fused_pool must be >= 1, got {fused_pool}")
         if fused_pool > 1:
@@ -267,7 +328,18 @@ class ConvolutionEngine:
             # The replanned submesh is built fence-free: the fenced CPEs
             # were excluded by shrinking, the survivors are healthy.
             gemm_faults = None if mesh_spec is not self.spec else fault_plan
-            self._mesh_gemm = MeshGemm(spec=mesh_spec, mode=mode, fault_plan=gemm_faults)
+            self._mesh_gemm = MeshGemm(
+                spec=mesh_spec,
+                mode=mode,
+                fault_plan=gemm_faults,
+                telemetry=self.telemetry,
+            )
+        if self.telemetry.enabled:
+            # The plan's declared LDM footprint is the high-water mark every
+            # tile reaches (regions are allocated up front on real hardware).
+            self.telemetry.counters.record_max(
+                "ldm.plan_regions_bytes", sum(n for _, n in plan.ldm_regions())
+            )
 
     # -- timing -----------------------------------------------------------------
 
@@ -377,6 +449,7 @@ class ConvolutionEngine:
         key = self._timing_key()
         cached = _TIMING_CACHE.get(key)
         if cached is not None:
+            self._count_evaluation(cached, cache_hit=True)
             return replace(cached)
         costs = []
         flops = 0
@@ -410,7 +483,67 @@ class ConvolutionEngine:
         if len(_TIMING_CACHE) >= _TIMING_CACHE_MAX:
             _TIMING_CACHE.clear()
         _TIMING_CACHE[key] = report
+        self._count_evaluation(report, cache_hit=False)
         return replace(report)
+
+    def _count_evaluation(self, report: TimingReport, cache_hit: bool) -> None:
+        """Counter accounting for one timed walk (cached or fresh).
+
+        Counting from the report keeps memoized and fresh evaluations
+        indistinguishable to the counters — bytes and flops describe what
+        the schedule *does*, not whether Python re-walked it.
+        """
+        counters = self.telemetry.counters
+        if not counters.enabled:
+            return
+        counters.add("engine.evaluations")
+        counters.add(
+            "engine.timing_cache.hits" if cache_hit else "engine.timing_cache.misses"
+        )
+        counters.add("engine.bytes_get", report.bytes_get)
+        counters.add("engine.bytes_put", report.bytes_put)
+        counters.add("engine.flops", report.flops)
+        counters.add("engine.tiles", report.tiles)
+        counters.add("engine.simulated_seconds", report.seconds)
+
+    def record_tile_spans(self, max_tiles: int = 64) -> int:
+        """Record the first ``max_tiles`` tiles' intervals as sim spans.
+
+        Replays the schedule through :func:`pipeline_intervals` (the same
+        recurrence the timed evaluation folds down) and emits one span per
+        non-empty get/compute/put window on the simulated-timeline tracks.
+        Returns the number of tiles recorded.
+        """
+        tracer = self.telemetry.tracer
+        if not tracer.enabled:
+            return 0
+        costs = (
+            self._step_cost(step)
+            for step in self.plan.compiled_schedule(coalesced=True)
+        )
+        recorded = 0
+        for interval in pipeline_intervals(costs):
+            if interval.index >= max_tiles:
+                break
+            i = interval.index
+            if interval.get_seconds > 0:
+                tracer.record_sim(
+                    f"tile[{i}].get", interval.get_start, interval.get_end,
+                    track="dma-get", cat="tile",
+                )
+            if interval.compute_seconds > 0:
+                tracer.record_sim(
+                    f"tile[{i}].compute",
+                    interval.compute_start, interval.compute_end,
+                    track="compute", cat="tile",
+                )
+            if interval.put_seconds > 0:
+                tracer.record_sim(
+                    f"tile[{i}].put", interval.put_start, interval.put_end,
+                    track="dma-put", cat="tile",
+                )
+            recorded += 1
+        return recorded
 
     # -- functional -----------------------------------------------------------
 
@@ -454,6 +587,21 @@ class ConvolutionEngine:
             raise PlanError(f"unknown fused activation {activation!r}")
         x = np.asarray(x, dtype=np.float64)
         w = np.asarray(w, dtype=np.float64)
+        with self.telemetry.tracer.span(
+            "engine.run", cat="engine", backend=self.backend, params=repr(p)
+        ):
+            out, report = self._run_tiles(x, w, bias, activation)
+        self.telemetry.counters.add("engine.runs")
+        return out, report
+
+    def _run_tiles(
+        self,
+        x: np.ndarray,
+        w: np.ndarray,
+        bias: Optional[np.ndarray],
+        activation: Optional[str],
+    ) -> Tuple[np.ndarray, TimingReport]:
+        p = self.plan.params
         out = np.zeros(p.output_shape, dtype=np.float64)
         if self._mesh_gemm is not None:
             # Bus/LDM statistics describe one plan execution, not the
@@ -491,17 +639,28 @@ class ConvolutionEngine:
         # still in LDM (before the DMA put), so it adds no memory traffic
         # and hides under P1; functionally it is elementwise, so applying
         # it once after the tile loop is identical.
-        if bias is not None:
-            out += bias[None, :, None, None]
-        if activation == "relu":
-            np.maximum(out, 0.0, out=out)
-        if self.fused_pool > 1:
-            # Fused average pooling: tiles are averaged down in LDM before
-            # their (already pool-scaled) DMA puts; functionally elementwise
-            # over disjoint windows, so pooling once at the end is identical.
-            s = self.fused_pool
-            b, no, ro, co = out.shape
-            out = out.reshape(b, no, ro // s, s, co // s, s).mean(axis=(3, 5))
+        if bias is not None or activation == "relu" or self.fused_pool > 1:
+            with self.telemetry.tracer.span(
+                "engine.fused_epilogue",
+                cat="engine",
+                bias=bias is not None,
+                activation=activation or "",
+                pool=self.fused_pool,
+            ):
+                if bias is not None:
+                    out += bias[None, :, None, None]
+                if activation == "relu":
+                    np.maximum(out, 0.0, out=out)
+                if self.fused_pool > 1:
+                    # Fused average pooling: tiles are averaged down in LDM
+                    # before their (already pool-scaled) DMA puts;
+                    # functionally elementwise over disjoint windows, so
+                    # pooling once at the end is identical.
+                    s = self.fused_pool
+                    b, no, ro, co = out.shape
+                    out = out.reshape(b, no, ro // s, s, co // s, s).mean(
+                        axis=(3, 5)
+                    )
         total, dma_busy, comp_busy = _pipeline_timeline(costs, self.overlap_contention)
         report = TimingReport(
             seconds=total,
@@ -556,6 +715,7 @@ def evaluate_chip(
     num_groups: Optional[int] = None,
     spec: SW26010Spec = DEFAULT_SPEC,
     plan_cache: Optional[str] = None,
+    telemetry=None,
 ) -> Tuple[float, List[TimingReport]]:
     """Timed multi-CG execution (Section III-D row partitioning).
 
@@ -573,23 +733,29 @@ def evaluate_chip(
     from repro.core.plans import make_plan
 
     chip = SW26010Chip(spec)
+    telemetry = telemetry if telemetry is not None else current_telemetry()
     n = num_groups if num_groups is not None else spec.num_core_groups
     strips = chip.partition_rows(params.ro, n)
     reports = []
-    for start, stop in strips:
+    for cg, (start, stop) in enumerate(strips):
         rows = stop - start
         if rows == 0:
             continue
         strip_params = params.with_rows(rows)
-        if plan_cache is not None:
-            from repro.tune import autotune
+        with telemetry.tracer.span(
+            "chip.strip", cat="chip", cg=cg, rows=rows
+        ):
+            if plan_cache is not None:
+                from repro.tune import autotune
 
-            plan = autotune(strip_params, spec=spec, cache=plan_cache).plan
-        elif plan_kind is None:
-            plan = plan_convolution(strip_params, spec=spec).plan
-        else:
-            plan = make_plan(plan_kind, strip_params, spec=spec)
-        reports.append(ConvolutionEngine(plan, spec=spec).evaluate())
+                plan = autotune(strip_params, spec=spec, cache=plan_cache).plan
+            elif plan_kind is None:
+                plan = plan_convolution(strip_params, spec=spec).plan
+            else:
+                plan = make_plan(plan_kind, strip_params, spec=spec)
+            reports.append(
+                ConvolutionEngine(plan, spec=spec, telemetry=telemetry).evaluate()
+            )
     if not reports:
         raise PlanError("no core group received any rows")
     seconds = max(r.seconds for r in reports)

@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.common.errors import PlanError, ReproError, SimulationError
 from repro.hw.spec import SW26010Spec
+from repro.telemetry import current_telemetry
 from repro.core.conv import ConvolutionEngine, TimingReport
 from repro.core.plans import ConvPlan
 from repro.core.reference import conv2d_reference
@@ -73,6 +74,7 @@ class GuardedConvolutionEngine:
         fault_plan=None,
         parity_check: bool = False,
         parity_tol: float = 1e-8,
+        telemetry=None,
     ):
         if backend not in FALLBACK_LADDERS:
             raise PlanError(
@@ -85,6 +87,7 @@ class GuardedConvolutionEngine:
         self.fault_plan = fault_plan
         self.parity_check = parity_check
         self.parity_tol = parity_tol
+        self.telemetry = telemetry if telemetry is not None else current_telemetry()
         if fault_plan is not None:
             self.ledger = fault_plan.ledger
         else:
@@ -104,6 +107,7 @@ class GuardedConvolutionEngine:
                 spec=self.spec,
                 backend=tier,
                 fault_plan=self.fault_plan,
+                telemetry=self.telemetry,
             )
             self._engines[tier] = engine
         return engine
@@ -112,6 +116,8 @@ class GuardedConvolutionEngine:
         detail = f"backend {tier!r} abandoned: {reason}"
         self.ledger.record("guard", "fallback", detail)
         self.last_outcome.degradations.append(detail)
+        self.telemetry.counters.add("guard.fallbacks")
+        self.telemetry.counters.add(f"guard.fallbacks.{tier}")
 
     def _reference_run(
         self,
@@ -190,8 +196,9 @@ class GuardedConvolutionEngine:
                 self.last_outcome.backend_used = tier
                 return out, timing
             try:
-                engine = self._engine_for(tier)
-                out, timing = engine.run(x, w, bias=bias, activation=activation)
+                with self.telemetry.tracer.span("guard.tier", cat="guard", tier=tier):
+                    engine = self._engine_for(tier)
+                    out, timing = engine.run(x, w, bias=bias, activation=activation)
             except ReproError as exc:
                 # Hardware faults, certification failures, infeasible plans:
                 # all survivable — log and demote.  Programming errors

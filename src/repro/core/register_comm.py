@@ -89,12 +89,17 @@ class MeshGemm:
         spec: SW26010Spec = DEFAULT_SPEC,
         mode: str = "full",
         fault_plan=None,
+        telemetry=None,
     ):
         if mode not in self.MODES:
             raise PlanError(
                 f"unknown MeshGemm mode {mode!r}; expected one of {self.MODES}"
             )
-        self.mesh = mesh if mesh is not None else CPEMesh(spec, fault_plan=fault_plan)
+        self.mesh = (
+            mesh
+            if mesh is not None
+            else CPEMesh(spec, fault_plan=fault_plan, telemetry=telemetry)
+        )
         self.spec = self.mesh.spec
         self.mode = mode
         #: signature -> certified fast-path strategy name.
@@ -305,11 +310,13 @@ class MeshGemm:
             bus.account_bulk(w_block_bytes, receivers=n - 1, operations=n)
         for bus in self.mesh.col_buses:
             bus.account_bulk(d_block_bytes, receivers=n - 1, operations=n)
-        flops_per_cpe = 2 * br * bc * kb * n
+        # Routed through count_fma (not a bare stats bump) so the telemetry
+        # flop counter agrees bit-for-bit with the full protocol simulation.
+        fmas_per_cpe = br * bc * kb * n
         for cpe in self.mesh:
             cpe.stats.bus_puts += 2
             cpe.stats.bus_gets += 2 * (n - 1)
-            cpe.stats.flops += flops_per_cpe
+            cpe.count_fma(fmas_per_cpe)
 
     # -- statistics ---------------------------------------------------------
 

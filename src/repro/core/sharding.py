@@ -25,6 +25,7 @@ from repro.common.errors import PlanError
 from repro.core.conv import ConvolutionEngine, TimingReport
 from repro.core.params import ConvParams
 from repro.hw.spec import SW26010Spec, DEFAULT_SPEC
+from repro.telemetry import current_telemetry
 
 
 @dataclass
@@ -70,6 +71,7 @@ def _shard_engine(
     backend: str,
     plan_cache: Optional[Union[str, "object"]],
     fused_pool: int = 1,
+    telemetry=None,
 ) -> ConvolutionEngine:
     if plan_cache is not None:
         from repro.tune import autotune
@@ -81,7 +83,9 @@ def _shard_engine(
         from repro.core.planner import plan_convolution
 
         plan = plan_convolution(params, spec=spec).plan
-    return ConvolutionEngine(plan, spec=spec, backend=backend, fused_pool=fused_pool)
+    return ConvolutionEngine(
+        plan, spec=spec, backend=backend, fused_pool=fused_pool, telemetry=telemetry
+    )
 
 
 def evaluate_chip_sharded(
@@ -124,6 +128,7 @@ def run_sharded(
     activation: Optional[str] = None,
     plan_cache: Optional[Union[str, "object"]] = None,
     fused_pool: int = 1,
+    telemetry=None,
 ) -> Tuple[np.ndarray, ShardedReport]:
     """Functional batch-sharded convolution; returns (output, chip timing).
 
@@ -133,6 +138,7 @@ def run_sharded(
     """
     x = np.asarray(x, dtype=np.float64)
     w = np.asarray(w, dtype=np.float64)
+    telemetry = telemetry if telemetry is not None else current_telemetry()
     b, ni, ri, ci = x.shape
     no, _, kr, kc = w.shape
     params = ConvParams(ni=ni, no=no, ri=ri, ci=ci, kr=kr, kc=kc, b=b)
@@ -145,17 +151,22 @@ def run_sharded(
     reports = []
     start = 0
     engines: dict = {}
-    for shard_b in shard_batch(b, n):
+    for shard_index, shard_b in enumerate(shard_batch(b, n)):
         shard_params = params.with_batch(shard_b)
         engine = engines.get(shard_params)
         if engine is None:
             engine = _shard_engine(
-                shard_params, spec, backend, plan_cache, fused_pool
+                shard_params, spec, backend, plan_cache, fused_pool,
+                telemetry=telemetry,
             )
             engines[shard_params] = engine
-        out, report = engine.run(
-            x[start : start + shard_b], w, bias=bias, activation=activation
-        )
+        with telemetry.tracer.span(
+            "shard", cat="shard", index=shard_index, batch=shard_b
+        ):
+            out, report = engine.run(
+                x[start : start + shard_b], w, bias=bias, activation=activation
+            )
+        telemetry.counters.add("shard.runs")
         outputs.append(out)
         reports.append(report)
         start += shard_b

@@ -21,6 +21,7 @@ from repro.common.errors import PlanError
 from repro.common.parallel import parallel_map
 from repro.common.tables import TextTable
 from repro.hw.spec import SW26010Spec, DEFAULT_SPEC
+from repro.telemetry import use_telemetry
 from repro.core.conv import ConvolutionEngine, evaluate_chip
 from repro.core.params import ConvParams
 from repro.core.planner import plan_convolution
@@ -199,6 +200,7 @@ def run_sweep(
     backoff: float = 0.0,
     timeout: Optional[float] = None,
     plan_cache: Optional[str] = None,
+    telemetry=None,
 ) -> List[SweepRow]:
     """Plan, model and time every configuration of the grid.
 
@@ -220,33 +222,49 @@ def run_sweep(
     configuration (and chip strip) then plans through the autotuner, with
     tuned winners shared across grid points, worker processes and resumed
     runs (the cache's atomic writes make concurrent workers safe).
+
+    ``telemetry`` attaches a :class:`repro.telemetry.Telemetry` session for
+    the sweep: counters and spans cover the engines the sweep constructs.
+    Worker *processes* (``jobs > 1``) do not share the session — only the
+    serial path (which runs workers inline) contributes hardware counters.
     """
     worker = partial(_sweep_row, spec=spec, chip=chip, plan_cache=plan_cache)
     configs = list(grid.configurations())
-    if checkpoint is None:
-        return parallel_map(
-            worker, configs, jobs=jobs, retries=retries, backoff=backoff, timeout=timeout
-        )
-    store = SweepCheckpoint(checkpoint)
-    done = store.completed
-    pending = [(i, params) for i, params in enumerate(configs) if i not in done]
-    # Process pending configs in batches so the checkpoint advances as the
-    # sweep runs; a kill loses at most one in-flight batch.
-    batch_size = max(1, jobs)
-    for start in range(0, len(pending), batch_size):
-        batch = pending[start : start + batch_size]
-        rows = parallel_map(
-            worker,
-            [params for _, params in batch],
-            jobs=jobs,
-            retries=retries,
-            backoff=backoff,
-            timeout=timeout,
-        )
-        for (index, _), row in zip(batch, rows):
-            store.append(index, row)
-    completed = store.completed
-    return [completed[i] for i in range(len(configs))]
+    with use_telemetry(telemetry) as session:
+        with session.tracer.span(
+            "sweep", cat="sweep", configurations=len(configs), jobs=jobs
+        ):
+            if checkpoint is None:
+                return parallel_map(
+                    worker,
+                    configs,
+                    jobs=jobs,
+                    retries=retries,
+                    backoff=backoff,
+                    timeout=timeout,
+                )
+            store = SweepCheckpoint(checkpoint)
+            done = store.completed
+            pending = [
+                (i, params) for i, params in enumerate(configs) if i not in done
+            ]
+            # Process pending configs in batches so the checkpoint advances
+            # as the sweep runs; a kill loses at most one in-flight batch.
+            batch_size = max(1, jobs)
+            for start in range(0, len(pending), batch_size):
+                batch = pending[start : start + batch_size]
+                rows = parallel_map(
+                    worker,
+                    [params for _, params in batch],
+                    jobs=jobs,
+                    retries=retries,
+                    backoff=backoff,
+                    timeout=timeout,
+                )
+                for (index, _), row in zip(batch, rows):
+                    store.append(index, row)
+            completed = store.completed
+            return [completed[i] for i in range(len(configs))]
 
 
 def render_sweep(rows: Sequence[SweepRow]) -> str:

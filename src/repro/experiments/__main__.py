@@ -36,6 +36,13 @@ def main(argv=None) -> int:
         "configuration through the autotuner, sharing tuned plans across "
         "configs, worker processes and resumed runs",
     )
+    parser.add_argument(
+        "--profile",
+        metavar="TRACE.json",
+        help="attach a telemetry session: per-experiment spans are written "
+        "to TRACE.json (Chrome trace_event format) and the counter summary "
+        "is printed after the report",
+    )
     args = parser.parse_args(argv if argv is not None else sys.argv[1:])
     if args.save:
         from repro.experiments.artifacts import save_experiments
@@ -44,14 +51,24 @@ def main(argv=None) -> int:
         for path in written:
             print(f"wrote {path}")
         return 0
+    telemetry = None
+    if args.profile:
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry()
     print(
         run_all(
             args.names or None,
             jobs=args.jobs,
             checkpoint_dir=args.checkpoint,
             plan_cache=args.plan_cache,
+            telemetry=telemetry,
         )
     )
+    if telemetry is not None:
+        telemetry.tracer.write(args.profile)
+        print(telemetry.counters.render())
+        print(f"trace: {args.profile} ({len(telemetry.tracer)} span(s))")
     return 0
 
 

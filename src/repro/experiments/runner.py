@@ -6,6 +6,7 @@ import inspect
 import os
 from typing import Callable, List, Optional, Tuple
 
+from repro.telemetry import use_telemetry
 from repro.experiments import (
     fig2_model,
     fig6_pipeline,
@@ -59,6 +60,7 @@ def run_all(
     jobs: int = 1,
     checkpoint_dir: Optional[str] = None,
     plan_cache: Optional[str] = None,
+    telemetry=None,
 ) -> str:
     """Render the selected experiments (all by default) as one report.
 
@@ -76,29 +78,38 @@ def run_all(
     experiments then plan every configuration through the autotuner, with
     tuned plans shared across configurations, worker processes and resumed
     runs.
+
+    ``telemetry`` attaches an observability session for the whole report:
+    it is installed ambiently (so every engine the experiments construct
+    inherits it — serial runs only; worker processes stay dark) and each
+    experiment renders inside its own wall-clock span.
     """
     selected = select_experiments(names)
     if checkpoint_dir:
         os.makedirs(checkpoint_dir, exist_ok=True)
     sections = []
-    for name, render in selected:
-        section_path = (
-            os.path.join(checkpoint_dir, f"{name}.section.txt")
-            if checkpoint_dir
-            else None
-        )
-        if section_path and os.path.exists(section_path):
-            with open(section_path) as fh:
-                section = fh.read()
-        else:
-            kwargs = _accepted_kwargs(
-                render, {"jobs": jobs, "plan_cache": plan_cache}
+    with use_telemetry(telemetry) as session:
+        for name, render in selected:
+            section_path = (
+                os.path.join(checkpoint_dir, f"{name}.section.txt")
+                if checkpoint_dir
+                else None
             )
-            section = render(**kwargs)
-            if section_path:
-                with open(section_path, "w") as fh:
-                    fh.write(section)
-        sections.append("=" * 72)
-        sections.append(section)
-        sections.append("")
+            if section_path and os.path.exists(section_path):
+                with open(section_path) as fh:
+                    section = fh.read()
+            else:
+                kwargs = _accepted_kwargs(
+                    render, {"jobs": jobs, "plan_cache": plan_cache}
+                )
+                with session.tracer.span(
+                    f"experiment.{name}", cat="experiment"
+                ):
+                    section = render(**kwargs)
+                if section_path:
+                    with open(section_path, "w") as fh:
+                        fh.write(section)
+            sections.append("=" * 72)
+            sections.append(section)
+            sections.append("")
     return "\n".join(sections)

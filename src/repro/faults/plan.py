@@ -45,6 +45,7 @@ from repro.common.errors import (
     ECCError,
 )
 from repro.common.rng import DEFAULT_SEED, derive_rng
+from repro.telemetry import current_telemetry
 
 
 @dataclass(frozen=True)
@@ -158,6 +159,10 @@ class FaultLedger:
             seq=len(self._events), subsystem=subsystem, kind=kind, detail=detail
         )
         self._events.append(event)
+        # Ambient (per-call) lookup: ledgers are owned by fault plans built
+        # long before any telemetry session exists, so construction-time
+        # capture would miss every event.
+        current_telemetry().counters.add(f"faults.{subsystem}.{kind}")
         return event
 
     @property

@@ -18,6 +18,7 @@ from repro.common.errors import CPEFaultError
 from repro.hw.ldm import LDM
 from repro.hw.regfile import VectorRegisterFile
 from repro.hw.spec import SW26010Spec, DEFAULT_SPEC
+from repro.telemetry import current_telemetry
 
 
 @dataclass
@@ -47,11 +48,13 @@ class CPE:
         col: int,
         spec: SW26010Spec = DEFAULT_SPEC,
         fault_plan=None,
+        telemetry=None,
     ):
         self.row = row
         self.col = col
         self.spec = spec
-        self.ldm = LDM(spec, fault_plan=fault_plan)
+        self.telemetry = telemetry if telemetry is not None else current_telemetry()
+        self.ldm = LDM(spec, fault_plan=fault_plan, telemetry=self.telemetry)
         self.registers = VectorRegisterFile(spec)
         self.stats = CPEStats()
         #: A fenced CPE is disabled by the resource manager (degraded CG);
@@ -75,13 +78,17 @@ class CPE:
 
     def count_fma(self, elements: int) -> None:
         """Record ``elements`` fused multiply-adds (2 flops each)."""
-        self.stats.flops += 2 * elements
+        flops = 2 * elements
+        self.stats.flops += flops
+        self.telemetry.counters.add("cpe.flops", flops)
 
     def count_ldm_load(self, nbytes: int) -> None:
         self.stats.ldm_bytes_loaded += nbytes
+        self.telemetry.counters.add("cpe.ldm_bytes_loaded", nbytes)
 
     def count_ldm_store(self, nbytes: int) -> None:
         self.stats.ldm_bytes_stored += nbytes
+        self.telemetry.counters.add("cpe.ldm_bytes_stored", nbytes)
 
     def fma_tile(self, acc: np.ndarray, a: np.ndarray, b: np.ndarray) -> None:
         """acc += a @ b with flop accounting (an LDM-resident GEMM tile).

@@ -29,6 +29,7 @@ from repro.common.units import GB
 from repro.hw.ldm import LDMBuffer
 from repro.hw.memory import MainMemory, MemoryStats
 from repro.hw.spec import SW26010Spec, DEFAULT_SPEC, TABLE_II_DMA_BANDWIDTH
+from repro.telemetry import current_telemetry
 
 
 class DMABandwidthModel:
@@ -159,6 +160,7 @@ class DMAEngine:
         spec: Optional[SW26010Spec] = None,
         bandwidth_model: Optional[DMABandwidthModel] = None,
         fault_plan=None,
+        telemetry=None,
     ):
         self.memory = memory
         self.spec = spec or memory.spec
@@ -167,6 +169,7 @@ class DMAEngine:
         )
         #: Optional :class:`repro.faults.FaultPlan`; ``None`` = healthy DMA.
         self.fault_plan = fault_plan
+        self.telemetry = telemetry if telemetry is not None else current_telemetry()
         self.stats = MemoryStats()
         self._channel_free_at: Dict[int, float] = {}
         self.log: List[DMATransfer] = []
@@ -265,6 +268,19 @@ class DMAEngine:
             self.stats.bytes_read += nbytes
         else:
             self.stats.bytes_written += nbytes
+        counters = self.telemetry.counters
+        counters.add("dma.transfers")
+        counters.add(f"dma.bytes_{direction}", nbytes)
+        self.telemetry.tracer.record_sim(
+            f"dma.{direction}",
+            start,
+            finish,
+            track=f"dma-ch{channel}",
+            cat="dma",
+            tensor=tensor,
+            nbytes=nbytes,
+            block_bytes=block_bytes,
+        )
         return transfer
 
     def channel_free_at(self, channel: int = 0) -> float:

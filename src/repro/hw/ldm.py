@@ -21,6 +21,7 @@ import numpy as np
 from repro.common.errors import LDMOverflowError, SimulationError
 from repro.common.units import bytes_to_human
 from repro.hw.spec import SW26010Spec, DEFAULT_SPEC
+from repro.telemetry import current_telemetry
 
 
 @dataclass
@@ -77,11 +78,14 @@ class LDMAllocator:
 
     ALIGN = 32
 
-    def __init__(self, capacity: int, fault_plan=None):
+    def __init__(self, capacity: int, fault_plan=None, telemetry=None):
         if capacity <= 0:
             raise ValueError(f"LDM capacity must be positive, got {capacity}")
         self.capacity = capacity
         self.fault_plan = fault_plan
+        #: Captured at construction (see :mod:`repro.telemetry.session`);
+        #: the null session's methods are shared no-ops.
+        self.telemetry = telemetry if telemetry is not None else current_telemetry()
         self._cursor = 0
         self._buffers: Dict[str, LDMBuffer] = {}
 
@@ -111,6 +115,7 @@ class LDMAllocator:
         )
         self._cursor += padded
         self._buffers[name] = buffer
+        self.telemetry.counters.record_max("ldm.high_water_bytes", self._cursor)
         return buffer
 
     def alloc_double_buffer(
@@ -148,8 +153,10 @@ class LDMAllocator:
 class LDM(LDMAllocator):
     """One CPE's LDM, sized from the architecture spec."""
 
-    def __init__(self, spec: SW26010Spec = DEFAULT_SPEC, fault_plan=None):
-        super().__init__(capacity=spec.ldm_bytes, fault_plan=fault_plan)
+    def __init__(self, spec: SW26010Spec = DEFAULT_SPEC, fault_plan=None, telemetry=None):
+        super().__init__(
+            capacity=spec.ldm_bytes, fault_plan=fault_plan, telemetry=telemetry
+        )
         self.spec = spec
 
 

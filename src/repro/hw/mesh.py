@@ -29,9 +29,10 @@ from typing import Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.common.errors import BusProtocolError
+from repro.common.errors import BusProtocolError, BusStallError
 from repro.hw.cpe import CPE
 from repro.hw.spec import SW26010Spec, DEFAULT_SPEC
+from repro.telemetry import current_telemetry
 
 
 @dataclass
@@ -51,12 +52,13 @@ class RegisterBus:
     model and the ablation benches use.
     """
 
-    def __init__(self, kind: str, index: int, packet_bytes: int):
+    def __init__(self, kind: str, index: int, packet_bytes: int, telemetry=None):
         if kind not in ("row", "col"):
             raise ValueError(f"bus kind must be 'row' or 'col', got {kind!r}")
         self.kind = kind
         self.index = index
         self.packet_bytes = packet_bytes
+        self.telemetry = telemetry if telemetry is not None else current_telemetry()
         self.stats = BusStats()
 
     def account(self, nbytes: int, receivers: int) -> None:
@@ -70,6 +72,10 @@ class RegisterBus:
         self.stats.packets += packets
         self.stats.bytes += nbytes
         self.stats.operations += 1
+        counters = self.telemetry.counters
+        counters.add("mesh.bus_packets", packets)
+        counters.add("mesh.bus_bytes", nbytes)
+        counters.add("mesh.bus_operations", 1)
 
     def account_bulk(self, nbytes: int, receivers: int, operations: int) -> None:
         """Record ``operations`` equal-sized puts in one call.
@@ -84,6 +90,10 @@ class RegisterBus:
         self.stats.packets += packets * operations
         self.stats.bytes += nbytes * operations
         self.stats.operations += operations
+        counters = self.telemetry.counters
+        counters.add("mesh.bus_packets", packets * operations)
+        counters.add("mesh.bus_bytes", nbytes * operations)
+        counters.add("mesh.bus_operations", operations)
 
 
 class TransferBuffer:
@@ -127,13 +137,23 @@ class CPEMesh:
     (:class:`~repro.common.errors.BusStallError`).
     """
 
-    def __init__(self, spec: SW26010Spec = DEFAULT_SPEC, fault_plan=None):
+    def __init__(self, spec: SW26010Spec = DEFAULT_SPEC, fault_plan=None, telemetry=None):
         self.spec = spec
         self.fault_plan = fault_plan
+        self.telemetry = telemetry if telemetry is not None else current_telemetry()
         n = spec.mesh_size
         self.size = n
         self.cpes: List[List[CPE]] = [
-            [CPE(row=r, col=c, spec=spec, fault_plan=fault_plan) for c in range(n)]
+            [
+                CPE(
+                    row=r,
+                    col=c,
+                    spec=spec,
+                    fault_plan=fault_plan,
+                    telemetry=self.telemetry,
+                )
+                for c in range(n)
+            ]
             for r in range(n)
         ]
         if fault_plan is not None:
@@ -144,8 +164,27 @@ class CPEMesh:
             for r in range(n)
             for c in range(n)
         }
-        self.row_buses = [RegisterBus("row", r, spec.bus_packet_bytes) for r in range(n)]
-        self.col_buses = [RegisterBus("col", c, spec.bus_packet_bytes) for c in range(n)]
+        self.row_buses = [
+            RegisterBus("row", r, spec.bus_packet_bytes, telemetry=self.telemetry)
+            for r in range(n)
+        ]
+        self.col_buses = [
+            RegisterBus("col", c, spec.bus_packet_bytes, telemetry=self.telemetry)
+            for c in range(n)
+        ]
+
+    def _maybe_bus_fault(self, src: Tuple[int, int], target: str, nbytes: int) -> None:
+        """Fault-plan bus injection with stall accounting.
+
+        A stall raised by the plan is counted (``mesh.bus_stalls``) before
+        propagating, so counter reports from a chaos run show how often the
+        bus misbehaved even when a retry or fallback absorbed the error.
+        """
+        try:
+            self.fault_plan.maybe_bus_fault(src, target, nbytes)
+        except BusStallError:
+            self.telemetry.counters.add("mesh.bus_stalls")
+            raise
 
     # -- topology ---------------------------------------------------------
 
@@ -181,7 +220,7 @@ class CPEMesh:
             raise BusProtocolError(f"CPE{src} cannot put to itself")
         payload = np.asarray(payload)
         if self.fault_plan is not None:
-            self.fault_plan.maybe_bus_fault(src, f"CPE{dst}", payload.nbytes)
+            self._maybe_bus_fault(src, f"CPE{dst}", payload.nbytes)
         if src[0] == dst[0]:
             self.row_buses[src[0]].account(payload.nbytes, receivers=1)
         elif src[1] == dst[1]:
@@ -202,7 +241,7 @@ class CPEMesh:
         payload = np.asarray(payload)
         row = src[0]
         if self.fault_plan is not None:
-            self.fault_plan.maybe_bus_fault(src, f"row {row} broadcast", payload.nbytes)
+            self._maybe_bus_fault(src, f"row {row} broadcast", payload.nbytes)
         receivers = [(row, c) for c in range(self.size) if c != src[1]]
         for dst in receivers:
             self.cpes[dst[0]][dst[1]].check_available()
@@ -216,7 +255,7 @@ class CPEMesh:
         payload = np.asarray(payload)
         col = src[1]
         if self.fault_plan is not None:
-            self.fault_plan.maybe_bus_fault(src, f"col {col} broadcast", payload.nbytes)
+            self._maybe_bus_fault(src, f"col {col} broadcast", payload.nbytes)
         receivers = [(r, col) for r in range(self.size) if r != src[0]]
         for dst in receivers:
             self.cpes[dst[0]][dst[1]].check_available()

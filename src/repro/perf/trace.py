@@ -1,74 +1,59 @@
 """Text Gantt traces of a plan's double-buffered timeline.
 
 Debugging a plan's overlap behaviour from aggregate numbers is blind work;
-this module re-runs the engine's timeline recurrence while recording the
+this module replays the engine's timeline recurrence while recording the
 (get, compute, put) intervals of the first N tiles and renders them as an
 ASCII Gantt chart — the visual the Section IV-A double-buffering argument
 is usually drawn as.
+
+The recurrence itself lives in :func:`repro.core.conv.pipeline_intervals`
+— the same generator the timed evaluation folds down and the telemetry
+span exporter replays — so the Gantt chart, the timing report and the
+Chrome trace can never disagree about the schedule.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.core.conv import ConvolutionEngine, OVERLAP_CONTENTION
+from repro.core.conv import (
+    ConvolutionEngine,
+    OVERLAP_CONTENTION,
+    TileInterval,
+    pipeline_intervals,
+)
 from repro.core.plans import ConvPlan
 
-
-@dataclass(frozen=True)
-class TileTrace:
-    """Timed intervals of one tile (seconds)."""
-
-    index: int
-    get_start: float
-    get_end: float
-    compute_start: float
-    compute_end: float
-    put_start: float
-    put_end: float
+#: Kept as an alias: the interval record is shared with the engine now, but
+#: existing callers (benches, notebooks) import it under this name.
+TileTrace = TileInterval
 
 
 def trace_plan(
-    plan: ConvPlan,
+    plan: Optional[ConvPlan] = None,
     max_tiles: int = 16,
     engine: Optional[ConvolutionEngine] = None,
 ) -> List[TileTrace]:
-    """Record the first ``max_tiles`` tiles' scheduling intervals."""
-    engine = engine or ConvolutionEngine(plan)
+    """Record the first ``max_tiles`` tiles' scheduling intervals.
+
+    Pass either a ``plan`` (traced on a fresh healthy engine) or an
+    ``engine`` — the engine's own step costs are used, so a degraded
+    engine (derated DMA, fenced CPEs replanned onto a smaller submesh)
+    traces the timeline it would actually execute, not the full-mesh one.
+    """
+    if engine is None:
+        if plan is None:
+            raise ValueError("trace_plan needs a plan or an engine")
+        engine = ConvolutionEngine(plan)
+    costs = (
+        engine._step_cost(step)
+        for step in engine.plan.compiled_schedule(coalesced=True)
+    )
     traces: List[TileTrace] = []
-    get_free = put_free = comp_free = 0.0
-    comp_done_history: List[float] = []
-    for i, step in enumerate(plan.tile_schedule(coalesced=True)):
-        cost = engine._step_cost(step)
-        buffer_ready = comp_done_history[i - 2] if i >= 2 else 0.0
-        get_start = max(get_free, buffer_ready)
-        get_end = get_start + cost.get_seconds
-        comp_start = max(get_end, comp_free)
-        comp_end = comp_start + cost.compute_seconds
-        if cost.put_seconds > 0:
-            put_start = max(put_free, comp_end)
-            put_end = put_start + cost.put_seconds
-            put_free = put_end
-        else:
-            put_start = put_end = comp_end
-        get_free = get_end
-        comp_free = comp_end
-        comp_done_history.append(comp_end)
-        if i < max_tiles:
-            traces.append(
-                TileTrace(
-                    index=i,
-                    get_start=get_start,
-                    get_end=get_end,
-                    compute_start=comp_start,
-                    compute_end=comp_end,
-                    put_start=put_start,
-                    put_end=put_end,
-                )
-            )
-        if i + 1 >= max_tiles:
+    for interval in pipeline_intervals(costs):
+        if interval.index >= max_tiles:
             break
+        traces.append(interval)
     return traces
 
 

@@ -1,0 +1,126 @@
+"""Hardware-event counters with a zero-cost disabled path.
+
+The observability layer must not tax the fast path: a sweep times tens of
+thousands of schedule walks, and a handle serving inference traffic runs
+the same layer millions of times.  The registry therefore comes in two
+flavours sharing one interface:
+
+* :class:`Counters` — the enabled registry: a flat ``name -> number`` map
+  with ``add`` (monotonic accumulation) and ``record_max`` (high-water
+  marks, e.g. LDM occupancy).
+* :class:`NullCounters` — the disabled sink: every method is a no-op that
+  allocates nothing.  A single module-level :data:`NULL_COUNTERS` instance
+  is shared process-wide, so instrumented components hold a reference to
+  an object whose methods return immediately.
+
+Counter names are dotted paths grouped by subsystem::
+
+    dma.bytes_get / dma.bytes_put / dma.transfers
+    mesh.bus_bytes / mesh.bus_packets / mesh.bus_operations / mesh.bus_stalls
+    ldm.high_water_bytes          (record_max)
+    cpe.flops / cpe.ldm_bytes_loaded / cpe.ldm_bytes_stored
+    engine.bytes_get / engine.bytes_put / engine.flops / engine.tiles
+    plan_cache.hits / plan_cache.misses / plan_cache.stores
+    faults.<subsystem>.<kind>     (one per fault-ledger event)
+    guard.fallbacks
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Union
+
+Number = Union[int, float]
+
+
+class Counters:
+    """Enabled counter registry: a flat dotted-name -> number map."""
+
+    __slots__ = ("_values",)
+
+    #: Distinguishes the live registry from the null sink without isinstance.
+    enabled = True
+
+    def __init__(self) -> None:
+        self._values: Dict[str, Number] = {}
+
+    def add(self, name: str, value: Number = 1) -> None:
+        """Accumulate ``value`` onto counter ``name`` (creating it at 0)."""
+        values = self._values
+        values[name] = values.get(name, 0) + value
+
+    def record_max(self, name: str, value: Number) -> None:
+        """Keep the maximum ever recorded for ``name`` (high-water marks)."""
+        current = self._values.get(name)
+        if current is None or value > current:
+            self._values[name] = value
+
+    def get(self, name: str, default: Number = 0) -> Number:
+        return self._values.get(name, default)
+
+    def total(self, prefix: str) -> Number:
+        """Sum of every counter whose name starts with ``prefix``."""
+        return sum(v for k, v in self._values.items() if k.startswith(prefix))
+
+    def as_dict(self) -> Dict[str, Number]:
+        """Snapshot copy, sorted by name (JSON-ready)."""
+        return {k: self._values[k] for k in sorted(self._values)}
+
+    def reset(self) -> None:
+        self._values.clear()
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __bool__(self) -> bool:
+        return True
+
+    def render(self) -> str:
+        """Aligned two-column listing, one counter per line."""
+        if not self._values:
+            return "counters: (none recorded)"
+        width = max(len(k) for k in self._values)
+        lines = [f"counters: {len(self._values)} distinct"]
+        for name in sorted(self._values):
+            value = self._values[name]
+            shown = f"{value:,}" if isinstance(value, int) else f"{value:,.3f}"
+            lines.append(f"  {name:<{width}}  {shown}")
+        return "\n".join(lines)
+
+
+class NullCounters:
+    """Disabled sink: same interface, every mutation a no-op, zero storage."""
+
+    __slots__ = ()
+
+    enabled = False
+
+    def add(self, name: str, value: Number = 1) -> None:
+        pass
+
+    def record_max(self, name: str, value: Number) -> None:
+        pass
+
+    def get(self, name: str, default: Number = 0) -> Number:
+        return default
+
+    def total(self, prefix: str) -> Number:
+        return 0
+
+    def as_dict(self) -> Dict[str, Number]:
+        return {}
+
+    def reset(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+    def __bool__(self) -> bool:
+        return False
+
+    def render(self) -> str:
+        return "counters: disabled"
+
+
+#: The process-wide disabled sink every uninstrumented component points at.
+NULL_COUNTERS = NullCounters()

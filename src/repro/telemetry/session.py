@@ -1,0 +1,106 @@
+"""The telemetry session: counters + tracer, and the ambient context.
+
+A :class:`Telemetry` object bundles one :class:`~repro.telemetry.counters.Counters`
+registry with one :class:`~repro.telemetry.spans.SpanTracer`.  Components
+accept it two ways:
+
+* **explicitly** — every instrumented constructor (``DMAEngine``,
+  ``CPEMesh``, ``ConvolutionEngine``, ``SwDNNHandle``...) takes a
+  ``telemetry=`` argument; or
+* **ambiently** — :func:`use_telemetry` installs a session as the
+  process-wide current one, and components built inside the ``with`` block
+  capture it at construction via :func:`current_telemetry`.
+
+The default ambient session is :data:`NULL_TELEMETRY` (null counters, null
+tracer): instrumentation hooks then dispatch to no-op methods on shared
+singletons — no allocation, no branching at the call sites — which is what
+keeps the disabled overhead under the fast path's noise floor.
+
+Capture happens at *construction time*, not per call: an engine built
+outside a ``use_telemetry`` block stays dark even if a session is later
+installed, and an engine built inside keeps reporting after the block
+exits.  That makes the observable behaviour a property of the object, not
+of ambient global state at call time.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.telemetry.counters import Counters, NullCounters, NULL_COUNTERS
+from repro.telemetry.spans import NullSpanTracer, NULL_TRACER, SpanTracer
+
+
+class Telemetry:
+    """One observability session: a counter registry plus a span tracer."""
+
+    __slots__ = ("counters", "tracer")
+
+    enabled = True
+
+    def __init__(
+        self,
+        counters: Optional[Counters] = None,
+        tracer: Optional[SpanTracer] = None,
+    ):
+        self.counters = counters if counters is not None else Counters()
+        self.tracer = tracer if tracer is not None else SpanTracer()
+
+    def reset(self) -> None:
+        """Clear counters (the tracer's recorded spans are kept)."""
+        self.counters.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Telemetry(counters={len(self.counters)}, "
+            f"spans={len(self.tracer)})"
+        )
+
+
+class NullTelemetry:
+    """The disabled session: null counters, null tracer, falsy."""
+
+    __slots__ = ()
+
+    enabled = False
+    counters: NullCounters = NULL_COUNTERS
+    tracer: NullSpanTracer = NULL_TRACER
+
+    def reset(self) -> None:
+        pass
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "NullTelemetry()"
+
+
+#: The process-wide disabled session (the default ambient telemetry).
+NULL_TELEMETRY = NullTelemetry()
+
+_ACTIVE = NULL_TELEMETRY
+
+
+def current_telemetry():
+    """The ambient session: :data:`NULL_TELEMETRY` unless one is installed."""
+    return _ACTIVE
+
+
+@contextmanager
+def use_telemetry(telemetry: Optional[Telemetry]) -> Iterator[Telemetry]:
+    """Install ``telemetry`` as the ambient session for the ``with`` body.
+
+    ``None`` means "leave whatever is active in place" — convenient for
+    plumbing an optional knob: ``with use_telemetry(maybe_none): ...``.
+    Nesting restores the previous session on exit, exception or not.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    if telemetry is not None:
+        _ACTIVE = telemetry
+    try:
+        yield _ACTIVE
+    finally:
+        _ACTIVE = previous

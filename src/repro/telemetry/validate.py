@@ -1,0 +1,95 @@
+"""Chrome ``trace_event`` schema validation (and a CLI for CI).
+
+The trace format has no official JSON Schema; this validator pins the
+subset the tracer emits and viewers require: the JSON *object format*
+(``{"traceEvents": [...]}``) whose events are complete events (``"ph":
+"X"`` with numeric non-negative ``ts``/``dur``) or metadata events
+(``"ph": "M"``), all carrying ``name``/``pid``/``tid``.
+
+``python -m repro.telemetry.validate trace.json`` exits non-zero with one
+line per violation — the ``profile`` smoke stage of ``scripts/verify.sh``
+runs it on the trace the CLI just emitted.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, List
+
+#: Event phases the validator accepts (what the tracer emits).
+ALLOWED_PHASES = ("X", "M")
+
+
+def validate_chrome_trace(data: Any) -> List[str]:
+    """Violations of the trace_event object format; empty list = valid."""
+    errors: List[str] = []
+    if not isinstance(data, dict):
+        return [f"top level must be a JSON object, got {type(data).__name__}"]
+    events = data.get("traceEvents")
+    if not isinstance(events, list):
+        return ["top-level 'traceEvents' must be a list"]
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: must be an object")
+            continue
+        phase = event.get("ph")
+        if phase not in ALLOWED_PHASES:
+            errors.append(
+                f"{where}: 'ph' must be one of {ALLOWED_PHASES}, got {phase!r}"
+            )
+            continue
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            errors.append(f"{where}: 'name' must be a non-empty string")
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                errors.append(f"{where}: {key!r} must be an integer")
+        if phase == "X":
+            for key in ("ts", "dur"):
+                value = event.get(key)
+                if not isinstance(value, (int, float)) or isinstance(value, bool):
+                    errors.append(f"{where}: {key!r} must be a number")
+                elif value < 0:
+                    errors.append(f"{where}: {key!r} must be >= 0, got {value}")
+            if "cat" in event and not isinstance(event["cat"], str):
+                errors.append(f"{where}: 'cat' must be a string")
+        else:  # metadata
+            if not isinstance(event.get("args"), dict):
+                errors.append(f"{where}: metadata event needs an 'args' object")
+        if "args" in event and not isinstance(event["args"], dict):
+            errors.append(f"{where}: 'args' must be an object")
+    return errors
+
+
+def validate_chrome_trace_file(path: str) -> List[str]:
+    """Load ``path`` and validate; JSON errors are reported, not raised."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except OSError as exc:
+        return [f"cannot read {path}: {exc}"]
+    except json.JSONDecodeError as exc:
+        return [f"{path} is not valid JSON: {exc}"]
+    return validate_chrome_trace(data)
+
+
+def main(argv=None) -> int:
+    argv = argv if argv is not None else sys.argv[1:]
+    if len(argv) != 1:
+        print("usage: python -m repro.telemetry.validate TRACE.json")
+        return 2
+    path = argv[0]
+    errors = validate_chrome_trace_file(path)
+    if errors:
+        for error in errors:
+            print(f"invalid trace: {error}")
+        return 1
+    with open(path, "r", encoding="utf-8") as fh:
+        count = len(json.load(fh)["traceEvents"])
+    print(f"{path}: valid Chrome trace_event JSON ({count} events)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -42,6 +42,7 @@ from typing import Any, Dict, Optional, Union
 from repro.core.params import ConvParams
 from repro.core.serialize import params_to_dict
 from repro.hw.spec import SW26010Spec
+from repro.telemetry import current_telemetry
 
 #: Bump to invalidate every existing cache entry (e.g. when the timing
 #: model changes enough that old winners are no longer trustworthy).
@@ -168,9 +169,11 @@ class PlanCache:
         if entry is None:
             self.stats.misses += 1
             _GLOBAL_STATS.misses += 1
+            current_telemetry().counters.add("plan_cache.misses")
         else:
             self.stats.hits += 1
             _GLOBAL_STATS.hits += 1
+            current_telemetry().counters.add("plan_cache.hits")
         return entry
 
     def store(
@@ -206,6 +209,7 @@ class PlanCache:
             raise
         self.stats.stores += 1
         _GLOBAL_STATS.stores += 1
+        current_telemetry().counters.add("plan_cache.stores")
         return path
 
     def entries(self) -> int:

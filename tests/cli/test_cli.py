@@ -73,6 +73,42 @@ class TestTrace:
         assert "overlap" in out
 
 
+class TestProfile:
+    ARGS = ["profile", "--ni", "32", "--no", "32", "--out", "16",
+            "--batch", "16", "--tiles", "4"]
+
+    def test_prints_drift_and_counters(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "model-vs-measured drift" in out
+        assert "counters:" in out
+        assert "engine.flops" in out
+        assert "4 tile interval(s) traced" in out
+
+    def test_trace_out_is_valid_chrome_json(self, capsys, tmp_path):
+        from repro.telemetry.validate import validate_chrome_trace_file
+
+        trace = str(tmp_path / "profile.json")
+        assert main(self.ARGS + ["--trace-out", trace]) == 0
+        assert "valid chrome://tracing JSON" in capsys.readouterr().out
+        assert validate_chrome_trace_file(trace) == []
+
+    def test_table3_row_selects_paper_config(self, capsys):
+        assert main(["profile", "--row", "1", "--tiles", "2"]) == 0
+        assert "Ni=128" in capsys.readouterr().out
+
+    def test_bad_row_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["profile", "--row", "99"])
+
+    def test_guarded_probe_counts_faults_and_fallbacks(self, capsys):
+        assert main(self.ARGS + ["--guarded", "--fenced", "2",
+                                 "--dma-derate", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "guarded probe: ran on" in out
+        assert "faults." in out
+
+
 class TestCalibrate:
     def test_reports_constants(self, capsys):
         assert main(["calibrate"]) == 0

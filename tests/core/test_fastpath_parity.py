@@ -165,6 +165,49 @@ class TestConvForwardParity:
         assert "mesh-fast" in BACKENDS
 
 
+class TestCounterParity:
+    """Telemetry must tell the same story for both execution tiers.
+
+    The fast path *accounts* the traffic it skips simulating; the hardware
+    counters are where that promise becomes observable.  Bytes moved over
+    the register buses and CPE flops must be identical whichever tier ran.
+    """
+
+    BUS_COUNTERS = ("mesh.bus_bytes", "mesh.bus_packets", "mesh.bus_operations")
+
+    def _counted_run(self, params, backend, x, w):
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry()
+        plan = plan_convolution(params).plan
+        engine = ConvolutionEngine(plan, backend=backend, telemetry=telemetry)
+        y, _ = engine.run(x, w)
+        return y, telemetry.counters
+
+    @pytest.mark.parametrize("params", PARITY_CONFIGS[:3], ids=str)
+    def test_bus_bytes_and_flops_identical(self, params, rng):
+        x = rng.standard_normal(params.input_shape)
+        w = rng.standard_normal(params.filter_shape)
+        y_mesh, mesh_counters = self._counted_run(params, "mesh", x, w)
+        y_fast, fast_counters = self._counted_run(params, "mesh-fast", x, w)
+        assert np.array_equal(y_mesh, y_fast)
+        for name in self.BUS_COUNTERS:
+            assert mesh_counters.get(name) == fast_counters.get(name), name
+        assert mesh_counters.get("cpe.flops") == fast_counters.get("cpe.flops")
+        assert mesh_counters.get("cpe.flops") > 0
+        assert mesh_counters.total("mesh.bus_") > 0
+
+    def test_engine_level_accounting_identical(self, rng):
+        params = PARITY_CONFIGS[0]
+        x = rng.standard_normal(params.input_shape)
+        w = rng.standard_normal(params.filter_shape)
+        _, mesh_counters = self._counted_run(params, "mesh", x, w)
+        _, fast_counters = self._counted_run(params, "mesh-fast", x, w)
+        for name in ("engine.bytes_get", "engine.bytes_put", "engine.flops",
+                     "engine.tiles", "engine.runs"):
+            assert mesh_counters.get(name) == fast_counters.get(name), name
+
+
 class TestBackwardParity:
     @pytest.mark.parametrize("params", PARITY_CONFIGS[:3], ids=str)
     def test_backward_data_bit_identical_to_mesh(self, params, rng):

@@ -57,3 +57,55 @@ class TestGantt:
 class TestOverlapSummary:
     def test_short_traces(self, traces):
         assert overlap_summary(traces[:1]) == 0.0
+
+
+class TestEngineTracing:
+    """trace_plan accepts a live engine, including a degraded one."""
+
+    PARAMS = ConvParams.from_output(ni=64, no=64, ro=16, co=16, kr=3, kc=3, b=64)
+
+    def test_engine_only_invocation(self):
+        from repro.core.conv import ConvolutionEngine
+
+        engine = ConvolutionEngine(BatchSizeAwarePlan(self.PARAMS))
+        traces = trace_plan(engine=engine, max_tiles=6)
+        assert len(traces) == 6
+
+    def test_needs_plan_or_engine(self):
+        with pytest.raises(ValueError, match="plan or an engine"):
+            trace_plan()
+
+    def test_fenced_submesh_slows_compute(self):
+        """An engine degraded onto a fenced submesh traces the timeline it
+        would actually execute: fewer effective CPEs, longer compute."""
+        from repro.core.conv import ConvolutionEngine
+        from repro.faults.plan import FaultPlan, FaultSpec
+
+        plan = BatchSizeAwarePlan(self.PARAMS)
+        healthy = trace_plan(plan, max_tiles=6)
+        fenced = FaultPlan(
+            spec=FaultSpec(seed=7, fenced_cpes=((0, 0), (1, 1), (2, 2), (3, 3)))
+        )
+        degraded_engine = ConvolutionEngine(
+            BatchSizeAwarePlan(self.PARAMS), fault_plan=fenced
+        )
+        degraded = trace_plan(engine=degraded_engine, max_tiles=6)
+        assert len(degraded) == 6
+        healthy_compute = sum(t.compute_end - t.compute_start for t in healthy)
+        degraded_compute = sum(t.compute_end - t.compute_start for t in degraded)
+        assert degraded_compute > healthy_compute
+
+    def test_shared_recurrence_bounds_engine_report(self):
+        """The trace and the timed evaluation fold the same recurrence; the
+        report only adds the memory-interface bound and LDM-port contention
+        on top, so the trace's end is a tight lower bound on the report."""
+        from repro.core.conv import ConvolutionEngine, clear_timing_cache
+
+        engine = ConvolutionEngine(BatchSizeAwarePlan(self.PARAMS))
+        traces = trace_plan(engine=engine, max_tiles=10**9)
+        clear_timing_cache()
+        report = engine.evaluate()
+        pipeline_end = max(t.put_end for t in traces)
+        assert pipeline_end <= report.seconds * (1 + 1e-12)
+        # contention + interface bound cannot more than double the timeline
+        assert report.seconds <= 2 * pipeline_end

@@ -1,0 +1,128 @@
+"""The counter registry and its zero-cost disabled twin."""
+
+import pytest
+
+from repro.telemetry import (
+    Counters,
+    NULL_COUNTERS,
+    NULL_TELEMETRY,
+    NullCounters,
+    Telemetry,
+    current_telemetry,
+    use_telemetry,
+)
+
+
+class TestCounters:
+    def test_add_accumulates(self):
+        c = Counters()
+        c.add("dma.transfers")
+        c.add("dma.transfers")
+        c.add("dma.bytes_get", 4096)
+        assert c.get("dma.transfers") == 2
+        assert c.get("dma.bytes_get") == 4096
+
+    def test_get_default(self):
+        assert Counters().get("never.recorded") == 0
+        assert Counters().get("never.recorded", -1) == -1
+
+    def test_record_max_keeps_high_water(self):
+        c = Counters()
+        c.record_max("ldm.high_water_bytes", 1024)
+        c.record_max("ldm.high_water_bytes", 512)
+        c.record_max("ldm.high_water_bytes", 2048)
+        assert c.get("ldm.high_water_bytes") == 2048
+
+    def test_total_sums_prefix(self):
+        c = Counters()
+        c.add("mesh.bus_bytes", 100)
+        c.add("mesh.bus_packets", 7)
+        c.add("dma.bytes_get", 999)
+        assert c.total("mesh.bus_") == 107
+        assert c.total("nothing.") == 0
+
+    def test_as_dict_sorted_snapshot(self):
+        c = Counters()
+        c.add("b.two", 2)
+        c.add("a.one", 1)
+        snapshot = c.as_dict()
+        assert list(snapshot) == ["a.one", "b.two"]
+        snapshot["a.one"] = 99  # copy, not a view
+        assert c.get("a.one") == 1
+
+    def test_reset_and_len(self):
+        c = Counters()
+        c.add("x", 1)
+        c.add("y", 2)
+        assert len(c) == 2
+        c.reset()
+        assert len(c) == 0
+        assert bool(c)  # enabled registry stays truthy even when empty
+
+    def test_render_lists_values(self):
+        c = Counters()
+        c.add("cpe.flops", 1234567)
+        c.add("engine.simulated_seconds", 0.25)
+        out = c.render()
+        assert "2 distinct" in out
+        assert "1,234,567" in out
+        assert "0.250" in out
+
+    def test_render_empty(self):
+        assert "none recorded" in Counters().render()
+
+
+class TestNullCounters:
+    def test_singleton_is_shared_and_falsy(self):
+        assert isinstance(NULL_COUNTERS, NullCounters)
+        assert not NULL_COUNTERS
+        assert not NULL_COUNTERS.enabled
+        assert NULL_TELEMETRY.counters is NULL_COUNTERS
+
+    def test_mutations_store_nothing(self):
+        NULL_COUNTERS.add("x", 5)
+        NULL_COUNTERS.record_max("y", 5)
+        assert len(NULL_COUNTERS) == 0
+        assert NULL_COUNTERS.get("x") == 0
+        assert NULL_COUNTERS.get("x", 3) == 3
+        assert NULL_COUNTERS.total("") == 0
+        assert NULL_COUNTERS.as_dict() == {}
+        assert NULL_COUNTERS.render() == "counters: disabled"
+
+    def test_no_instance_storage(self):
+        with pytest.raises(AttributeError):
+            NULL_COUNTERS.surprise = 1  # __slots__ = ()
+
+
+class TestAmbientSession:
+    def test_default_is_null(self):
+        assert current_telemetry() is NULL_TELEMETRY
+
+    def test_use_telemetry_installs_and_restores(self):
+        session = Telemetry()
+        with use_telemetry(session) as active:
+            assert active is session
+            assert current_telemetry() is session
+        assert current_telemetry() is NULL_TELEMETRY
+
+    def test_none_leaves_active_in_place(self):
+        outer = Telemetry()
+        with use_telemetry(outer):
+            with use_telemetry(None) as active:
+                assert active is outer
+        assert current_telemetry() is NULL_TELEMETRY
+
+    def test_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with use_telemetry(Telemetry()):
+                raise RuntimeError("boom")
+        assert current_telemetry() is NULL_TELEMETRY
+
+    def test_session_reset_clears_counters_keeps_spans(self):
+        session = Telemetry()
+        session.counters.add("x")
+        with session.tracer.span("kept"):
+            pass
+        session.reset()
+        assert len(session.counters) == 0
+        assert len(session.tracer) == 1

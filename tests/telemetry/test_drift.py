@@ -1,0 +1,87 @@
+"""Model-vs-measured drift reports."""
+
+import pytest
+
+from repro.core.params import ConvParams
+from repro.telemetry import Telemetry, drift_report
+from repro.telemetry.drift import DriftRow
+
+
+SMALL = ConvParams.from_output(ni=64, no=64, ro=32, co=32, kr=3, kc=3, b=32)
+
+
+def _row(model_gflops=100.0, measured_gflops=100.0, model_mbw=20e9, measured_bw=20e9):
+    return DriftRow(
+        params=SMALL,
+        plan="image",
+        model_gflops=model_gflops,
+        measured_gflops=measured_gflops,
+        model_mbw=model_mbw,
+        measured_bw=measured_bw,
+    )
+
+
+class TestDriftRow:
+    def test_drift_is_relative_deviation(self):
+        row = _row(measured_gflops=150.0, measured_bw=10e9)
+        assert row.flops_drift == pytest.approx(0.5)
+        assert row.bandwidth_drift == pytest.approx(-0.5)
+
+    def test_zero_model_means_zero_drift(self):
+        row = _row(model_gflops=0.0, model_mbw=0.0)
+        assert row.flops_drift == 0.0
+        assert row.bandwidth_drift == 0.0
+
+    def test_flagged_on_either_axis(self):
+        assert not _row().flagged(0.25)
+        assert _row(measured_gflops=130.0).flagged(0.25)
+        assert _row(measured_bw=14e9).flagged(0.25)
+        # threshold is exclusive
+        assert not _row(measured_gflops=125.0).flagged(0.25)
+
+
+class TestDriftReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return drift_report([SMALL], threshold=0.25)
+
+    def test_one_row_per_config(self, report):
+        assert len(report.rows) == 1
+        row = report.rows[0]
+        assert row.params is SMALL
+        assert row.measured_gflops > 0
+        assert row.measured_bw > 0
+
+    def test_render_has_header_and_flag_column(self, report):
+        out = report.render()
+        assert "model-vs-measured drift" in out
+        assert "+-25%" in out
+        assert ("ok" in out) or ("DRIFT" in out)
+
+    def test_as_dict_is_json_ready(self, report):
+        import json
+
+        data = report.as_dict()
+        assert data["threshold"] == 0.25
+        assert len(data["rows"]) == 1
+        assert data["rows"][0]["params"] == [64, 64, 32, 3, 32]
+        json.dumps(data)  # must not raise
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError, match="threshold"):
+            drift_report([SMALL], threshold=0.0)
+
+    def test_populates_telemetry_counters(self):
+        telemetry = Telemetry()
+        drift_report([SMALL], telemetry=telemetry)
+        assert telemetry.counters.get("engine.evaluations") == 1
+        assert telemetry.counters.get("engine.flops") > 0
+
+    def test_flagged_respects_threshold(self):
+        rows = [_row(), _row(measured_gflops=200.0)]
+        from repro.telemetry.drift import DriftReport
+
+        report = DriftReport(rows=rows, threshold=0.25)
+        assert report.flagged == [rows[1]]
+        loose = DriftReport(rows=rows, threshold=2.0)
+        assert loose.flagged == []

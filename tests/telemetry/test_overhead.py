@@ -1,0 +1,88 @@
+"""Disabled telemetry must cost (almost) nothing.
+
+The acceptance bar for the observability layer: with no session installed,
+a Table III row-1 pass records zero counters, allocates nothing inside the
+telemetry modules, and times within noise of the uninstrumented baseline
+(the precise <2% figure is tracked by ``benchmarks/test_bench_telemetry.py``;
+here we assert the loose, flake-proof direction: disabled is not slower).
+"""
+
+import time
+import tracemalloc
+
+import numpy as np
+
+from repro.core.conv import ConvolutionEngine, clear_timing_cache
+from repro.core.params import ConvParams
+from repro.core.planner import plan_convolution
+from repro.telemetry import NULL_COUNTERS, NULL_TELEMETRY, Telemetry, current_telemetry
+
+#: Table III row 1: Ni=128, No=128, 64x64 output, 3x3 filters, B=128.
+ROW1 = ConvParams.from_output(ni=128, no=128, ro=64, co=64, kr=3, kc=3, b=128)
+
+
+def _evaluate_seconds(telemetry, repeats=3):
+    plan = plan_convolution(ROW1).plan
+    engine = ConvolutionEngine(plan, telemetry=telemetry)
+    best = float("inf")
+    for _ in range(repeats):
+        clear_timing_cache()
+        start = time.perf_counter()
+        engine.evaluate()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+class TestZeroCostDisabled:
+    def test_engine_defaults_to_null_session(self):
+        engine = ConvolutionEngine(plan_convolution(ROW1).plan)
+        assert engine.telemetry is NULL_TELEMETRY
+        assert current_telemetry() is NULL_TELEMETRY
+
+    def test_row1_pass_records_no_counters(self):
+        engine = ConvolutionEngine(plan_convolution(ROW1).plan)
+        clear_timing_cache()
+        engine.evaluate()
+        assert len(NULL_COUNTERS) == 0
+        assert NULL_COUNTERS.as_dict() == {}
+        assert len(NULL_TELEMETRY.tracer) == 0
+
+    def test_forward_pass_allocates_nothing_in_telemetry(self):
+        """A functional forward pass must not allocate in telemetry code."""
+        small = ConvParams.from_output(ni=16, no=16, ro=8, co=8, kr=3, kc=3, b=8)
+        plan = plan_convolution(small).plan
+        engine = ConvolutionEngine(plan, backend="numpy")
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(small.input_shape)
+        w = rng.standard_normal(small.filter_shape)
+        engine.run(x, w)  # warm up caches / lazy imports
+
+        telemetry_files = tracemalloc.Filter(
+            True, "*/repro/telemetry/*"
+        )
+        tracemalloc.start()
+        try:
+            before = tracemalloc.take_snapshot().filter_traces([telemetry_files])
+            engine.run(x, w)
+            after = tracemalloc.take_snapshot().filter_traces([telemetry_files])
+        finally:
+            tracemalloc.stop()
+        growth = sum(stat.size_diff for stat in after.compare_to(before, "filename"))
+        assert growth <= 0, f"telemetry modules allocated {growth} bytes while disabled"
+
+    def test_disabled_not_slower_than_enabled(self):
+        """The loose direction of the <2% overhead bar: disabled does
+        strictly less work than enabled, so (modulo timer noise) a disabled
+        schedule walk must not come out slower."""
+        enabled = _evaluate_seconds(Telemetry())
+        disabled = _evaluate_seconds(None)
+        assert disabled <= enabled * 1.25, (
+            f"disabled telemetry walk took {disabled:.4f}s vs "
+            f"{enabled:.4f}s enabled"
+        )
+
+    def test_enabled_session_does_count(self):
+        telemetry = Telemetry()
+        _evaluate_seconds(telemetry, repeats=1)
+        assert telemetry.counters.get("engine.evaluations") == 1
+        assert telemetry.counters.get("engine.flops") == ROW1.flops()
