@@ -1,7 +1,7 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: test faults tune profile verify
+.PHONY: test faults tune profile serve verify
 
 test:
 	python -m pytest -x -q
@@ -16,6 +16,10 @@ profile:
 	python -m repro profile --ni 32 --no 32 --out 16 --batch 16 \
 	    --tiles 8 --guarded --trace-out /tmp/repro-profile.json
 	python -m repro.telemetry.validate /tmp/repro-profile.json
+
+serve:
+	python -m pytest -x -q -m serve tests/serve
+	python -m repro serve --smoke
 
 verify:
 	sh scripts/verify.sh

@@ -13,6 +13,7 @@ TIER1_TIMEOUT="${TIER1_TIMEOUT:-1200}"
 FAULTS_TIMEOUT="${FAULTS_TIMEOUT:-300}"
 TUNE_TIMEOUT="${TUNE_TIMEOUT:-120}"
 PROFILE_TIMEOUT="${PROFILE_TIMEOUT:-120}"
+SERVE_TIMEOUT="${SERVE_TIMEOUT:-180}"
 
 echo "== tier-1 suite (timeout ${TIER1_TIMEOUT}s) =="
 timeout "${TIER1_TIMEOUT}" python -m pytest -x -q
@@ -30,5 +31,9 @@ timeout "${PROFILE_TIMEOUT}" python -m repro profile \
     --ni 32 --no 32 --out 16 --batch 16 --tiles 8 --guarded \
     --trace-out "${PROFILE_TRACE}"
 timeout "${PROFILE_TIMEOUT}" python -m repro.telemetry.validate "${PROFILE_TRACE}"
+
+echo "== serve suite + smoke (timeout ${SERVE_TIMEOUT}s) =="
+timeout "${SERVE_TIMEOUT}" python -m pytest -x -q -m serve tests/serve
+timeout "${SERVE_TIMEOUT}" python -m repro serve --smoke
 
 echo "verify: OK"

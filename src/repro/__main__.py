@@ -276,6 +276,92 @@ def cmd_profile(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import numpy as np
+
+    from repro.serve import (
+        InferenceServer,
+        ServedModel,
+        ServerConfig,
+        WarmEnginePool,
+        run_load,
+        run_sequential,
+        synthetic_images,
+    )
+    from repro.telemetry import Telemetry, use_telemetry
+
+    rng = np.random.default_rng(args.seed)
+    scale = np.sqrt(2.0 / (args.ni * args.k * args.k))
+    w = rng.standard_normal((args.no, args.ni, args.k, args.k)) * scale
+    bias = rng.standard_normal(args.no) * 0.1
+    model = ServedModel.conv(
+        w, (args.image, args.image), bias=bias, activation="relu", name="cli"
+    )
+    telemetry = Telemetry()
+    config = ServerConfig(
+        max_batch=args.max_batch,
+        max_wait_s=args.max_wait_ms / 1e3,
+        queue_depth=args.queue_depth,
+        workers=args.workers,
+        guarded=not args.unguarded,
+        autotune=args.autotune or bool(args.plan_cache),
+        plan_cache=args.plan_cache if args.plan_cache else False,
+        default_deadline_s=(
+            args.deadline_ms / 1e3 if args.deadline_ms is not None else None
+        ),
+    )
+    images = synthetic_images(args.requests, model.input_shape, seed=args.seed + 1)
+    with use_telemetry(telemetry):
+        server = InferenceServer(model, config, telemetry=telemetry)
+        with server:
+            report, outputs = run_load(
+                server, images, rate_rps=args.rate, seed=args.seed + 2
+            )
+        accounting = server.accounting()
+    print(f"serving {model.describe()}")
+    print(
+        f"  batched: {report.completed}/{report.offered} completed, "
+        f"{report.rejected} rejected, {report.deadline_misses} deadline misses, "
+        f"{report.errors} errors"
+    )
+    print(
+        f"  {report.rps:.0f} req/s | p50 {report.latency.p50_ms:.2f} ms | "
+        f"p99 {report.latency.p99_ms:.2f} ms | "
+        f"max batch seen {telemetry.counters.get('serve.batch_size')}"
+    )
+    failures = []
+    if args.compare or args.smoke:
+        pool = WarmEnginePool(
+            model,
+            max_batch=config.max_batch,
+            guarded=config.guarded,
+            autotune=config.autotune,
+            plan_cache=config.plan_cache,
+            telemetry=telemetry,
+        )
+        seq_report, seq_outputs = run_sequential(pool, images)
+        ratio = report.rps / seq_report.rps if seq_report.rps else 0.0
+        print(f"  sequential baseline: {seq_report.rps:.0f} req/s -> {ratio:.2f}x")
+        for i, out in enumerate(outputs):
+            if out is not None and not np.array_equal(out, seq_outputs[i]):
+                failures.append(f"output {i} differs from per-request run")
+                break
+    if args.smoke:
+        if report.completed != report.offered:
+            failures.append(
+                f"only {report.completed}/{report.offered} requests completed"
+            )
+        if not accounting["balanced"]:
+            failures.append(f"serve counters do not balance: {accounting}")
+        if failures:
+            for failure in failures:
+                print(f"smoke FAIL: {failure}")
+            return 1
+        print("smoke OK: all requests completed, counters balance, "
+              "outputs match the per-request run")
+    return 0
+
+
 def cmd_calibrate(args) -> int:
     from repro.perf.calibration import calibrate
 
@@ -343,6 +429,42 @@ def build_parser() -> argparse.ArgumentParser:
 
     cal = sub.add_parser("calibrate", help="re-derive the fitted constants")
     cal.set_defaults(func=cmd_calibrate)
+
+    serve = sub.add_parser(
+        "serve", help="dynamic-batching inference server + load generator"
+    )
+    serve.add_argument("--ni", type=int, default=16, help="input channels")
+    serve.add_argument("--no", type=int, default=16, help="output channels")
+    serve.add_argument("--image", type=int, default=16, help="input image size")
+    serve.add_argument("--k", type=int, default=3, help="filter size")
+    serve.add_argument("--requests", type=int, default=96,
+                       help="requests pushed by the load generator")
+    serve.add_argument("--rate", type=float, default=50000.0,
+                       help="Poisson arrival rate (req/s)")
+    serve.add_argument("--max-batch", type=int, default=16,
+                       help="largest coalesced batch")
+    serve.add_argument("--max-wait-ms", type=float, default=1.0,
+                       help="batching window (milliseconds)")
+    serve.add_argument("--queue-depth", type=int, default=256,
+                       help="admission queue bound (backpressure past it)")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="worker threads (default: $SWDNN_JOBS or 1)")
+    serve.add_argument("--deadline-ms", type=float, default=None,
+                       help="per-request deadline (milliseconds)")
+    serve.add_argument("--autotune", action="store_true",
+                       help="tune the pool's plans instead of heuristics")
+    serve.add_argument("--plan-cache", metavar="PATH",
+                       help="plan-cache directory (implies measured tuning)")
+    serve.add_argument("--unguarded", action="store_true",
+                       help="raw engines instead of the guarded ladder")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="weights/images/arrivals seed")
+    serve.add_argument("--compare", action="store_true",
+                       help="also run the sequential per-request baseline")
+    serve.add_argument("--smoke", action="store_true",
+                       help="assert completion, parity and counter balance; "
+                            "exit 1 on any failure")
+    serve.set_defaults(func=cmd_serve)
 
     profile = sub.add_parser(
         "profile", help="telemetry profile: counters, spans, drift report"

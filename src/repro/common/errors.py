@@ -58,6 +58,31 @@ class ECCError(HardwareFaultError):
     """An LDM bit-flip was detected by ECC (uncorrectable double-bit)."""
 
 
+class ServeError(ReproError):
+    """Base class for inference-serving failures (see :mod:`repro.serve`)."""
+
+
+class QueueFullError(ServeError):
+    """The admission queue rejected a request (backpressure).
+
+    Raised by non-blocking submission when the bounded queue is at
+    capacity; the caller owns the retry policy (shed, wait, or resubmit).
+    """
+
+
+class DeadlineExceededError(ServeError):
+    """A request's deadline expired before a worker started executing it.
+
+    The request's queue slot is reclaimed at batch-formation time: expired
+    requests are failed with this error and never occupy space in the
+    coalesced batch.
+    """
+
+
+class ServerClosedError(ServeError):
+    """A request was submitted to (or was pending on) a closed server."""
+
+
 class WorkerError(ReproError):
     """A parallel worker failed; carries the job's arguments and traceback.
 

@@ -7,9 +7,12 @@ workload over worker processes while keeping the *result order identical to
 the input order*, so a parallel run renders byte-identical reports to a
 serial one — parallelism is purely a wall-clock optimization.
 
-``jobs=1`` (the default everywhere) bypasses multiprocessing entirely; the
-serial path stays the reference behavior and the one test suites exercise
-by default.
+``jobs=None`` (the default) defers to the ``SWDNN_JOBS`` environment
+variable (see :func:`default_jobs`) so deployments can size every fan-out
+— sweeps and the serve worker pool alike — with one knob; with the
+variable unset that resolves to 1, so the serial path stays the reference
+behavior and the one test suites exercise by default.  An explicit
+``jobs=`` always wins over the environment.
 
 Robustness (used by chaos sweeps and long production runs):
 
@@ -30,6 +33,7 @@ Robustness (used by chaos sweeps and long production runs):
 from __future__ import annotations
 
 import multiprocessing
+import os
 import time
 import traceback
 from dataclasses import dataclass
@@ -41,13 +45,40 @@ from repro.common.errors import JobTimeoutError, WorkerError
 T = TypeVar("T")
 R = TypeVar("R")
 
+#: Environment variable naming the default worker count for every surface
+#: that takes a ``jobs`` knob (``parallel_map``, the serve worker pool).
+JOBS_ENV_VAR = "SWDNN_JOBS"
 
-def resolve_jobs(jobs: int, tasks: int) -> int:
+
+def default_jobs() -> int:
+    """The ``SWDNN_JOBS`` default worker count (1 when unset or empty).
+
+    A set-but-invalid value raises ``ValueError`` — a typo'd deployment
+    knob must fail loudly, not silently serialize the fleet.
+    """
+    raw = os.environ.get(JOBS_ENV_VAR)
+    if raw is None or raw.strip() == "":
+        return 1
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{JOBS_ENV_VAR} must be a positive integer, got {raw!r}"
+        ) from None
+    if value < 1:
+        raise ValueError(f"{JOBS_ENV_VAR} must be >= 1, got {value}")
+    return value
+
+
+def resolve_jobs(jobs: Optional[int], tasks: int) -> int:
     """Clamp a requested worker count to the task count (min 1).
 
-    Raises ``ValueError`` for non-positive requests so typos fail loudly
-    instead of silently running serial.
+    ``jobs=None`` means "use the :data:`JOBS_ENV_VAR` default".  Raises
+    ``ValueError`` for non-positive requests so typos fail loudly instead
+    of silently running serial.
     """
+    if jobs is None:
+        jobs = default_jobs()
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     return max(1, min(jobs, tasks))
@@ -110,12 +141,17 @@ def _serial_map(
 def parallel_map(
     fn: Callable[[T], R],
     items: Iterable[T],
-    jobs: int = 1,
+    jobs: Optional[int] = None,
     retries: int = 0,
     backoff: float = 0.0,
     timeout: Optional[float] = None,
 ) -> List[R]:
     """``[fn(x) for x in items]`` over ``jobs`` processes, order-preserving.
+
+    ``jobs=None`` (the default) defers to the ``SWDNN_JOBS`` environment
+    variable (see :func:`default_jobs`; 1 when unset), so deployments
+    size every fan-out with one env knob; an explicit integer always
+    wins over the environment.
 
     ``fn`` and every item must be picklable (use module-level functions or
     :func:`functools.partial` over them).  Results are returned in input

@@ -297,6 +297,12 @@ class ConvolutionEngine:
         self.fused_pool = fused_pool
         self._dma_model = DMABandwidthModel(alignment=self.spec.dma_alignment)
         self._step_cost_cache: Dict[Tuple, _StepCost] = {}
+        # Memoized weight-layout packing (see run(filter_version=...)): one
+        # contiguous (No, bNi) slice per distinct (kr, kc, ni-block) the
+        # schedule touches, valid for one (filter tensor, version) pair.
+        self._filter_pack: Dict[Tuple[int, int, int], np.ndarray] = {}
+        self._filter_pack_token: Optional[Tuple[int, int]] = None
+        self._filter_pack_w: Optional[np.ndarray] = None
         self._mesh_gemm: Optional[MeshGemm] = None
         self.mesh_size = self.spec.mesh_size
         self._effective_cpes = self.spec.cpes_per_group
@@ -547,12 +553,60 @@ class ConvolutionEngine:
 
     # -- functional -----------------------------------------------------------
 
+    def _filter_pack_for(
+        self, w: np.ndarray, version: int
+    ) -> Dict[Tuple[int, int, int], np.ndarray]:
+        """The memoized packed-slice table for ``(w, version)``.
+
+        A stale token (different tensor object, or the same tensor after a
+        parameter update bumped its version) drops every packed slice; a
+        matching token reuses them as-is.  The engine keeps a strong
+        reference to ``w`` so the identity half of the token cannot be
+        recycled while packs are alive.
+        """
+        token = (id(w), version)
+        if token != self._filter_pack_token:
+            if self._filter_pack_token is not None:
+                self.telemetry.counters.add("engine.filter_pack.invalidations")
+            self._filter_pack = {}
+            self._filter_pack_token = token
+            self._filter_pack_w = w
+        return self._filter_pack
+
+    def prepack_filters(self, w: np.ndarray, version: int = 0) -> int:
+        """Eagerly pack every filter slice the schedule will request.
+
+        Walks the plan's compute specs and materializes the contiguous
+        ``(No, bNi)`` slice for each distinct ``(kr, kc, ni-block)``, so the
+        first ``run(..., filter_version=version)`` pays zero packing cost —
+        the serve warm-up path.  Returns the number of packed slices.
+        """
+        w = np.asarray(w, dtype=np.float64)
+        p = self.plan.params
+        if w.shape != p.filter_shape:
+            raise PlanError(f"filter shape {w.shape} != {p.filter_shape}")
+        pack = self._filter_pack_for(w, version)
+        built = 0
+        for step in self.plan.compiled_schedule():
+            for c in step.computes:
+                ni_len = c.ni_len if c.ni_len >= 0 else p.ni
+                key = (c.kr, c.kc, c.ni0)
+                if key not in pack:
+                    pack[key] = np.ascontiguousarray(
+                        w[:, c.ni0 : c.ni0 + ni_len, c.kr, c.kc]
+                    )
+                    built += 1
+        if built:
+            self.telemetry.counters.add("engine.filter_pack.packs", built)
+        return len(pack)
+
     def run(
         self,
         x: np.ndarray,
         w: np.ndarray,
         bias: Optional[np.ndarray] = None,
         activation: Optional[str] = None,
+        filter_version: Optional[int] = None,
     ) -> Tuple[np.ndarray, TimingReport]:
         """Execute the plan on real data; returns (output, timing).
 
@@ -571,6 +625,16 @@ class ConvolutionEngine:
         tile ``s x s`` in LDM, so the returned tensor is the *pooled*
         output (B, No, Ro/s, Co/s) and the DMA puts move only the pooled
         bytes (see :class:`repro.core.fusion.FusedConvBlock`).
+
+        ``filter_version`` opts into memoized weight-layout packing: the
+        contiguous per-``(kr, kc, ni-block)`` filter slices the schedule
+        reads are packed once per ``(w, version)`` pair and reused across
+        forward calls, and the numpy backend multiplies the packed operand
+        directly (``w_pack @ window``) instead of reducing a strided view —
+        the repeated-inference fast path.  Callers that mutate ``w`` in
+        place must bump the version (see
+        :meth:`~repro.core.layers.Layer.notify_parameter_update`); passing
+        ``None`` (the default) skips packing entirely.
         """
         p = self.plan.params
         if x.shape != p.input_shape:
@@ -590,7 +654,7 @@ class ConvolutionEngine:
         with self.telemetry.tracer.span(
             "engine.run", cat="engine", backend=self.backend, params=repr(p)
         ):
-            out, report = self._run_tiles(x, w, bias, activation)
+            out, report = self._run_tiles(x, w, bias, activation, filter_version)
         self.telemetry.counters.add("engine.runs")
         return out, report
 
@@ -600,9 +664,15 @@ class ConvolutionEngine:
         w: np.ndarray,
         bias: Optional[np.ndarray],
         activation: Optional[str],
+        filter_version: Optional[int] = None,
     ) -> Tuple[np.ndarray, TimingReport]:
         p = self.plan.params
         out = np.zeros(p.output_shape, dtype=np.float64)
+        pack = (
+            self._filter_pack_for(w, filter_version)
+            if filter_version is not None
+            else None
+        )
         if self._mesh_gemm is not None:
             # Bus/LDM statistics describe one plan execution, not the
             # engine's lifetime.
@@ -623,8 +693,23 @@ class ConvolutionEngine:
                     c.ro + c.kr,
                     c.co + c.kc : c.co + c.kc + c.co_len,
                 ]
-                w_slice = w[:, ni_slice, c.kr, c.kc]
                 target = out[c.bb : c.bb + c.bb_len, :, c.ro, c.co : c.co + c.co_len]
+                if pack is not None:
+                    key = (c.kr, c.kc, c.ni0)
+                    w_slice = pack.get(key)
+                    if w_slice is None:
+                        w_slice = np.ascontiguousarray(w[:, ni_slice, c.kr, c.kc])
+                        pack[key] = w_slice
+                        self.telemetry.counters.add("engine.filter_pack.packs")
+                    if self.backend == "numpy":
+                        # Packed operand: one BLAS-dispatched matmul on the
+                        # contiguous slice, bit-identical to the einsum
+                        # reduction below (same per-element dot order) at a
+                        # fraction of its dispatch cost.
+                        target += w_slice @ window
+                        continue
+                else:
+                    w_slice = w[:, ni_slice, c.kr, c.kc]
                 if self.backend == "numpy":
                     target += np.einsum("on,bnc->boc", w_slice, window, optimize=True)
                 else:

@@ -165,6 +165,7 @@ class FusedConvBlock(Layer):
             self.conv.w,
             bias=self.conv.bias,
             activation="relu" if self.relu else None,
+            filter_version=getattr(self.conv, "_w_version", 0),
         )
         if fused_pool == 1 and self.pool > 1:
             s = self.pool
@@ -197,6 +198,11 @@ class FusedConvBlock(Layer):
 
     def gradients(self) -> Dict[str, np.ndarray]:
         return self.conv.gradients()
+
+    def notify_parameter_update(self) -> None:
+        # The wrapped conv owns the weight tensors (and their layout
+        # version); fused and unfused views must invalidate together.
+        self.conv.notify_parameter_update()
 
 
 def fuse_layers(

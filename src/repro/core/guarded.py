@@ -174,18 +174,29 @@ class GuardedConvolutionEngine:
 
     # -- public surface ----------------------------------------------------
 
+    def prepack_filters(self, w: np.ndarray, version: int = 0) -> int:
+        """Pre-pack ``w``'s layout on the primary tier (serve warm-up).
+
+        Only the requested backend's engine is warmed — fallback tiers
+        pack lazily if a demotion ever reaches them.
+        """
+        return self._engine_for(self.backend).prepack_filters(w, version=version)
+
     def run(
         self,
         x: np.ndarray,
         w: np.ndarray,
         bias: Optional[np.ndarray] = None,
         activation: Optional[str] = None,
+        filter_version: Optional[int] = None,
     ) -> Tuple[np.ndarray, TimingReport]:
         """Execute the layer, degrading down the ladder as needed.
 
         Raises only if *every* tier fails — and the ``reference`` tier has
         no simulated-hardware failure modes, so in practice a shape-valid
-        layer always completes.
+        layer always completes.  ``filter_version`` opts into the wrapped
+        engines' memoized weight-layout packing (each tier keeps its own
+        pack table).
         """
         self.last_outcome = GuardedOutcome()
         reference: Optional[np.ndarray] = None
@@ -198,7 +209,10 @@ class GuardedConvolutionEngine:
             try:
                 with self.telemetry.tracer.span("guard.tier", cat="guard", tier=tier):
                     engine = self._engine_for(tier)
-                    out, timing = engine.run(x, w, bias=bias, activation=activation)
+                    out, timing = engine.run(
+                        x, w, bias=bias, activation=activation,
+                        filter_version=filter_version,
+                    )
             except ReproError as exc:
                 # Hardware faults, certification failures, infeasible plans:
                 # all survivable — log and demote.  Programming errors

@@ -40,6 +40,14 @@ class Layer:
         """Gradients from the last backward, matching :meth:`parameters`."""
         return {}
 
+    def notify_parameter_update(self) -> None:
+        """Hook: the optimizer mutated this layer's parameters in place.
+
+        Layers that memoize anything derived from their parameters (packed
+        filter layouts, certified operands) invalidate it here; the base
+        implementation is a no-op so parameter-free layers need nothing.
+        """
+
 
 class Conv2D(Layer):
     """Convolution layer backed by the simulated swDNN kernel.
@@ -83,6 +91,13 @@ class Conv2D(Layer):
         self._grad_w: Optional[np.ndarray] = None
         self._grad_b: Optional[np.ndarray] = None
         self._engine_cache: Dict[ConvParams, ConvolutionEngine] = {}
+        # Weight-layout version: bumped on every in-place parameter update
+        # so the engines' memoized filter packs invalidate (repeated
+        # inference on frozen weights packs exactly once).
+        self._w_version = 0
+
+    def notify_parameter_update(self) -> None:
+        self._w_version += 1
 
     def _simulated_engine(self, params: ConvParams) -> ConvolutionEngine:
         engine = self._engine_cache.get(params)
@@ -106,7 +121,9 @@ class Conv2D(Layer):
             b, ni, ri, ci = self._x.shape
             no, _, kr, kc = self.w.shape
             params = ConvParams(ni=ni, no=no, ri=ri, ci=ci, kr=kr, kc=kc, b=b)
-            out, _ = self._simulated_engine(params).run(self._x, self.w)
+            out, _ = self._simulated_engine(params).run(
+                self._x, self.w, filter_version=self._w_version
+            )
         else:
             out = conv2d_reference(self._x, self.w)
         return out + self.bias[None, :, None, None]

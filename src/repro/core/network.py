@@ -36,6 +36,20 @@ class Sequential:
     def parameter_layers(self) -> List[Layer]:
         return [layer for layer in self.layers if layer.parameters()]
 
+    def warm(self, input_shape: Sequence[int], batch_sizes: Sequence[int]) -> None:
+        """Pre-build every shape-dependent engine for the given batch sizes.
+
+        Runs a zeros forward pass per batch size so each layer's engine
+        cache (plans, certified fast paths, packed filter layouts) is
+        populated before real traffic arrives — the serve worker pool's
+        warm-up.  ``input_shape`` is one sample's (C, H, W).
+        """
+        c, h, w = input_shape
+        for b in sorted(set(int(b) for b in batch_sizes)):
+            if b < 1:
+                raise ValueError(f"batch sizes must be positive, got {b}")
+            self.forward(np.zeros((b, c, h, w)))
+
     def fused(self, autotune: bool = False, plan_cache=None) -> "Sequential":
         """A fused view of this network: conv -> ReLU (-> pool) runs become
         :class:`~repro.core.fusion.FusedConvBlock` pipelines.
@@ -78,6 +92,9 @@ class SGD:
                 v *= self.momentum
                 v -= self.lr * grads[name]
                 param += v
+            # Parameters were mutated in place: let the layer drop any
+            # memoized derived state (packed filter layouts).
+            layer.notify_parameter_update()
 
 
 @dataclass

@@ -118,6 +118,104 @@ def evaluate_chip_sharded(
     )
 
 
+class ShardedExecutor:
+    """A *warm* batch-sharded runner: per-shard engines persist across calls.
+
+    :func:`run_sharded` rebuilds its shard engines on every invocation —
+    fine for a one-off sweep, wasteful for a serving loop that pushes the
+    same layer shape through the chip thousands of times.  The executor
+    keys one engine per shard-``ConvParams`` and keeps it (plan, certified
+    fast path, memoized filter packs) for the next call; steady-state calls
+    build nothing.
+    """
+
+    def __init__(
+        self,
+        num_groups: Optional[int] = None,
+        spec: SW26010Spec = DEFAULT_SPEC,
+        backend: str = "numpy",
+        plan_cache: Optional[Union[str, "object"]] = None,
+        fused_pool: int = 1,
+        telemetry=None,
+    ):
+        n = num_groups if num_groups is not None else spec.num_core_groups
+        if not 1 <= n <= spec.num_core_groups:
+            raise PlanError(
+                f"num_groups must be in [1, {spec.num_core_groups}], got {n}"
+            )
+        self.num_groups = n
+        self.spec = spec
+        self.backend = backend
+        self.plan_cache = plan_cache
+        self.fused_pool = fused_pool
+        self.telemetry = telemetry if telemetry is not None else current_telemetry()
+        self._engines: dict = {}
+
+    def engine_for(self, shard_params: ConvParams) -> ConvolutionEngine:
+        engine = self._engines.get(shard_params)
+        if engine is None:
+            engine = _shard_engine(
+                shard_params, self.spec, self.backend, self.plan_cache,
+                self.fused_pool, telemetry=self.telemetry,
+            )
+            self._engines[shard_params] = engine
+        return engine
+
+    def warm(self, params: ConvParams, w: Optional[np.ndarray] = None) -> int:
+        """Pre-build every shard engine a batch of ``params.b`` needs.
+
+        With ``w`` given, each shard's filter layout is pre-packed too (the
+        layout is shard-independent but the pack tables are per-engine).
+        Returns the number of engines now warm for this shape.
+        """
+        built = 0
+        for shard_b in shard_batch(params.b, self.num_groups):
+            engine = self.engine_for(params.with_batch(shard_b))
+            if w is not None:
+                engine.prepack_filters(w)
+            built += 1
+        return built
+
+    def run(
+        self,
+        x: np.ndarray,
+        w: np.ndarray,
+        bias: Optional[np.ndarray] = None,
+        activation: Optional[str] = None,
+        filter_version: Optional[int] = None,
+    ) -> Tuple[np.ndarray, ShardedReport]:
+        """Functional sharded convolution on the warm engines."""
+        x = np.asarray(x, dtype=np.float64)
+        w = np.asarray(w, dtype=np.float64)
+        telemetry = self.telemetry
+        b, ni, ri, ci = x.shape
+        no, _, kr, kc = w.shape
+        params = ConvParams(ni=ni, no=no, ri=ri, ci=ci, kr=kr, kc=kc, b=b)
+        outputs = []
+        reports = []
+        start = 0
+        for shard_index, shard_b in enumerate(shard_batch(b, self.num_groups)):
+            engine = self.engine_for(params.with_batch(shard_b))
+            with telemetry.tracer.span(
+                "shard", cat="shard", index=shard_index, batch=shard_b
+            ):
+                out, report = engine.run(
+                    x[start : start + shard_b], w, bias=bias,
+                    activation=activation, filter_version=filter_version,
+                )
+            telemetry.counters.add("shard.runs")
+            outputs.append(out)
+            reports.append(report)
+            start += shard_b
+        report = ShardedReport(
+            seconds=max(r.seconds for r in reports),
+            flops=sum(r.flops for r in reports),
+            shards=reports,
+            peak_flops=self.spec.peak_flops_per_cg * len(reports),
+        )
+        return np.concatenate(outputs, axis=0), report
+
+
 def run_sharded(
     x: np.ndarray,
     w: np.ndarray,
@@ -134,46 +232,16 @@ def run_sharded(
 
     The output is byte-identical to the unsharded engine's (each batch
     element's convolution is independent); the report models the four CGs
-    running their shards concurrently.
+    running their shards concurrently.  One-shot convenience over a
+    throwaway :class:`ShardedExecutor` — serving loops should hold an
+    executor instead so shard engines stay warm across calls.
     """
-    x = np.asarray(x, dtype=np.float64)
-    w = np.asarray(w, dtype=np.float64)
-    telemetry = telemetry if telemetry is not None else current_telemetry()
-    b, ni, ri, ci = x.shape
-    no, _, kr, kc = w.shape
-    params = ConvParams(ni=ni, no=no, ri=ri, ci=ci, kr=kr, kc=kc, b=b)
-    n = num_groups if num_groups is not None else spec.num_core_groups
-    if not 1 <= n <= spec.num_core_groups:
-        raise PlanError(
-            f"num_groups must be in [1, {spec.num_core_groups}], got {n}"
-        )
-    outputs = []
-    reports = []
-    start = 0
-    engines: dict = {}
-    for shard_index, shard_b in enumerate(shard_batch(b, n)):
-        shard_params = params.with_batch(shard_b)
-        engine = engines.get(shard_params)
-        if engine is None:
-            engine = _shard_engine(
-                shard_params, spec, backend, plan_cache, fused_pool,
-                telemetry=telemetry,
-            )
-            engines[shard_params] = engine
-        with telemetry.tracer.span(
-            "shard", cat="shard", index=shard_index, batch=shard_b
-        ):
-            out, report = engine.run(
-                x[start : start + shard_b], w, bias=bias, activation=activation
-            )
-        telemetry.counters.add("shard.runs")
-        outputs.append(out)
-        reports.append(report)
-        start += shard_b
-    report = ShardedReport(
-        seconds=max(r.seconds for r in reports),
-        flops=sum(r.flops for r in reports),
-        shards=reports,
-        peak_flops=spec.peak_flops_per_cg * len(reports),
+    executor = ShardedExecutor(
+        num_groups=num_groups,
+        spec=spec,
+        backend=backend,
+        plan_cache=plan_cache,
+        fused_pool=fused_pool,
+        telemetry=telemetry,
     )
-    return np.concatenate(outputs, axis=0), report
+    return executor.run(x, w, bias=bias, activation=activation)

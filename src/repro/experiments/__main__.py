@@ -17,10 +17,11 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--jobs",
         type=int,
-        default=1,
+        default=None,
         metavar="N",
-        help="worker processes for sweep-style experiments (default: 1; "
-        "output is byte-identical to the serial run)",
+        help="worker processes for sweep-style experiments (default: the "
+        "SWDNN_JOBS environment variable, or 1; output is byte-identical "
+        "to the serial run)",
     )
     parser.add_argument(
         "--checkpoint",

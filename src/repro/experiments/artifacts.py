@@ -77,7 +77,7 @@ def _structured_runners() -> Dict[str, Any]:
 
 
 def save_experiments(
-    directory: str, names: Optional[List[str]] = None, jobs: int = 1
+    directory: str, names: Optional[List[str]] = None, jobs: Optional[int] = None
 ) -> List[str]:
     """Run experiments and write ``<name>.txt`` + ``<name>.json`` files.
 

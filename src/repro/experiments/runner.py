@@ -57,7 +57,7 @@ def _accepted_kwargs(render: Callable[..., str], available: dict) -> dict:
 
 def run_all(
     names: Optional[List[str]] = None,
-    jobs: int = 1,
+    jobs: Optional[int] = None,
     checkpoint_dir: Optional[str] = None,
     plan_cache: Optional[str] = None,
     telemetry=None,
@@ -65,7 +65,8 @@ def run_all(
     """Render the selected experiments (all by default) as one report.
 
     ``jobs`` fans the sweep-style experiments (Fig. 7, Fig. 9, Table III)
-    over worker processes; output is byte-identical to a serial run.
+    over worker processes (``None`` defers to ``SWDNN_JOBS``, default 1);
+    output is byte-identical to a serial run.
 
     ``checkpoint_dir`` makes the run resumable at experiment granularity:
     each experiment's rendered section is written to

@@ -1,0 +1,54 @@
+"""``repro.serve`` — the dynamic-batching inference server.
+
+Single-image inference wastes the simulated chip: an image-size-aware plan
+walks (almost) the same tile schedule for a batch of 16 as for a batch of
+1, so per-request execution pays the full schedule cost per image while a
+coalesced batch amortizes it 16 ways.  This package turns that observation
+into a serving stack (see ``docs/serving.md``):
+
+* :class:`~repro.serve.batcher.DynamicBatcher` — a bounded admission queue
+  that coalesces concurrent single-image requests into batches under a
+  ``(max_batch, max_wait)`` policy, with backpressure
+  (:class:`~repro.common.errors.QueueFullError`) when producers outrun the
+  chip;
+* :class:`~repro.serve.pool.WarmEnginePool` — pre-planned, pre-tuned,
+  pre-packed engines for every batch size the batcher can emit, restricted
+  to the batch-invariant plan family so coalescing actually pays;
+* :class:`~repro.serve.server.InferenceServer` — worker threads draining
+  the batcher through the pool, honoring per-request deadlines and
+  recording queue/batch/latency telemetry;
+* :mod:`~repro.serve.loadgen` — a deterministic Poisson load generator and
+  the sequential per-request baseline the benchmark rig compares against.
+"""
+
+from repro.serve.batcher import BatchPolicy, DynamicBatcher
+from repro.serve.loadgen import (
+    LoadReport,
+    poisson_arrivals,
+    run_load,
+    run_sequential,
+    synthetic_images,
+)
+from repro.serve.model import ServedModel
+from repro.serve.pool import PLAN_FAMILIES, WarmEnginePool
+from repro.serve.request import InferenceRequest
+from repro.serve.server import InferenceServer, ServerConfig
+from repro.serve.stats import LatencySummary, percentile
+
+__all__ = [
+    "BatchPolicy",
+    "DynamicBatcher",
+    "InferenceRequest",
+    "InferenceServer",
+    "LatencySummary",
+    "LoadReport",
+    "PLAN_FAMILIES",
+    "ServedModel",
+    "ServerConfig",
+    "WarmEnginePool",
+    "percentile",
+    "poisson_arrivals",
+    "run_load",
+    "run_sequential",
+    "synthetic_images",
+]

@@ -1,0 +1,136 @@
+"""Request coalescing: a bounded admission queue with a batching window.
+
+The batcher is the heart of the serving throughput story.  Single-image
+requests arrive asynchronously; a worker that finds one request waits up to
+``max_wait`` for more to coalesce with it, then runs the whole batch
+through one engine invocation.  Because the serve pool plans with the
+batch-invariant image-size-aware family, a batch of 16 walks (nearly) the
+same schedule as a batch of 1 — coalescing divides the schedule cost by
+the batch size.
+
+Backpressure is the bounded queue: when producers outrun the chip the
+``offer`` fails fast with :class:`~repro.common.errors.QueueFullError`
+instead of letting latency grow without bound.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.common.errors import QueueFullError, ServeError, ServerClosedError
+from repro.serve.request import InferenceRequest
+
+#: Shutdown token: each worker consumes exactly one and exits.
+_SENTINEL = object()
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """How aggressively requests coalesce.
+
+    ``max_batch`` caps the coalesced batch (the warm pool holds one engine
+    per size up to this).  ``max_wait_s`` is the batching window: how long
+    the first request of a batch waits for company before the batch ships.
+    ``max_wait_s=0`` degenerates to "batch whatever is already queued".
+    """
+
+    max_batch: int = 8
+    max_wait_s: float = 0.002
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ServeError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_wait_s < 0:
+            raise ServeError(f"max_wait_s must be >= 0, got {self.max_wait_s}")
+
+
+class DynamicBatcher:
+    """Bounded admission queue + batch formation under a BatchPolicy."""
+
+    def __init__(self, policy: Optional[BatchPolicy] = None, queue_depth: int = 64):
+        if queue_depth < 1:
+            raise ServeError(f"queue_depth must be >= 1, got {queue_depth}")
+        self.policy = policy or BatchPolicy()
+        self.queue_depth = queue_depth
+        self._queue: "queue.Queue" = queue.Queue(maxsize=queue_depth)
+        self._closed = threading.Event()
+
+    # -- producer side -----------------------------------------------------
+
+    def offer(self, request: InferenceRequest) -> None:
+        """Admit a request, or fail fast.
+
+        Raises :class:`QueueFullError` when the queue is at depth
+        (backpressure — the caller sheds or retries) and
+        :class:`ServerClosedError` after :meth:`close`.
+        """
+        if self._closed.is_set():
+            raise ServerClosedError("batcher is closed; request rejected")
+        try:
+            self._queue.put_nowait(request)
+        except queue.Full:
+            raise QueueFullError(
+                f"admission queue full ({self.queue_depth} pending); "
+                f"request {request.request_id} rejected"
+            ) from None
+
+    def depth(self) -> int:
+        """Current number of pending requests (approximate under load)."""
+        return self._queue.qsize()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed.is_set()
+
+    # -- consumer side -----------------------------------------------------
+
+    def next_batch(self) -> Optional[List[InferenceRequest]]:
+        """Block for the next coalesced batch; None tells the worker to exit.
+
+        The first request opens a ``max_wait_s`` window; the batch ships
+        when the window closes or ``max_batch`` is reached, whichever comes
+        first.  A shutdown token found mid-window is put back for the next
+        worker and the partial batch still ships.
+        """
+        item = self._queue.get()
+        if item is _SENTINEL:
+            return None
+        batch: List[InferenceRequest] = [item]
+        deadline = time.perf_counter() + self.policy.max_wait_s
+        while len(batch) < self.policy.max_batch:
+            remaining = deadline - time.perf_counter()
+            try:
+                if remaining > 0:
+                    item = self._queue.get(timeout=remaining)
+                else:
+                    item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is _SENTINEL:
+                self._queue.put(item)
+                break
+            batch.append(item)
+        return batch
+
+    # -- shutdown ----------------------------------------------------------
+
+    def close(self, n_workers: int) -> None:
+        """Refuse new offers and release ``n_workers`` consumers."""
+        self._closed.set()
+        for _ in range(n_workers):
+            self._queue.put(_SENTINEL)
+
+    def drain(self) -> List[InferenceRequest]:
+        """Remove and return every request still queued (after close)."""
+        leftovers: List[InferenceRequest] = []
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                return leftovers
+            if item is not _SENTINEL:
+                leftovers.append(item)

@@ -1,0 +1,196 @@
+"""Load generation: seeded Poisson arrivals, the rig, and the baseline.
+
+The throughput claim needs two measured numbers on the *same* warm
+machinery: requests/sec through the dynamic batcher at a saturating
+arrival rate, and requests/sec running each request alone (batch of 1) on
+an equally warm single-image engine.  ``run_load`` produces the first,
+``run_sequential`` the second; ``BENCH_serve.json`` records both and their
+ratio.
+
+Arrival processes are seeded (`poisson_arrivals`) so a load test is
+reproducible request-for-request — the deadline/backpressure tests depend
+on replaying identical arrival offsets.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.errors import (
+    DeadlineExceededError,
+    QueueFullError,
+    ServeError,
+)
+from repro.serve.pool import WarmEnginePool
+from repro.serve.server import InferenceServer
+from repro.serve.stats import LatencySummary
+
+
+def synthetic_images(
+    n: int, input_shape: Sequence[int], seed: int = 0
+) -> np.ndarray:
+    """``n`` deterministic (C, H, W) images for a load run."""
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((n, *input_shape))
+
+
+def poisson_arrivals(n: int, rate_rps: float, seed: int = 0) -> np.ndarray:
+    """Seeded Poisson arrival offsets (seconds from load start), sorted.
+
+    Inter-arrival gaps are exponential with mean ``1/rate_rps``; the same
+    ``(n, rate_rps, seed)`` always replays the same offsets.
+    """
+    if n < 1:
+        raise ServeError(f"need at least one arrival, got {n}")
+    if rate_rps <= 0:
+        raise ServeError(f"arrival rate must be positive, got {rate_rps}")
+    rng = np.random.default_rng(seed)
+    return np.cumsum(rng.exponential(1.0 / rate_rps, size=n))
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one load run (JSON-ready via :meth:`as_dict`)."""
+
+    mode: str  # "batched" | "sequential"
+    offered: int
+    completed: int
+    rejected: int
+    deadline_misses: int
+    errors: int
+    wall_seconds: float
+    latency: LatencySummary
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def rps(self) -> float:
+        """Completed requests per second of wall time."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.completed / self.wall_seconds
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "mode": self.mode,
+            "offered": self.offered,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "deadline_misses": self.deadline_misses,
+            "errors": self.errors,
+            "wall_seconds": self.wall_seconds,
+            "rps": self.rps,
+            "latency": self.latency.as_dict(),
+            **self.extra,
+        }
+
+
+def run_load(
+    server: InferenceServer,
+    images: np.ndarray,
+    rate_rps: float = 500.0,
+    seed: int = 0,
+    arrivals: Optional[Sequence[float]] = None,
+    deadline_s: Optional[float] = None,
+    result_timeout_s: float = 60.0,
+) -> Tuple[LoadReport, List[Optional[np.ndarray]]]:
+    """Push ``images`` through a started server on a Poisson arrival clock.
+
+    Returns the report plus per-image outputs (None where the request was
+    rejected, missed its deadline, or errored) so callers can check the
+    batched outputs bit-identical against a per-request or reference run.
+    """
+    if not server.started:
+        raise ServeError("run_load needs a started server")
+    n = len(images)
+    offsets = (
+        np.asarray(arrivals, dtype=np.float64)
+        if arrivals is not None
+        else poisson_arrivals(n, rate_rps, seed)
+    )
+    if len(offsets) != n:
+        raise ServeError(f"{n} images but {len(offsets)} arrival offsets")
+    submitted: List[Optional[object]] = []
+    rejected = 0
+    t0 = time.perf_counter()
+    for i in range(n):
+        delay = t0 + float(offsets[i]) - time.perf_counter()
+        if delay > 0:
+            time.sleep(delay)
+        try:
+            submitted.append(server.submit(images[i], deadline_s=deadline_s))
+        except QueueFullError:
+            rejected += 1
+            submitted.append(None)
+    outputs: List[Optional[np.ndarray]] = []
+    latencies: List[float] = []
+    completed = 0
+    misses = 0
+    errors = 0
+    t_last = t0
+    for req in submitted:
+        if req is None:
+            outputs.append(None)
+            continue
+        try:
+            outputs.append(req.result(timeout=result_timeout_s))
+            completed += 1
+            latencies.append(req.latency_s or 0.0)
+            t_last = max(t_last, req.t_done or t_last)
+        except DeadlineExceededError:
+            outputs.append(None)
+            misses += 1
+            t_last = max(t_last, req.t_done or t_last)
+        except Exception:  # noqa: BLE001 - tallied, surfaced in the report
+            outputs.append(None)
+            errors += 1
+    report = LoadReport(
+        mode="batched",
+        offered=n,
+        completed=completed,
+        rejected=rejected,
+        deadline_misses=misses,
+        errors=errors,
+        wall_seconds=max(t_last - t0, 1e-12),
+        latency=LatencySummary.from_seconds(latencies),
+        extra={
+            "rate_rps": rate_rps,
+            "max_batch": server.config.max_batch,
+            "max_wait_ms": server.config.max_wait_s * 1e3,
+        },
+    )
+    return report, outputs
+
+
+def run_sequential(
+    pool: WarmEnginePool, images: np.ndarray
+) -> Tuple[LoadReport, List[np.ndarray]]:
+    """The per-request baseline: every image alone, back to back.
+
+    Uses the same warm pool as the batched run (single-image engine
+    pre-built, filters pre-packed), so the comparison isolates *batching*
+    — not warm-up — as the difference.
+    """
+    pool.warm(batch_sizes=[1])
+    outputs: List[np.ndarray] = []
+    latencies: List[float] = []
+    t0 = time.perf_counter()
+    for x in np.asarray(images, dtype=np.float64):
+        t_start = time.perf_counter()
+        outputs.append(pool.run_batch(x[None])[0])
+        latencies.append(time.perf_counter() - t_start)
+    wall = max(time.perf_counter() - t0, 1e-12)
+    report = LoadReport(
+        mode="sequential",
+        offered=len(images),
+        completed=len(images),
+        rejected=0,
+        deadline_misses=0,
+        errors=0,
+        wall_seconds=wall,
+        latency=LatencySummary.from_seconds(latencies),
+    )
+    return report, outputs

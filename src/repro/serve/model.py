@@ -1,0 +1,145 @@
+"""What the server serves: a frozen model plus its single-image input shape.
+
+Two kinds are supported:
+
+* ``conv`` — one convolution layer (weights + optional bias / ReLU /
+  average pool), executed by the :class:`~repro.serve.pool.WarmEnginePool`
+  through per-batch-size warm engines.  This is the shape the throughput
+  benchmark measures, and the kind with a closed-form reference oracle for
+  parity checks.
+* ``network`` — a whole :class:`~repro.core.network.Sequential` (usually a
+  fused view), executed by its own layer engines; the pool's warm-up runs
+  a zeros forward per batch size so every shape-dependent engine exists
+  before real traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.common.errors import ServeError
+from repro.core.network import Sequential
+from repro.core.reference import conv2d_reference
+
+
+class ServedModel:
+    """A frozen model and the (C, H, W) image shape it accepts."""
+
+    def __init__(
+        self,
+        kind: str,
+        input_shape: Tuple[int, int, int],
+        name: str,
+        w: Optional[np.ndarray] = None,
+        bias: Optional[np.ndarray] = None,
+        activation: Optional[str] = None,
+        pool: int = 1,
+        net: Optional[Sequential] = None,
+    ):
+        if kind not in ("conv", "network"):
+            raise ServeError(f"unknown served-model kind {kind!r}")
+        self.kind = kind
+        self.input_shape = tuple(int(d) for d in input_shape)
+        self.name = name
+        self.w = w
+        self.bias = bias
+        self.activation = activation
+        self.pool = pool
+        self.net = net
+
+    @staticmethod
+    def conv(
+        w: np.ndarray,
+        input_hw: Tuple[int, int],
+        bias: Optional[np.ndarray] = None,
+        activation: Optional[str] = None,
+        pool: int = 1,
+        name: str = "conv",
+    ) -> "ServedModel":
+        """A single conv layer serving (C, H, W) images.
+
+        ``w`` is the frozen (No, Ni, Kr, Kc) filter; ``input_hw`` the image
+        height/width (channels come from the filter).  ``pool=s`` appends a
+        non-overlapping ``s x s`` average pool.
+        """
+        w = np.asarray(w, dtype=np.float64)
+        if w.ndim != 4:
+            raise ServeError(f"filter must be 4-D (No,Ni,Kr,Kc), got {w.shape}")
+        if pool < 1:
+            raise ServeError(f"pool must be >= 1, got {pool}")
+        h, width = (int(d) for d in input_hw)
+        if w.shape[2] > h or w.shape[3] > width:
+            raise ServeError(
+                f"filter {w.shape[2]}x{w.shape[3]} exceeds image {h}x{width}"
+            )
+        if bias is not None:
+            bias = np.asarray(bias, dtype=np.float64)
+            if bias.shape != (w.shape[0],):
+                raise ServeError(
+                    f"bias shape {bias.shape} does not match No={w.shape[0]}"
+                )
+        return ServedModel(
+            kind="conv",
+            input_shape=(w.shape[1], h, width),
+            name=name,
+            w=w,
+            bias=bias,
+            activation=activation,
+            pool=pool,
+        )
+
+    @staticmethod
+    def network(
+        net: Sequential,
+        input_shape: Tuple[int, int, int],
+        name: str = "network",
+    ) -> "ServedModel":
+        """A whole Sequential network serving (C, H, W) images."""
+        return ServedModel(
+            kind="network", input_shape=input_shape, name=name, net=net
+        )
+
+    def validate(self, x: np.ndarray) -> None:
+        """Reject an image whose shape does not match the served contract."""
+        if x.shape != self.input_shape:
+            raise ServeError(
+                f"model {self.name!r} serves images of shape "
+                f"{self.input_shape}, got {x.shape}"
+            )
+
+    def reference_forward(self, xb: np.ndarray) -> np.ndarray:
+        """The oracle output for a batch (conv kind only; parity checks)."""
+        if self.kind != "conv":
+            raise ServeError("reference_forward is defined for conv models only")
+        assert self.w is not None
+        out = conv2d_reference(xb, self.w)
+        if self.bias is not None:
+            out = out + self.bias[None, :, None, None]
+        if self.activation == "relu":
+            out = np.maximum(out, 0.0)
+        if self.pool > 1:
+            s = self.pool
+            b, c, h, w = out.shape
+            if h % s != 0 or w % s != 0:
+                raise ServeError(f"pooling {s}x{s} does not divide {h}x{w}")
+            out = out.reshape(b, c, h // s, s, w // s, s).mean(axis=(3, 5))
+        return out
+
+    def describe(self) -> str:
+        c, h, w = self.input_shape
+        if self.kind == "conv":
+            assert self.w is not None
+            no, ni, kr, kc = self.w.shape
+            extras = []
+            if self.bias is not None:
+                extras.append("bias")
+            if self.activation:
+                extras.append(self.activation)
+            if self.pool > 1:
+                extras.append(f"pool{self.pool}")
+            suffix = f" +{'+'.join(extras)}" if extras else ""
+            return f"conv {ni}->{no} k{kr}x{kc} on {c}x{h}x{w}{suffix}"
+        assert self.net is not None
+        return f"network({len(self.net.layers)} layers) on {c}x{h}x{w}"

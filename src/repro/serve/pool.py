@@ -1,0 +1,247 @@
+"""Warm engine pools: pre-planned, pre-tuned, pre-packed per batch size.
+
+A serving worker must never plan, tune, certify, or pack in the request
+path — those costs belong to server start.  The pool therefore builds one
+engine per coalesced batch size ``1..max_batch`` up front: the plan comes
+from the autotuner (cache-backed, so a restarted server is a pure
+plan-cache hit), filters are packed into the engines' memoized contiguous
+layout, and — in guarded mode — the fallback ladder wraps each engine so a
+degraded machine sheds tiers instead of requests.
+
+Plans are restricted to the **image-size-aware family** by default: its
+tile count is batch-invariant (the batch dimension folds into the tile's
+``bB`` extent), so a batch of 16 walks the same number of tiles as a batch
+of 1 and coalescing amortizes the whole schedule.  Batch-size-aware plans
+scale their tile count with the batch and gain almost nothing from
+coalescing — exactly the wrong family for a batcher.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.common.errors import ServeError
+from repro.core.conv import ConvolutionEngine
+from repro.core.params import ConvParams
+from repro.core.sharding import ShardedExecutor
+from repro.hw.spec import SW26010Spec, DEFAULT_SPEC
+from repro.serve.model import ServedModel
+from repro.telemetry import current_telemetry, use_telemetry
+
+#: plan_family knob -> the autotuner ``families`` restriction it means.
+PLAN_FAMILIES: Dict[str, Optional[Tuple[str, ...]]] = {
+    "image": ("image-size-aware",),
+    "batch": ("batch-size-aware",),
+    "any": None,
+}
+
+#: Filter-layout version served by a pool: weights are frozen, so the
+#: engines' memoized packs are built once at warm-up and never invalidate.
+FROZEN_FILTER_VERSION = 0
+
+
+class WarmEnginePool:
+    """One ready engine per batch size, built before traffic arrives."""
+
+    def __init__(
+        self,
+        model: ServedModel,
+        max_batch: int = 8,
+        spec: SW26010Spec = DEFAULT_SPEC,
+        backend: str = "numpy",
+        guarded: bool = True,
+        autotune: bool = True,
+        plan_cache: Union[None, bool, str, object] = False,
+        plan_family: str = "image",
+        batch_shards: int = 1,
+        telemetry=None,
+    ):
+        if max_batch < 1:
+            raise ServeError(f"max_batch must be >= 1, got {max_batch}")
+        if plan_family not in PLAN_FAMILIES:
+            raise ServeError(
+                f"unknown plan_family {plan_family!r}; "
+                f"expected one of {tuple(PLAN_FAMILIES)}"
+            )
+        if batch_shards < 1:
+            raise ServeError(f"batch_shards must be >= 1, got {batch_shards}")
+        if batch_shards > 1 and guarded:
+            # Mirrors SwDNNHandle: the sharded path has no fallback ladder.
+            raise ServeError("batch sharding is not available in guarded mode")
+        self.model = model
+        self.max_batch = max_batch
+        self.spec = spec
+        self.backend = backend
+        self.guarded = guarded
+        self.autotune = autotune
+        self.plan_cache = plan_cache
+        self.plan_family = plan_family
+        self.families = PLAN_FAMILIES[plan_family]
+        self.batch_shards = batch_shards
+        self.telemetry = telemetry if telemetry is not None else current_telemetry()
+        self._engines: Dict[int, object] = {}
+        self._sharded: Optional[ShardedExecutor] = None
+        if batch_shards > 1:
+            if model.kind != "conv":
+                raise ServeError("batch sharding serves conv models only")
+            # The sharded executor plans per shard shape itself; families
+            # restriction does not apply on this path (its sub-batches are
+            # small enough that the planner's choice is already right).
+            self._sharded = ShardedExecutor(
+                num_groups=batch_shards,
+                spec=spec,
+                backend=backend,
+                plan_cache=self._shard_cache(),
+                telemetry=self.telemetry,
+            )
+
+    def _shard_cache(self):
+        """ShardedExecutor tunes when given a cache, plans heuristically on None."""
+        if not self.autotune:
+            return None
+        return self.plan_cache if self.plan_cache is not False else False
+
+    # -- planning ----------------------------------------------------------
+
+    def _params(self, b: int) -> ConvParams:
+        assert self.model.w is not None
+        c, h, w = self.model.input_shape
+        no, ni, kr, kc = self.model.w.shape
+        return ConvParams(ni=ni, no=no, ri=h, ci=w, kr=kr, kc=kc, b=b)
+
+    def _plan(self, params: ConvParams):
+        if self.autotune:
+            from repro.tune import autotune
+
+            # The tuner and plan cache report to the *ambient* session;
+            # install the pool's so warm-up measurements/hits are visible
+            # to the server's telemetry.  Warm-up only — steady state
+            # never reaches this method.
+            with use_telemetry(
+                self.telemetry if self.telemetry.enabled else None
+            ):
+                return autotune(
+                    params,
+                    spec=self.spec,
+                    backend=self.backend,
+                    cache=self.plan_cache,
+                    families=self.families,
+                ).plan
+        # Heuristic path: the family restriction still applies.  Left to
+        # itself the planner flips to batch-size-aware around b=8, whose
+        # tile count scales with the batch — the one schedule shape that
+        # gains nothing from coalescing (and whose accumulation pattern
+        # breaks bit-identity with the single-image run).
+        if self.plan_family == "image":
+            from repro.core.plans import ImageSizeAwarePlan
+
+            return ImageSizeAwarePlan(params, spec=self.spec)
+        if self.plan_family == "batch":
+            from repro.core.plans import BatchSizeAwarePlan
+
+            return BatchSizeAwarePlan(params, spec=self.spec)
+        from repro.core.planner import plan_convolution
+
+        return plan_convolution(params, spec=self.spec).plan
+
+    def _engine_for(self, b: int):
+        engine = self._engines.get(b)
+        if engine is None:
+            plan = self._plan(self._params(b))
+            if self.guarded:
+                from repro.core.guarded import GuardedConvolutionEngine
+
+                engine = GuardedConvolutionEngine(
+                    plan,
+                    spec=self.spec,
+                    backend=self.backend,
+                    telemetry=self.telemetry,
+                )
+            else:
+                engine = ConvolutionEngine(
+                    plan,
+                    spec=self.spec,
+                    backend=self.backend,
+                    telemetry=self.telemetry,
+                )
+            assert self.model.w is not None
+            engine.prepack_filters(self.model.w, version=FROZEN_FILTER_VERSION)
+            self._engines[b] = engine
+            self.telemetry.counters.add("serve.pool.engines")
+        return engine
+
+    # -- public surface ----------------------------------------------------
+
+    def warm(self, batch_sizes: Optional[Sequence[int]] = None) -> int:
+        """Build every engine the batcher can ask for; returns how many.
+
+        After this, steady-state requests plan nothing, tune nothing, and
+        pack nothing — the warm-cache regression test asserts the
+        ``tune.measurements`` counter stays flat across requests.
+        """
+        sizes = (
+            sorted(set(int(b) for b in batch_sizes))
+            if batch_sizes is not None
+            else range(1, self.max_batch + 1)
+        )
+        if self.model.kind == "network":
+            assert self.model.net is not None
+            self.model.net.warm(self.model.input_shape, list(sizes))
+            return len(list(sizes))
+        built = 0
+        for b in sizes:
+            if not 1 <= b <= self.max_batch:
+                raise ServeError(
+                    f"batch size {b} outside pool range [1, {self.max_batch}]"
+                )
+            if self._sharded is not None:
+                built += self._sharded.warm(self._params(b), self.model.w)
+            else:
+                self._engine_for(b)
+                built += 1
+        return built
+
+    def run_batch(self, xb: np.ndarray) -> np.ndarray:
+        """Execute one coalesced batch on the warm engine for its size.
+
+        The output is bit-identical to running each image alone: the
+        image-size-aware schedule accumulates every output element over
+        the same (ni, kr, kc) order regardless of the batch extent.
+        """
+        b = int(xb.shape[0])
+        if not 1 <= b <= self.max_batch:
+            raise ServeError(
+                f"batch size {b} outside pool range [1, {self.max_batch}]"
+            )
+        if self.model.kind == "network":
+            assert self.model.net is not None
+            return self.model.net.forward(xb)
+        if self._sharded is not None:
+            out, _ = self._sharded.run(
+                xb,
+                self.model.w,
+                bias=self.model.bias,
+                activation=self.model.activation,
+                filter_version=FROZEN_FILTER_VERSION,
+            )
+        else:
+            out, _ = self._engine_for(b).run(
+                xb,
+                self.model.w,
+                bias=self.model.bias,
+                activation=self.model.activation,
+                filter_version=FROZEN_FILTER_VERSION,
+            )
+        if self.model.pool > 1:
+            s = self.model.pool
+            b_, c_, h_, w_ = out.shape
+            if h_ % s != 0 or w_ % s != 0:
+                raise ServeError(f"pooling {s}x{s} does not divide {h_}x{w_}")
+            out = out.reshape(b_, c_, h_ // s, s, w_ // s, s).mean(axis=(3, 5))
+        return out
+
+    @property
+    def engines_built(self) -> int:
+        return len(self._engines)

@@ -1,0 +1,118 @@
+"""One in-flight inference request: payload, deadline, future, lifecycle stamps.
+
+A request is the unit the server hands back to the caller immediately on
+:meth:`~repro.serve.server.InferenceServer.submit`; the caller blocks on
+:meth:`InferenceRequest.result` while the batcher coalesces it with its
+neighbours.  Lifecycle timestamps (``perf_counter`` seconds) are stamped by
+the server as the request moves enqueue -> batch -> execute -> done, and
+drive both the per-request latency stats and the retroactive trace spans.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+import numpy as np
+
+from repro.common.errors import ServeError
+
+
+class InferenceRequest:
+    """A single-image request and its future result.
+
+    Thread-safety: the worker thread resolves or fails the request exactly
+    once; any number of caller threads may :meth:`result` concurrently.
+    """
+
+    __slots__ = (
+        "request_id",
+        "x",
+        "deadline",
+        "batch_size",
+        "t_enqueue",
+        "t_batched",
+        "t_exec_start",
+        "t_exec_end",
+        "t_done",
+        "_event",
+        "_result",
+        "_error",
+    )
+
+    def __init__(
+        self,
+        request_id: int,
+        x: np.ndarray,
+        deadline: Optional[float] = None,
+    ):
+        self.request_id = request_id
+        self.x = x
+        #: Absolute ``perf_counter`` second past which the request is
+        #: abandoned at batch formation (None = no deadline).
+        self.deadline = deadline
+        #: Size of the coalesced batch this request executed in.
+        self.batch_size: Optional[int] = None
+        self.t_enqueue: Optional[float] = None
+        self.t_batched: Optional[float] = None
+        self.t_exec_start: Optional[float] = None
+        self.t_exec_end: Optional[float] = None
+        self.t_done: Optional[float] = None
+        self._event = threading.Event()
+        self._result: Optional[np.ndarray] = None
+        self._error: Optional[BaseException] = None
+
+    # -- worker side -------------------------------------------------------
+
+    def expired(self, now: float) -> bool:
+        return self.deadline is not None and now > self.deadline
+
+    def _resolve(self, out: np.ndarray) -> None:
+        self._result = out
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+    # -- caller side -------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    @property
+    def latency_s(self) -> Optional[float]:
+        """Enqueue-to-completion wall seconds (None while in flight)."""
+        if self.t_done is None or self.t_enqueue is None:
+            return None
+        return self.t_done - self.t_enqueue
+
+    def result(self, timeout: Optional[float] = None) -> np.ndarray:
+        """Block until the request completes; return the output image.
+
+        Re-raises the failure (:class:`DeadlineExceededError`,
+        :class:`ServerClosedError`, an execution error) if the server
+        failed the request, and raises :class:`ServeError` if ``timeout``
+        seconds pass without a resolution.
+        """
+        if not self._event.wait(timeout):
+            raise ServeError(
+                f"request {self.request_id} still pending after {timeout}s"
+            )
+        if self._error is not None:
+            raise self._error
+        assert self._result is not None
+        return self._result
+
+    def exception(self, timeout: Optional[float] = None) -> Optional[BaseException]:
+        """Block until completion; return the failure (None on success)."""
+        if not self._event.wait(timeout):
+            raise ServeError(
+                f"request {self.request_id} still pending after {timeout}s"
+            )
+        return self._error
+
+    def __repr__(self) -> str:
+        state = "done" if self.done else "pending"
+        return f"InferenceRequest(id={self.request_id}, {state})"

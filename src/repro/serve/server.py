@@ -1,0 +1,367 @@
+"""The dynamic-batching inference server.
+
+Wires the pieces together: callers :meth:`~InferenceServer.submit`
+single-image requests; the :class:`~repro.serve.batcher.DynamicBatcher`
+coalesces them under the ``(max_batch, max_wait)`` policy; worker threads
+drain batches through the :class:`~repro.serve.pool.WarmEnginePool`'s
+pre-tuned engines and resolve each request's future with its slice of the
+batched output.
+
+Deadlines are enforced at batch formation: a request whose deadline passed
+while it queued is failed with
+:class:`~repro.common.errors.DeadlineExceededError` and its batch slot
+goes to a live neighbour.  A request whose deadline passes *mid-execution*
+still gets its result — the work is already done, and abandoning it would
+buy nothing on a batched engine.
+
+Telemetry (all free when disabled): ``serve.*`` counters for every
+admission/formation/completion event, high-water marks for queue depth and
+batch size, and — with an enabled tracer — retroactive per-request
+enqueue/execute/total wall spans on a ``serve.request`` track.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.common.errors import (
+    DeadlineExceededError,
+    QueueFullError,
+    ServeError,
+    ServerClosedError,
+)
+from repro.common.parallel import default_jobs
+from repro.hw.spec import SW26010Spec, DEFAULT_SPEC
+from repro.serve.batcher import BatchPolicy, DynamicBatcher
+from repro.serve.model import ServedModel
+from repro.serve.pool import WarmEnginePool
+from repro.serve.request import InferenceRequest
+from repro.telemetry import current_telemetry
+
+
+@dataclass
+class ServerConfig:
+    """Every serving knob in one place.
+
+    ``workers=None`` defers to the ``SWDNN_JOBS`` environment variable
+    (default 1), like every other parallel surface in the library.
+    ``plan_cache`` follows the autotuner convention: ``False`` tunes
+    in-process with no persistence, ``None`` uses the default on-disk
+    cache, a path/PlanCache uses that cache — a restarted server with a
+    persistent cache warms by pure cache hits.
+    """
+
+    max_batch: int = 8
+    max_wait_s: float = 0.002
+    queue_depth: int = 64
+    workers: Optional[int] = None
+    backend: str = "numpy"
+    guarded: bool = True
+    autotune: bool = True
+    plan_cache: Union[None, bool, str, object] = False
+    plan_family: str = "image"
+    batch_shards: int = 1
+    default_deadline_s: Optional[float] = None
+    spec: SW26010Spec = field(default_factory=lambda: DEFAULT_SPEC)
+
+
+class InferenceServer:
+    """Dynamic-batching server over one served model.
+
+    Usable as a context manager::
+
+        with InferenceServer(model, config) as server:
+            req = server.submit(image, deadline_s=0.5)
+            out = req.result(timeout=5.0)
+    """
+
+    def __init__(
+        self,
+        model: ServedModel,
+        config: Optional[ServerConfig] = None,
+        telemetry=None,
+        pool: Optional[WarmEnginePool] = None,
+    ):
+        self.model = model
+        self.config = config or ServerConfig()
+        self.telemetry = telemetry if telemetry is not None else current_telemetry()
+        cfg = self.config
+        self.pool = pool or WarmEnginePool(
+            model,
+            max_batch=cfg.max_batch,
+            spec=cfg.spec,
+            backend=cfg.backend,
+            guarded=cfg.guarded,
+            autotune=cfg.autotune,
+            plan_cache=cfg.plan_cache,
+            plan_family=cfg.plan_family,
+            batch_shards=cfg.batch_shards,
+            telemetry=self.telemetry,
+        )
+        self.batcher = DynamicBatcher(
+            BatchPolicy(max_batch=cfg.max_batch, max_wait_s=cfg.max_wait_s),
+            queue_depth=cfg.queue_depth,
+        )
+        self._ids = itertools.count()
+        self._workers: List[threading.Thread] = []
+        self._num_workers = 0
+        self._started = False
+        self._closed = False
+        # Networks mutate per-layer state during forward; conv engines are
+        # reentrant.  One lock keeps multi-worker network serving correct.
+        self._exec_lock: Optional[threading.Lock] = (
+            threading.Lock() if model.kind == "network" else None
+        )
+        # Offset from perf_counter microseconds to the tracer's timebase,
+        # fixed at start() so retroactive spans land on the wall timeline.
+        self._tracing = bool(self.telemetry.tracer.enabled)
+        self._span_off_us: float = 0.0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def started(self) -> bool:
+        return self._started
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def start(self) -> "InferenceServer":
+        """Warm the engine pool, then spawn the worker threads.
+
+        Warm-up is the only place planning/tuning/packing happens; the
+        ``serve.warm`` span brackets it so a trace shows exactly what the
+        server paid before its first request.
+        """
+        if self._closed:
+            raise ServerClosedError("cannot start a closed server")
+        if self._started:
+            raise ServeError("server already started")
+        tracer = self.telemetry.tracer
+        with tracer.span("serve.warm", cat="serve", model=self.model.name):
+            built = self.pool.warm()
+        self.telemetry.counters.add("serve.warm.engines", built)
+        workers = self.config.workers
+        self._num_workers = max(1, workers if workers is not None else default_jobs())
+        if self._tracing:
+            self._span_off_us = tracer.now_us() - time.perf_counter() * 1e6
+        for i in range(self._num_workers):
+            thread = threading.Thread(
+                target=self._worker_loop, name=f"serve-worker-{i}", daemon=True
+            )
+            thread.start()
+            self._workers.append(thread)
+        self._started = True
+        return self
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Stop accepting, drain the workers, fail anything left queued."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._started:
+            self.batcher.close(self._num_workers)
+            for thread in self._workers:
+                thread.join(timeout)
+        now = time.perf_counter()
+        for req in self.batcher.drain():
+            req.t_done = now
+            self.telemetry.counters.add("serve.cancelled")
+            req._fail(
+                ServerClosedError(
+                    f"server closed while request {req.request_id} was queued"
+                )
+            )
+        self._started = False
+
+    def __enter__(self) -> "InferenceServer":
+        if not self._started:
+            self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    # -- submission --------------------------------------------------------
+
+    def submit(
+        self, x: np.ndarray, deadline_s: Optional[float] = None
+    ) -> InferenceRequest:
+        """Enqueue one (C, H, W) image; returns its request/future.
+
+        ``deadline_s`` (seconds from now; default the config's
+        ``default_deadline_s``) bounds how long the request may queue —
+        past it, the batch former reclaims the slot and the future raises
+        :class:`DeadlineExceededError`.  A full admission queue raises
+        :class:`QueueFullError` here (the request never enters).
+
+        Submitting before :meth:`start` is allowed — requests queue up and
+        the workers drain them on start, which is how the deterministic
+        deadline tests arrange an already-expired queue.
+        """
+        if self._closed:
+            raise ServerClosedError("server is closed")
+        x = np.asarray(x, dtype=np.float64)
+        self.model.validate(x)
+        counters = self.telemetry.counters
+        now = time.perf_counter()
+        effective = (
+            deadline_s if deadline_s is not None else self.config.default_deadline_s
+        )
+        deadline = now + effective if effective is not None else None
+        req = InferenceRequest(next(self._ids), x, deadline=deadline)
+        req.t_enqueue = now
+        counters.add("serve.requests")
+        try:
+            self.batcher.offer(req)
+        except (QueueFullError, ServerClosedError) as exc:
+            counters.add("serve.rejected")
+            req.t_done = time.perf_counter()
+            req._fail(exc)
+            raise
+        counters.record_max("serve.queue_depth", self.batcher.depth())
+        return req
+
+    # -- worker side -------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            batch = self.batcher.next_batch()
+            if batch is None:
+                return
+            self._execute(batch)
+
+    def _execute(self, batch: List[InferenceRequest]) -> None:
+        counters = self.telemetry.counters
+        now = time.perf_counter()
+        live: List[InferenceRequest] = []
+        for req in batch:
+            if req.expired(now):
+                req.t_done = time.perf_counter()
+                counters.add("serve.deadline_misses")
+                req._fail(
+                    DeadlineExceededError(
+                        f"request {req.request_id} queued past its deadline "
+                        f"({(req.t_done - req.deadline) * 1e3:.2f} ms late); "
+                        "slot reclaimed at batch formation"
+                    )
+                )
+                self._emit_request_spans(req, error="deadline")
+            else:
+                live.append(req)
+        if not live:
+            return
+        t_batched = time.perf_counter()
+        for req in live:
+            req.t_batched = t_batched
+            req.batch_size = len(live)
+        counters.add("serve.batches")
+        counters.add("serve.batched_images", len(live))
+        counters.record_max("serve.batch_size", len(live))
+        xb = np.stack([req.x for req in live])
+        t_exec_start = time.perf_counter()
+        try:
+            with self.telemetry.tracer.span(
+                "serve.batch", cat="serve", batch=len(live)
+            ):
+                if self._exec_lock is not None:
+                    with self._exec_lock:
+                        out = self.pool.run_batch(xb)
+                else:
+                    out = self.pool.run_batch(xb)
+        except Exception as exc:  # noqa: BLE001 - every failure maps to futures
+            t_done = time.perf_counter()
+            counters.add("serve.errors", len(live))
+            for req in live:
+                req.t_exec_start = t_exec_start
+                req.t_done = t_done
+                req._fail(exc)
+                self._emit_request_spans(req, error=type(exc).__name__)
+            return
+        t_exec_end = time.perf_counter()
+        for i, req in enumerate(live):
+            req.t_exec_start = t_exec_start
+            req.t_exec_end = t_exec_end
+            req.t_done = time.perf_counter()
+            req._resolve(out[i])
+            self._emit_request_spans(req)
+        counters.add("serve.completed", len(live))
+
+    def _emit_request_spans(self, req: InferenceRequest, error: str = "") -> None:
+        """Retroactive per-request wall spans (enabled tracer only)."""
+        if not self._tracing or req.t_enqueue is None or req.t_done is None:
+            return
+        tracer = self.telemetry.tracer
+        off = self._span_off_us
+
+        def us(t: float) -> float:
+            return t * 1e6 + off
+
+        if req.t_batched is not None:
+            tracer.record_wall(
+                "serve.queued",
+                us(req.t_enqueue),
+                us(req.t_batched),
+                track="serve.request",
+                request=req.request_id,
+            )
+        if req.t_exec_start is not None and req.t_exec_end is not None:
+            tracer.record_wall(
+                "serve.execute",
+                us(req.t_exec_start),
+                us(req.t_exec_end),
+                track="serve.request",
+                request=req.request_id,
+                batch=req.batch_size,
+            )
+        args: Dict[str, Any] = {"request": req.request_id}
+        if req.batch_size is not None:
+            args["batch"] = req.batch_size
+        if error:
+            args["error"] = error
+        tracer.record_wall(
+            "serve.request",
+            us(req.t_enqueue),
+            us(req.t_done),
+            track="serve.request",
+            **args,
+        )
+
+    # -- accounting --------------------------------------------------------
+
+    _TERMINAL_COUNTERS = (
+        "serve.completed",
+        "serve.deadline_misses",
+        "serve.errors",
+        "serve.rejected",
+        "serve.cancelled",
+    )
+
+    def accounting(self) -> Dict[str, Any]:
+        """Snapshot of the serve counters plus the balance check."""
+        counters = self.telemetry.counters
+        snapshot = {name: counters.get(name) for name in self._TERMINAL_COUNTERS}
+        snapshot["serve.requests"] = counters.get("serve.requests")
+        snapshot["serve.batches"] = counters.get("serve.batches")
+        snapshot["serve.batched_images"] = counters.get("serve.batched_images")
+        snapshot["balanced"] = self.counters_balanced()
+        return snapshot
+
+    def counters_balanced(self) -> bool:
+        """Every admitted request reached exactly one terminal counter.
+
+        ``serve.requests == completed + deadline_misses + errors +
+        rejected + cancelled`` — the smoke stage's invariant.  (Trivially
+        true under disabled telemetry, where every counter reads 0.)
+        """
+        counters = self.telemetry.counters
+        terminal = sum(counters.get(name) for name in self._TERMINAL_COUNTERS)
+        return counters.get("serve.requests") == terminal

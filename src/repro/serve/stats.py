@@ -1,0 +1,63 @@
+"""Deterministic latency summaries for the serving rig."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Sequence
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linearly interpolated ``q``-th percentile (q in [0, 100]).
+
+    Implemented directly (not via numpy) so the definition is pinned: the
+    serve benchmark's recorded p50/p99 must not drift with numpy's default
+    interpolation method.
+    """
+    if not values:
+        raise ValueError("percentile of an empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return float(ordered[lo] * (1.0 - frac) + ordered[hi] * frac)
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """p50/p90/p99 + mean/max of a latency sample, in milliseconds."""
+
+    count: int
+    mean_ms: float
+    p50_ms: float
+    p90_ms: float
+    p99_ms: float
+    max_ms: float
+
+    @staticmethod
+    def from_seconds(latencies_s: Sequence[float]) -> "LatencySummary":
+        if not latencies_s:
+            return LatencySummary(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        ms = [t * 1e3 for t in latencies_s]
+        return LatencySummary(
+            count=len(ms),
+            mean_ms=sum(ms) / len(ms),
+            p50_ms=percentile(ms, 50.0),
+            p90_ms=percentile(ms, 90.0),
+            p99_ms=percentile(ms, 99.0),
+            max_ms=max(ms),
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "mean_ms": self.mean_ms,
+            "p50_ms": self.p50_ms,
+            "p90_ms": self.p90_ms,
+            "p99_ms": self.p99_ms,
+            "max_ms": self.max_ms,
+        }

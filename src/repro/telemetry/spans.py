@@ -101,13 +101,23 @@ class SpanTracer:
     def __init__(self) -> None:
         self.spans: List[Span] = []
         self._epoch = time.perf_counter()
-        #: simulated-time tracks in first-seen order -> stable tid.
-        self._sim_tracks: Dict[str, str] = {}
+        #: named tracks in first-seen order -> the pid they render under.
+        self._tracks: Dict[str, int] = {}
 
     # -- recording ---------------------------------------------------------
 
     def _now_us(self) -> float:
         return (time.perf_counter() - self._epoch) * 1e6
+
+    def now_us(self) -> float:
+        """Microseconds since this tracer's epoch (its wall timebase).
+
+        Public so callers that record spans retroactively (e.g. the serve
+        worker stamping a request's enqueue -> batch -> execute -> split
+        stages after the batch completes) can capture timestamps cheaply
+        and :meth:`record_wall` them later.
+        """
+        return self._now_us()
 
     def _emit(self, span: Span) -> None:
         self.spans.append(span)
@@ -131,7 +141,7 @@ class SpanTracer:
                 f"span {name!r} ends before it starts "
                 f"({end_seconds} < {start_seconds})"
             )
-        self._sim_tracks.setdefault(track, track)
+        self._tracks.setdefault(track, PID_SIM)
         self._emit(
             Span(
                 name=name,
@@ -139,6 +149,42 @@ class SpanTracer:
                 ts_us=start_seconds * 1e6,
                 dur_us=(end_seconds - start_seconds) * 1e6,
                 pid=PID_SIM,
+                tid=track,
+                args=args,
+            )
+        )
+
+    def record_wall(
+        self,
+        name: str,
+        start_us: float,
+        end_us: float,
+        track: str = "serve",
+        cat: str = "serve",
+        **args: Any,
+    ) -> None:
+        """Record one completed *wall-clock* interval retroactively.
+
+        Timestamps are microseconds in this tracer's own timebase (take
+        them with :meth:`now_us`).  Unlike :meth:`span`, which needs a
+        ``with`` block open for the interval's duration, this records an
+        interval whose endpoints were captured earlier — how the serve
+        worker emits per-request enqueue/batch/execute/split spans once
+        the batch has completed.  Each ``track`` becomes its own thread
+        row under the wall-clock process.
+        """
+        if end_us < start_us:
+            raise ValueError(
+                f"span {name!r} ends before it starts ({end_us} < {start_us})"
+            )
+        self._tracks.setdefault(track, PID_WALL)
+        self._emit(
+            Span(
+                name=name,
+                cat=cat,
+                ts_us=max(0.0, start_us),
+                dur_us=end_us - start_us,
+                pid=PID_WALL,
                 tid=track,
                 args=args,
             )
@@ -153,12 +199,17 @@ class SpanTracer:
             _metadata("process_name", PID_SIM, 0, {"name": "simulated timeline"}),
             _metadata("thread_name", PID_WALL, TID_HOST, {"name": "host"}),
         ]
-        # Stable integer tids per simulated track, in first-seen order.
-        sim_tids = {track: i + 1 for i, track in enumerate(self._sim_tracks)}
-        for track, tid in sim_tids.items():
-            events.append(_metadata("thread_name", PID_SIM, tid, {"name": track}))
+        # Stable integer tids per named track, in first-seen order.  Wall
+        # tracks start above TID_HOST so they never collide with the host
+        # row; sim tracks keep their historical 1-based numbering.
+        track_tids: Dict[str, int] = {}
+        next_tid = {PID_WALL: TID_HOST + 1, PID_SIM: 1}
+        for track, pid in self._tracks.items():
+            track_tids[track] = next_tid[pid]
+            next_tid[pid] += 1
+            events.append(_metadata("thread_name", pid, track_tids[track], {"name": track}))
         for span in self.spans:
-            tid = span.tid if isinstance(span.tid, int) else sim_tids[span.tid]
+            tid = span.tid if isinstance(span.tid, int) else track_tids[span.tid]
             event: Dict[str, Any] = {
                 "name": span.name,
                 "cat": span.cat,
@@ -196,6 +247,12 @@ class NullSpanTracer:
 
     def record_sim(self, *args: Any, **kwargs: Any) -> None:
         pass
+
+    def record_wall(self, *args: Any, **kwargs: Any) -> None:
+        pass
+
+    def now_us(self) -> float:
+        return 0.0
 
     def to_chrome_trace(self) -> Dict[str, Any]:
         return {"traceEvents": [], "displayTimeUnit": "ms"}

@@ -37,7 +37,7 @@ import os
 import tempfile
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, Optional, Sequence, Union
 
 from repro.core.params import ConvParams
 from repro.core.serialize import params_to_dict
@@ -107,8 +107,9 @@ class PlanCache:
         backend: str,
         mesh_size: int,
         fused_pool: int = 1,
+        families: Optional[Sequence[str]] = None,
     ) -> Dict[str, Any]:
-        return {
+        payload = {
             "schema_version": CACHE_SCHEMA_VERSION,
             "params": params_to_dict(params),
             "spec": spec_fingerprint(spec),
@@ -116,6 +117,14 @@ class PlanCache:
             "mesh_size": int(mesh_size),
             "fused_pool": int(fused_pool),
         }
+        # A family-restricted search (e.g. the serve pool tuning within the
+        # image-size-aware family only) is a different question than the
+        # unrestricted one and must never alias its answer; the field is
+        # added only when a restriction is in force so every pre-existing
+        # unrestricted key stays byte-identical.
+        if families is not None:
+            payload["families"] = sorted(families)
+        return payload
 
     def key(
         self,
@@ -124,8 +133,11 @@ class PlanCache:
         backend: str,
         mesh_size: int,
         fused_pool: int = 1,
+        families: Optional[Sequence[str]] = None,
     ) -> str:
-        payload = self.key_payload(params, spec, backend, mesh_size, fused_pool)
+        payload = self.key_payload(
+            params, spec, backend, mesh_size, fused_pool, families
+        )
         canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:40]
 
@@ -136,8 +148,9 @@ class PlanCache:
         backend: str,
         mesh_size: int,
         fused_pool: int = 1,
+        families: Optional[Sequence[str]] = None,
     ) -> Path:
-        key = self.key(params, spec, backend, mesh_size, fused_pool)
+        key = self.key(params, spec, backend, mesh_size, fused_pool, families)
         return self.root / f"{key}.json"
 
     # -- traffic --------------------------------------------------------------
@@ -149,13 +162,14 @@ class PlanCache:
         backend: str,
         mesh_size: int,
         fused_pool: int = 1,
+        families: Optional[Sequence[str]] = None,
     ) -> Optional[Dict[str, Any]]:
         """The stored entry for this key, or None (counted as hit/miss).
 
         An unreadable, schema-mismatched or key-mismatched file is a miss —
         the tuner re-tunes and overwrites it.
         """
-        path = self.path_for(params, spec, backend, mesh_size, fused_pool)
+        path = self.path_for(params, spec, backend, mesh_size, fused_pool, families)
         entry: Optional[Dict[str, Any]] = None
         try:
             with open(path, "r", encoding="utf-8") as fh:
@@ -163,7 +177,9 @@ class PlanCache:
         except (OSError, json.JSONDecodeError):
             data = None
         if isinstance(data, dict):
-            expected = self.key_payload(params, spec, backend, mesh_size, fused_pool)
+            expected = self.key_payload(
+                params, spec, backend, mesh_size, fused_pool, families
+            )
             if data.get("key") == expected and "plan" in data:
                 entry = data
         if entry is None:
@@ -185,12 +201,15 @@ class PlanCache:
         plan_dict: Dict[str, Any],
         tuning: Dict[str, Any],
         fused_pool: int = 1,
+        families: Optional[Sequence[str]] = None,
     ) -> Path:
         """Persist a tuned winner atomically; returns the entry path."""
         self.root.mkdir(parents=True, exist_ok=True)
-        path = self.path_for(params, spec, backend, mesh_size, fused_pool)
+        path = self.path_for(params, spec, backend, mesh_size, fused_pool, families)
         entry = {
-            "key": self.key_payload(params, spec, backend, mesh_size, fused_pool),
+            "key": self.key_payload(
+                params, spec, backend, mesh_size, fused_pool, families
+            ),
             "plan": plan_dict,
             "tuning": tuning,
         }

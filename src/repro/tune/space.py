@@ -166,17 +166,38 @@ def _batch_blockings(
                     yield blocking
 
 
+#: The two loop-schedule families of the search space (Algorithms 1 and 2).
+FAMILIES = ("image-size-aware", "batch-size-aware")
+
+
 def enumerate_candidates(
     params: ConvParams,
     spec: SW26010Spec = DEFAULT_SPEC,
     register_blockings: Optional[Sequence[RegisterBlocking]] = None,
+    families: Optional[Sequence[str]] = None,
 ) -> List[Candidate]:
     """All LDM- and register-feasible candidates for one conv shape.
 
     The cross product (families x blockings x register shapes) is pruned to
     feasibility only — ranking is the tuner's job (the analytic model scores
     candidates in closed form, so a few thousand points cost milliseconds).
+
+    ``families`` restricts the search to a subset of :data:`FAMILIES` —
+    e.g. the serving pool tunes within ``("image-size-aware",)`` only,
+    because that family's tile count is batch-invariant and therefore
+    amortizes under dynamic batching, while batch-size-aware schedules only
+    pay off at the training-scale batches they were designed for.
     """
+    if families is None:
+        families = FAMILIES
+    else:
+        unknown = [f for f in families if f not in FAMILIES]
+        if unknown:
+            raise ValueError(
+                f"unknown plan families {unknown}; expected a subset of {FAMILIES}"
+            )
+        if not families:
+            raise ValueError("families must name at least one plan family")
     if register_blockings is None:
         register_blockings = DEFAULT_REGISTER_BLOCKINGS
     shapes = [rb for rb in register_blockings if rb.is_feasible(spec)]
@@ -184,16 +205,18 @@ def enumerate_candidates(
         raise ValueError("no register-feasible blocking shape in the search set")
     out: List[Candidate] = []
     seen = set()
-    for blocking in _image_blockings(params, spec):
-        for rb in shapes:
-            cand = Candidate("image-size-aware", blocking, rb)
-            if cand not in seen:
-                seen.add(cand)
-                out.append(cand)
-    for blocking in _batch_blockings(params, spec):
-        for rb in shapes:
-            cand = Candidate("batch-size-aware", blocking, rb)
-            if cand not in seen:
-                seen.add(cand)
-                out.append(cand)
+    if "image-size-aware" in families:
+        for blocking in _image_blockings(params, spec):
+            for rb in shapes:
+                cand = Candidate("image-size-aware", blocking, rb)
+                if cand not in seen:
+                    seen.add(cand)
+                    out.append(cand)
+    if "batch-size-aware" in families:
+        for blocking in _batch_blockings(params, spec):
+            for rb in shapes:
+                cand = Candidate("batch-size-aware", blocking, rb)
+                if cand not in seen:
+                    seen.add(cand)
+                    out.append(cand)
     return out

@@ -45,6 +45,7 @@ from repro.perf.equations import (
     rbw_mem_ldm_image_plan_promoted,
 )
 from repro.perf.model import PerformanceEstimate, _measured_ee
+from repro.telemetry import current_telemetry
 from repro.tune.cache import PlanCache
 from repro.tune.space import Candidate, enumerate_candidates
 
@@ -191,11 +192,12 @@ def autotune(
     backend: str = "numpy",
     cache: Union[None, bool, str, Path, PlanCache] = None,
     top_k: int = 12,
-    jobs: int = 1,
+    jobs: Optional[int] = 1,
     fault_plan=None,
     register_blockings: Optional[Sequence[RegisterBlocking]] = None,
     force: bool = False,
     fused_pool: int = 1,
+    families: Optional[Sequence[str]] = None,
 ) -> TunedPlan:
     """Pick (and persist) the fastest plan for one conv shape.
 
@@ -209,6 +211,10 @@ def autotune(
     ``s x s`` pooling epilogue: candidates whose plan cannot also host the
     LDM pool accumulator are rejected, the survivors are timed *with* the
     epilogue's put savings, and the winner is cached under a fused key.
+    ``families`` restricts the search to a subset of the loop-schedule
+    families (see :func:`~repro.tune.space.enumerate_candidates`); the
+    restriction is part of the cache key, so a family-restricted winner
+    never aliases the unrestricted one.
     """
     plan_cache = _resolve_cache(cache)
     mesh_size = spec.mesh_size
@@ -218,7 +224,9 @@ def autotune(
             mesh_size = effective_mesh_size(spec.mesh_size, fenced)
 
     if plan_cache is not None and not force:
-        entry = plan_cache.load(params, spec, backend, mesh_size, fused_pool)
+        entry = plan_cache.load(
+            params, spec, backend, mesh_size, fused_pool, families
+        )
         if entry is not None:
             plan = plan_from_dict(entry["plan"], spec=spec)
             tuning = entry.get("tuning", {})
@@ -235,12 +243,12 @@ def autotune(
                 candidates=int(tuning.get("candidates", 0)),
                 measured=0,
                 cache_path=plan_cache.path_for(
-                    params, spec, backend, mesh_size, fused_pool
+                    params, spec, backend, mesh_size, fused_pool, families
                 ),
             )
 
     candidates = enumerate_candidates(
-        params, spec, register_blockings=register_blockings
+        params, spec, register_blockings=register_blockings, families=families
     )
     scored = sorted(
         candidates,
@@ -249,7 +257,8 @@ def autotune(
     )
     survivors: List[Candidate] = []
     heuristic = _heuristic_candidate(params, spec)
-    for cand in [heuristic] + scored:
+    seeds = [heuristic] if families is None or heuristic.family in families else []
+    for cand in seeds + scored:
         if len(survivors) > max(1, top_k):
             break
         if cand in survivors:
@@ -264,6 +273,9 @@ def autotune(
         )
 
     params_dict = params_to_dict(params)
+    # Measurements are counted so serving can *prove* its warm steady state:
+    # a request that never tunes inline records zero here.
+    current_telemetry().counters.add("tune.measurements", len(survivors))
     if fault_plan is None:
         results = parallel_map(
             _measure_job,
@@ -306,6 +318,7 @@ def autotune(
             plan_to_dict(plan),
             tuning,
             fused_pool,
+            families,
         )
     return TunedPlan(
         plan=plan,

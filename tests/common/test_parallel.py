@@ -6,7 +6,12 @@ import time
 import pytest
 
 from repro.common.errors import JobTimeoutError, ReproError, WorkerError
-from repro.common.parallel import parallel_map, resolve_jobs
+from repro.common.parallel import (
+    JOBS_ENV_VAR,
+    default_jobs,
+    parallel_map,
+    resolve_jobs,
+)
 
 
 def _square(x: int) -> int:
@@ -70,6 +75,35 @@ class TestResolveJobs:
     def test_non_positive_rejected(self, bad):
         with pytest.raises(ValueError):
             resolve_jobs(bad, 10)
+
+
+class TestJobsEnvVar:
+    def test_unset_defaults_to_serial(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV_VAR, raising=False)
+        assert default_jobs() == 1
+        assert resolve_jobs(None, 100) == 1
+
+    def test_empty_defaults_to_serial(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "  ")
+        assert default_jobs() == 1
+
+    def test_env_sets_the_default(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "4")
+        assert default_jobs() == 4
+        assert resolve_jobs(None, 100) == 4
+        # An explicit request always wins over the environment.
+        assert resolve_jobs(2, 100) == 2
+
+    def test_parallel_map_defers_to_env(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "2")
+        items = list(range(8))
+        assert parallel_map(_square, items) == [x * x for x in items]
+
+    @pytest.mark.parametrize("bad", ["zero", "1.5", "0", "-3"])
+    def test_invalid_env_fails_loudly(self, monkeypatch, bad):
+        monkeypatch.setenv(JOBS_ENV_VAR, bad)
+        with pytest.raises(ValueError):
+            default_jobs()
 
 
 class TestParallelMap:

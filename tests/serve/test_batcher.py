@@ -1,0 +1,106 @@
+"""Batcher semantics: coalescing, backpressure, shutdown tokens."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.common.errors import QueueFullError, ServeError, ServerClosedError
+from repro.serve import BatchPolicy, DynamicBatcher, InferenceRequest
+
+pytestmark = pytest.mark.serve
+
+
+def _req(i: int) -> InferenceRequest:
+    return InferenceRequest(i, np.zeros((1, 2, 2)))
+
+
+class TestBatchPolicy:
+    def test_defaults(self):
+        policy = BatchPolicy()
+        assert policy.max_batch == 8
+        assert policy.max_wait_s == 0.002
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ServeError):
+            BatchPolicy(max_batch=0)
+        with pytest.raises(ServeError):
+            BatchPolicy(max_wait_s=-0.001)
+
+
+class TestAdmission:
+    def test_backpressure_at_depth(self):
+        batcher = DynamicBatcher(BatchPolicy(max_batch=4), queue_depth=2)
+        batcher.offer(_req(0))
+        batcher.offer(_req(1))
+        with pytest.raises(QueueFullError):
+            batcher.offer(_req(2))
+        assert batcher.depth() == 2
+
+    def test_closed_batcher_rejects(self):
+        batcher = DynamicBatcher(queue_depth=4)
+        batcher.close(n_workers=1)
+        with pytest.raises(ServerClosedError):
+            batcher.offer(_req(0))
+
+    def test_queue_depth_validated(self):
+        with pytest.raises(ServeError):
+            DynamicBatcher(queue_depth=0)
+
+
+class TestBatchFormation:
+    def test_coalesces_queued_requests_up_to_max_batch(self):
+        batcher = DynamicBatcher(BatchPolicy(max_batch=3, max_wait_s=0.0),
+                                 queue_depth=16)
+        for i in range(5):
+            batcher.offer(_req(i))
+        first = batcher.next_batch()
+        second = batcher.next_batch()
+        assert [r.request_id for r in first] == [0, 1, 2]
+        assert [r.request_id for r in second] == [3, 4]
+
+    def test_window_waits_for_late_arrivals(self):
+        batcher = DynamicBatcher(BatchPolicy(max_batch=4, max_wait_s=0.25),
+                                 queue_depth=16)
+        batcher.offer(_req(0))
+
+        def late():
+            time.sleep(0.02)
+            batcher.offer(_req(1))
+
+        thread = threading.Thread(target=late)
+        thread.start()
+        batch = batcher.next_batch()
+        thread.join()
+        assert [r.request_id for r in batch] == [0, 1]
+
+    def test_full_batch_ships_without_waiting_out_the_window(self):
+        batcher = DynamicBatcher(BatchPolicy(max_batch=2, max_wait_s=30.0),
+                                 queue_depth=16)
+        batcher.offer(_req(0))
+        batcher.offer(_req(1))
+        start = time.perf_counter()
+        batch = batcher.next_batch()
+        assert time.perf_counter() - start < 5.0
+        assert len(batch) == 2
+
+    def test_close_then_drain_returns_leftovers(self):
+        batcher = DynamicBatcher(BatchPolicy(max_batch=2, max_wait_s=0.0),
+                                 queue_depth=8)
+        for i in range(3):
+            batcher.offer(_req(i))
+        batcher.close(n_workers=1)
+        leftovers = batcher.drain()
+        assert [r.request_id for r in leftovers] == [0, 1, 2]
+        assert batcher.depth() == 0
+
+    def test_sentinel_mid_window_is_requeued_and_batch_still_ships(self):
+        batcher = DynamicBatcher(BatchPolicy(max_batch=4, max_wait_s=0.0),
+                                 queue_depth=8)
+        batcher.offer(_req(0))
+        batcher.close(n_workers=1)  # sentinel lands behind request 0
+        batch = batcher.next_batch()
+        assert [r.request_id for r in batch] == [0]
+        # The requeued sentinel now releases the worker.
+        assert batcher.next_batch() is None

@@ -1,0 +1,156 @@
+"""Deadline and backpressure paths, exercised deterministically.
+
+The trick for determinism: :meth:`InferenceServer.submit` works before
+:meth:`start`, so a test can stage an admission queue in any state it
+likes — already-expired deadlines, exactly-full queues — and only then
+let the workers loose.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.common.errors import DeadlineExceededError, QueueFullError
+from repro.serve import (
+    InferenceServer,
+    ServedModel,
+    ServerConfig,
+    poisson_arrivals,
+)
+from repro.telemetry import Telemetry
+
+pytestmark = pytest.mark.serve
+
+
+def _model(seed=0):
+    rng = np.random.default_rng(seed)
+    w = rng.standard_normal((8, 8, 3, 3)) * 0.2
+    return ServedModel.conv(w, (8, 8), activation="relu")
+
+
+def _config(**overrides):
+    base = dict(
+        max_batch=4,
+        max_wait_s=0.001,
+        queue_depth=8,
+        workers=1,
+        autotune=False,
+        guarded=True,
+    )
+    base.update(overrides)
+    return ServerConfig(**base)
+
+
+class TestDeadlines:
+    def test_expired_request_fails_with_typed_error(self):
+        model = _model()
+        telem = Telemetry()
+        server = InferenceServer(model, _config(), telemetry=telem)
+        # Queue with an already-impossible deadline, then start the workers.
+        req = server.submit(np.zeros(model.input_shape), deadline_s=0.0)
+        time.sleep(0.01)
+        server.start()
+        with pytest.raises(DeadlineExceededError):
+            req.result(timeout=10.0)
+        server.close()
+        assert telem.counters.get("serve.deadline_misses") == 1
+        assert telem.counters.get("serve.completed") == 0
+        assert server.counters_balanced()
+
+    def test_expired_slot_is_reclaimed_for_live_neighbours(self):
+        """A mixed batch sheds its expired members and still executes."""
+        model = _model()
+        telem = Telemetry()
+        server = InferenceServer(model, _config(max_batch=4), telemetry=telem)
+        doomed = server.submit(np.zeros(model.input_shape), deadline_s=0.0)
+        live = [
+            server.submit(x)
+            for x in np.random.default_rng(1).standard_normal(
+                (3, *model.input_shape)
+            )
+        ]
+        time.sleep(0.01)
+        server.start()
+        with pytest.raises(DeadlineExceededError):
+            doomed.result(timeout=10.0)
+        outs = [r.result(timeout=10.0) for r in live]
+        server.close()
+        assert all(out is not None for out in outs)
+        assert telem.counters.get("serve.deadline_misses") == 1
+        assert telem.counters.get("serve.completed") == 3
+        # The shed slot shrank the executed batch: 4 queued, 3 executed.
+        assert telem.counters.get("serve.batch_size") == 3
+        assert server.counters_balanced()
+
+    def test_default_deadline_comes_from_config(self):
+        model = _model()
+        telem = Telemetry()
+        server = InferenceServer(
+            model, _config(default_deadline_s=0.0), telemetry=telem
+        )
+        req = server.submit(np.zeros(model.input_shape))
+        assert req.deadline is not None
+        time.sleep(0.01)
+        server.start()
+        with pytest.raises(DeadlineExceededError):
+            req.result(timeout=10.0)
+        server.close()
+
+    def test_completed_request_reports_latency(self):
+        model = _model()
+        with InferenceServer(model, _config()) as server:
+            req = server.submit(np.zeros(model.input_shape), deadline_s=30.0)
+            req.result(timeout=10.0)
+            assert req.latency_s is not None and req.latency_s >= 0
+            assert req.batch_size is not None and req.batch_size >= 1
+
+
+class TestBackpressure:
+    def test_full_queue_rejects_with_typed_error(self):
+        model = _model()
+        telem = Telemetry()
+        server = InferenceServer(
+            model, _config(queue_depth=2), telemetry=telem
+        )
+        # Workers not started: the queue cannot drain under us.
+        server.submit(np.zeros(model.input_shape))
+        server.submit(np.zeros(model.input_shape))
+        with pytest.raises(QueueFullError):
+            server.submit(np.zeros(model.input_shape))
+        assert telem.counters.get("serve.rejected") == 1
+        assert telem.counters.get("serve.requests") == 3
+        # The rejected request's future is failed too.
+        server.start()
+        server.close()
+        assert server.counters_balanced()
+
+    def test_rejected_slot_is_usable_after_drain(self):
+        model = _model()
+        server = InferenceServer(model, _config(queue_depth=1))
+        first = server.submit(np.zeros(model.input_shape))
+        with pytest.raises(QueueFullError):
+            server.submit(np.zeros(model.input_shape))
+        server.start()  # workers drain the queue, freeing the slot
+        first.result(timeout=10.0)
+        second = server.submit(np.zeros(model.input_shape))
+        assert second.result(timeout=10.0) is not None
+        server.close()
+
+
+class TestSeededArrivals:
+    def test_same_seed_replays_identical_offsets(self):
+        a = poisson_arrivals(64, rate_rps=1000.0, seed=7)
+        b = poisson_arrivals(64, rate_rps=1000.0, seed=7)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = poisson_arrivals(64, rate_rps=1000.0, seed=7)
+        b = poisson_arrivals(64, rate_rps=1000.0, seed=8)
+        assert not np.array_equal(a, b)
+
+    def test_offsets_are_sorted_and_mean_matches_rate(self):
+        offsets = poisson_arrivals(4096, rate_rps=1000.0, seed=0)
+        assert np.all(np.diff(offsets) >= 0)
+        mean_gap = offsets[-1] / len(offsets)
+        assert 0.0008 < mean_gap < 0.0012

@@ -1,0 +1,71 @@
+"""Disabled telemetry adds nothing to the per-request serve hot loop.
+
+Same bar as ``tests/telemetry/test_overhead.py``, extended to serving: a
+server built with no session (ambient :data:`NULL_TELEMETRY`) must not
+allocate inside the telemetry modules while requests flow through
+submit -> batch -> execute -> resolve.  Serve's own allocations (arrays,
+futures, queue nodes) are fine — the filter scopes the snapshot to
+``repro/telemetry`` files only.
+"""
+
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.serve import InferenceServer, ServedModel, ServerConfig
+from repro.telemetry import NULL_TELEMETRY, current_telemetry
+
+pytestmark = pytest.mark.serve
+
+
+def _model():
+    rng = np.random.default_rng(0)
+    w = rng.standard_normal((8, 8, 3, 3)) * 0.2
+    return ServedModel.conv(w, (8, 8), activation="relu")
+
+
+class TestServeZeroCostDisabled:
+    def test_server_defaults_to_null_session(self):
+        server = InferenceServer(_model(), ServerConfig(autotune=False))
+        assert server.telemetry is NULL_TELEMETRY
+        assert server.pool.telemetry is NULL_TELEMETRY
+        assert current_telemetry() is NULL_TELEMETRY
+        server.close()
+
+    def test_request_path_allocates_nothing_in_telemetry(self):
+        model = _model()
+        config = ServerConfig(
+            max_batch=4,
+            max_wait_s=0.001,
+            queue_depth=32,
+            workers=1,
+            autotune=False,
+            guarded=True,
+        )
+        rng = np.random.default_rng(1)
+        images = rng.standard_normal((8, *model.input_shape))
+        with InferenceServer(model, config) as server:
+            # Warm every code path first: engines, packs, lazy imports.
+            server.submit(images[0]).result(timeout=30.0)
+
+            telemetry_files = tracemalloc.Filter(True, "*/repro/telemetry/*")
+            tracemalloc.start()
+            try:
+                before = tracemalloc.take_snapshot().filter_traces(
+                    [telemetry_files]
+                )
+                reqs = [server.submit(x) for x in images]
+                for req in reqs:
+                    req.result(timeout=30.0)
+                after = tracemalloc.take_snapshot().filter_traces(
+                    [telemetry_files]
+                )
+            finally:
+                tracemalloc.stop()
+        growth = sum(
+            stat.size_diff for stat in after.compare_to(before, "filename")
+        )
+        assert growth <= 0, (
+            f"telemetry modules allocated {growth} bytes while disabled"
+        )

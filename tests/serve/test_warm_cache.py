@@ -1,0 +1,90 @@
+"""Server start pre-warms the plan cache; steady state never tunes.
+
+The acceptance criterion: after :meth:`InferenceServer.start`, requests
+record **zero** tuner measurements — all planning/tuning happened at
+warm-up — and a second server over the same persistent cache warms by pure
+plan-cache hits (no measurements at all).
+"""
+
+import numpy as np
+import pytest
+
+from repro.serve import InferenceServer, ServedModel, ServerConfig
+from repro.telemetry import Telemetry
+
+pytestmark = pytest.mark.serve
+
+MAX_BATCH = 3
+
+
+def _model():
+    rng = np.random.default_rng(0)
+    w = rng.standard_normal((8, 8, 3, 3)) * 0.2
+    return ServedModel.conv(w, (6, 6), activation="relu")
+
+
+def _server(tmp_path, telemetry):
+    config = ServerConfig(
+        max_batch=MAX_BATCH,
+        max_wait_s=0.001,
+        queue_depth=16,
+        workers=1,
+        autotune=True,
+        plan_cache=str(tmp_path / "plans"),
+        guarded=True,
+    )
+    return InferenceServer(_model(), config, telemetry=telemetry)
+
+
+def _push_requests(server, n=6, seed=1):
+    rng = np.random.default_rng(seed)
+    reqs = [
+        server.submit(x)
+        for x in rng.standard_normal((n, *server.model.input_shape))
+    ]
+    return [r.result(timeout=30.0) for r in reqs]
+
+
+class TestWarmPlanCache:
+    def test_steady_state_records_zero_tuner_measurements(self, tmp_path):
+        telem = Telemetry()
+        with _server(tmp_path, telem) as server:
+            warm_measurements = telem.counters.get("tune.measurements")
+            assert warm_measurements > 0, "warm-up should have tuned"
+            warm_packs = telem.counters.get("engine.filter_pack.packs")
+            assert warm_packs > 0, "warm-up should have packed filters"
+            _push_requests(server)
+            assert telem.counters.get("tune.measurements") == warm_measurements, (
+                "steady-state requests tuned inline"
+            )
+            assert telem.counters.get("engine.filter_pack.packs") == warm_packs, (
+                "steady-state requests packed filters inline"
+            )
+        assert server.counters_balanced()
+
+    def test_restarted_server_warms_by_cache_hits_only(self, tmp_path):
+        first = Telemetry()
+        with _server(tmp_path, first) as server:
+            _push_requests(server)
+        assert first.counters.get("tune.measurements") > 0
+
+        second = Telemetry()
+        with _server(tmp_path, second) as server:
+            outs = _push_requests(server)
+        assert second.counters.get("tune.measurements") == 0, (
+            "second server re-tuned despite the warm cache"
+        )
+        assert second.counters.get("plan_cache.hits") >= MAX_BATCH
+        assert all(out is not None for out in outs)
+
+    def test_both_servers_produce_identical_outputs(self, tmp_path):
+        a = _push_requests_through(tmp_path)
+        b = _push_requests_through(tmp_path)
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+
+def _push_requests_through(tmp_path):
+    telem = Telemetry()
+    with _server(tmp_path, telem) as server:
+        return _push_requests(server)

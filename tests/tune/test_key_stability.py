@@ -1,0 +1,113 @@
+"""Plan-cache keys are byte-identical across processes.
+
+A warm serving fleet only works if every process computes the same cache
+key for the same question: a key that depends on hash randomization, dict
+ordering, or interpreter state would turn a shared cache directory into a
+per-process one.  The regression here computes keys in a fresh subprocess
+(its own ``PYTHONHASHSEED``) and pins them against the parent's.
+"""
+
+import json
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.params import ConvParams
+from repro.hw.spec import DEFAULT_SPEC
+from repro.tune.cache import PlanCache
+
+pytestmark = pytest.mark.tune
+
+PARAMS = dict(ni=16, no=16, ri=18, ci=18, kr=3, kc=3, b=4)
+
+_CHILD = r"""
+import json, sys
+sys.path.insert(0, sys.argv[2])
+from repro.core.params import ConvParams
+from repro.hw.spec import DEFAULT_SPEC
+from repro.tune.cache import PlanCache
+
+params = ConvParams(**json.loads(sys.argv[1]))
+cache = PlanCache(root="ignored")
+print(json.dumps({
+    "plain": cache.key(params, DEFAULT_SPEC, "numpy", 64, 1),
+    "fused": cache.key(params, DEFAULT_SPEC, "mesh", 60, 2),
+    "family": cache.key(
+        params, DEFAULT_SPEC, "numpy", 64, 1,
+        families=("image-size-aware",),
+    ),
+}))
+"""
+
+
+def _child_keys():
+    import repro
+
+    pkg_root = str(pathlib.Path(repro.__file__).parents[1])
+    out = subprocess.run(
+        [sys.executable, "-c", _CHILD, json.dumps(PARAMS), pkg_root],
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return json.loads(out.stdout)
+
+
+class TestCrossProcessKeyStability:
+    def test_keys_match_across_processes(self):
+        params = ConvParams(**PARAMS)
+        cache = PlanCache(root="ignored")
+        child = _child_keys()
+        assert child["plain"] == cache.key(params, DEFAULT_SPEC, "numpy", 64, 1)
+        assert child["fused"] == cache.key(params, DEFAULT_SPEC, "mesh", 60, 2)
+        assert child["family"] == cache.key(
+            params, DEFAULT_SPEC, "numpy", 64, 1,
+            families=("image-size-aware",),
+        )
+
+    def test_keys_are_sha256_prefixes(self):
+        params = ConvParams(**PARAMS)
+        cache = PlanCache(root="ignored")
+        key = cache.key(params, DEFAULT_SPEC, "numpy", 64, 1)
+        assert len(key) == 40
+        int(key, 16)  # hex or raise
+
+    def test_family_restriction_changes_the_key(self):
+        params = ConvParams(**PARAMS)
+        cache = PlanCache(root="ignored")
+        unrestricted = cache.key(params, DEFAULT_SPEC, "numpy", 64, 1)
+        restricted = cache.key(
+            params, DEFAULT_SPEC, "numpy", 64, 1,
+            families=("image-size-aware",),
+        )
+        assert unrestricted != restricted
+
+    def test_unrestricted_payload_omits_families_field(self):
+        """families=None must not appear in the payload at all, so every
+        pre-restriction cache entry keeps its original key."""
+        params = ConvParams(**PARAMS)
+        cache = PlanCache(root="ignored")
+        payload = cache.key_payload(params, DEFAULT_SPEC, "numpy", 64, 1)
+        assert "families" not in payload
+        restricted = cache.key_payload(
+            params, DEFAULT_SPEC, "numpy", 64, 1,
+            families=("batch-size-aware", "image-size-aware"),
+        )
+        assert restricted["families"] == [
+            "batch-size-aware", "image-size-aware",
+        ]
+
+    def test_family_order_is_canonicalized(self):
+        params = ConvParams(**PARAMS)
+        cache = PlanCache(root="ignored")
+        a = cache.key(
+            params, DEFAULT_SPEC, "numpy", 64, 1,
+            families=("image-size-aware", "batch-size-aware"),
+        )
+        b = cache.key(
+            params, DEFAULT_SPEC, "numpy", 64, 1,
+            families=("batch-size-aware", "image-size-aware"),
+        )
+        assert a == b
