@@ -1,7 +1,7 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: test faults tune profile serve verify
+.PHONY: test faults tune zoo profile serve verify
 
 test:
 	python -m pytest -x -q
@@ -11,6 +11,9 @@ faults:
 
 tune:
 	python -m pytest -x -q -m tune tests/tune
+
+zoo:
+	python -m pytest -x -q -m zoo tests/tune
 
 profile:
 	python -m repro profile --ni 32 --no 32 --out 16 --batch 16 \

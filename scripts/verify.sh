@@ -12,6 +12,7 @@ export PYTHONPATH="${PYTHONPATH:-src}"
 TIER1_TIMEOUT="${TIER1_TIMEOUT:-1200}"
 FAULTS_TIMEOUT="${FAULTS_TIMEOUT:-300}"
 TUNE_TIMEOUT="${TUNE_TIMEOUT:-120}"
+ZOO_TIMEOUT="${ZOO_TIMEOUT:-300}"
 PROFILE_TIMEOUT="${PROFILE_TIMEOUT:-120}"
 SERVE_TIMEOUT="${SERVE_TIMEOUT:-180}"
 
@@ -23,6 +24,9 @@ timeout "${FAULTS_TIMEOUT}" python -m pytest -x -q -m faults tests/faults
 
 echo "== autotuner smoke test (timeout ${TUNE_TIMEOUT}s) =="
 timeout "${TUNE_TIMEOUT}" python -m pytest -x -q -m tune tests/tune
+
+echo "== conv algorithm zoo smoke test (timeout ${ZOO_TIMEOUT}s) =="
+timeout "${ZOO_TIMEOUT}" python -m pytest -x -q -m zoo tests/tune
 
 echo "== telemetry profile smoke test (timeout ${PROFILE_TIMEOUT}s) =="
 PROFILE_TRACE="$(mktemp /tmp/repro-profile-XXXXXX.json)"

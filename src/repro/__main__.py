@@ -8,13 +8,15 @@ Subcommands::
     kernel --ni [--original]     dump the (reordered) GEMM inner kernel as
                                  assembly with its simulated timeline
     experiments [names...]       regenerate the paper's tables and figures
-    tune  --ni --no --out --k --batch
-                                 autotune a convolution, report heuristic vs
+    tune  --ni --no --out --k --batch [--algorithms all]
+                                 autotune a convolution (optionally across the
+                                 conv algorithm zoo), report heuristic vs
                                  tuned, and persist the winner to the plan cache
     profile --ni --no --out --k --batch | --row N
                                  run one layer with telemetry attached: drift
-                                 report, hardware counters, and (with
-                                 --trace-out) a Chrome trace_event JSON
+                                 report, communication-lower-bound oracle,
+                                 hardware counters, and (with --trace-out) a
+                                 Chrome trace_event JSON
 """
 
 from __future__ import annotations
@@ -105,12 +107,19 @@ def cmd_tune(args) -> int:
     cache = False if args.no_cache else (
         PlanCache(args.cache) if args.cache else None
     )
+    algorithms = None
+    if args.algorithms:
+        algorithms = (
+            "all" if args.algorithms == "all"
+            else tuple(args.algorithms.split(","))
+        )
     heuristic = plan_convolution(params)
     baseline = ConvolutionEngine(heuristic.plan).evaluate()
     result = autotune(
-        params, cache=cache, top_k=args.top_k, jobs=args.jobs, force=args.force
+        params, cache=cache, top_k=args.top_k, jobs=args.jobs,
+        force=args.force, algorithms=algorithms,
     )
-    space = len(enumerate_candidates(params))
+    space = len(enumerate_candidates(params, algorithms=algorithms))
     print(f"search space: {space} legal candidates, "
           f"{result.measured} measured ({result.source})")
     print(f"heuristic: {heuristic.plan.describe()}")
@@ -118,6 +127,9 @@ def cmd_tune(args) -> int:
     print(f"tuned:     {result.candidate.describe()}")
     print(f"           {result.gflops:.1f} Gflops "
           f"({result.gflops / baseline.gflops:.3f}x heuristic)")
+    if result.candidate.algorithm != "direct":
+        print(f"algorithm: {result.candidate.algorithm} "
+              f"(zoo family beat the direct mapping)")
     if result.cache_path:
         print(f"plan cache: {result.cache_path}")
     return 0
@@ -239,6 +251,7 @@ def cmd_profile(args) -> int:
     from repro.core.planner import plan_convolution
     from repro.telemetry import Telemetry, use_telemetry
     from repro.telemetry.drift import drift_report
+    from repro.telemetry.oracle import oracle_report
     from repro.telemetry.validate import validate_chrome_trace_file
 
     params = _profile_params(args)
@@ -249,6 +262,7 @@ def cmd_profile(args) -> int:
         report = drift_report(
             [params], threshold=args.threshold, telemetry=telemetry
         )
+        oracle = oracle_report([params], telemetry=telemetry)
         choice = plan_convolution(params)
         engine = ConvolutionEngine(choice.plan, telemetry=telemetry)
         recorded = engine.record_tile_spans(max_tiles=args.tiles)
@@ -258,6 +272,8 @@ def cmd_profile(args) -> int:
     print(params.describe())
     print()
     print(report.render())
+    print()
+    print(oracle.render())
     print()
     print(f"chip (4 CG): {chip_gflops / 1e3:.2f} Tflops; "
           f"{recorded} tile interval(s) traced")
@@ -407,6 +423,11 @@ def build_parser() -> argparse.ArgumentParser:
     tune.add_argument("--cache", metavar="PATH", help="plan-cache directory")
     tune.add_argument("--no-cache", action="store_true", help="skip the cache")
     tune.add_argument("--force", action="store_true", help="re-tune even on hit")
+    tune.add_argument(
+        "--algorithms", metavar="LIST", default=None,
+        help="'all' or comma-separated conv algorithms to search "
+             "(direct,im2col,winograd); default: direct only",
+    )
     tune.set_defaults(func=cmd_tune)
 
     exp = sub.add_parser("experiments", help="regenerate tables and figures")

@@ -1,9 +1,12 @@
 """Algorithm enumeration and ranked search (the ``cudnnFind*`` analogue).
 
 swDNN's "algorithms" are its two loop-schedule families (plus the direct
-gload path, exposed for completeness but never competitive).  The finder
-scores each feasible algorithm with the performance model and returns them
-best first, mirroring ``cudnnFindConvolutionForwardAlgorithm``'s ranked
+gload path, exposed for completeness but never competitive), and — with
+the zoo (:mod:`repro.core.algorithms`) — the GEMM-lowered im2col and fused
+Winograd paths, mirroring cuDNN's ``IMPLICIT_GEMM``/``WINOGRAD`` entries.
+The finder scores each feasible algorithm with the performance model and
+returns them best first, mirroring
+``cudnnFindConvolutionForwardAlgorithm``'s ranked
 ``cudnnConvolutionFwdAlgoPerf_t`` list.
 """
 
@@ -15,6 +18,7 @@ from typing import List, Optional
 
 from repro.common.errors import PlanError
 from repro.hw.spec import SW26010Spec, DEFAULT_SPEC
+from repro.core.algorithms import make_lowered_plan
 from repro.core.params import ConvParams
 from repro.core.plans import BatchSizeAwarePlan, ConvPlan, ImageSizeAwarePlan
 
@@ -26,6 +30,10 @@ class ConvolutionFwdAlgo(enum.Enum):
     IMAGE_SIZE_AWARE = "image-size-aware"
     #: Algorithm 2 — keep the batch whole (batch-size-aware).
     BATCH_SIZE_AWARE = "batch-size-aware"
+    #: GEMM-lowered convolution (cuDNN's IMPLICIT_GEMM analogue).
+    IM2COL = "im2col"
+    #: Fused F(2x2,3x3) Winograd (3x3 stride-1 layers only).
+    WINOGRAD = "winograd"
     #: Let the performance model decide.
     AUTO = "auto"
 
@@ -52,6 +60,10 @@ def _build(algo: ConvolutionFwdAlgo, params: ConvParams, spec: SW26010Spec) -> C
         return ImageSizeAwarePlan(params, spec=spec)
     if algo is ConvolutionFwdAlgo.BATCH_SIZE_AWARE:
         return BatchSizeAwarePlan(params, spec=spec)
+    if algo in (ConvolutionFwdAlgo.IM2COL, ConvolutionFwdAlgo.WINOGRAD):
+        # Raises PlanError when the algorithm is illegal for the shape
+        # (e.g. Winograd on a non-3x3 filter).
+        return make_lowered_plan(algo.value, params, spec=spec)
     raise PlanError(f"cannot build a plan for {algo}")
 
 
@@ -59,17 +71,23 @@ def find_convolution_forward_algorithm(
     params: ConvParams,
     spec: SW26010Spec = DEFAULT_SPEC,
     requested: Optional[int] = None,
+    include_lowered: bool = False,
 ) -> List[AlgorithmPerf]:
     """Score every feasible algorithm, best first.
 
     ``requested`` truncates the list (the cuDNN ``requestedAlgoCount``).
+    ``include_lowered=True`` adds the zoo's GEMM-lowered families (im2col,
+    Winograd) to the ranking; shapes they are illegal for simply omit them.
     Raises :class:`PlanError` when no algorithm is feasible.
     """
-    results: List[AlgorithmPerf] = []
-    for algo in (
+    ranked = [
         ConvolutionFwdAlgo.BATCH_SIZE_AWARE,
         ConvolutionFwdAlgo.IMAGE_SIZE_AWARE,
-    ):
+    ]
+    if include_lowered:
+        ranked += [ConvolutionFwdAlgo.IM2COL, ConvolutionFwdAlgo.WINOGRAD]
+    results: List[AlgorithmPerf] = []
+    for algo in ranked:
         try:
             plan = _build(algo, params, spec)
         except PlanError:

@@ -15,6 +15,7 @@ import numpy as np
 from repro.common.errors import LDMOverflowError, PlanError
 from repro.hw.spec import SW26010Spec, DEFAULT_SPEC
 from repro.telemetry import current_telemetry, use_telemetry
+from repro.core.algorithms import engine_for_plan, resolve_algorithms
 from repro.core.backward import BackwardConvolution
 from repro.core.conv import BACKENDS, ConvolutionEngine, TimingReport
 from repro.core.gemm_plan import GemmEngine, GemmParams, GemmPlan
@@ -57,6 +58,7 @@ class SwDNNHandle:
         fused: bool = False,
         batch_shards: Optional[int] = None,
         telemetry=None,
+        algorithms=None,
     ):
         if backend not in BACKENDS:
             raise PlanError(
@@ -79,6 +81,19 @@ class SwDNNHandle:
         #: only (nothing is written to disk).
         self.autotune = autotune or plan_cache is not None
         self.plan_cache = plan_cache
+        #: ``algorithms`` opts AUTO planning into the conv algorithm zoo
+        #: (:mod:`repro.core.algorithms`): ``None`` keeps the direct
+        #: mapping only (the status quo), ``"all"`` or a sequence lets the
+        #: measured search pick im2col / Winograd per shape.  The guarded
+        #: ladder and fault plans re-run layers through the direct engine
+        #: tiers for bit-identity, so they exclude the zoo up front.
+        resolved = resolve_algorithms(algorithms)
+        if resolved != ("direct",) and (self.guarded or fault_plan is not None):
+            raise PlanError(
+                "guarded/degraded handles support the direct algorithm only; "
+                "drop algorithms= or guarded/fault_plan"
+            )
+        self.algorithms = algorithms
         #: ``fused=True`` lets ``convolution_forward(pool=s)`` run the
         #: ``s x s`` average pool inside the conv engine's LDM epilogue
         #: (pooled bytes only are DMA-put); unfused handles charge the pool
@@ -155,6 +170,7 @@ class SwDNNHandle:
                         cache=self._tune_cache(),
                         fault_plan=self.fault_plan,
                         fused_pool=fused_pool,
+                        algorithms=self.algorithms,
                     ).plan
                 else:
                     best: AlgorithmPerf = find_convolution_forward_algorithm(
@@ -178,6 +194,10 @@ class SwDNNHandle:
                     raise PlanError(
                         "fused pooling is not available in guarded mode"
                     )
+                if getattr(plan, "algorithm", "direct") != "direct":
+                    raise PlanError(
+                        "guarded mode supports the direct algorithm only"
+                    )
                 from repro.core.guarded import GuardedConvolutionEngine
 
                 engine = GuardedConvolutionEngine(
@@ -189,7 +209,9 @@ class SwDNNHandle:
                     telemetry=self.telemetry,
                 )
             else:
-                engine = ConvolutionEngine(
+                # Dispatches on the plan's algorithm: direct plans get the
+                # ConvolutionEngine, lowered ones their zoo engine.
+                engine = engine_for_plan(
                     plan,
                     spec=self.spec,
                     backend=self.backend,

@@ -62,7 +62,11 @@ class Conv2D(Layer):
     ``"mesh-fast"`` — verify the bus protocol once.  ``autotune=True``
     replaces the heuristic planner with the measured search of
     :mod:`repro.tune`; ``plan_cache`` names its on-disk cache directory
-    (implies autotuning).  Backward always uses the reference gradients.
+    (implies autotuning); ``algorithms`` opts the tuned search into the
+    conv algorithm zoo (``"all"`` or a subset of
+    :data:`repro.core.algorithms.ALGORITHMS` — requires autotuning, since
+    only the measured search can justify a lowered plan).  Backward always
+    uses the reference gradients.
     """
 
     def __init__(
@@ -76,9 +80,15 @@ class Conv2D(Layer):
         backend: str = "numpy",
         autotune: bool = False,
         plan_cache=None,
+        algorithms=None,
     ):
         if engine not in ("reference", "simulated"):
             raise PlanError(f"unknown conv engine {engine!r}")
+        if algorithms is not None and not (autotune or plan_cache is not None):
+            raise PlanError(
+                "algorithms= requires autotune=True (the heuristic planner "
+                "only plans the direct mapping)"
+            )
         rng = rng or np.random.default_rng(0)
         scale = np.sqrt(2.0 / (ni * kr * kc))
         self.w = rng.standard_normal((no, ni, kr, kc)) * scale
@@ -87,6 +97,7 @@ class Conv2D(Layer):
         self.backend = backend
         self.autotune = autotune or plan_cache is not None
         self.plan_cache = plan_cache
+        self.algorithms = algorithms
         self._x: Optional[np.ndarray] = None
         self._grad_w: Optional[np.ndarray] = None
         self._grad_b: Optional[np.ndarray] = None
@@ -106,12 +117,14 @@ class Conv2D(Layer):
                 from repro.tune import autotune as tune
 
                 cache = self.plan_cache if self.plan_cache is not None else False
-                plan = tune(params, cache=cache).plan
+                plan = tune(params, cache=cache, algorithms=self.algorithms).plan
             else:
                 from repro.core.planner import plan_convolution
 
                 plan = plan_convolution(params).plan
-            engine = ConvolutionEngine(plan, backend=self.backend)
+            from repro.core.algorithms import engine_for_plan
+
+            engine = engine_for_plan(plan, backend=self.backend)
             self._engine_cache[params] = engine
         return engine
 

@@ -101,6 +101,9 @@ class ConvPlan(abc.ABC):
     """Base class of the two loop-schedule families."""
 
     name: str = "abstract"
+    #: Algorithm family of the zoo (see :mod:`repro.core.algorithms`); both
+    #: loop-schedule families here execute the paper's direct summation.
+    algorithm: str = "direct"
 
     def __init__(
         self,

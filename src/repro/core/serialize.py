@@ -14,6 +14,7 @@ import json
 from typing import Any, Dict, Optional, Union
 
 from repro.common.errors import PlanError
+from repro.core.algorithms import GemmBlocking, LoweredConvPlan, make_lowered_plan
 from repro.core.ldm_blocking import BatchBlocking, ImageBlocking
 from repro.core.params import ConvParams
 from repro.core.plans import BatchSizeAwarePlan, ConvPlan, ImageSizeAwarePlan
@@ -43,7 +44,9 @@ def params_from_dict(data: Dict[str, Any]) -> ConvParams:
         raise PlanError(f"missing ConvParams field {exc}") from None
 
 
-def blocking_to_dict(blocking: Union[ImageBlocking, BatchBlocking]) -> Dict[str, Any]:
+def blocking_to_dict(
+    blocking: Union[ImageBlocking, BatchBlocking, GemmBlocking],
+) -> Dict[str, Any]:
     if isinstance(blocking, ImageBlocking):
         return {
             "kind": "image",
@@ -60,10 +63,19 @@ def blocking_to_dict(blocking: Union[ImageBlocking, BatchBlocking]) -> Dict[str,
             "promote_filter": blocking.promote_filter,
             "b_ni": blocking.b_ni,
         }
+    if isinstance(blocking, GemmBlocking):
+        return {
+            "kind": "gemm",
+            "b_m": blocking.b_m,
+            "b_n": blocking.b_n,
+            "b_k": blocking.b_k,
+        }
     raise PlanError(f"unknown blocking type {type(blocking).__name__}")
 
 
-def blocking_from_dict(data: Dict[str, Any]) -> Union[ImageBlocking, BatchBlocking]:
+def blocking_from_dict(
+    data: Dict[str, Any],
+) -> Union[ImageBlocking, BatchBlocking, GemmBlocking]:
     kind = data.get("kind")
     if kind == "image":
         return ImageBlocking(
@@ -79,12 +91,16 @@ def blocking_from_dict(data: Dict[str, Any]) -> Union[ImageBlocking, BatchBlocki
             promote_filter=bool(data.get("promote_filter", False)),
             b_ni=None if data.get("b_ni") is None else int(data["b_ni"]),
         )
+    if kind == "gemm":
+        return GemmBlocking(
+            b_m=int(data["b_m"]), b_n=int(data["b_n"]), b_k=int(data["b_k"])
+        )
     raise PlanError(f"unknown blocking kind {kind!r}")
 
 
-def plan_to_dict(plan: ConvPlan) -> Dict[str, Any]:
+def plan_to_dict(plan: Union[ConvPlan, LoweredConvPlan]) -> Dict[str, Any]:
     """Describe a plan completely enough to rebuild it."""
-    return {
+    out = {
         "format_version": FORMAT_VERSION,
         "family": plan.name,
         "params": params_to_dict(plan.params),
@@ -94,6 +110,13 @@ def plan_to_dict(plan: ConvPlan) -> Dict[str, Any]:
             "rb_no": plan.register_blocking.rb_no,
         },
     }
+    # The algorithm field is written for lowered plans only, so every
+    # pre-zoo direct plan dict stays byte-identical (cache entries embed
+    # these dicts; see repro.tune.cache).
+    algorithm = getattr(plan, "algorithm", "direct")
+    if algorithm != "direct":
+        out["algorithm"] = algorithm
+    return out
 
 
 def plan_from_dict(data: Dict[str, Any], spec: Optional["SW26010Spec"] = None) -> ConvPlan:
@@ -114,6 +137,21 @@ def plan_from_dict(data: Dict[str, Any], spec: Optional["SW26010Spec"] = None) -
         rb_b=int(reg.get("rb_b", 16)), rb_no=int(reg.get("rb_no", 4))
     )
     family = data.get("family")
+    if family in ("im2col", "winograd"):
+        if not isinstance(blocking, GemmBlocking):
+            raise PlanError(f"{family} plan needs a gemm blocking")
+        if data.get("algorithm", family) != family:
+            raise PlanError(
+                f"plan algorithm {data.get('algorithm')!r} disagrees with "
+                f"family {family!r}"
+            )
+        return make_lowered_plan(
+            family,
+            params,
+            spec=spec,
+            blocking=blocking,
+            register_blocking=register_blocking,
+        )
     if family == "image-size-aware":
         if not isinstance(blocking, ImageBlocking):
             raise PlanError("image-size-aware plan needs an image blocking")
@@ -129,11 +167,15 @@ def plan_from_dict(data: Dict[str, Any], spec: Optional["SW26010Spec"] = None) -
     raise PlanError(f"unknown plan family {family!r}")
 
 
-def plan_to_json(plan: ConvPlan, indent: Optional[int] = 2) -> str:
+def plan_to_json(
+    plan: Union[ConvPlan, LoweredConvPlan], indent: Optional[int] = 2
+) -> str:
     return json.dumps(plan_to_dict(plan), indent=indent)
 
 
-def plan_from_json(text: str, spec: Optional[SW26010Spec] = None) -> ConvPlan:
+def plan_from_json(
+    text: str, spec: Optional[SW26010Spec] = None
+) -> Union[ConvPlan, LoweredConvPlan]:
     try:
         data = json.loads(text)
     except json.JSONDecodeError as exc:

@@ -63,9 +63,23 @@ __all__ = [
     "DriftReport",
     "DriftRow",
     "drift_report",
+    # lazy (see __getattr__): the communication-lower-bound oracle
+    "OracleReport",
+    "OracleRow",
+    "demmel_dinh_bound_bytes",
+    "oracle_report",
+    "validate_oracle_report",
 ]
 
 _LAZY_DRIFT = ("DriftReport", "DriftRow", "drift_report", "DEFAULT_DRIFT_THRESHOLD")
+_LAZY_ORACLE = (
+    "OracleReport",
+    "OracleRow",
+    "demmel_dinh_bound_bytes",
+    "oracle_report",
+    "validate_oracle_report",
+    "DEFAULT_ATTAINMENT_THRESHOLD",
+)
 _LAZY_VALIDATE = ("validate_chrome_trace", "validate_chrome_trace_file")
 
 
@@ -78,6 +92,10 @@ def __getattr__(name: str):
         from repro.telemetry import drift as _drift
 
         return getattr(_drift, name)
+    if name in _LAZY_ORACLE:
+        from repro.telemetry import oracle as _oracle
+
+        return getattr(_oracle, name)
     if name in _LAZY_VALIDATE:
         from repro.telemetry import validate as _validate
 

@@ -19,6 +19,11 @@ family; this package replaces the rule with a *measured search*:
    (:class:`~repro.tune.cache.PlanCache`) keyed by (params, spec
    fingerprint, backend tier, effective mesh size), so every later process
    loads the tuned plan instead of re-searching.
+
+With ``algorithms="all"`` the same search additionally spans the
+algorithm zoo (:mod:`repro.core.algorithms`): GEMM-lowered im2col and
+fused F(2x2,3x3) Winograd candidates compete with the direct families,
+illegal (algorithm, shape) combinations pruned at enumeration.
 """
 
 from repro.tune.cache import (
@@ -29,10 +34,14 @@ from repro.tune.cache import (
     global_cache_stats,
     reset_global_cache_stats,
 )
-from repro.tune.space import Candidate, enumerate_candidates
+from repro.core.algorithms import ALGORITHMS, resolve_algorithms
+from repro.tune.space import FAMILIES, Candidate, enumerate_candidates
 from repro.tune.tuner import TunedPlan, autotune, score_candidate, warm_cache
 
 __all__ = [
+    "ALGORITHMS",
+    "FAMILIES",
+    "resolve_algorithms",
     "CACHE_SCHEMA_VERSION",
     "CacheStats",
     "Candidate",

@@ -108,6 +108,7 @@ class PlanCache:
         mesh_size: int,
         fused_pool: int = 1,
         families: Optional[Sequence[str]] = None,
+        algorithms: Optional[Sequence[str]] = None,
     ) -> Dict[str, Any]:
         payload = {
             "schema_version": CACHE_SCHEMA_VERSION,
@@ -124,6 +125,14 @@ class PlanCache:
         # unrestricted key stays byte-identical.
         if families is not None:
             payload["families"] = sorted(families)
+        # Same contract for the algorithm-zoo restriction: "all" and an
+        # explicit subset canonicalize identically, and an unrestricted
+        # (direct-only) search adds nothing, so every pre-zoo direct key
+        # stays byte-identical.
+        if algorithms is not None:
+            from repro.core.algorithms import resolve_algorithms
+
+            payload["algorithms"] = sorted(resolve_algorithms(algorithms))
         return payload
 
     def key(
@@ -134,9 +143,10 @@ class PlanCache:
         mesh_size: int,
         fused_pool: int = 1,
         families: Optional[Sequence[str]] = None,
+        algorithms: Optional[Sequence[str]] = None,
     ) -> str:
         payload = self.key_payload(
-            params, spec, backend, mesh_size, fused_pool, families
+            params, spec, backend, mesh_size, fused_pool, families, algorithms
         )
         canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:40]
@@ -149,8 +159,11 @@ class PlanCache:
         mesh_size: int,
         fused_pool: int = 1,
         families: Optional[Sequence[str]] = None,
+        algorithms: Optional[Sequence[str]] = None,
     ) -> Path:
-        key = self.key(params, spec, backend, mesh_size, fused_pool, families)
+        key = self.key(
+            params, spec, backend, mesh_size, fused_pool, families, algorithms
+        )
         return self.root / f"{key}.json"
 
     # -- traffic --------------------------------------------------------------
@@ -163,13 +176,16 @@ class PlanCache:
         mesh_size: int,
         fused_pool: int = 1,
         families: Optional[Sequence[str]] = None,
+        algorithms: Optional[Sequence[str]] = None,
     ) -> Optional[Dict[str, Any]]:
         """The stored entry for this key, or None (counted as hit/miss).
 
         An unreadable, schema-mismatched or key-mismatched file is a miss —
         the tuner re-tunes and overwrites it.
         """
-        path = self.path_for(params, spec, backend, mesh_size, fused_pool, families)
+        path = self.path_for(
+            params, spec, backend, mesh_size, fused_pool, families, algorithms
+        )
         entry: Optional[Dict[str, Any]] = None
         try:
             with open(path, "r", encoding="utf-8") as fh:
@@ -178,7 +194,7 @@ class PlanCache:
             data = None
         if isinstance(data, dict):
             expected = self.key_payload(
-                params, spec, backend, mesh_size, fused_pool, families
+                params, spec, backend, mesh_size, fused_pool, families, algorithms
             )
             if data.get("key") == expected and "plan" in data:
                 entry = data
@@ -202,13 +218,16 @@ class PlanCache:
         tuning: Dict[str, Any],
         fused_pool: int = 1,
         families: Optional[Sequence[str]] = None,
+        algorithms: Optional[Sequence[str]] = None,
     ) -> Path:
         """Persist a tuned winner atomically; returns the entry path."""
         self.root.mkdir(parents=True, exist_ok=True)
-        path = self.path_for(params, spec, backend, mesh_size, fused_pool, families)
+        path = self.path_for(
+            params, spec, backend, mesh_size, fused_pool, families, algorithms
+        )
         entry = {
             "key": self.key_payload(
-                params, spec, backend, mesh_size, fused_pool, families
+                params, spec, backend, mesh_size, fused_pool, families, algorithms
             ),
             "plan": plan_dict,
             "tuning": tuning,

@@ -26,6 +26,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
 
+from repro.core.algorithms import (
+    GemmBlocking,
+    LoweredConvPlan,
+    algorithm_legal,
+    enumerate_gemm_blockings,
+    make_lowered_plan,
+    resolve_algorithms,
+)
 from repro.core.ldm_blocking import (
     BatchBlocking,
     ImageBlocking,
@@ -56,14 +64,36 @@ DEFAULT_REGISTER_BLOCKINGS = (
 
 @dataclass(frozen=True)
 class Candidate:
-    """One (family, LDM blocking, register blocking) search point."""
+    """One (algorithm, family, LDM blocking, register blocking) search point.
 
-    family: str  # "image-size-aware" | "batch-size-aware"
-    blocking: Union[ImageBlocking, BatchBlocking]
+    ``algorithm`` defaults to "direct" (the paper's conv->mesh mapping),
+    where ``family`` names the loop schedule (Algorithm 1 or 2).  For the
+    lowered algorithms of the zoo, ``family`` equals the algorithm name and
+    ``blocking`` is the mesh GEMM's :class:`GemmBlocking`.
+    """
+
+    family: str  # "image-size-aware" | "batch-size-aware" | "im2col" | "winograd"
+    blocking: Union[ImageBlocking, BatchBlocking, GemmBlocking]
     register_blocking: RegisterBlocking = PAPER_REGISTER_BLOCKING
+    algorithm: str = "direct"
 
-    def build(self, params: ConvParams, spec: SW26010Spec = DEFAULT_SPEC) -> ConvPlan:
+    def build(
+        self, params: ConvParams, spec: SW26010Spec = DEFAULT_SPEC
+    ) -> Union[ConvPlan, LoweredConvPlan]:
         """Materialize the candidate as an executable plan (validates LDM)."""
+        if self.algorithm != "direct":
+            if not isinstance(self.blocking, GemmBlocking):
+                raise ValueError(
+                    f"{self.algorithm} candidates need a GemmBlocking, "
+                    f"got {type(self.blocking).__name__}"
+                )
+            return make_lowered_plan(
+                self.algorithm,
+                params,
+                spec=spec,
+                blocking=self.blocking,
+                register_blocking=self.register_blocking,
+            )
         kind = "image" if self.family == "image-size-aware" else "batch"
         return make_plan(
             kind,
@@ -76,7 +106,9 @@ class Candidate:
     def describe(self) -> str:
         blk = self.blocking
         rb = self.register_blocking
-        if isinstance(blk, ImageBlocking):
+        if isinstance(blk, GemmBlocking):
+            body = f"bM={blk.b_m} bN={blk.b_n} bK={blk.b_k}"
+        elif isinstance(blk, ImageBlocking):
             body = (
                 f"bB={blk.b_b} bCo={blk.b_co} bNi={blk.b_ni or 'full'}"
                 f"{' +in' if blk.promote_input else ''}"
@@ -90,7 +122,7 @@ class Candidate:
         return f"{self.family}({body}) rb=({rb.rb_b},{rb.rb_no})"
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        out = {
             "family": self.family,
             "blocking": blocking_to_dict(self.blocking),
             "register_blocking": {
@@ -98,6 +130,11 @@ class Candidate:
                 "rb_no": self.register_blocking.rb_no,
             },
         }
+        # Written only for lowered candidates, so pre-zoo serialized
+        # candidates (and the cache entries embedding them) are unchanged.
+        if self.algorithm != "direct":
+            out["algorithm"] = self.algorithm
+        return out
 
     @staticmethod
     def from_dict(data: Dict[str, Any]) -> "Candidate":
@@ -108,6 +145,8 @@ class Candidate:
             register_blocking=RegisterBlocking(
                 rb_b=int(reg.get("rb_b", 16)), rb_no=int(reg.get("rb_no", 4))
             ),
+            # Pre-zoo dicts carry no algorithm field: they are direct.
+            algorithm=str(data.get("algorithm", "direct")),
         )
 
 
@@ -175,19 +214,29 @@ def enumerate_candidates(
     spec: SW26010Spec = DEFAULT_SPEC,
     register_blockings: Optional[Sequence[RegisterBlocking]] = None,
     families: Optional[Sequence[str]] = None,
+    algorithms: Union[None, str, Sequence[str]] = None,
 ) -> List[Candidate]:
     """All LDM- and register-feasible candidates for one conv shape.
 
-    The cross product (families x blockings x register shapes) is pruned to
-    feasibility only — ranking is the tuner's job (the analytic model scores
-    candidates in closed form, so a few thousand points cost milliseconds).
+    The cross product (algorithms x families x blockings x register shapes)
+    is pruned to feasibility only — ranking is the tuner's job (the
+    analytic model scores candidates in closed form, so a few thousand
+    points cost milliseconds).
 
     ``families`` restricts the search to a subset of :data:`FAMILIES` —
     e.g. the serving pool tunes within ``("image-size-aware",)`` only,
     because that family's tile count is batch-invariant and therefore
     amortizes under dynamic batching, while batch-size-aware schedules only
     pay off at the training-scale batches they were designed for.
+
+    ``algorithms`` opts into the zoo: ``None`` searches the direct
+    algorithm only (the status quo — lowered paths give up the guarded
+    ladder, fused epilogues and bit-identity with the direct engine);
+    ``"all"`` or an explicit subset adds the lowered families, with
+    illegal (algorithm, shape) combinations pruned here — a Winograd
+    candidate for a 5x5 or strided shape is never enumerated.
     """
+    algos = resolve_algorithms(algorithms)
     if families is None:
         families = FAMILIES
     else:
@@ -205,18 +254,35 @@ def enumerate_candidates(
         raise ValueError("no register-feasible blocking shape in the search set")
     out: List[Candidate] = []
     seen = set()
-    if "image-size-aware" in families:
-        for blocking in _image_blockings(params, spec):
-            for rb in shapes:
-                cand = Candidate("image-size-aware", blocking, rb)
-                if cand not in seen:
-                    seen.add(cand)
-                    out.append(cand)
-    if "batch-size-aware" in families:
-        for blocking in _batch_blockings(params, spec):
-            for rb in shapes:
-                cand = Candidate("batch-size-aware", blocking, rb)
-                if cand not in seen:
-                    seen.add(cand)
-                    out.append(cand)
+    if "direct" in algos:
+        if "image-size-aware" in families:
+            for blocking in _image_blockings(params, spec):
+                for rb in shapes:
+                    cand = Candidate("image-size-aware", blocking, rb)
+                    if cand not in seen:
+                        seen.add(cand)
+                        out.append(cand)
+        if "batch-size-aware" in families:
+            for blocking in _batch_blockings(params, spec):
+                for rb in shapes:
+                    cand = Candidate("batch-size-aware", blocking, rb)
+                    if cand not in seen:
+                        seen.add(cand)
+                        out.append(cand)
+    for algo in algos:
+        if algo == "direct" or not algorithm_legal(algo, params):
+            continue
+        # Lowered kernels run the fixed mesh-GEMM inner loop; the paper's
+        # register blocking is always feasible, so the search dimension is
+        # the GEMM tile shape alone.
+        for blocking in enumerate_gemm_blockings(algo, params, spec):
+            cand = Candidate(
+                family=algo,
+                blocking=blocking,
+                register_blocking=PAPER_REGISTER_BLOCKING,
+                algorithm=algo,
+            )
+            if cand not in seen:
+                seen.add(cand)
+                out.append(cand)
     return out

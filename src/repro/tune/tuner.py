@@ -28,6 +28,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.common.errors import LDMOverflowError, PlanError
 from repro.common.parallel import parallel_map
+from repro.core.algorithms import engine_for_plan, resolve_algorithms
 from repro.core.conv import ConvolutionEngine, effective_mesh_size
 from repro.core.ldm_blocking import ImageBlocking
 from repro.core.params import ConvParams
@@ -76,7 +77,14 @@ def score_candidate(
     variant (promotion-aware), MBW_mem from a single-stream Table II read at
     the family's leading-dimension block size, and EE from the simulated
     dual-pipeline kernel at the candidate's register shape and ``bNi``.
+
+    Lowered candidates (im2col, Winograd) are scored by their plan's own
+    GEMM-roofline estimate — building a lowered plan is O(1), no schedule
+    is compiled, and the estimate's flop budget is direct-equivalent, so
+    the scores rank across algorithm families.
     """
+    if candidate.algorithm != "direct":
+        return candidate.build(params, spec).estimate()
     p = params
     blk = candidate.blocking
     rb = candidate.register_blocking
@@ -134,7 +142,7 @@ def _measure_job(
     candidate = Candidate.from_dict(cand_dict)
     params = params_from_dict(params_dict)
     plan = candidate.build(params, spec)
-    report = ConvolutionEngine(plan, spec=spec, fused_pool=fused_pool).evaluate()
+    report = engine_for_plan(plan, spec=spec, fused_pool=fused_pool).evaluate()
     return report.seconds, report.gflops
 
 
@@ -178,7 +186,7 @@ def _fused_feasible(
     if fused_pool <= 1:
         return True
     try:
-        ConvolutionEngine(
+        engine_for_plan(
             candidate.build(params, spec), spec=spec, fused_pool=fused_pool
         )
     except (PlanError, LDMOverflowError):
@@ -198,6 +206,7 @@ def autotune(
     force: bool = False,
     fused_pool: int = 1,
     families: Optional[Sequence[str]] = None,
+    algorithms: Union[None, str, Sequence[str]] = None,
 ) -> TunedPlan:
     """Pick (and persist) the fastest plan for one conv shape.
 
@@ -214,8 +223,17 @@ def autotune(
     ``families`` restricts the search to a subset of the loop-schedule
     families (see :func:`~repro.tune.space.enumerate_candidates`); the
     restriction is part of the cache key, so a family-restricted winner
-    never aliases the unrestricted one.
+    never aliases the unrestricted one.  ``algorithms`` opts the search
+    into the zoo's lowered families (im2col, Winograd) alongside or
+    instead of the direct mapping — like ``families`` it enters the cache
+    key only when set, so every pre-zoo direct entry keeps its key.
     """
+    resolved_algorithms = resolve_algorithms(algorithms)
+    if fault_plan is not None and resolved_algorithms != ("direct",):
+        raise PlanError(
+            "degraded-machine tuning supports the direct algorithm only; "
+            "drop the algorithms= restriction or the fault plan"
+        )
     plan_cache = _resolve_cache(cache)
     mesh_size = spec.mesh_size
     if fault_plan is not None:
@@ -225,7 +243,7 @@ def autotune(
 
     if plan_cache is not None and not force:
         entry = plan_cache.load(
-            params, spec, backend, mesh_size, fused_pool, families
+            params, spec, backend, mesh_size, fused_pool, families, algorithms
         )
         if entry is not None:
             plan = plan_from_dict(entry["plan"], spec=spec)
@@ -236,6 +254,7 @@ def autotune(
                     family=plan.name,
                     blocking=plan.blocking,
                     register_blocking=plan.register_blocking,
+                    algorithm=getattr(plan, "algorithm", "direct"),
                 ),
                 gflops=float(tuning.get("gflops", 0.0)),
                 seconds=float(tuning.get("seconds", 0.0)),
@@ -243,12 +262,17 @@ def autotune(
                 candidates=int(tuning.get("candidates", 0)),
                 measured=0,
                 cache_path=plan_cache.path_for(
-                    params, spec, backend, mesh_size, fused_pool, families
+                    params, spec, backend, mesh_size, fused_pool, families,
+                    algorithms,
                 ),
             )
 
     candidates = enumerate_candidates(
-        params, spec, register_blockings=register_blockings, families=families
+        params,
+        spec,
+        register_blockings=register_blockings,
+        families=families,
+        algorithms=algorithms,
     )
     scored = sorted(
         candidates,
@@ -256,10 +280,29 @@ def autotune(
         reverse=True,
     )
     survivors: List[Candidate] = []
-    heuristic = _heuristic_candidate(params, spec)
-    seeds = [heuristic] if families is None or heuristic.family in families else []
+    seeds: List[Candidate] = []
+    if "direct" in resolved_algorithms:
+        heuristic = _heuristic_candidate(params, spec)
+        if families is None or heuristic.family in families:
+            seeds = [heuristic]
+    # Every algorithm family in the search gets its best-scored candidate
+    # measured: the closed-form scores of the lowered families are built on
+    # a different roofline than the direct ones, so a cross-family ranking
+    # error could otherwise exclude a whole family from the measured set.
+    # The measurement — not the model — must decide the winner.
+    for algo in resolved_algorithms:
+        if algo == "direct":
+            continue
+        for cand in scored:
+            if cand.algorithm == algo:
+                seeds.append(cand)
+                break
+    # The lowered seeds ride on top of the direct budget, not inside it:
+    # the zoo's measured set must be a superset of the direct-only one, or
+    # adding algorithms could displace the direct winner and regress.
+    budget = max(1, top_k) + sum(1 for s in seeds if s.algorithm != "direct")
     for cand in seeds + scored:
-        if len(survivors) > max(1, top_k):
+        if len(survivors) > budget:
             break
         if cand in survivors:
             continue
@@ -310,6 +353,8 @@ def autotune(
             "measured": len(survivors),
             "winner": winner.describe(),
         }
+        if winner.algorithm != "direct":
+            tuning["algorithm"] = winner.algorithm
         cache_path = plan_cache.store(
             params,
             spec,
@@ -319,6 +364,7 @@ def autotune(
             tuning,
             fused_pool,
             families,
+            algorithms,
         )
     return TunedPlan(
         plan=plan,

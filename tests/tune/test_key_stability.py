@@ -38,6 +38,10 @@ print(json.dumps({
         params, DEFAULT_SPEC, "numpy", 64, 1,
         families=("image-size-aware",),
     ),
+    "zoo": cache.key(
+        params, DEFAULT_SPEC, "numpy", 64, 1,
+        algorithms="all",
+    ),
 }))
 """
 
@@ -65,6 +69,9 @@ class TestCrossProcessKeyStability:
         assert child["family"] == cache.key(
             params, DEFAULT_SPEC, "numpy", 64, 1,
             families=("image-size-aware",),
+        )
+        assert child["zoo"] == cache.key(
+            params, DEFAULT_SPEC, "numpy", 64, 1, algorithms="all"
         )
 
     def test_keys_are_sha256_prefixes(self):
@@ -98,6 +105,38 @@ class TestCrossProcessKeyStability:
         assert restricted["families"] == [
             "batch-size-aware", "image-size-aware",
         ]
+
+    def test_unrestricted_payload_omits_algorithms_field(self):
+        """algorithms=None must not appear in the payload at all, so every
+        pre-zoo cache entry keeps its original key."""
+        params = ConvParams(**PARAMS)
+        cache = PlanCache(root="ignored")
+        payload = cache.key_payload(params, DEFAULT_SPEC, "numpy", 64, 1)
+        assert "algorithms" not in payload
+        zoo = cache.key_payload(
+            params, DEFAULT_SPEC, "numpy", 64, 1, algorithms="all"
+        )
+        assert zoo["algorithms"] == ["direct", "im2col", "winograd"]
+
+    def test_algorithms_restriction_changes_the_key(self):
+        params = ConvParams(**PARAMS)
+        cache = PlanCache(root="ignored")
+        unrestricted = cache.key(params, DEFAULT_SPEC, "numpy", 64, 1)
+        zoo = cache.key(
+            params, DEFAULT_SPEC, "numpy", 64, 1, algorithms="all"
+        )
+        assert unrestricted != zoo
+
+    def test_algorithms_order_is_canonicalized(self):
+        """'all' and any explicit ordering of the full set share one key."""
+        params = ConvParams(**PARAMS)
+        cache = PlanCache(root="ignored")
+        a = cache.key(params, DEFAULT_SPEC, "numpy", 64, 1, algorithms="all")
+        b = cache.key(
+            params, DEFAULT_SPEC, "numpy", 64, 1,
+            algorithms=("winograd", "direct", "im2col"),
+        )
+        assert a == b
 
     def test_family_order_is_canonicalized(self):
         params = ConvParams(**PARAMS)
