@@ -1,7 +1,7 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: test faults tune zoo profile serve verify
+.PHONY: test faults tune zoo profile serve chaos verify
 
 test:
 	python -m pytest -x -q
@@ -23,6 +23,10 @@ profile:
 serve:
 	python -m pytest -x -q -m serve tests/serve
 	python -m repro serve --smoke
+
+chaos:
+	python -m repro serve --chaos --smoke --json-out /tmp/repro-chaos.json
+	python -m repro.faults.validate /tmp/repro-chaos.json
 
 verify:
 	sh scripts/verify.sh

@@ -15,6 +15,7 @@ TUNE_TIMEOUT="${TUNE_TIMEOUT:-120}"
 ZOO_TIMEOUT="${ZOO_TIMEOUT:-300}"
 PROFILE_TIMEOUT="${PROFILE_TIMEOUT:-120}"
 SERVE_TIMEOUT="${SERVE_TIMEOUT:-180}"
+CHAOS_TIMEOUT="${CHAOS_TIMEOUT:-180}"
 
 echo "== tier-1 suite (timeout ${TIER1_TIMEOUT}s) =="
 timeout "${TIER1_TIMEOUT}" python -m pytest -x -q
@@ -30,7 +31,8 @@ timeout "${ZOO_TIMEOUT}" python -m pytest -x -q -m zoo tests/tune
 
 echo "== telemetry profile smoke test (timeout ${PROFILE_TIMEOUT}s) =="
 PROFILE_TRACE="$(mktemp /tmp/repro-profile-XXXXXX.json)"
-trap 'rm -f "${PROFILE_TRACE}"' EXIT
+CHAOS_REPORT=""
+trap 'rm -f "${PROFILE_TRACE}" ${CHAOS_REPORT:+"${CHAOS_REPORT}"}' EXIT
 timeout "${PROFILE_TIMEOUT}" python -m repro profile \
     --ni 32 --no 32 --out 16 --batch 16 --tiles 8 --guarded \
     --trace-out "${PROFILE_TRACE}"
@@ -39,5 +41,18 @@ timeout "${PROFILE_TIMEOUT}" python -m repro.telemetry.validate "${PROFILE_TRACE
 echo "== serve suite + smoke (timeout ${SERVE_TIMEOUT}s) =="
 timeout "${SERVE_TIMEOUT}" python -m pytest -x -q -m serve tests/serve
 timeout "${SERVE_TIMEOUT}" python -m repro serve --smoke
+
+echo "== chaos-serve smoke + schema gate (timeout ${CHAOS_TIMEOUT}s) =="
+# The smoke asserts availability under seeded dma+cpe faults and the
+# zero-wrong-answer parity audit; the validator then checks the emitted
+# report and the committed benchmark record against the same schema.
+CHAOS_REPORT="$(mktemp /tmp/repro-chaos-XXXXXX.json)"
+timeout "${CHAOS_TIMEOUT}" python -m repro serve --chaos --smoke \
+    --json-out "${CHAOS_REPORT}"
+timeout "${CHAOS_TIMEOUT}" python -m repro.faults.validate "${CHAOS_REPORT}"
+if [ -f benchmarks/BENCH_chaos_serve.json ]; then
+    timeout "${CHAOS_TIMEOUT}" python -m repro.faults.validate \
+        benchmarks/BENCH_chaos_serve.json
+fi
 
 echo "verify: OK"

@@ -293,6 +293,8 @@ def cmd_profile(args) -> int:
 
 
 def cmd_serve(args) -> int:
+    if args.chaos:
+        return _cmd_serve_chaos(args)
     import numpy as np
 
     from repro.serve import (
@@ -375,6 +377,57 @@ def cmd_serve(args) -> int:
             return 1
         print("smoke OK: all requests completed, counters balance, "
               "outputs match the per-request run")
+    return 0
+
+
+def _cmd_serve_chaos(args) -> int:
+    """``repro serve --chaos``: seeded fault plan against a live server."""
+    import json
+
+    from repro.faults import (
+        default_chaos_serve_faults,
+        run_chaos_serve,
+        validate_chaos_serve_report,
+    )
+
+    report = run_chaos_serve(
+        fault_spec=default_chaos_serve_faults(args.seed or 0xC0FFEE),
+        n_requests=args.requests,
+        rate_rps=args.rate if args.rate < 10000 else 2000.0,
+        ni=args.ni,
+        no=args.no,
+        image=args.image,
+        k=args.k,
+        max_batch=args.max_batch,
+        max_wait_s=args.max_wait_ms / 1e3,
+        workers=args.workers or 1,
+        deadline_s=(
+            args.deadline_ms / 1e3 if args.deadline_ms is not None else None
+        ),
+    )
+    print(report.render())
+    if args.json_out:
+        payload = report.as_dict()
+        with open(args.json_out, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"report written to {args.json_out}")
+    if args.smoke:
+        failures = validate_chaos_serve_report(report.as_dict())
+        if report.availability <= 0:
+            failures.append(f"availability {report.availability} is not > 0")
+        if report.availability < 0.99:
+            failures.append(
+                f"availability {report.availability * 100:.2f}% below 99%"
+            )
+        if failures:
+            for failure in failures:
+                print(f"chaos smoke FAIL: {failure}")
+            return 1
+        print(
+            "chaos smoke OK: availability "
+            f"{report.availability * 100:.2f}%, zero wrong answers, "
+            "counters balance"
+        )
     return 0
 
 
@@ -480,6 +533,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="raw engines instead of the guarded ladder")
     serve.add_argument("--seed", type=int, default=0,
                        help="weights/images/arrivals seed")
+    serve.add_argument("--chaos", action="store_true",
+                       help="replay a seeded fault plan against the server "
+                            "(availability + zero-wrong-answer audit)")
+    serve.add_argument("--json-out", metavar="PATH", default=None,
+                       help="write the chaos-serve report as JSON")
     serve.add_argument("--compare", action="store_true",
                        help="also run the sequential per-request baseline")
     serve.add_argument("--smoke", action="store_true",

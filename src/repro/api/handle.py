@@ -84,16 +84,12 @@ class SwDNNHandle:
         #: ``algorithms`` opts AUTO planning into the conv algorithm zoo
         #: (:mod:`repro.core.algorithms`): ``None`` keeps the direct
         #: mapping only (the status quo), ``"all"`` or a sequence lets the
-        #: measured search pick im2col / Winograd per shape.  The guarded
-        #: ladder and fault plans re-run layers through the direct engine
-        #: tiers for bit-identity, so they exclude the zoo up front.
-        resolved = resolve_algorithms(algorithms)
-        if resolved != ("direct",) and (self.guarded or fault_plan is not None):
-            raise PlanError(
-                "guarded/degraded handles support the direct algorithm only; "
-                "drop algorithms= or guarded/fault_plan"
-            )
+        #: measured search pick im2col / Winograd per shape.  On a guarded
+        #: or degraded handle a lowered plan still tunes and runs — the
+        #: ladder prepends a ``lowered`` tier and demotes to the tuned
+        #: direct engine when the zoo engine refuses the fault plan.
         self.algorithms = algorithms
+        self._resolved_algorithms = resolve_algorithms(algorithms)
         #: ``fused=True`` lets ``convolution_forward(pool=s)`` run the
         #: ``s x s`` average pool inside the conv engine's LDM epilogue
         #: (pooled bytes only are DMA-put); unfused handles charge the pool
@@ -163,12 +159,20 @@ class SwDNNHandle:
                 if self.autotune:
                     from repro.tune import autotune
 
+                    # A zoo-wide search tunes on the healthy machine (the
+                    # tuner refuses fault plans for lowered candidates);
+                    # degradation is handled at run time by the guarded
+                    # ladder's lowered-tier demotion, not at plan time.
                     plan = autotune(
                         params,
                         spec=self.spec,
                         backend=self.backend,
                         cache=self._tune_cache(),
-                        fault_plan=self.fault_plan,
+                        fault_plan=(
+                            self.fault_plan
+                            if self._resolved_algorithms == ("direct",)
+                            else None
+                        ),
                         fused_pool=fused_pool,
                         algorithms=self.algorithms,
                     ).plan
@@ -194,12 +198,14 @@ class SwDNNHandle:
                     raise PlanError(
                         "fused pooling is not available in guarded mode"
                     )
-                if getattr(plan, "algorithm", "direct") != "direct":
-                    raise PlanError(
-                        "guarded mode supports the direct algorithm only"
-                    )
                 from repro.core.guarded import GuardedConvolutionEngine
 
+                direct_plan = None
+                if getattr(plan, "algorithm", "direct") != "direct":
+                    # Demotion target for the lowered tier: the *tuned*
+                    # direct plan for this shape (fault-aware — the direct
+                    # tuner replans around fenced CPEs).
+                    direct_plan = self._direct_plan_for(params)
                 engine = GuardedConvolutionEngine(
                     plan,
                     spec=self.spec,
@@ -207,6 +213,7 @@ class SwDNNHandle:
                     fault_plan=self.fault_plan,
                     parity_check=self.parity_check,
                     telemetry=self.telemetry,
+                    direct_plan=direct_plan,
                 )
             else:
                 # Dispatches on the plan's algorithm: direct plans get the
@@ -220,6 +227,22 @@ class SwDNNHandle:
                 )
             self._engine_cache[key] = engine
         return engine
+
+    def _direct_plan_for(self, params: ConvParams) -> ConvPlan:
+        """The tuned (or heuristic) direct plan a lowered ladder demotes to."""
+        if self.autotune:
+            from repro.tune import autotune
+
+            return autotune(
+                params,
+                spec=self.spec,
+                backend=self.backend,
+                cache=self._tune_cache(),
+                fault_plan=self.fault_plan,
+            ).plan
+        from repro.core.planner import plan_convolution
+
+        return plan_convolution(params, spec=self.spec).plan
 
     @property
     def last_outcome(self):
@@ -450,6 +473,7 @@ class SwDNNHandle:
             batch_shards=self.batch_shards or 1,
             default_deadline_s=default_deadline_s,
             spec=self.spec,
+            fault_plan=self.fault_plan,
         )
         return InferenceServer(model, config, telemetry=self.telemetry)
 

@@ -83,6 +83,27 @@ class ServerClosedError(ServeError):
     """A request was submitted to (or was pending on) a closed server."""
 
 
+class ShedError(ServeError):
+    """A request was shed by brownout load-shedding.
+
+    Raised when the batcher sheds lowest-priority work — because the
+    admission queue crossed its high-water mark, or because an admitted
+    request was evicted by a higher-priority arrival.  A shed is an
+    *explicit typed rejection*: the caller knows immediately, no work was
+    wasted, and the accounting still balances (``serve.shed``).
+    """
+
+
+class BreakerOpenError(ShedError):
+    """A request was rejected because the pool's circuit breaker is open.
+
+    A breaker trips when the recent failure rate of batch executions
+    crosses its threshold; while open (and for the non-probe fraction of
+    half-open traffic) submissions are shed at admission rather than
+    queued toward a backend that is currently failing.
+    """
+
+
 class WorkerError(ReproError):
     """A parallel worker failed; carries the job's arguments and traceback.
 

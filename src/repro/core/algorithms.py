@@ -647,6 +647,16 @@ class LoweredConvEngine:
         self.telemetry.counters.add("engine.runs")
         return out, self.evaluate()
 
+    def prepack_filters(self, w: np.ndarray, version: int = 0) -> int:
+        """Call-compatible no-op (returns 0 packed bytes).
+
+        Lowered paths re-transform the filters on every call — the
+        transform is part of the timing model — so there is no persistent
+        packed layout to memoize.  Present so the guarded ladder and warm
+        pools can treat lowered engines uniformly at warm-up.
+        """
+        return 0
+
 
 class Im2colEngine(LoweredConvEngine):
     """Execution of an :class:`Im2colPlan`."""

@@ -18,6 +18,13 @@ degraded machine a layer *degrades instead of dying*:
 * **Fenced-CPE replan** — inherited from the engine: mesh tiers execute on
   the largest healthy square submesh (see
   :func:`~repro.core.conv.effective_mesh_size`) rather than aborting.
+* **Lowered-plan demotion** — a lowered (im2col/Winograd) plan gets a
+  ``lowered`` tier prepended to its ladder.  On a healthy machine the
+  lowered engine runs; under a fault plan the zoo engine refuses
+  degraded-machine execution (:class:`~repro.common.errors.PlanError`),
+  which the ladder treats like any other tier failure: the layer demotes
+  to the direct engine (the supplied ``direct_plan`` or a derived one)
+  instead of the handle refusing outright.
 
 Every degradation is recorded in the fault plan's ledger (or a private one
 when no fault plan is attached), so a run reports *how* it survived.
@@ -75,6 +82,7 @@ class GuardedConvolutionEngine:
         parity_check: bool = False,
         parity_tol: float = 1e-8,
         telemetry=None,
+        direct_plan: Optional[ConvPlan] = None,
     ):
         if backend not in FALLBACK_LADDERS:
             raise PlanError(
@@ -84,6 +92,21 @@ class GuardedConvolutionEngine:
         self.plan = plan
         self.spec = spec or plan.spec
         self.backend = backend
+        #: "direct" or the lowered algorithm ("im2col"/"winograd") guarded.
+        self.algorithm = getattr(plan, "algorithm", "direct")
+        #: Ladder walked by run/evaluate: lowered plans get a ``lowered``
+        #: tier first, then demote onto the direct-plan tiers.
+        self.ladder: Tuple[str, ...] = (
+            ("lowered",) + FALLBACK_LADDERS[backend]
+            if self.algorithm != "direct"
+            else FALLBACK_LADDERS[backend]
+        )
+        #: The direct plan backing the non-lowered tiers.  For a direct
+        #: primary plan it is the plan itself; for a lowered primary it is
+        #: the caller's tuned direct plan, or one derived on first demotion.
+        self._direct_plan: Optional[ConvPlan] = (
+            plan if self.algorithm == "direct" else direct_plan
+        )
         self.fault_plan = fault_plan
         self.parity_check = parity_check
         self.parity_tol = parity_tol
@@ -99,16 +122,40 @@ class GuardedConvolutionEngine:
 
     # -- tiers -------------------------------------------------------------
 
-    def _engine_for(self, tier: str) -> ConvolutionEngine:
+    def _direct(self) -> ConvPlan:
+        """The direct plan for fallback tiers (derived once if not supplied)."""
+        if self._direct_plan is None:
+            from repro.core.planner import plan_convolution
+
+            self._direct_plan = plan_convolution(
+                self.plan.params, spec=self.spec
+            ).plan
+        return self._direct_plan
+
+    def _engine_for(self, tier: str):
         engine = self._engines.get(tier)
         if engine is None:
-            engine = ConvolutionEngine(
-                self.plan,
-                spec=self.spec,
-                backend=tier,
-                fault_plan=self.fault_plan,
-                telemetry=self.telemetry,
-            )
+            if tier == "lowered":
+                from repro.core.algorithms import engine_for_plan
+
+                # Refuses with PlanError under a fault plan — the ladder
+                # catches that like any tier failure and demotes to the
+                # direct tiers below.
+                engine = engine_for_plan(
+                    self.plan,
+                    spec=self.spec,
+                    backend=self.backend,
+                    fault_plan=self.fault_plan,
+                    telemetry=self.telemetry,
+                )
+            else:
+                engine = ConvolutionEngine(
+                    self._direct(),
+                    spec=self.spec,
+                    backend=tier,
+                    fault_plan=self.fault_plan,
+                    telemetry=self.telemetry,
+                )
             self._engines[tier] = engine
         return engine
 
@@ -175,12 +222,21 @@ class GuardedConvolutionEngine:
     # -- public surface ----------------------------------------------------
 
     def prepack_filters(self, w: np.ndarray, version: int = 0) -> int:
-        """Pre-pack ``w``'s layout on the primary tier (serve warm-up).
+        """Pre-pack ``w``'s layout on the primary usable tier (serve warm-up).
 
-        Only the requested backend's engine is warmed — fallback tiers
-        pack lazily if a demotion ever reaches them.
+        Only the first tier that constructs is warmed — fallback tiers
+        pack lazily if a demotion ever reaches them.  (A lowered tier that
+        refuses a fault plan, or a mesh tier with no healthy submesh, is
+        skipped rather than failing warm-up.)
         """
-        return self._engine_for(self.backend).prepack_filters(w, version=version)
+        for tier in self.ladder:
+            if tier == "reference":
+                break
+            try:
+                return self._engine_for(tier).prepack_filters(w, version=version)
+            except ReproError:
+                continue
+        return 0
 
     def run(
         self,
@@ -201,7 +257,7 @@ class GuardedConvolutionEngine:
         self.last_outcome = GuardedOutcome()
         reference: Optional[np.ndarray] = None
         last_error: Optional[Exception] = None
-        for tier in FALLBACK_LADDERS[self.backend]:
+        for tier in self.ladder:
             if tier == "reference":
                 out, timing = self._reference_run(x, w, bias, activation)
                 self.last_outcome.backend_used = tier
@@ -236,7 +292,7 @@ class GuardedConvolutionEngine:
         matters when a tier cannot even construct (e.g. no healthy submesh).
         """
         last_error: Optional[Exception] = None
-        for tier in FALLBACK_LADDERS[self.backend]:
+        for tier in self.ladder:
             if tier == "reference":
                 break
             try:

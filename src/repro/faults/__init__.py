@@ -8,7 +8,15 @@ a single seed, with every injected event recorded in a
 """
 
 from repro.faults.plan import FaultEvent, FaultLedger, FaultPlan, FaultSpec
-from repro.faults.chaos import ChaosReport, ChaosRow, run_chaos_sweep
+from repro.faults.chaos import (
+    ChaosReport,
+    ChaosRow,
+    ChaosServeReport,
+    default_chaos_serve_faults,
+    run_chaos_serve,
+    run_chaos_sweep,
+    validate_chaos_serve_report,
+)
 
 __all__ = [
     "FaultEvent",
@@ -17,5 +25,9 @@ __all__ = [
     "FaultSpec",
     "ChaosReport",
     "ChaosRow",
+    "ChaosServeReport",
+    "default_chaos_serve_faults",
+    "run_chaos_serve",
     "run_chaos_sweep",
+    "validate_chaos_serve_report",
 ]

@@ -17,9 +17,9 @@ reports, serial or parallel.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import partial
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -265,3 +265,360 @@ def run_chaos_sweep(
     for row in rows:
         ledger.extend(list(row.fault_events))
     return ChaosReport(seed=fault_spec.seed, rows=rows, ledger=ledger)
+
+
+# ---------------------------------------------------------------------------
+# Chaos serving: seeded fault plans replayed against a live server
+# ---------------------------------------------------------------------------
+
+
+def default_chaos_serve_faults(seed: int = 0xC0FFEE) -> FaultSpec:
+    """The seeded dma+cpe fault plan the chaos-serve bench runs under.
+
+    Aggressive on purpose: nearly half of all staged batch DMAs hang and
+    two CPEs are fenced, so a run exercises retry, hedging, quarantine,
+    *and* a full breaker open -> half-open -> closed cycle.
+    """
+    return FaultSpec(seed=seed, dma_timeout_rate=0.45, num_random_fenced=2)
+
+
+@dataclass
+class ChaosServeReport:
+    """Outcome of one chaos-serve run (JSON-ready via :meth:`as_dict`).
+
+    ``availability`` counts every request that got an *answer* — a served
+    result or an explicit typed rejection (shed, queue-full, deadline) —
+    over the offered load; untyped errors and unanswered futures count
+    against it.  ``wrong_answers`` counts served responses that were not
+    bit-identical to the fault-free sequential reference; the whole layer
+    exists to keep this at zero.
+    """
+
+    seed: int
+    offered: int
+    completed: int
+    shed: int
+    rejected: int
+    deadline_misses: int
+    errors: int
+    wrong_answers: int
+    availability: float
+    breaker_transitions: List[str]
+    breaker_opened: int
+    breaker_half_opened: int
+    breaker_closed: int
+    retries: int
+    hedges: int
+    demotions: Dict[str, int] = field(default_factory=dict)
+    fault_events: Dict[str, int] = field(default_factory=dict)
+    p50_ms_fault: float = 0.0
+    p99_ms_fault: float = 0.0
+    p50_ms_clean: float = 0.0
+    p99_ms_clean: float = 0.0
+    counters_balanced: bool = True
+
+    @property
+    def zero_wrong_answers(self) -> bool:
+        return self.wrong_answers == 0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "offered": self.offered,
+            "completed": self.completed,
+            "shed": self.shed,
+            "rejected": self.rejected,
+            "deadline_misses": self.deadline_misses,
+            "errors": self.errors,
+            "wrong_answers": self.wrong_answers,
+            "availability": self.availability,
+            "breaker_transitions": list(self.breaker_transitions),
+            "breaker_opened": self.breaker_opened,
+            "breaker_half_opened": self.breaker_half_opened,
+            "breaker_closed": self.breaker_closed,
+            "retries": self.retries,
+            "hedges": self.hedges,
+            "demotions": dict(self.demotions),
+            "fault_events": dict(self.fault_events),
+            "p50_ms_fault": self.p50_ms_fault,
+            "p99_ms_fault": self.p99_ms_fault,
+            "p50_ms_clean": self.p50_ms_clean,
+            "p99_ms_clean": self.p99_ms_clean,
+            "counters_balanced": self.counters_balanced,
+        }
+
+    def render(self) -> str:
+        answered = self.completed + self.shed + self.rejected + self.deadline_misses
+        lines = [
+            f"chaos serve — seed {self.seed:#x}",
+            f"  offered {self.offered}: {self.completed} served, "
+            f"{self.shed} shed, {self.rejected} queue-full, "
+            f"{self.deadline_misses} deadline misses, {self.errors} errors",
+            f"  availability {self.availability * 100:.2f}% "
+            f"({answered}/{self.offered} answered)",
+            f"  wrong answers: {self.wrong_answers} "
+            f"(parity vs fault-free reference, bit-identical)",
+            f"  breaker: {self.breaker_opened} opened, "
+            f"{self.breaker_half_opened} half-opened, "
+            f"{self.breaker_closed} closed "
+            f"[{' -> '.join(self.breaker_transitions) or 'no transitions'}]",
+            f"  recovery: {self.retries} batch retries, {self.hedges} hedged "
+            f"re-executions, demotions {self.demotions or '{}'}",
+            f"  p99 {self.p99_ms_fault:.2f} ms under faults vs "
+            f"{self.p99_ms_clean:.2f} ms clean "
+            f"(p50 {self.p50_ms_fault:.2f} vs {self.p50_ms_clean:.2f})",
+            f"  fault events: {self.fault_events or '{}'}",
+            f"  counters balanced: {'yes' if self.counters_balanced else 'NO'}",
+        ]
+        return "\n".join(lines)
+
+
+def run_chaos_serve(
+    fault_spec: Optional[FaultSpec] = None,
+    n_requests: int = 96,
+    rate_rps: float = 2000.0,
+    ni: int = 8,
+    no: int = 8,
+    image: int = 12,
+    k: int = 3,
+    max_batch: int = 8,
+    max_wait_s: float = 0.001,
+    queue_depth: int = 64,
+    high_water: Optional[int] = 48,
+    workers: int = 1,
+    deadline_s: Optional[float] = None,
+    breaker=None,
+    max_retries: int = 2,
+    retry_backoff_s: float = 0.0005,
+    result_timeout_s: float = 60.0,
+) -> ChaosServeReport:
+    """Replay a seeded fault plan against a live server; audit every answer.
+
+    Three phases on identical workload (same weights, images, and arrival
+    offsets): a clean run (no fault plan) for the latency baseline, a
+    fault-free sequential run for the bit-exact parity reference, and the
+    chaos run with the fault plan staged into the pool.  The report proves
+    the resilience contract: availability from typed answers, zero wrong
+    answers, and the breaker/demotion/retry taxonomy of how the server
+    survived.
+    """
+    from repro.serve import (
+        BreakerPolicy,
+        InferenceServer,
+        ServedModel,
+        ServerConfig,
+        WarmEnginePool,
+        poisson_arrivals,
+        run_load,
+        run_sequential,
+        synthetic_images,
+    )
+    from repro.telemetry import Telemetry, use_telemetry
+
+    fault_spec = fault_spec or default_chaos_serve_faults()
+    seed = fault_spec.seed
+    rng = derive_rng(seed, "chaos.serve.weights")
+    scale = np.sqrt(2.0 / (ni * k * k))
+    w = rng.standard_normal((no, ni, k, k)) * scale
+    bias = rng.standard_normal(no) * 0.1
+    model = ServedModel.conv(
+        w, (image, image), bias=bias, activation="relu", name="chaos-serve"
+    )
+    images = synthetic_images(n_requests, model.input_shape, seed=seed + 1)
+    arrivals = poisson_arrivals(n_requests, rate_rps, seed=seed + 2)
+    policy = breaker or BreakerPolicy(
+        window=12,
+        failure_threshold=0.4,
+        min_samples=6,
+        cooldown_s=0.01,
+        probe_fraction=0.5,
+        close_after=2,
+        seed=seed,
+    )
+
+    def config(fault_plan) -> ServerConfig:
+        return ServerConfig(
+            max_batch=max_batch,
+            max_wait_s=max_wait_s,
+            queue_depth=queue_depth,
+            workers=workers,
+            guarded=True,
+            autotune=False,
+            default_deadline_s=deadline_s,
+            fault_plan=fault_plan,
+            breaker=policy,
+            max_retries=max_retries,
+            retry_backoff_s=retry_backoff_s,
+            high_water=high_water,
+        )
+
+    # Phase 1: clean latency baseline — identical config, no fault plan.
+    clean_tel = Telemetry()
+    with use_telemetry(clean_tel):
+        clean_server = InferenceServer(model, config(None), telemetry=clean_tel)
+        with clean_server:
+            clean_report, _ = run_load(
+                clean_server,
+                images,
+                rate_rps=rate_rps,
+                arrivals=arrivals,
+                result_timeout_s=result_timeout_s,
+            )
+
+    # Phase 2: fault-free sequential run — the bit-exact parity reference
+    # (same heuristic plan family as the server pool, so outputs match
+    # the batched path bit for bit).
+    ref_tel = Telemetry()
+    with use_telemetry(ref_tel):
+        ref_pool = WarmEnginePool(
+            model,
+            max_batch=max_batch,
+            guarded=True,
+            autotune=False,
+            telemetry=ref_tel,
+        )
+        _, ref_outputs = run_sequential(ref_pool, images)
+
+    # Phase 3: the chaos run.
+    telemetry = Telemetry()
+    fault_plan = FaultPlan(fault_spec)
+    with use_telemetry(telemetry):
+        server = InferenceServer(model, config(fault_plan), telemetry=telemetry)
+        with server:
+            report, outputs = run_load(
+                server,
+                images,
+                rate_rps=rate_rps,
+                arrivals=arrivals,
+                result_timeout_s=result_timeout_s,
+            )
+        balanced = server.counters_balanced()
+        transitions = (
+            [label for _, label in server.breaker.transitions]
+            if server.breaker is not None
+            else []
+        )
+
+    wrong = sum(
+        1
+        for i, out in enumerate(outputs)
+        if out is not None and not np.array_equal(out, ref_outputs[i])
+    )
+    answered = (
+        report.completed + report.shed + report.rejected + report.deadline_misses
+    )
+    counters = telemetry.counters
+    demotions = {
+        key: int(counters.get(f"serve.demotions.{key}"))
+        for key in ("degraded", "quarantined", "rebuilt", "safe_runs")
+        if counters.get(f"serve.demotions.{key}")
+    }
+    return ChaosServeReport(
+        seed=seed,
+        offered=report.offered,
+        completed=report.completed,
+        shed=report.shed,
+        rejected=report.rejected,
+        deadline_misses=report.deadline_misses,
+        errors=report.errors,
+        wrong_answers=wrong,
+        availability=answered / report.offered if report.offered else 0.0,
+        breaker_transitions=transitions,
+        breaker_opened=int(counters.get("serve.breaker.opened")),
+        breaker_half_opened=int(counters.get("serve.breaker.half_opened")),
+        breaker_closed=int(counters.get("serve.breaker.closed")),
+        retries=int(counters.get("serve.retries")),
+        hedges=int(counters.get("serve.hedges")),
+        demotions=demotions,
+        fault_events=fault_plan.ledger.counts(),
+        p50_ms_fault=report.latency.p50_ms,
+        p99_ms_fault=report.latency.p99_ms,
+        p50_ms_clean=clean_report.latency.p50_ms,
+        p99_ms_clean=clean_report.latency.p99_ms,
+        counters_balanced=balanced,
+    )
+
+
+#: Schema for ``benchmarks/BENCH_chaos_serve.json``: required key -> type.
+#: (bool checked before int: Python bools are ints.)
+CHAOS_SERVE_SCHEMA: Dict[str, Tuple[type, ...]] = {
+    "seed": (int,),
+    "offered": (int,),
+    "completed": (int,),
+    "shed": (int,),
+    "rejected": (int,),
+    "deadline_misses": (int,),
+    "errors": (int,),
+    "wrong_answers": (int,),
+    "availability": (int, float),
+    "breaker_transitions": (list,),
+    "breaker_opened": (int,),
+    "breaker_half_opened": (int,),
+    "breaker_closed": (int,),
+    "retries": (int,),
+    "hedges": (int,),
+    "demotions": (dict,),
+    "fault_events": (dict,),
+    "p50_ms_fault": (int, float),
+    "p99_ms_fault": (int, float),
+    "p50_ms_clean": (int, float),
+    "p99_ms_clean": (int, float),
+    "counters_balanced": (bool,),
+}
+
+
+def validate_chaos_serve_report(payload: Dict[str, Any]) -> List[str]:
+    """Validate a chaos-serve report dict against the schema.
+
+    Returns a list of violations (empty = valid): missing/mistyped keys,
+    out-of-range availability, negative tallies, and a wrong-answer or
+    unbalanced-counter record — the invariants the CI stage enforces on
+    the committed benchmark JSON.
+    """
+    violations: List[str] = []
+    for key, types in CHAOS_SERVE_SCHEMA.items():
+        if key not in payload:
+            violations.append(f"missing key {key!r}")
+            continue
+        value = payload[key]
+        if bool not in types and isinstance(value, bool):
+            violations.append(f"key {key!r} must not be a bool, got {value!r}")
+        elif not isinstance(value, types):
+            violations.append(
+                f"key {key!r} must be {'/'.join(t.__name__ for t in types)}, "
+                f"got {type(value).__name__}"
+            )
+    if violations:
+        return violations
+    if not 0.0 <= payload["availability"] <= 1.0:
+        violations.append(f"availability {payload['availability']} not in [0, 1]")
+    for key in (
+        "offered", "completed", "shed", "rejected", "deadline_misses",
+        "errors", "wrong_answers", "breaker_opened", "breaker_half_opened",
+        "breaker_closed", "retries", "hedges",
+    ):
+        if payload[key] < 0:
+            violations.append(f"key {key!r} is negative: {payload[key]}")
+    answered = (
+        payload["completed"] + payload["shed"] + payload["rejected"]
+        + payload["deadline_misses"]
+    )
+    if answered > payload["offered"]:
+        violations.append(
+            f"answered {answered} exceeds offered {payload['offered']}"
+        )
+    if payload["wrong_answers"] != 0:
+        violations.append(
+            f"{payload['wrong_answers']} wrong answers recorded — the "
+            f"zero-wrong-answer contract is violated"
+        )
+    if not payload["counters_balanced"]:
+        violations.append("serve counters did not balance")
+    for label in payload["breaker_transitions"]:
+        if not isinstance(label, str) or "->" not in label:
+            violations.append(f"malformed breaker transition {label!r}")
+    return violations
+
+
+# The CLI schema gate lives in :mod:`repro.faults.validate` (a module the
+# package __init__ never imports, so ``python -m`` runs it cleanly).

@@ -33,6 +33,7 @@ Injected conditions raise the typed errors of :mod:`repro.common.errors`
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
@@ -149,16 +150,24 @@ class FaultEvent:
 
 
 class FaultLedger:
-    """Append-only record of every injected fault event in one run."""
+    """Append-only record of every injected fault event in one run.
+
+    Thread-safe: one plan's ledger is shared by every component of the
+    simulated machine, and a serving pool injects faults from multiple
+    worker threads at once — the sequence-number assignment and append
+    run under a lock so ``seq`` values stay unique and dense.
+    """
 
     def __init__(self) -> None:
         self._events: List[FaultEvent] = []
+        self._lock = threading.Lock()
 
     def record(self, subsystem: str, kind: str, detail: str) -> FaultEvent:
-        event = FaultEvent(
-            seq=len(self._events), subsystem=subsystem, kind=kind, detail=detail
-        )
-        self._events.append(event)
+        with self._lock:
+            event = FaultEvent(
+                seq=len(self._events), subsystem=subsystem, kind=kind, detail=detail
+            )
+            self._events.append(event)
         # Ambient (per-call) lookup: ledgers are owned by fault plans built
         # long before any telemetry session exists, so construction-time
         # capture would miss every event.
@@ -167,15 +176,17 @@ class FaultLedger:
 
     @property
     def events(self) -> List[FaultEvent]:
-        return list(self._events)
+        with self._lock:
+            return list(self._events)
 
     def __len__(self) -> int:
-        return len(self._events)
+        with self._lock:
+            return len(self._events)
 
     def counts(self) -> Dict[str, int]:
         """Event tally per ``subsystem/kind`` key."""
         tally: Dict[str, int] = {}
-        for event in self._events:
+        for event in self.events:
             key = f"{event.subsystem}/{event.kind}"
             tally[key] = tally.get(key, 0) + 1
         return tally

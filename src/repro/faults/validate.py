@@ -1,0 +1,41 @@
+"""Chaos-serve report schema validation CLI (the verify.sh gate).
+
+``python -m repro.faults.validate BENCH_chaos_serve.json`` exits non-zero
+with one line per violation of :data:`repro.faults.chaos.CHAOS_SERVE_SCHEMA`
+— missing/mistyped keys, out-of-range availability, a recorded wrong
+answer, or unbalanced serve counters.  The chaos-serve smoke stage of
+``scripts/verify.sh`` runs it on both the report the CLI just emitted and
+the committed ``benchmarks/BENCH_chaos_serve.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import List
+
+from repro.faults.chaos import validate_chaos_serve_report
+
+
+def main(argv: List[str]) -> int:
+    if len(argv) != 1:
+        print("usage: python -m repro.faults.validate <BENCH_chaos_serve.json>")
+        return 2
+    with open(argv[0]) as fh:
+        payload = json.load(fh)
+    violations = validate_chaos_serve_report(payload)
+    if violations:
+        print(f"{argv[0]}: INVALID ({len(violations)} violation(s))")
+        for violation in violations:
+            print(f"  {violation}")
+        return 1
+    print(
+        f"{argv[0]}: valid chaos-serve report "
+        f"(availability {payload['availability'] * 100:.2f}%, "
+        f"0 wrong answers)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

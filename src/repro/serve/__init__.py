@@ -18,10 +18,19 @@ into a serving stack (see ``docs/serving.md``):
   the batcher through the pool, honoring per-request deadlines and
   recording queue/batch/latency telemetry;
 * :mod:`~repro.serve.loadgen` — a deterministic Poisson load generator and
-  the sequential per-request baseline the benchmark rig compares against.
+  the sequential per-request baseline the benchmark rig compares against;
+* :class:`~repro.serve.breaker.CircuitBreaker` and
+  :class:`~repro.serve.health.EngineHealth` — the resilience layer (see
+  ``docs/robustness.md``): per-pool closed/open/half-open breaker with
+  seeded probe admission, per-engine health with quarantine + background
+  rebuild, deadline-budgeted retry/hedging, and brownout load-shedding —
+  under fault injection the server answers with bit-identical results or
+  an explicit typed rejection, never a wrong answer.
 """
 
 from repro.serve.batcher import BatchPolicy, DynamicBatcher
+from repro.serve.breaker import BreakerPolicy, CircuitBreaker
+from repro.serve.health import EngineHealth
 from repro.serve.loadgen import (
     LoadReport,
     poisson_arrivals,
@@ -37,7 +46,10 @@ from repro.serve.stats import LatencySummary, percentile
 
 __all__ = [
     "BatchPolicy",
+    "BreakerPolicy",
+    "CircuitBreaker",
     "DynamicBatcher",
+    "EngineHealth",
     "InferenceRequest",
     "InferenceServer",
     "LatencySummary",

@@ -8,24 +8,39 @@ batch-invariant image-size-aware family, a batch of 16 walks (nearly) the
 same schedule as a batch of 1 — coalescing divides the schedule cost by
 the batch size.
 
-Backpressure is the bounded queue: when producers outrun the chip the
-``offer`` fails fast with :class:`~repro.common.errors.QueueFullError`
-instead of letting latency grow without bound.
+Backpressure comes in two flavours:
+
+* the bounded queue — when producers outrun the chip, ``offer`` fails fast
+  with :class:`~repro.common.errors.QueueFullError` instead of letting
+  latency grow without bound; and
+* brownout shedding — with a ``high_water`` mark configured, crossing it
+  sheds the *lowest-priority* queued request (newest among ties) to make
+  room for higher-priority work, or rejects the incoming request with a
+  typed :class:`~repro.common.errors.ShedError` when nothing queued is
+  lower priority.
+
+The queue is a plain ``deque`` under a condition variable rather than a
+``queue.Queue`` with shutdown sentinels: shutdown is a flag broadcast to
+every waiter, so a closing batcher can still ship whatever is queued
+batch-by-batch (no tokens interleaved with real work, nothing for
+``drain`` to lose).
 """
 
 from __future__ import annotations
 
-import queue
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Deque, List, Optional
 
-from repro.common.errors import QueueFullError, ServeError, ServerClosedError
+from repro.common.errors import (
+    QueueFullError,
+    ServeError,
+    ServerClosedError,
+    ShedError,
+)
 from repro.serve.request import InferenceRequest
-
-#: Shutdown token: each worker consumes exactly one and exits.
-_SENTINEL = object()
 
 
 @dataclass(frozen=True)
@@ -49,42 +64,99 @@ class BatchPolicy:
 
 
 class DynamicBatcher:
-    """Bounded admission queue + batch formation under a BatchPolicy."""
+    """Bounded admission queue + batch formation under a BatchPolicy.
 
-    def __init__(self, policy: Optional[BatchPolicy] = None, queue_depth: int = 64):
+    ``high_water`` (None = disabled) arms brownout shedding: once the queue
+    depth reaches it, an ``offer`` evicts the lowest-priority queued
+    request (returned to the caller so it can be failed with a typed
+    error) — or raises :class:`ShedError` on the incoming request when no
+    queued request has strictly lower priority.
+    """
+
+    def __init__(
+        self,
+        policy: Optional[BatchPolicy] = None,
+        queue_depth: int = 64,
+        high_water: Optional[int] = None,
+    ):
         if queue_depth < 1:
             raise ServeError(f"queue_depth must be >= 1, got {queue_depth}")
+        if high_water is not None and not 1 <= high_water <= queue_depth:
+            raise ServeError(
+                f"high_water must be in [1, queue_depth={queue_depth}], "
+                f"got {high_water}"
+            )
         self.policy = policy or BatchPolicy()
         self.queue_depth = queue_depth
-        self._queue: "queue.Queue" = queue.Queue(maxsize=queue_depth)
-        self._closed = threading.Event()
+        self.high_water = high_water
+        self._queue: Deque[InferenceRequest] = deque()
+        self._cond = threading.Condition()
+        self._closed = False
 
     # -- producer side -----------------------------------------------------
 
-    def offer(self, request: InferenceRequest) -> None:
-        """Admit a request, or fail fast.
+    def offer(self, request: InferenceRequest) -> Optional[InferenceRequest]:
+        """Admit a request, or fail fast; returns a shed victim (if any).
 
-        Raises :class:`QueueFullError` when the queue is at depth
-        (backpressure — the caller sheds or retries) and
-        :class:`ServerClosedError` after :meth:`close`.
+        Raises :class:`ServerClosedError` after :meth:`close`.  At the
+        ``high_water`` mark (when configured) the lowest-priority queued
+        request — newest among ties — is evicted and returned so the
+        caller can fail it with :class:`ShedError`; if the incoming
+        request is not strictly higher priority than everything queued,
+        *it* is shed instead (raises :class:`ShedError`).  Without a
+        high-water mark, a queue at depth raises :class:`QueueFullError`
+        (backpressure — the caller sheds or retries).
         """
-        if self._closed.is_set():
-            raise ServerClosedError("batcher is closed; request rejected")
-        try:
-            self._queue.put_nowait(request)
-        except queue.Full:
-            raise QueueFullError(
-                f"admission queue full ({self.queue_depth} pending); "
-                f"request {request.request_id} rejected"
-            ) from None
+        with self._cond:
+            if self._closed:
+                raise ServerClosedError("batcher is closed; request rejected")
+            if self.high_water is not None and len(self._queue) >= self.high_water:
+                victim = self._shed_victim_locked(request)
+                self._queue.append(request)
+                self._cond.notify()
+                return victim
+            if len(self._queue) >= self.queue_depth:
+                raise QueueFullError(
+                    f"admission queue full ({self.queue_depth} pending); "
+                    f"request {request.request_id} rejected"
+                )
+            self._queue.append(request)
+            self._cond.notify()
+            return None
+
+    def _shed_victim_locked(self, incoming: InferenceRequest) -> InferenceRequest:
+        """Pick and remove the brownout victim, or shed the incoming request.
+
+        Victim = the queued request with the lowest priority, newest among
+        ties — shedding the work least likely to matter and, within a
+        priority class, the request that has waited least.  The incoming
+        request only displaces strictly lower-priority work; against equal
+        or higher priorities it is shed itself, so a brownout storm of
+        same-priority traffic degrades to fail-fast admission instead of
+        churning the queue.
+        """
+        victim_index = None
+        for i, queued in enumerate(self._queue):
+            if victim_index is None or queued.priority <= self._queue[victim_index].priority:
+                victim_index = i
+        assert victim_index is not None  # high_water >= 1 => queue non-empty
+        victim = self._queue[victim_index]
+        if victim.priority >= incoming.priority:
+            raise ShedError(
+                f"queue at high-water mark ({self.high_water}); request "
+                f"{incoming.request_id} (priority {incoming.priority}) shed"
+            )
+        del self._queue[victim_index]
+        return victim
 
     def depth(self) -> int:
         """Current number of pending requests (approximate under load)."""
-        return self._queue.qsize()
+        with self._cond:
+            return len(self._queue)
 
     @property
     def closed(self) -> bool:
-        return self._closed.is_set()
+        return self._closed
 
     # -- consumer side -----------------------------------------------------
 
@@ -93,44 +165,47 @@ class DynamicBatcher:
 
         The first request opens a ``max_wait_s`` window; the batch ships
         when the window closes or ``max_batch`` is reached, whichever comes
-        first.  A shutdown token found mid-window is put back for the next
-        worker and the partial batch still ships.
+        first.  After :meth:`close`, queued requests still ship batch by
+        batch (without window waiting — there are no more producers);
+        workers get None only once the queue is empty.
         """
-        item = self._queue.get()
-        if item is _SENTINEL:
-            return None
-        batch: List[InferenceRequest] = [item]
-        deadline = time.perf_counter() + self.policy.max_wait_s
-        while len(batch) < self.policy.max_batch:
-            remaining = deadline - time.perf_counter()
-            try:
-                if remaining > 0:
-                    item = self._queue.get(timeout=remaining)
-                else:
-                    item = self._queue.get_nowait()
-            except queue.Empty:
-                break
-            if item is _SENTINEL:
-                self._queue.put(item)
-                break
-            batch.append(item)
-        return batch
+        with self._cond:
+            while not self._queue and not self._closed:
+                self._cond.wait()
+            if not self._queue:
+                return None  # closed and empty
+            batch = [self._queue.popleft()]
+            deadline = time.perf_counter() + self.policy.max_wait_s
+            while len(batch) < self.policy.max_batch:
+                if self._queue:
+                    batch.append(self._queue.popleft())
+                    continue
+                if self._closed:
+                    break
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    break
+                self._cond.wait(timeout=remaining)
+            return batch
 
     # -- shutdown ----------------------------------------------------------
 
-    def close(self, n_workers: int) -> None:
-        """Refuse new offers and release ``n_workers`` consumers."""
-        self._closed.set()
-        for _ in range(n_workers):
-            self._queue.put(_SENTINEL)
+    def close(self, n_workers: int = 0) -> None:
+        """Refuse new offers and wake every blocked consumer.
+
+        ``n_workers`` is accepted for interface stability but unused: the
+        close flag is broadcast to all waiters, so there are no per-worker
+        shutdown tokens to count (and none to interleave with queued work
+        — the old sentinel design could strand a forming batch's
+        neighbours behind a token at drain time).
+        """
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
 
     def drain(self) -> List[InferenceRequest]:
         """Remove and return every request still queued (after close)."""
-        leftovers: List[InferenceRequest] = []
-        while True:
-            try:
-                item = self._queue.get_nowait()
-            except queue.Empty:
-                return leftovers
-            if item is not _SENTINEL:
-                leftovers.append(item)
+        with self._cond:
+            leftovers = list(self._queue)
+            self._queue.clear()
+            return leftovers

@@ -1,0 +1,210 @@
+"""Per-pool circuit breaker: stop queueing toward a backend that is failing.
+
+A retry loop masks isolated faults; a breaker handles the other regime —
+the backend is *persistently* failing and every admitted request burns a
+queue slot, a batch slot, and up to ``max_retries`` executions before the
+caller learns anything.  The breaker watches a sliding window of
+attempt-level outcomes and, when the recent failure rate crosses the
+threshold, flips OPEN: submissions are rejected at admission with a typed
+:class:`~repro.common.errors.BreakerOpenError` (a shed, not an error — the
+caller knows immediately and no work is wasted).
+
+After ``cooldown_s`` the breaker turns HALF_OPEN and admits a seeded
+fraction of traffic as *probes*; ``close_after`` consecutive probe
+successes close it, one probe failure re-opens it.  Probe admission is
+drawn from a :func:`~repro.common.rng.derive_rng` child generator, so a
+chaos run replays bit-identically.
+
+States::
+
+    CLOSED --[failure rate >= threshold over >= min_samples]--> OPEN
+    OPEN --[cooldown_s elapsed]--> HALF_OPEN
+    HALF_OPEN --[close_after consecutive probe successes]--> CLOSED
+    HALF_OPEN --[one probe failure]--> OPEN
+
+The clock is injectable so breaker unit tests need no real sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.common.errors import ServeError
+from repro.common.rng import derive_rng
+from repro.telemetry import current_telemetry
+
+#: State names (plain strings — they appear in reports and JSON).
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """Thresholds governing one pool's breaker.
+
+    ``window`` attempt outcomes are kept (sliding); the breaker trips when
+    at least ``min_samples`` of them exist and their failure fraction
+    reaches ``failure_threshold``.  ``cooldown_s`` is how long OPEN lasts
+    before probing begins; while HALF_OPEN, each submission is admitted as
+    a probe with probability ``probe_fraction`` (seeded), and
+    ``close_after`` consecutive probe successes close the breaker.
+    """
+
+    window: int = 16
+    failure_threshold: float = 0.5
+    min_samples: int = 8
+    cooldown_s: float = 0.02
+    probe_fraction: float = 0.25
+    close_after: int = 2
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ServeError(f"window must be >= 1, got {self.window}")
+        if not 0.0 < self.failure_threshold <= 1.0:
+            raise ServeError(
+                f"failure_threshold must be in (0, 1], got {self.failure_threshold}"
+            )
+        if not 1 <= self.min_samples <= self.window:
+            raise ServeError(
+                f"min_samples must be in [1, window={self.window}], "
+                f"got {self.min_samples}"
+            )
+        if self.cooldown_s < 0:
+            raise ServeError(f"cooldown_s must be >= 0, got {self.cooldown_s}")
+        if not 0.0 < self.probe_fraction <= 1.0:
+            raise ServeError(
+                f"probe_fraction must be in (0, 1], got {self.probe_fraction}"
+            )
+        if self.close_after < 1:
+            raise ServeError(f"close_after must be >= 1, got {self.close_after}")
+
+
+class CircuitBreaker:
+    """Sliding-window failure-rate breaker with seeded half-open probing.
+
+    Thread-safe: admission checks and outcome recording arrive from the
+    submitting thread and every worker thread concurrently.
+    """
+
+    def __init__(
+        self,
+        policy: Optional[BreakerPolicy] = None,
+        telemetry=None,
+        clock: Callable[[], float] = time.perf_counter,
+    ):
+        self.policy = policy or BreakerPolicy()
+        self.telemetry = telemetry if telemetry is not None else current_telemetry()
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._outcomes: Deque[bool] = deque(maxlen=self.policy.window)  # True = failure
+        self._opened_at: Optional[float] = None
+        self._probe_successes = 0
+        self._rng = derive_rng(self.policy.seed, "serve.breaker")
+        self._seq = 0
+        #: Ordered (seq, "from->to") state transitions — the chaos report
+        #: proves the breaker actually cycled under fault injection.
+        self.transitions: List[Tuple[int, str]] = []
+
+    # -- state machine (callers hold self._lock) ----------------------------
+
+    def _transition(self, new_state: str) -> None:
+        old = self._state
+        self._state = new_state
+        self.transitions.append((self._seq, f"{old}->{new_state}"))
+        self._seq += 1
+        key = {OPEN: "opened", HALF_OPEN: "half_opened", CLOSED: "closed"}[new_state]
+        self.telemetry.counters.add(f"serve.breaker.{key}")
+
+    def _maybe_half_open(self) -> None:
+        """OPEN -> HALF_OPEN once the cooldown has elapsed (checked lazily)."""
+        if self._state == OPEN and (
+            self._clock() - self._opened_at >= self.policy.cooldown_s
+        ):
+            self._transition(HALF_OPEN)
+            self._probe_successes = 0
+
+    def _open(self) -> None:
+        self._transition(OPEN)
+        self._opened_at = self._clock()
+        self._outcomes.clear()
+
+    # -- admission -----------------------------------------------------------
+
+    def admit(self) -> str:
+        """Classify one incoming submission: ``admit``, ``probe``, or ``shed``.
+
+        CLOSED admits everything.  OPEN sheds everything (until the
+        cooldown flips it HALF_OPEN, checked here — no timer thread).
+        HALF_OPEN admits a seeded ``probe_fraction`` of traffic as probes
+        and sheds the rest; probe outcomes drive recovery.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == CLOSED:
+                return "admit"
+            if self._state == HALF_OPEN:
+                if self._rng.random() < self.policy.probe_fraction:
+                    self.telemetry.counters.add("serve.breaker.probes")
+                    return "probe"
+            self.telemetry.counters.add("serve.breaker.shed")
+            return "shed"
+
+    # -- outcome recording ---------------------------------------------------
+
+    def record_success(self, probe: bool = False) -> None:
+        with self._lock:
+            if probe and self._state == HALF_OPEN:
+                self._probe_successes += 1
+                if self._probe_successes >= self.policy.close_after:
+                    self._transition(CLOSED)
+                    self._outcomes.clear()
+                return
+            if self._state == CLOSED:
+                self._outcomes.append(False)
+
+    def record_failure(self, probe: bool = False) -> None:
+        """Record one failed execution *attempt*.
+
+        Attempt-level (not request-level) recording matters: retry and
+        hedging can mask every per-request failure, and a breaker fed only
+        masked outcomes would never trip on a machine where every first
+        attempt burns a timeout.
+        """
+        with self._lock:
+            if probe and self._state == HALF_OPEN:
+                self._open()  # one failed probe re-opens
+                return
+            if self._state != CLOSED:
+                return
+            self._outcomes.append(True)
+            n = len(self._outcomes)
+            if n >= self.policy.min_samples:
+                rate = sum(self._outcomes) / n
+                if rate >= self.policy.failure_threshold:
+                    self._open()
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def as_dict(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "state": self._state,
+                "window": list(self._outcomes),
+                "transitions": [list(t) for t in self.transitions],
+            }
+
+    def __repr__(self) -> str:
+        return f"CircuitBreaker(state={self.state!r}, transitions={len(self.transitions)})"

@@ -1,0 +1,93 @@
+"""Per-engine health tracking: healthy -> degraded -> quarantined.
+
+The warm pool holds one engine per batch size.  Under fault injection an
+engine can go bad in two ways: its executions raise (staged DMA/CPE faults,
+simulation errors) or its guarded ladder quietly demotes every run to a
+slower tier (correct answers, degraded machine).  Both count as *strikes*
+against that engine; a clean, demotion-free success wipes the slate.
+
+The state machine, per batch size::
+
+    HEALTHY --[strike]--> DEGRADED --[strikes >= quarantine_after]--> QUARANTINED
+    DEGRADED --[clean success]--> HEALTHY
+    QUARANTINED --[background rebuild completes]--> HEALTHY
+
+Quarantine is sticky: only the pool's rebuild (fresh replan, fresh engine,
+fresh filter pack) resets it, and while quarantined the pool routes that
+batch size to its safe spare engine instead.  Counters:
+``serve.demotions.degraded`` / ``serve.demotions.quarantined`` fire on the
+corresponding transitions (the pool adds ``.rebuilt`` / ``.safe_runs``).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict
+
+from repro.common.errors import ServeError
+from repro.telemetry import current_telemetry
+
+HEALTHY = "healthy"
+DEGRADED = "degraded"
+QUARANTINED = "quarantined"
+
+
+class EngineHealth:
+    """Strike counter and state machine for every engine in one pool.
+
+    Thread-safe: strikes arrive from worker threads, resets from the
+    pool's background rebuild threads.
+    """
+
+    def __init__(self, quarantine_after: int = 3, telemetry=None):
+        if quarantine_after < 1:
+            raise ServeError(
+                f"quarantine_after must be >= 1, got {quarantine_after}"
+            )
+        self.quarantine_after = quarantine_after
+        self.telemetry = telemetry if telemetry is not None else current_telemetry()
+        self._lock = threading.Lock()
+        self._strikes: Dict[int, int] = {}
+        self._states: Dict[int, str] = {}
+
+    def state(self, b: int) -> str:
+        with self._lock:
+            return self._states.get(b, HEALTHY)
+
+    def quarantined(self, b: int) -> bool:
+        return self.state(b) == QUARANTINED
+
+    def strike(self, b: int) -> str:
+        """Record one failure/degradation against engine ``b``; new state."""
+        with self._lock:
+            state = self._states.get(b, HEALTHY)
+            if state == QUARANTINED:
+                return state  # already out of rotation; rebuild owns it
+            strikes = self._strikes.get(b, 0) + 1
+            self._strikes[b] = strikes
+            if state == HEALTHY:
+                state = DEGRADED
+                self.telemetry.counters.add("serve.demotions.degraded")
+            if strikes >= self.quarantine_after:
+                state = QUARANTINED
+                self.telemetry.counters.add("serve.demotions.quarantined")
+            self._states[b] = state
+            return state
+
+    def success(self, b: int) -> None:
+        """A clean (demotion-free) run: forgive past strikes."""
+        with self._lock:
+            if self._states.get(b, HEALTHY) == QUARANTINED:
+                return  # stale in-flight result from before quarantine
+            self._strikes[b] = 0
+            self._states[b] = HEALTHY
+
+    def reset(self, b: int) -> None:
+        """Rebuild complete: engine ``b`` re-enters rotation healthy."""
+        with self._lock:
+            self._strikes[b] = 0
+            self._states[b] = HEALTHY
+
+    def as_dict(self) -> Dict[int, str]:
+        with self._lock:
+            return dict(self._states)

@@ -24,6 +24,7 @@ from repro.common.errors import (
     DeadlineExceededError,
     QueueFullError,
     ServeError,
+    ShedError,
 )
 from repro.serve.pool import WarmEnginePool
 from repro.serve.server import InferenceServer
@@ -64,6 +65,8 @@ class LoadReport:
     errors: int
     wall_seconds: float
     latency: LatencySummary
+    #: Typed brownout/breaker rejections (ShedError/BreakerOpenError).
+    shed: int = 0
     extra: Dict[str, Any] = field(default_factory=dict)
 
     @property
@@ -81,6 +84,7 @@ class LoadReport:
             "rejected": self.rejected,
             "deadline_misses": self.deadline_misses,
             "errors": self.errors,
+            "shed": self.shed,
             "wall_seconds": self.wall_seconds,
             "rps": self.rps,
             "latency": self.latency.as_dict(),
@@ -115,6 +119,7 @@ def run_load(
         raise ServeError(f"{n} images but {len(offsets)} arrival offsets")
     submitted: List[Optional[object]] = []
     rejected = 0
+    shed = 0
     t0 = time.perf_counter()
     for i in range(n):
         delay = t0 + float(offsets[i]) - time.perf_counter()
@@ -122,6 +127,11 @@ def run_load(
             time.sleep(delay)
         try:
             submitted.append(server.submit(images[i], deadline_s=deadline_s))
+        except ShedError:
+            # Breaker-open or brownout rejection: typed, counted apart
+            # from queue-full backpressure.
+            shed += 1
+            submitted.append(None)
         except QueueFullError:
             rejected += 1
             submitted.append(None)
@@ -144,6 +154,11 @@ def run_load(
             outputs.append(None)
             misses += 1
             t_last = max(t_last, req.t_done or t_last)
+        except ShedError:
+            # Evicted from the queue by a higher-priority arrival.
+            outputs.append(None)
+            shed += 1
+            t_last = max(t_last, req.t_done or t_last)
         except Exception:  # noqa: BLE001 - tallied, surfaced in the report
             outputs.append(None)
             errors += 1
@@ -154,6 +169,7 @@ def run_load(
         rejected=rejected,
         deadline_misses=misses,
         errors=errors,
+        shed=shed,
         wall_seconds=max(t_last - t0, 1e-12),
         latency=LatencySummary.from_seconds(latencies),
         extra={

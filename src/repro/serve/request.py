@@ -29,6 +29,8 @@ class InferenceRequest:
         "request_id",
         "x",
         "deadline",
+        "priority",
+        "probe",
         "batch_size",
         "t_enqueue",
         "t_batched",
@@ -45,12 +47,18 @@ class InferenceRequest:
         request_id: int,
         x: np.ndarray,
         deadline: Optional[float] = None,
+        priority: int = 0,
+        probe: bool = False,
     ):
         self.request_id = request_id
         self.x = x
         #: Absolute ``perf_counter`` second past which the request is
         #: abandoned at batch formation (None = no deadline).
         self.deadline = deadline
+        #: Shed ordering under brownout: lower priorities are shed first.
+        self.priority = priority
+        #: Half-open breaker probe: its outcome drives breaker recovery.
+        self.probe = probe
         #: Size of the coalesced batch this request executed in.
         self.batch_size: Optional[int] = None
         self.t_enqueue: Optional[float] = None

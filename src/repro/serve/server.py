@@ -31,14 +31,18 @@ from typing import Any, Dict, List, Optional, Union
 import numpy as np
 
 from repro.common.errors import (
+    BreakerOpenError,
     DeadlineExceededError,
     QueueFullError,
+    ReproError,
     ServeError,
     ServerClosedError,
+    ShedError,
 )
 from repro.common.parallel import default_jobs
 from repro.hw.spec import SW26010Spec, DEFAULT_SPEC
 from repro.serve.batcher import BatchPolicy, DynamicBatcher
+from repro.serve.breaker import BreakerPolicy, CircuitBreaker
 from repro.serve.model import ServedModel
 from repro.serve.pool import WarmEnginePool
 from repro.serve.request import InferenceRequest
@@ -55,6 +59,17 @@ class ServerConfig:
     in-process with no persistence, ``None`` uses the default on-disk
     cache, a path/PlanCache uses that cache — a restarted server with a
     persistent cache warms by pure cache hits.
+
+    Resilience knobs (PR 7): ``fault_plan`` arms serve-time chaos — the
+    pool stages one seeded CPE check and one DMA descriptor per batch;
+    ``breaker`` is the per-pool circuit breaker (``True`` = default
+    :class:`BreakerPolicy`, ``False`` = none, or an explicit policy);
+    failed batches retry up to ``max_retries`` times with exponential
+    backoff ``retry_backoff_s * 2^attempt`` budgeted against each
+    request's deadline, then (``hedge=True``) re-execute once on the safe
+    numpy spare; ``high_water`` arms the batcher's brownout shedding;
+    ``quarantine_after`` strikes quarantine an engine and trigger its
+    background rebuild.
     """
 
     max_batch: int = 8
@@ -69,6 +84,13 @@ class ServerConfig:
     batch_shards: int = 1
     default_deadline_s: Optional[float] = None
     spec: SW26010Spec = field(default_factory=lambda: DEFAULT_SPEC)
+    fault_plan: Optional[Any] = None
+    breaker: Union[bool, BreakerPolicy] = True
+    max_retries: int = 2
+    retry_backoff_s: float = 0.001
+    hedge: bool = True
+    high_water: Optional[int] = None
+    quarantine_after: int = 3
 
 
 class InferenceServer:
@@ -92,6 +114,12 @@ class InferenceServer:
         self.config = config or ServerConfig()
         self.telemetry = telemetry if telemetry is not None else current_telemetry()
         cfg = self.config
+        if cfg.max_retries < 0:
+            raise ServeError(f"max_retries must be >= 0, got {cfg.max_retries}")
+        if cfg.retry_backoff_s < 0:
+            raise ServeError(
+                f"retry_backoff_s must be >= 0, got {cfg.retry_backoff_s}"
+            )
         self.pool = pool or WarmEnginePool(
             model,
             max_batch=cfg.max_batch,
@@ -103,10 +131,21 @@ class InferenceServer:
             plan_family=cfg.plan_family,
             batch_shards=cfg.batch_shards,
             telemetry=self.telemetry,
+            fault_plan=cfg.fault_plan,
+            quarantine_after=cfg.quarantine_after,
         )
         self.batcher = DynamicBatcher(
             BatchPolicy(max_batch=cfg.max_batch, max_wait_s=cfg.max_wait_s),
             queue_depth=cfg.queue_depth,
+            high_water=cfg.high_water,
+        )
+        self.breaker: Optional[CircuitBreaker] = None
+        if cfg.breaker is not False:
+            policy = cfg.breaker if isinstance(cfg.breaker, BreakerPolicy) else None
+            self.breaker = CircuitBreaker(policy, telemetry=self.telemetry)
+        #: Hedging needs the pool's safe numpy spare — single-engine conv only.
+        self._can_hedge = (
+            cfg.hedge and model.kind == "conv" and cfg.batch_shards == 1
         )
         self._ids = itertools.count()
         self._workers: List[threading.Thread] = []
@@ -170,6 +209,8 @@ class InferenceServer:
             self.batcher.close(self._num_workers)
             for thread in self._workers:
                 thread.join(timeout)
+            if hasattr(self.pool, "await_rebuilds"):
+                self.pool.await_rebuilds(timeout)
         now = time.perf_counter()
         for req in self.batcher.drain():
             req.t_done = now
@@ -193,7 +234,10 @@ class InferenceServer:
     # -- submission --------------------------------------------------------
 
     def submit(
-        self, x: np.ndarray, deadline_s: Optional[float] = None
+        self,
+        x: np.ndarray,
+        deadline_s: Optional[float] = None,
+        priority: int = 0,
     ) -> InferenceRequest:
         """Enqueue one (C, H, W) image; returns its request/future.
 
@@ -202,6 +246,13 @@ class InferenceServer:
         past it, the batch former reclaims the slot and the future raises
         :class:`DeadlineExceededError`.  A full admission queue raises
         :class:`QueueFullError` here (the request never enters).
+
+        ``priority`` orders brownout shedding (higher = keep longer); with
+        the breaker open, submissions are rejected here with
+        :class:`BreakerOpenError` (half-open admits a seeded probe
+        fraction), and past the batcher's high-water mark the
+        lowest-priority request — this one, or an evicted queued victim —
+        fails with :class:`ShedError`.
 
         Submitting before :meth:`start` is allowed — requests queue up and
         the workers drain them on start, which is how the deterministic
@@ -217,16 +268,46 @@ class InferenceServer:
             deadline_s if deadline_s is not None else self.config.default_deadline_s
         )
         deadline = now + effective if effective is not None else None
-        req = InferenceRequest(next(self._ids), x, deadline=deadline)
+        req = InferenceRequest(
+            next(self._ids), x, deadline=deadline, priority=priority
+        )
         req.t_enqueue = now
         counters.add("serve.requests")
+        if self.breaker is not None:
+            verdict = self.breaker.admit()
+            if verdict == "shed":
+                counters.add("serve.shed")
+                req.t_done = time.perf_counter()
+                error = BreakerOpenError(
+                    f"request {req.request_id} shed: circuit breaker is "
+                    f"{self.breaker.state}"
+                )
+                req._fail(error)
+                raise error
+            req.probe = verdict == "probe"
         try:
-            self.batcher.offer(req)
+            victim = self.batcher.offer(req)
+        except ShedError as exc:
+            counters.add("serve.shed")
+            req.t_done = time.perf_counter()
+            req._fail(exc)
+            raise
         except (QueueFullError, ServerClosedError) as exc:
             counters.add("serve.rejected")
             req.t_done = time.perf_counter()
             req._fail(exc)
             raise
+        if victim is not None:
+            counters.add("serve.shed")
+            victim.t_done = time.perf_counter()
+            victim._fail(
+                ShedError(
+                    f"request {victim.request_id} (priority {victim.priority}) "
+                    f"evicted at the high-water mark by higher-priority "
+                    f"request {req.request_id}"
+                )
+            )
+            self._emit_request_spans(victim, error="shed")
         counters.record_max("serve.queue_depth", self.batcher.depth())
         return req
 
@@ -266,26 +347,105 @@ class InferenceServer:
         counters.add("serve.batches")
         counters.add("serve.batched_images", len(live))
         counters.record_max("serve.batch_size", len(live))
-        xb = np.stack([req.x for req in live])
-        t_exec_start = time.perf_counter()
-        try:
-            with self.telemetry.tracer.span(
-                "serve.batch", cat="serve", batch=len(live)
-            ):
-                if self._exec_lock is not None:
-                    with self._exec_lock:
-                        out = self.pool.run_batch(xb)
-                else:
-                    out = self.pool.run_batch(xb)
-        except Exception as exc:  # noqa: BLE001 - every failure maps to futures
-            t_done = time.perf_counter()
-            counters.add("serve.errors", len(live))
-            for req in live:
-                req.t_exec_start = t_exec_start
-                req.t_done = t_done
-                req._fail(exc)
-                self._emit_request_spans(req, error=type(exc).__name__)
+        cfg = self.config
+        attempt = 0
+        while True:
+            xb = np.stack([req.x for req in live])
+            t_exec_start = time.perf_counter()
+            try:
+                with self.telemetry.tracer.span(
+                    "serve.batch", cat="serve", batch=len(live), attempt=attempt
+                ):
+                    out = self._run_pool(xb)
+            except Exception as exc:  # noqa: BLE001 - every failure maps to futures
+                retryable = isinstance(exc, ReproError)
+                self._record_attempt(False, live)
+                if retryable and attempt < cfg.max_retries:
+                    # Exponential backoff, budgeted against each request's
+                    # deadline: a request that cannot survive the sleep
+                    # fails *now*, exactly once, as a deadline miss.
+                    backoff = cfg.retry_backoff_s * (2 ** attempt)
+                    attempt += 1
+                    counters.add("serve.retries")
+                    live = self._fail_deadline_exhausted(live, backoff)
+                    if not live:
+                        return
+                    if backoff > 0:
+                        time.sleep(backoff)
+                    continue
+                if retryable and self._can_hedge:
+                    # Last resort before failing the batch: one hedged
+                    # re-execution on the pool's safe numpy spare (same
+                    # plan, no fault plan — bit-identical output).
+                    try:
+                        with self.telemetry.tracer.span(
+                            "serve.hedge", cat="serve", batch=len(live)
+                        ):
+                            out = self.pool.run_batch(xb, safe=True)
+                    except Exception as hedge_exc:  # noqa: BLE001
+                        exc = hedge_exc
+                    else:
+                        counters.add("serve.hedges")
+                        self._resolve_batch(live, out, t_exec_start)
+                        return
+                t_done = time.perf_counter()
+                counters.add("serve.errors", len(live))
+                for req in live:
+                    req.t_exec_start = t_exec_start
+                    req.t_done = t_done
+                    req._fail(exc)
+                    self._emit_request_spans(req, error=type(exc).__name__)
+                return
+            self._record_attempt(True, live)
+            self._resolve_batch(live, out, t_exec_start)
             return
+
+    def _run_pool(self, xb: np.ndarray) -> np.ndarray:
+        if self._exec_lock is not None:
+            with self._exec_lock:
+                return self.pool.run_batch(xb)
+        return self.pool.run_batch(xb)
+
+    def _record_attempt(self, ok: bool, live: List[InferenceRequest]) -> None:
+        """Feed one execution *attempt* to the breaker (not one request).
+
+        Attempt-level recording is what lets the breaker trip under chaos
+        even though retry and hedging mask most per-request failures.
+        """
+        if self.breaker is None:
+            return
+        probe = any(req.probe for req in live)
+        if ok:
+            self.breaker.record_success(probe=probe)
+        else:
+            self.breaker.record_failure(probe=probe)
+
+    def _fail_deadline_exhausted(
+        self, live: List[InferenceRequest], backoff: float
+    ) -> List[InferenceRequest]:
+        """Fail (exactly once) every request that cannot survive ``backoff``."""
+        counters = self.telemetry.counters
+        now = time.perf_counter()
+        survivors: List[InferenceRequest] = []
+        for req in live:
+            if req.deadline is not None and now + backoff > req.deadline:
+                req.t_done = time.perf_counter()
+                counters.add("serve.deadline_misses")
+                req._fail(
+                    DeadlineExceededError(
+                        f"request {req.request_id} exhausted its deadline "
+                        f"during retry backoff ({backoff * 1e3:.2f} ms)"
+                    )
+                )
+                self._emit_request_spans(req, error="deadline")
+            else:
+                survivors.append(req)
+        return survivors
+
+    def _resolve_batch(
+        self, live: List[InferenceRequest], out: np.ndarray, t_exec_start: float
+    ) -> None:
+        counters = self.telemetry.counters
         t_exec_end = time.perf_counter()
         for i, req in enumerate(live):
             req.t_exec_start = t_exec_start
@@ -343,6 +503,7 @@ class InferenceServer:
         "serve.errors",
         "serve.rejected",
         "serve.cancelled",
+        "serve.shed",
     )
 
     def accounting(self) -> Dict[str, Any]:
@@ -359,8 +520,9 @@ class InferenceServer:
         """Every admitted request reached exactly one terminal counter.
 
         ``serve.requests == completed + deadline_misses + errors +
-        rejected + cancelled`` — the smoke stage's invariant.  (Trivially
-        true under disabled telemetry, where every counter reads 0.)
+        rejected + cancelled + shed`` — the smoke stage's invariant.
+        (Trivially true under disabled telemetry, where every counter
+        reads 0.)
         """
         counters = self.telemetry.counters
         terminal = sum(counters.get(name) for name in self._TERMINAL_COUNTERS)

@@ -27,46 +27,60 @@ Counter names are dotted paths grouped by subsystem::
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Union
 
 Number = Union[int, float]
 
 
 class Counters:
-    """Enabled counter registry: a flat dotted-name -> number map."""
+    """Enabled counter registry: a flat dotted-name -> number map.
 
-    __slots__ = ("_values",)
+    Thread-safe: the server's worker threads (and the pool's background
+    rebuild threads) all accumulate into one registry, so the
+    read-modify-write of ``add``/``record_max`` runs under a lock —
+    without it, concurrent increments lose updates (two threads read the
+    same old value and both write old+1).
+    """
+
+    __slots__ = ("_values", "_lock")
 
     #: Distinguishes the live registry from the null sink without isinstance.
     enabled = True
 
     def __init__(self) -> None:
         self._values: Dict[str, Number] = {}
+        self._lock = threading.Lock()
 
     def add(self, name: str, value: Number = 1) -> None:
         """Accumulate ``value`` onto counter ``name`` (creating it at 0)."""
-        values = self._values
-        values[name] = values.get(name, 0) + value
+        with self._lock:
+            values = self._values
+            values[name] = values.get(name, 0) + value
 
     def record_max(self, name: str, value: Number) -> None:
         """Keep the maximum ever recorded for ``name`` (high-water marks)."""
-        current = self._values.get(name)
-        if current is None or value > current:
-            self._values[name] = value
+        with self._lock:
+            current = self._values.get(name)
+            if current is None or value > current:
+                self._values[name] = value
 
     def get(self, name: str, default: Number = 0) -> Number:
         return self._values.get(name, default)
 
     def total(self, prefix: str) -> Number:
         """Sum of every counter whose name starts with ``prefix``."""
-        return sum(v for k, v in self._values.items() if k.startswith(prefix))
+        with self._lock:
+            return sum(v for k, v in self._values.items() if k.startswith(prefix))
 
     def as_dict(self) -> Dict[str, Number]:
         """Snapshot copy, sorted by name (JSON-ready)."""
-        return {k: self._values[k] for k in sorted(self._values)}
+        with self._lock:
+            return {k: self._values[k] for k in sorted(self._values)}
 
     def reset(self) -> None:
-        self._values.clear()
+        with self._lock:
+            self._values.clear()
 
     def __len__(self) -> int:
         return len(self._values)
@@ -76,12 +90,12 @@ class Counters:
 
     def render(self) -> str:
         """Aligned two-column listing, one counter per line."""
-        if not self._values:
+        values = self.as_dict()
+        if not values:
             return "counters: (none recorded)"
-        width = max(len(k) for k in self._values)
-        lines = [f"counters: {len(self._values)} distinct"]
-        for name in sorted(self._values):
-            value = self._values[name]
+        width = max(len(k) for k in values)
+        lines = [f"counters: {len(values)} distinct"]
+        for name, value in values.items():
             shown = f"{value:,}" if isinstance(value, int) else f"{value:,.3f}"
             lines.append(f"  {name:<{width}}  {shown}")
         return "\n".join(lines)

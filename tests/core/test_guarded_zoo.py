@@ -1,0 +1,157 @@
+"""Guarded lowered plans: the ``lowered`` tier and its fault-plan demotion.
+
+A lowered (im2col/Winograd) plan on a guarded handle used to be refused
+outright when a fault plan was attached.  Now the ladder prepends a
+``lowered`` tier: healthy machines run the zoo engine, degraded ones catch
+its :class:`PlanError` refusal and demote to the direct engine — correct
+answers either way.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import SwDNNHandle
+from repro.core.algorithms import make_lowered_plan
+from repro.core.guarded import GuardedConvolutionEngine
+from repro.core.params import ConvParams
+from repro.core.planner import plan_convolution
+from repro.core.reference import conv2d_reference
+from repro.faults import FaultPlan, FaultSpec
+
+pytestmark = pytest.mark.zoo
+
+PARAMS = ConvParams.from_output(ni=8, no=8, ro=8, co=8, kr=3, kc=3, b=2)
+
+
+def _data(seed=0):
+    rng = np.random.default_rng(seed)
+    return (
+        rng.standard_normal(PARAMS.input_shape),
+        rng.standard_normal(PARAMS.filter_shape),
+    )
+
+
+class TestHealthyLoweredTier:
+    @pytest.mark.parametrize("algorithm", ["im2col", "winograd"])
+    def test_lowered_tier_serves_on_healthy_machine(self, algorithm):
+        engine = GuardedConvolutionEngine(
+            make_lowered_plan(algorithm, PARAMS), backend="numpy"
+        )
+        assert engine.ladder[0] == "lowered"
+        x, w = _data()
+        out, timing = engine.run(x, w)
+        assert engine.last_outcome.backend_used == "lowered"
+        assert not engine.last_outcome.degraded
+        assert timing.seconds > 0
+        np.testing.assert_allclose(
+            out, conv2d_reference(x, w), rtol=1e-10, atol=1e-10
+        )
+
+    def test_direct_plan_keeps_plain_ladder(self):
+        engine = GuardedConvolutionEngine(
+            plan_convolution(PARAMS).plan, backend="numpy"
+        )
+        assert engine.ladder == ("numpy", "reference")
+
+    def test_prepack_on_lowered_tier_is_noop(self):
+        engine = GuardedConvolutionEngine(
+            make_lowered_plan("im2col", PARAMS), backend="numpy"
+        )
+        _, w = _data()
+        # The zoo engines have no persistent packed layout to memoize.
+        assert engine.prepack_filters(w, version=0) == 0
+
+
+class TestFaultPlanDemotion:
+    def test_fenced_submesh_demotes_to_direct_with_parity(self):
+        # Satellite 1's scenario: lowered plan, fenced submesh.  The zoo
+        # engine refuses the fault plan; the ladder demotes to the direct
+        # engine, which replans onto the healthy 4x4 submesh and answers.
+        plan = FaultPlan(FaultSpec(fenced_cpes=((1, 2), (6, 6))))
+        engine = GuardedConvolutionEngine(
+            make_lowered_plan("winograd", PARAMS),
+            backend="mesh",
+            fault_plan=plan,
+        )
+        x, w = _data(seed=1)
+        out, _ = engine.run(x, w)
+        assert engine.last_outcome.backend_used == "mesh"
+        assert engine.last_outcome.degraded
+        assert "PlanError" in engine.last_outcome.degradations[0]
+        assert plan.ledger.counts()["guard/fallback"] >= 1
+        np.testing.assert_allclose(
+            out, conv2d_reference(x, w), rtol=1e-10, atol=1e-10
+        )
+
+    def test_supplied_direct_plan_backs_the_fallback_tiers(self):
+        direct = plan_convolution(PARAMS).plan
+        engine = GuardedConvolutionEngine(
+            make_lowered_plan("im2col", PARAMS),
+            backend="numpy",
+            fault_plan=FaultPlan(FaultSpec(seed=0)),
+            direct_plan=direct,
+        )
+        x, w = _data(seed=2)
+        out, _ = engine.run(x, w)
+        assert engine.last_outcome.backend_used == "numpy"
+        # The caller's tuned direct plan — not a rederived one — ran.
+        assert engine._engines["numpy"].plan is direct
+        np.testing.assert_allclose(
+            out, conv2d_reference(x, w), rtol=1e-10, atol=1e-10
+        )
+
+    def test_direct_plan_derived_when_not_supplied(self):
+        engine = GuardedConvolutionEngine(
+            make_lowered_plan("im2col", PARAMS),
+            backend="numpy",
+            fault_plan=FaultPlan(FaultSpec(seed=0)),
+        )
+        x, w = _data(seed=3)
+        out, _ = engine.run(x, w)
+        assert engine.last_outcome.backend_used == "numpy"
+        np.testing.assert_allclose(
+            out, conv2d_reference(x, w), rtol=1e-10, atol=1e-10
+        )
+
+    def test_prepack_skips_refusing_lowered_tier(self):
+        engine = GuardedConvolutionEngine(
+            make_lowered_plan("im2col", PARAMS),
+            backend="numpy",
+            fault_plan=FaultPlan(FaultSpec(seed=0)),
+        )
+        _, w = _data()
+        # Must not raise: the refusing lowered tier is skipped and the
+        # direct numpy tier packs instead.
+        assert engine.prepack_filters(w, version=0) >= 0
+
+    def test_evaluate_times_through_demotion(self):
+        plan = FaultPlan(FaultSpec(fenced_cpes=((1, 2), (6, 6))))
+        engine = GuardedConvolutionEngine(
+            make_lowered_plan("winograd", PARAMS),
+            backend="mesh",
+            fault_plan=plan,
+        )
+        assert engine.evaluate().seconds > 0
+
+
+class TestHandleLevel:
+    def test_guarded_zoo_handle_accepts_fault_plan(self):
+        # The old behavior — PlanError at construction for algorithms +
+        # guarded + fault_plan — is gone; demotion happens at run time.
+        plan = FaultPlan(FaultSpec(fenced_cpes=((1, 2), (6, 6))))
+        handle = SwDNNHandle(
+            backend="mesh", guarded=True, fault_plan=plan, algorithms="all"
+        )
+        x, w = _data(seed=4)
+        out, _ = handle.convolution_forward(x, w)
+        np.testing.assert_allclose(
+            out, conv2d_reference(x, w), rtol=1e-10, atol=1e-10
+        )
+
+    def test_healthy_zoo_handle_unchanged(self):
+        handle = SwDNNHandle(backend="numpy", guarded=True, algorithms="all")
+        x, w = _data(seed=5)
+        out, _ = handle.convolution_forward(x, w)
+        np.testing.assert_allclose(
+            out, conv2d_reference(x, w), rtol=1e-10, atol=1e-10
+        )

@@ -209,3 +209,32 @@ class TestHardwareHooks:
         buf = ldm.alloc("tile", (16,))
         with pytest.raises(ECCError):
             buf.read(slice(None))
+
+
+class TestLedgerThreadSafety:
+    def test_concurrent_records_get_unique_dense_seqs(self):
+        # Regression: FaultLedger.record assigned seq from len(events)
+        # without a lock, so concurrent serve workers could duplicate
+        # sequence numbers or lose events.
+        import threading
+
+        ledger = FaultLedger()
+        n_threads, n_records = 8, 500
+
+        def hammer(tid):
+            for i in range(n_records):
+                ledger.record("test", "concurrent", f"{tid}:{i}")
+
+        threads = [
+            threading.Thread(target=hammer, args=(tid,))
+            for tid in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        total = n_threads * n_records
+        assert len(ledger) == total
+        seqs = [event.seq for event in ledger.events]
+        assert sorted(seqs) == list(range(total))
+        assert ledger.counts() == {"test/concurrent": total}

@@ -1,4 +1,4 @@
-"""Batcher semantics: coalescing, backpressure, shutdown tokens."""
+"""Batcher semantics: coalescing, backpressure, brownout, shutdown."""
 
 import threading
 import time
@@ -6,14 +6,19 @@ import time
 import numpy as np
 import pytest
 
-from repro.common.errors import QueueFullError, ServeError, ServerClosedError
+from repro.common.errors import (
+    QueueFullError,
+    ServeError,
+    ServerClosedError,
+    ShedError,
+)
 from repro.serve import BatchPolicy, DynamicBatcher, InferenceRequest
 
 pytestmark = pytest.mark.serve
 
 
-def _req(i: int) -> InferenceRequest:
-    return InferenceRequest(i, np.zeros((1, 2, 2)))
+def _req(i: int, priority: int = 0) -> InferenceRequest:
+    return InferenceRequest(i, np.zeros((1, 2, 2)), priority=priority)
 
 
 class TestBatchPolicy:
@@ -104,3 +109,103 @@ class TestBatchFormation:
         assert [r.request_id for r in batch] == [0]
         # The requeued sentinel now releases the worker.
         assert batcher.next_batch() is None
+
+
+class TestShutdownLosesNothing:
+    def test_close_mid_window_ships_partial_batch(self):
+        # A worker parked in a long batching window must ship what it has
+        # when the batcher closes, not strand it.
+        batcher = DynamicBatcher(BatchPolicy(max_batch=8, max_wait_s=30.0),
+                                 queue_depth=8)
+        batcher.offer(_req(0))
+        result = {}
+
+        def worker():
+            result["batch"] = batcher.next_batch()
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        time.sleep(0.05)  # let the worker enter the window
+        batcher.close(n_workers=1)
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert [r.request_id for r in result["batch"]] == [0]
+        assert batcher.next_batch() is None
+
+    def test_queued_requests_all_ship_after_close(self):
+        # Close with a backlog: workers keep receiving real batches until
+        # the queue is empty, then None — drain finds nothing to cancel.
+        batcher = DynamicBatcher(BatchPolicy(max_batch=2, max_wait_s=30.0),
+                                 queue_depth=8)
+        for i in range(5):
+            batcher.offer(_req(i))
+        batcher.close(n_workers=2)
+        shipped = []
+        while True:
+            batch = batcher.next_batch()
+            if batch is None:
+                break
+            shipped.append([r.request_id for r in batch])
+        assert shipped == [[0, 1], [2, 3], [4]]
+        assert batcher.drain() == []
+
+    def test_every_worker_wakes_on_close(self):
+        batcher = DynamicBatcher(queue_depth=4)
+        results = []
+
+        def worker():
+            results.append(batcher.next_batch())
+
+        threads = [threading.Thread(target=worker) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.05)
+        batcher.close(n_workers=3)
+        for thread in threads:
+            thread.join(timeout=5.0)
+            assert not thread.is_alive()
+        assert results == [None, None, None]
+
+
+class TestBrownout:
+    def test_high_water_validated(self):
+        with pytest.raises(ServeError):
+            DynamicBatcher(queue_depth=4, high_water=0)
+        with pytest.raises(ServeError):
+            DynamicBatcher(queue_depth=4, high_water=5)
+
+    def test_below_high_water_nothing_shed(self):
+        batcher = DynamicBatcher(queue_depth=8, high_water=3)
+        assert batcher.offer(_req(0)) is None
+        assert batcher.offer(_req(1)) is None
+        assert batcher.depth() == 2
+
+    def test_eviction_picks_lowest_priority_newest_among_ties(self):
+        batcher = DynamicBatcher(queue_depth=8, high_water=3)
+        batcher.offer(_req(0, priority=1))
+        batcher.offer(_req(1, priority=0))
+        batcher.offer(_req(2, priority=0))
+        # At high water: the incoming priority-2 request displaces the
+        # newest of the lowest-priority class (request 2, not 1).
+        victim = batcher.offer(_req(3, priority=2))
+        assert victim.request_id == 2
+        batch = batcher.next_batch()
+        assert [r.request_id for r in batch] == [0, 1, 3]
+
+    def test_incoming_shed_when_not_strictly_higher(self):
+        batcher = DynamicBatcher(queue_depth=8, high_water=2)
+        batcher.offer(_req(0, priority=1))
+        batcher.offer(_req(1, priority=1))
+        # Equal priority: fail-fast admission, no queue churn.
+        with pytest.raises(ShedError):
+            batcher.offer(_req(2, priority=1))
+        assert batcher.depth() == 2
+
+    def test_no_high_water_keeps_queue_full_backpressure(self):
+        batcher = DynamicBatcher(queue_depth=2)
+        batcher.offer(_req(0, priority=0))
+        batcher.offer(_req(1, priority=0))
+        # Without a high-water mark, priority never evicts: legacy
+        # QueueFullError backpressure is preserved bit-for-bit.
+        with pytest.raises(QueueFullError):
+            batcher.offer(_req(2, priority=99))

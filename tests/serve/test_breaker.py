@@ -1,0 +1,214 @@
+"""Circuit breaker state machine: trip, cooldown, probing, recovery."""
+
+import pytest
+
+from repro.common.errors import ServeError
+from repro.serve import BreakerPolicy, CircuitBreaker
+from repro.serve.breaker import CLOSED, HALF_OPEN, OPEN
+from repro.telemetry import Telemetry
+
+pytestmark = pytest.mark.serve
+
+
+class FakeClock:
+    """Injectable clock: the cooldown tests advance time by hand."""
+
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+def _breaker(telemetry=None, **overrides):
+    base = dict(
+        window=8,
+        failure_threshold=0.5,
+        min_samples=4,
+        cooldown_s=1.0,
+        probe_fraction=1.0,
+        close_after=2,
+        seed=0,
+    )
+    base.update(overrides)
+    clock = FakeClock()
+    breaker = CircuitBreaker(
+        BreakerPolicy(**base),
+        telemetry=telemetry or Telemetry(),
+        clock=clock,
+    )
+    return breaker, clock
+
+
+class TestPolicyValidation:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ServeError):
+            BreakerPolicy(window=0)
+        with pytest.raises(ServeError):
+            BreakerPolicy(failure_threshold=0.0)
+        with pytest.raises(ServeError):
+            BreakerPolicy(failure_threshold=1.5)
+        with pytest.raises(ServeError):
+            BreakerPolicy(window=4, min_samples=5)
+        with pytest.raises(ServeError):
+            BreakerPolicy(min_samples=0)
+        with pytest.raises(ServeError):
+            BreakerPolicy(cooldown_s=-1.0)
+        with pytest.raises(ServeError):
+            BreakerPolicy(probe_fraction=0.0)
+        with pytest.raises(ServeError):
+            BreakerPolicy(close_after=0)
+
+
+class TestTripping:
+    def test_closed_admits_everything(self):
+        breaker, _ = _breaker()
+        assert breaker.state == CLOSED
+        assert all(breaker.admit() == "admit" for _ in range(10))
+
+    def test_no_trip_below_min_samples(self):
+        breaker, _ = _breaker(min_samples=4)
+        for _ in range(3):
+            breaker.record_failure()
+        # 100% failure rate, but only 3 samples: not enough evidence.
+        assert breaker.state == CLOSED
+
+    def test_trips_at_threshold_over_min_samples(self):
+        breaker, _ = _breaker(failure_threshold=0.5, min_samples=4)
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()  # 2/4 = 0.5 >= threshold
+        assert breaker.state == OPEN
+        assert breaker.admit() == "shed"
+        assert breaker.transitions[0][1] == "closed->open"
+
+    def test_successes_dilute_below_threshold(self):
+        breaker, _ = _breaker(failure_threshold=0.5, min_samples=4, window=8)
+        for _ in range(6):
+            breaker.record_success()
+        for _ in range(2):
+            breaker.record_failure()
+        # 2/8 = 0.25 < 0.5: the window keeps it closed.
+        assert breaker.state == CLOSED
+
+    def test_sliding_window_forgets_old_failures(self):
+        breaker, _ = _breaker(window=4, min_samples=4, failure_threshold=1.0)
+        for _ in range(3):
+            breaker.record_failure()
+        for _ in range(4):
+            breaker.record_success()
+        # The failures slid out of the 4-wide window entirely.
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == CLOSED
+
+
+class TestRecovery:
+    def _tripped(self, **overrides):
+        breaker, clock = _breaker(**overrides)
+        for _ in range(4):
+            breaker.record_failure()
+        assert breaker.state == OPEN
+        return breaker, clock
+
+    def test_open_until_cooldown_then_half_open(self):
+        breaker, clock = self._tripped(cooldown_s=1.0)
+        assert breaker.admit() == "shed"
+        clock.advance(0.5)
+        assert breaker.state == OPEN  # cooldown not yet elapsed
+        clock.advance(0.5)
+        assert breaker.state == HALF_OPEN  # checked lazily, no timer thread
+        assert (1, "open->half-open") in breaker.transitions
+
+    def test_half_open_admits_probes(self):
+        breaker, clock = self._tripped(probe_fraction=1.0)
+        clock.advance(1.0)
+        assert breaker.admit() == "probe"
+
+    def test_probe_successes_close(self):
+        telem = Telemetry()
+        breaker, clock = self._tripped(telemetry=telem, close_after=2)
+        clock.advance(1.0)
+        assert breaker.admit() == "probe"
+        breaker.record_success(probe=True)
+        assert breaker.state == HALF_OPEN  # one success is not enough
+        breaker.record_success(probe=True)
+        assert breaker.state == CLOSED
+        assert [t[1] for t in breaker.transitions] == [
+            "closed->open", "open->half-open", "half-open->closed",
+        ]
+        assert telem.counters.get("serve.breaker.opened") == 1
+        assert telem.counters.get("serve.breaker.half_opened") == 1
+        assert telem.counters.get("serve.breaker.closed") == 1
+
+    def test_one_probe_failure_reopens(self):
+        breaker, clock = self._tripped()
+        clock.advance(1.0)
+        assert breaker.admit() == "probe"
+        breaker.record_success(probe=True)
+        breaker.record_failure(probe=True)
+        assert breaker.state == OPEN
+        # The fresh OPEN restarts the cooldown on the advanced clock.
+        clock.advance(1.0)
+        assert breaker.state == HALF_OPEN
+
+    def test_non_probe_outcomes_do_not_close_half_open(self):
+        breaker, clock = self._tripped(close_after=1)
+        clock.advance(1.0)
+        for _ in range(5):
+            breaker.record_success(probe=False)
+        # Only probe outcomes drive recovery.
+        assert breaker.state == HALF_OPEN
+
+
+class TestSeededProbing:
+    def test_probe_admission_replays_bit_identically(self):
+        verdicts = []
+        for _ in range(2):
+            breaker, clock = _breaker(probe_fraction=0.5, min_samples=4, seed=7)
+            for _ in range(4):
+                breaker.record_failure()
+            clock.advance(1.0)
+            verdicts.append([breaker.admit() for _ in range(32)])
+        assert verdicts[0] == verdicts[1]
+        assert "probe" in verdicts[0] and "shed" in verdicts[0]
+
+    def test_shed_and_probe_counters(self):
+        telem = Telemetry()
+        breaker, clock = _breaker(
+            telemetry=telem, probe_fraction=0.5, min_samples=4, seed=7
+        )
+        for _ in range(4):
+            breaker.record_failure()
+        breaker.admit()  # shed while OPEN
+        clock.advance(1.0)
+        verdicts = [breaker.admit() for _ in range(32)]
+        assert telem.counters.get("serve.breaker.probes") == verdicts.count("probe")
+        assert (
+            telem.counters.get("serve.breaker.shed")
+            == verdicts.count("shed") + 1
+        )
+
+
+class TestIntrospection:
+    def test_transition_seqs_strictly_increase(self):
+        breaker, clock = _breaker(close_after=1)
+        for _ in range(4):
+            breaker.record_failure()
+        clock.advance(1.0)
+        breaker.admit()
+        breaker.record_success(probe=True)
+        seqs = [seq for seq, _ in breaker.transitions]
+        assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+
+    def test_as_dict_snapshot(self):
+        breaker, _ = _breaker()
+        breaker.record_failure()
+        snap = breaker.as_dict()
+        assert snap["state"] == CLOSED
+        assert snap["window"] == [True]
+        assert snap["transitions"] == []

@@ -1,0 +1,382 @@
+"""Serving resilience: retry, deadline budgeting, hedging, quarantine, shed.
+
+Every test here is deterministic — faults are injected through a wrapper
+pool that fails on command (or by striking the health tracker directly),
+never through timing races.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.common.errors import (
+    BreakerOpenError,
+    DMATimeoutError,
+    DeadlineExceededError,
+    ShedError,
+    SimulationError,
+)
+from repro.serve import (
+    BreakerPolicy,
+    InferenceServer,
+    ServedModel,
+    ServerConfig,
+    WarmEnginePool,
+    synthetic_images,
+)
+from repro.serve.health import DEGRADED, HEALTHY, QUARANTINED
+from repro.telemetry import Telemetry
+
+pytestmark = pytest.mark.serve
+
+
+def _conv_model(ni=8, no=8, k=3, hw=8, seed=0):
+    rng = np.random.default_rng(seed)
+    w = rng.standard_normal((no, ni, k, k)) * np.sqrt(2.0 / (ni * k * k))
+    bias = rng.standard_normal(no) * 0.1
+    return ServedModel.conv(w, (hw, hw), bias=bias, activation="relu")
+
+
+def _config(**overrides):
+    base = dict(
+        max_batch=4,
+        max_wait_s=0.001,
+        queue_depth=64,
+        workers=1,
+        autotune=False,
+        guarded=True,
+        retry_backoff_s=0.0,
+    )
+    base.update(overrides)
+    return ServerConfig(**base)
+
+
+class FlakyPool:
+    """Delegating pool whose primary path fails the first ``fail_first`` runs.
+
+    ``fail_first=None`` means fail every primary run; the safe (hedge) path
+    always delegates unless ``fail_safe`` is set.
+    """
+
+    def __init__(self, inner, fail_first=0, fail_safe=False):
+        self.inner = inner
+        self.fail_first = fail_first
+        self.fail_safe = fail_safe
+        self.primary_calls = 0
+        self.safe_calls = 0
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+    def run_batch(self, xb, safe=False):
+        if safe:
+            self.safe_calls += 1
+            if self.fail_safe:
+                raise DMATimeoutError("injected safe-path failure")
+            return self.inner.run_batch(xb, safe=True)
+        self.primary_calls += 1
+        if self.fail_first is None or self.primary_calls <= self.fail_first:
+            raise DMATimeoutError("injected primary failure")
+        return self.inner.run_batch(xb)
+
+
+def _flaky_server(telem, fail_first=0, fail_safe=False, **overrides):
+    model = _conv_model()
+    inner = WarmEnginePool(
+        model, max_batch=4, autotune=False, guarded=True, telemetry=telem
+    )
+    pool = FlakyPool(inner, fail_first=fail_first, fail_safe=fail_safe)
+    server = InferenceServer(
+        model, _config(**overrides), telemetry=telem, pool=pool
+    )
+    return server, pool, model
+
+
+class TestRetry:
+    def test_retry_masks_transient_fault(self):
+        telem = Telemetry()
+        server, pool, model = _flaky_server(telem, fail_first=1, max_retries=2)
+        images = synthetic_images(1, model.input_shape, seed=1)
+        with server:
+            out = server.submit(images[0]).result(timeout=30.0)
+        np.testing.assert_allclose(
+            out, model.reference_forward(images)[0], rtol=1e-10, atol=1e-10
+        )
+        assert pool.primary_calls == 2  # one failure, one retry success
+        assert telem.counters.get("serve.retries") == 1
+        assert telem.counters.get("serve.completed") == 1
+        assert telem.counters.get("serve.errors") == 0
+        assert server.counters_balanced()
+        # One failed attempt is far below the default trip threshold.
+        assert server.breaker.state == "closed"
+
+    def test_retries_exhausted_without_hedge_fails_typed(self):
+        telem = Telemetry()
+        server, pool, model = _flaky_server(
+            telem, fail_first=None, max_retries=1, hedge=False
+        )
+        images = synthetic_images(1, model.input_shape, seed=2)
+        with server:
+            req = server.submit(images[0])
+            with pytest.raises(DMATimeoutError):
+                req.result(timeout=30.0)
+        assert pool.primary_calls == 2
+        assert telem.counters.get("serve.retries") == 1
+        assert telem.counters.get("serve.errors") == 1
+        assert server.counters_balanced()
+
+
+class TestHedge:
+    def test_hedge_rescues_with_bit_identical_output(self):
+        telem = Telemetry()
+        server, pool, model = _flaky_server(
+            telem, fail_first=None, max_retries=1, hedge=True
+        )
+        images = synthetic_images(1, model.input_shape, seed=3)
+        with server:
+            out = server.submit(images[0]).result(timeout=30.0)
+        assert pool.safe_calls == 1
+        assert telem.counters.get("serve.hedges") == 1
+        assert telem.counters.get("serve.completed") == 1
+        assert telem.counters.get("serve.errors") == 0
+        assert server.counters_balanced()
+        # The safe spare reuses the primary's plan, so the hedged output is
+        # bit-identical to a healthy plain-pool run — never a wrong answer.
+        plain = WarmEnginePool(model, max_batch=4, autotune=False, guarded=False)
+        plain.warm(batch_sizes=[1])
+        np.testing.assert_array_equal(out, plain.run_batch(images[:1])[0])
+
+    def test_hedge_failure_surfaces_original_style_error(self):
+        telem = Telemetry()
+        server, pool, model = _flaky_server(
+            telem, fail_first=None, fail_safe=True, max_retries=0, hedge=True
+        )
+        images = synthetic_images(1, model.input_shape, seed=4)
+        with server:
+            req = server.submit(images[0])
+            with pytest.raises(DMATimeoutError):
+                req.result(timeout=30.0)
+        assert pool.safe_calls == 1
+        assert telem.counters.get("serve.hedges") == 0
+        assert telem.counters.get("serve.errors") == 1
+        assert server.counters_balanced()
+
+
+class TestDeadlineUnderRetry:
+    def test_backoff_that_busts_deadline_fails_exactly_once(self):
+        # First attempt fails; the next backoff (1.0 s) cannot fit in the
+        # 0.5 s deadline, so the request must fail *now*, exactly once, as
+        # a deadline miss — and the worker must not sleep out the backoff
+        # for an empty batch.
+        telem = Telemetry()
+        server, pool, model = _flaky_server(
+            telem,
+            fail_first=None,
+            max_retries=3,
+            retry_backoff_s=1.0,
+            hedge=False,
+        )
+        images = synthetic_images(1, model.input_shape, seed=5)
+        with server:
+            req = server.submit(images[0], deadline_s=0.5)
+            with pytest.raises(DeadlineExceededError):
+                req.result(timeout=30.0)
+        assert pool.primary_calls == 1
+        assert telem.counters.get("serve.retries") == 1
+        # Exactly one terminal outcome: a deadline miss, not also an error.
+        assert telem.counters.get("serve.deadline_misses") == 1
+        assert telem.counters.get("serve.errors") == 0
+        assert telem.counters.get("serve.completed") == 0
+        assert telem.counters.get("serve.requests") == 1
+        assert server.counters_balanced()
+
+    def test_deadline_free_neighbours_survive_the_purge(self):
+        # Two requests share the failing batch; only the deadlined one can
+        # be purged at backoff time — the other retries to completion.
+        telem = Telemetry()
+        server, pool, model = _flaky_server(
+            telem,
+            fail_first=1,
+            max_retries=3,
+            retry_backoff_s=1.0,
+            hedge=False,
+            max_wait_s=0.05,
+        )
+        images = synthetic_images(2, model.input_shape, seed=6)
+        server.start()
+        try:
+            doomed = server.submit(images[0], deadline_s=0.5)
+            survivor = server.submit(images[1])
+            with pytest.raises(DeadlineExceededError):
+                doomed.result(timeout=30.0)
+            out = survivor.result(timeout=30.0)
+        finally:
+            server.close()
+        np.testing.assert_allclose(
+            out, model.reference_forward(images)[1], rtol=1e-10, atol=1e-10
+        )
+        assert telem.counters.get("serve.deadline_misses") == 1
+        assert telem.counters.get("serve.completed") == 1
+        assert server.counters_balanced()
+
+
+class TestQuarantine:
+    def _pool(self, telem, quarantine_after=2):
+        model = _conv_model()
+        pool = WarmEnginePool(
+            model,
+            max_batch=2,
+            autotune=False,
+            guarded=True,
+            quarantine_after=quarantine_after,
+            telemetry=telem,
+        )
+        pool.warm(batch_sizes=[1])
+        return pool, model
+
+    def test_strikes_quarantine_and_route_to_safe_spare(self):
+        telem = Telemetry()
+        pool, model = self._pool(telem)
+        # Hold the background rebuild so the quarantined window is
+        # observable instead of a race against a fast replan.
+        release = threading.Event()
+        orig_build = pool._build_engine
+
+        def slow_build(b, plan=None):
+            release.wait(10.0)
+            return orig_build(b, plan)
+
+        pool._build_engine = slow_build
+        try:
+            pool._note_failure(1)
+            assert pool.health.state(1) == DEGRADED
+            pool._note_failure(1)
+            assert pool.health.state(1) == QUARANTINED
+            x = synthetic_images(1, model.input_shape, seed=7)
+            out = pool.run_batch(x)
+            # Routed to the safe spare (same plan): still bit-identical.
+            assert telem.counters.get("serve.demotions.safe_runs") == 1
+            plain = WarmEnginePool(
+                model, max_batch=2, autotune=False, guarded=False
+            )
+            plain.warm(batch_sizes=[1])
+            np.testing.assert_array_equal(out, plain.run_batch(x))
+        finally:
+            release.set()
+        pool.await_rebuilds()
+        assert pool.health.state(1) == HEALTHY
+        assert telem.counters.get("serve.demotions.rebuilt") == 1
+        assert telem.counters.get("serve.demotions.degraded") == 1
+        assert telem.counters.get("serve.demotions.quarantined") == 1
+        # Healthy again: the primary serves and the spare stays idle.
+        pool.run_batch(synthetic_images(1, model.input_shape, seed=8))
+        assert telem.counters.get("serve.demotions.safe_runs") == 1
+
+    def test_failed_rebuild_stays_quarantined(self):
+        telem = Telemetry()
+        pool, model = self._pool(telem)
+        orig_build = pool._build_engine
+
+        def broken_build(b, plan=None):
+            raise SimulationError("machine too degraded to replan")
+
+        pool._build_engine = broken_build
+        pool._note_failure(1)
+        pool._note_failure(1)
+        pool.await_rebuilds()
+        assert pool.health.state(1) == QUARANTINED
+        assert telem.counters.get("serve.demotions.rebuild_failed") == 1
+        # The safe spare keeps answering while quarantined.
+        x = synthetic_images(1, model.input_shape, seed=9)
+        np.testing.assert_allclose(
+            pool.run_batch(x), model.reference_forward(x), rtol=1e-10, atol=1e-10
+        )
+        # A later strike retries the rebuild once the machine recovers.
+        pool._build_engine = orig_build
+        pool._note_failure(1)
+        pool.await_rebuilds()
+        assert pool.health.state(1) == HEALTHY
+        assert telem.counters.get("serve.demotions.rebuilt") == 1
+
+    def test_success_forgives_degraded_strikes(self):
+        telem = Telemetry()
+        pool, model = self._pool(telem, quarantine_after=3)
+        pool._note_failure(1)
+        assert pool.health.state(1) == DEGRADED
+        pool.run_batch(synthetic_images(1, model.input_shape, seed=10))
+        assert pool.health.state(1) == HEALTHY
+        # Clean runs wiped the slate: two fresh strikes only re-degrade.
+        pool._note_failure(1)
+        pool._note_failure(1)
+        assert pool.health.state(1) == DEGRADED
+
+
+class TestBrownoutShedding:
+    def test_high_water_evicts_lowest_priority(self):
+        telem = Telemetry()
+        model = _conv_model()
+        # Not started: submissions queue, so the eviction is deterministic.
+        server = InferenceServer(
+            model,
+            _config(high_water=2, queue_depth=8, breaker=False),
+            telemetry=telem,
+        )
+        images = synthetic_images(4, model.input_shape, seed=11)
+        low = server.submit(images[0], priority=0)
+        mid = server.submit(images[1], priority=1)
+        # Crossing high water: the priority-0 request is the victim.
+        high = server.submit(images[2], priority=2)
+        with pytest.raises(ShedError):
+            low.result(timeout=1.0)
+        assert telem.counters.get("serve.shed") == 1
+        # An incoming request that outranks nothing queued sheds itself.
+        with pytest.raises(ShedError):
+            server.submit(images[3], priority=0)
+        assert telem.counters.get("serve.shed") == 2
+        server.close()
+        for req in (mid, high):
+            with pytest.raises(Exception):
+                req.result(timeout=1.0)
+        # 4 admitted = 2 shed + 2 cancelled at close.
+        assert telem.counters.get("serve.requests") == 4
+        assert telem.counters.get("serve.cancelled") == 2
+        assert server.counters_balanced()
+
+
+class TestBreakerAtSubmit:
+    def test_open_breaker_sheds_submission(self):
+        telem = Telemetry()
+        model = _conv_model()
+        policy = BreakerPolicy(
+            window=4, failure_threshold=0.5, min_samples=2,
+            cooldown_s=60.0, probe_fraction=1.0, close_after=1,
+        )
+        server = InferenceServer(
+            model, _config(breaker=policy), telemetry=telem
+        )
+        server.breaker.record_failure()
+        server.breaker.record_failure()
+        assert server.breaker.state == "open"
+        x = synthetic_images(1, model.input_shape, seed=12)[0]
+        with pytest.raises(BreakerOpenError) as excinfo:
+            server.submit(x)
+        # BreakerOpenError is a ShedError: one typed family for "the
+        # server refused on purpose", distinct from queue-full rejection.
+        assert isinstance(excinfo.value, ShedError)
+        assert telem.counters.get("serve.shed") == 1
+        assert telem.counters.get("serve.requests") == 1
+        server.close()
+        assert server.counters_balanced()
+
+    def test_breaker_disabled_never_sheds(self):
+        model = _conv_model()
+        server = InferenceServer(model, _config(breaker=False))
+        assert server.breaker is None
+        images = synthetic_images(2, model.input_shape, seed=13)
+        with server:
+            outs = [server.submit(x).result(timeout=30.0) for x in images]
+        for i, out in enumerate(outs):
+            np.testing.assert_allclose(
+                out, model.reference_forward(images)[i], rtol=1e-10, atol=1e-10
+            )

@@ -126,3 +126,48 @@ class TestAmbientSession:
         session.reset()
         assert len(session.counters) == 0
         assert len(session.tracer) == 1
+
+
+class TestCountersThreadSafety:
+    def test_concurrent_adds_lose_nothing(self):
+        # Regression: Counters.add used an unguarded read-modify-write, so
+        # concurrent serve workers could drop increments and break the
+        # request-accounting balance invariant.
+        import threading
+
+        c = Counters()
+        n_threads, n_adds = 8, 2000
+
+        def hammer():
+            for _ in range(n_adds):
+                c.add("serve.requests")
+                c.record_max("serve.queue_depth", 3)
+
+        threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.get("serve.requests") == n_threads * n_adds
+        assert c.get("serve.queue_depth") == 3
+
+    def test_concurrent_snapshot_while_adding(self):
+        import threading
+
+        c = Counters()
+        stop = threading.Event()
+
+        def writer():
+            while not stop.is_set():
+                c.add("x")
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            for _ in range(200):
+                snap = c.as_dict()  # must not raise mid-mutation
+                assert snap.get("x", 0) >= 0
+                c.total("x")
+        finally:
+            stop.set()
+            thread.join()
