@@ -1,7 +1,7 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: test faults tune zoo profile serve chaos verify
+.PHONY: test faults tune zoo profile serve chaos scale verify
 
 test:
 	python -m pytest -x -q
@@ -27,6 +27,11 @@ serve:
 chaos:
 	python -m repro serve --chaos --smoke --json-out /tmp/repro-chaos.json
 	python -m repro.faults.validate /tmp/repro-chaos.json
+
+scale:
+	python -m pytest -x -q -m scale tests/scale
+	python -m repro train --nodes 3 --smoke --json-out /tmp/repro-scale.json
+	python -m repro.scale.validate /tmp/repro-scale.json
 
 verify:
 	sh scripts/verify.sh

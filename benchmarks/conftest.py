@@ -12,7 +12,8 @@ import pytest
 def pytest_collection_modifyitems(items):
     # Benchmarks are ordered to mirror the paper's presentation.
     order = ["table2", "fig2", "fig6", "fig7", "fig9", "table3", "algos",
-             "scaling", "ablation", "telemetry", "serve", "chaos"]
+             "scaling", "ablation", "telemetry", "serve", "chaos",
+             "dataparallel"]
 
     def key(item):
         for i, name in enumerate(order):

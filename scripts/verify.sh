@@ -16,6 +16,7 @@ ZOO_TIMEOUT="${ZOO_TIMEOUT:-300}"
 PROFILE_TIMEOUT="${PROFILE_TIMEOUT:-120}"
 SERVE_TIMEOUT="${SERVE_TIMEOUT:-180}"
 CHAOS_TIMEOUT="${CHAOS_TIMEOUT:-180}"
+SCALE_TIMEOUT="${SCALE_TIMEOUT:-180}"
 
 echo "== tier-1 suite (timeout ${TIER1_TIMEOUT}s) =="
 timeout "${TIER1_TIMEOUT}" python -m pytest -x -q
@@ -32,7 +33,8 @@ timeout "${ZOO_TIMEOUT}" python -m pytest -x -q -m zoo tests/tune
 echo "== telemetry profile smoke test (timeout ${PROFILE_TIMEOUT}s) =="
 PROFILE_TRACE="$(mktemp /tmp/repro-profile-XXXXXX.json)"
 CHAOS_REPORT=""
-trap 'rm -f "${PROFILE_TRACE}" ${CHAOS_REPORT:+"${CHAOS_REPORT}"}' EXIT
+SCALE_REPORT=""
+trap 'rm -f "${PROFILE_TRACE}" ${CHAOS_REPORT:+"${CHAOS_REPORT}"} ${SCALE_REPORT:+"${SCALE_REPORT}"}' EXIT
 timeout "${PROFILE_TIMEOUT}" python -m repro profile \
     --ni 32 --no 32 --out 16 --batch 16 --tiles 8 --guarded \
     --trace-out "${PROFILE_TRACE}"
@@ -53,6 +55,21 @@ timeout "${CHAOS_TIMEOUT}" python -m repro.faults.validate "${CHAOS_REPORT}"
 if [ -f benchmarks/BENCH_chaos_serve.json ]; then
     timeout "${CHAOS_TIMEOUT}" python -m repro.faults.validate \
         benchmarks/BENCH_chaos_serve.json
+fi
+
+echo "== data-parallel scale smoke + schema gate (timeout ${SCALE_TIMEOUT}s) =="
+# The smoke trains the same global batches on 1/2/4 executed nodes and
+# asserts bitwise-identical weights; the validator then checks the
+# emitted report and the committed benchmark record against the same
+# schema (parity proof, sorted scaling curves, >=1.2x overlap at scale).
+timeout "${SCALE_TIMEOUT}" python -m pytest -x -q -m scale tests/scale
+SCALE_REPORT="$(mktemp /tmp/repro-scale-XXXXXX.json)"
+timeout "${SCALE_TIMEOUT}" python -m repro train --nodes 3 --smoke \
+    --json-out "${SCALE_REPORT}"
+timeout "${SCALE_TIMEOUT}" python -m repro.scale.validate "${SCALE_REPORT}"
+if [ -f benchmarks/BENCH_dataparallel.json ]; then
+    timeout "${SCALE_TIMEOUT}" python -m repro.scale.validate \
+        benchmarks/BENCH_dataparallel.json
 fi
 
 echo "verify: OK"

@@ -17,6 +17,9 @@ Subcommands::
                                  report, communication-lower-bound oracle,
                                  hardware counters, and (with --trace-out) a
                                  Chrome trace_event JSON
+    train --nodes N              executed data-parallel SGD across N simulated
+                                 nodes: real replicas, exact gradient allreduce,
+                                 bucketed comm/compute overlap, scaling curves
 """
 
 from __future__ import annotations
@@ -431,6 +434,91 @@ def _cmd_serve_chaos(args) -> int:
     return 0
 
 
+def cmd_train(args) -> int:
+    import json
+
+    from repro.scale.cluster import ClusterFaultSpec
+    from repro.scale.report import build_dataparallel_report
+    from repro.scale.validate import validate_dataparallel_report
+
+    faults = None
+    if args.chaos:
+        faults = ClusterFaultSpec(
+            seed=args.seed,
+            straggler_rate=0.25,
+            straggler_slowdown=3.0,
+            link_degrade_rate=0.25,
+            link_degrade_factor=0.5,
+            partition_rate=0.1,
+        )
+    global_batch = args.global_batch
+    if global_batch % args.nodes != 0:
+        global_batch = ((global_batch // args.nodes) + 1) * args.nodes
+        print(
+            f"note: global batch rounded up to {global_batch} "
+            f"(must be a multiple of --nodes {args.nodes})"
+        )
+    report = build_dataparallel_report(
+        nodes=args.nodes,
+        topology=args.topology,
+        bucket_bytes=args.bucket_kb * 1024,
+        global_batch=global_batch,
+        steps=args.steps,
+        seed=args.seed,
+        grain=args.grain,
+        overlap=not args.no_overlap,
+        faults=faults,
+        jobs=args.jobs,
+    )
+    print(
+        f"data-parallel SGD: {args.nodes} node(s), topology={args.topology}, "
+        f"global batch {global_batch}, {report['jobs']} worker(s)"
+    )
+    losses = " -> ".join(f"{loss:.4f}" for loss in report["losses"])
+    print(f"  loss: {losses}")
+    print(
+        f"  simulated: {report['throughput_samples_per_second']:.0f} samples/s, "
+        f"comm/compute {report['comm_compute_ratio']:.2f}"
+    )
+    counters = report["comm_counters"]
+    print(
+        f"  traffic: {counters.get('comm.link_bytes', 0) / 1e6:.2f} MB on links, "
+        f"{int(counters.get('comm.allreduces', 0))} allreduce(s), "
+        f"{counters.get('comm.exposed_seconds', 0.0) * 1e3:.3f} ms exposed"
+    )
+    if report["fault_events"]:
+        print(f"  chaos: {len(report['fault_events'])} fault event(s)")
+        for event in report["fault_events"][:5]:
+            print(f"    {event}")
+    parity = report["parity"]
+    print(
+        f"  parity @ N={parity['node_counts']}: "
+        f"{'bitwise identical' if parity['bitwise_identical'] else 'BROKEN'}"
+    )
+    for row in report["overlap_ablation"]:
+        print(
+            f"  overlap @ {row['nodes']:>2} nodes: {row['speedup']:.2f}x vs "
+            f"serialized ({row['exposed_comm_seconds'] * 1e3:.2f} ms exposed)"
+        )
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+        print(f"report written to {args.json_out}")
+    if args.smoke:
+        failures = validate_dataparallel_report(report)
+        if not parity["bitwise_identical"]:
+            failures.append("parity proof failed")
+        if failures:
+            for failure in failures:
+                print(f"train smoke FAIL: {failure}")
+            return 1
+        print(
+            "train smoke OK: parity bitwise-identical at N=1/2/4, "
+            "replicas in lockstep, report schema valid"
+        )
+    return 0
+
+
 def cmd_calibrate(args) -> int:
     from repro.perf.calibration import calibrate
 
@@ -544,6 +632,38 @@ def build_parser() -> argparse.ArgumentParser:
                        help="assert completion, parity and counter balance; "
                             "exit 1 on any failure")
     serve.set_defaults(func=cmd_serve)
+
+    train = sub.add_parser(
+        "train", help="executed multi-node data-parallel training"
+    )
+    train.add_argument("--nodes", type=int, default=4,
+                       help="simulated nodes (model replicas)")
+    train.add_argument("--topology", default="ring",
+                       choices=["ring", "tree", "ps", "best"],
+                       help="allreduce topology")
+    train.add_argument("--global-batch", type=int, default=32,
+                       help="samples per synchronous step, across all nodes")
+    train.add_argument("--grain", type=int, default=None,
+                       help="micro-batch size (default: the per-node shard)")
+    train.add_argument("--bucket-kb", type=int, default=1024,
+                       help="gradient bucket size in KiB (swCaffe-style)")
+    train.add_argument("--no-overlap", action="store_true",
+                       help="serialize allreduce after backward (ablation)")
+    train.add_argument("--steps", type=int, default=4,
+                       help="synchronous steps to execute")
+    train.add_argument("--seed", type=int, default=0x5BD1E995,
+                       help="weights/data/chaos seed")
+    train.add_argument("--jobs", type=int, default=None,
+                       help="replica worker threads (default: $SWDNN_JOBS or 1)")
+    train.add_argument("--chaos", action="store_true",
+                       help="inject seeded stragglers, link degradation and "
+                            "partitions into the fabric")
+    train.add_argument("--json-out", metavar="PATH", default=None,
+                       help="write the full data-parallel report as JSON")
+    train.add_argument("--smoke", action="store_true",
+                       help="assert bitwise parity at N=1/2/4 and validate "
+                            "the report schema; exit 1 on any failure")
+    train.set_defaults(func=cmd_train)
 
     profile = sub.add_parser(
         "profile", help="telemetry profile: counters, spans, drift report"

@@ -331,9 +331,23 @@ class Dropout(Layer):
 
 
 class SoftmaxCrossEntropy:
-    """Loss head: softmax + cross entropy with integer labels."""
+    """Loss head: softmax + cross entropy with integer labels.
 
-    def __init__(self) -> None:
+    ``grad_normalizer`` overrides the batch size the backward pass divides
+    by.  The default (``None``) normalizes by the batch actually seen —
+    classic mean-loss SGD.  A data-parallel replica processing a shard of a
+    larger global batch sets it to the *global* batch size, so summing the
+    shards' gradients yields exactly the global mean gradient with no
+    trailing rescale (the rescale would round differently than the
+    single-node computation and break bitwise parity).
+    """
+
+    def __init__(self, grad_normalizer: Optional[int] = None) -> None:
+        if grad_normalizer is not None and grad_normalizer < 1:
+            raise ValueError(
+                f"grad_normalizer must be positive, got {grad_normalizer}"
+            )
+        self.grad_normalizer = grad_normalizer
         self._probs: Optional[np.ndarray] = None
         self._labels: Optional[np.ndarray] = None
 
@@ -353,4 +367,5 @@ class SoftmaxCrossEntropy:
         n = self._probs.shape[0]
         grad = self._probs.copy()
         grad[np.arange(n), self._labels] -= 1.0
-        return grad / n
+        denom = self.grad_normalizer if self.grad_normalizer is not None else n
+        return grad / denom

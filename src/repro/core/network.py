@@ -10,11 +10,15 @@ numeric differentiation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.layers import Layer, SoftmaxCrossEntropy
+
+#: Per-layer gradients as the optimizer sees them: one ``name -> array``
+#: dict per parameter layer, in :meth:`Sequential.parameter_layers` order.
+LayerGrads = List[Dict[str, np.ndarray]]
 
 
 class Sequential:
@@ -67,10 +71,56 @@ class Sequential:
         )
 
 
-class SGD:
-    """Plain stochastic gradient descent with optional momentum."""
+class GradientExchange:
+    """Strategy an optimizer routes per-layer gradients through.
 
-    def __init__(self, network: Sequential, lr: float = 0.05, momentum: float = 0.0):
+    Between a backward pass and the weight update there is exactly one
+    place the training semantics can change without touching either the
+    layers or the update rule: the gradients themselves.  That is where
+    data parallelism lives — each replica's local gradients are replaced
+    by the cluster-wide reduced ones — and where gradient transforms
+    (clipping, compression, noise) would slot in.  :class:`SGD` calls
+    :meth:`reduce` with the per-layer gradient dicts and applies whatever
+    comes back.
+
+    The default :class:`LocalExchange` is the identity, so single-node
+    training is byte-for-byte what it was before this interface existed.
+    """
+
+    def reduce(self, grads: LayerGrads) -> LayerGrads:
+        """Map local per-layer gradients to the ones the update applies."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class LocalExchange(GradientExchange):
+    """Single-node exchange: the local gradients are the global ones."""
+
+    def reduce(self, grads: LayerGrads) -> LayerGrads:
+        return grads
+
+
+class SGD:
+    """Plain stochastic gradient descent with optional momentum.
+
+    ``exchange`` routes the per-layer gradients through a
+    :class:`GradientExchange` before the update; the default
+    :class:`LocalExchange` applies the local gradients unchanged, which is
+    classic single-node SGD.  A data-parallel trainer passes an exchange
+    that swaps in the cluster-wide reduced gradients (see
+    :mod:`repro.scale.cluster`), so every replica's optimizer applies the
+    identical update and the replicas stay in bitwise lockstep.
+    """
+
+    def __init__(
+        self,
+        network: Sequential,
+        lr: float = 0.05,
+        momentum: float = 0.0,
+        exchange: Optional[GradientExchange] = None,
+    ):
         if lr <= 0:
             raise ValueError(f"learning rate must be positive, got {lr}")
         if not 0.0 <= momentum < 1.0:
@@ -78,19 +128,20 @@ class SGD:
         self.network = network
         self.lr = lr
         self.momentum = momentum
+        self.exchange = exchange if exchange is not None else LocalExchange()
         self._velocity: List[dict] = [
             {name: np.zeros_like(p) for name, p in layer.parameters().items()}
             for layer in network.parameter_layers()
         ]
 
     def step(self) -> None:
-        for layer, velocity in zip(self.network.parameter_layers(), self._velocity):
-            params = layer.parameters()
-            grads = layer.gradients()
-            for name, param in params.items():
+        layers = self.network.parameter_layers()
+        grads = self.exchange.reduce([layer.gradients() for layer in layers])
+        for layer, velocity, layer_grads in zip(layers, self._velocity, grads):
+            for name, param in layer.parameters().items():
                 v = velocity[name]
                 v *= self.momentum
-                v -= self.lr * grads[name]
+                v -= self.lr * layer_grads[name]
                 param += v
             # Parameters were mutated in place: let the layer drop any
             # memoized derived state (packed filter layouts).

@@ -10,7 +10,17 @@ The paper's introduction frames swDNN as the node-level substrate for
   data-parallel SGD: forward + backward on each node's SW26010 (timed by
   the same plan machinery as everything else) plus the gradient allreduce,
   with optional compute/communication overlap; weak- and strong-scaling
-  sweeps.
+  sweeps;
+* :mod:`repro.scale.exchange` — the data-parallel side of the
+  gradient-exchange contract: exactly-rounded micro-gradient reduction
+  and the shared :class:`ClusterExchange` replicas update through;
+* :mod:`repro.scale.cluster` — *executed* N-node training: real model
+  replicas, sharded global batches, bucketed allreduce scheduled on a
+  simulated timeline with comm/compute overlap, straggler/partition
+  chaos, and ``comm.*`` telemetry;
+* :mod:`repro.scale.report` / :mod:`repro.scale.validate` — the
+  benchmark report both the ``train`` CLI and the bench emit, and its
+  schema gate.
 
 This is an *extension* beyond the paper's evaluation; its benches are
 labeled as such.
@@ -22,6 +32,23 @@ from repro.scale.data_parallel import (
     LayerSpec,
     ScalingPoint,
 )
+from repro.scale.exchange import ClusterExchange, exact_sum, reduce_micro_gradients
+from repro.scale.cluster import (
+    ClusterFaultSpec,
+    ClusterTrainer,
+    GradientBucket,
+    LayerCost,
+    StepTimeline,
+    plan_buckets,
+    profile_network,
+    simulate_step_timeline,
+    weights_bitwise_equal,
+)
+from repro.scale.report import (
+    DATAPARALLEL_SCHEMA,
+    build_dataparallel_report,
+    validate_dataparallel_report,
+)
 
 __all__ = [
     "InterconnectModel",
@@ -29,4 +56,19 @@ __all__ = [
     "DataParallelModel",
     "LayerSpec",
     "ScalingPoint",
+    "ClusterExchange",
+    "exact_sum",
+    "reduce_micro_gradients",
+    "ClusterFaultSpec",
+    "ClusterTrainer",
+    "GradientBucket",
+    "LayerCost",
+    "StepTimeline",
+    "plan_buckets",
+    "profile_network",
+    "simulate_step_timeline",
+    "weights_bitwise_equal",
+    "build_dataparallel_report",
+    "DATAPARALLEL_SCHEMA",
+    "validate_dataparallel_report",
 ]

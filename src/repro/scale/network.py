@@ -8,17 +8,32 @@ the standard cost models:
 
 * **ring**: 2(N-1)/N * bytes / bandwidth + 2(N-1) * latency — bandwidth-
   optimal, latency-heavy at scale;
-* **tree** (recursive doubling): 2*log2(N) * (latency + bytes/bandwidth) —
-  latency-optimal for small messages.
+* **tree** (recursive doubling): 2*ceil(log2(N)) * (latency + bytes/
+  bandwidth) — latency-optimal for small messages.  Non-power-of-two node
+  counts round *up*: the remainder ranks fold into the nearest power of
+  two, so N=3 costs what N=4 does and N=5..8 all cost the same (the
+  standard recursive-doubling remainder handling);
+* **ps** (parameter server): every worker pushes its gradient to one
+  server and pulls the reduced copy back; the server's link serializes
+  all N transfers each way.  Kept as the baseline the allreduce
+  topologies are measured against (the swCaffe comparison).
 
-``allreduce_time`` picks the cheaper of the two, which is what production
-collectives do.
+``allreduce_time`` picks the cheaper of ring and tree, which is what
+production collectives do; :meth:`InterconnectModel.allreduce` dispatches
+on an explicit topology name.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
+
+#: Topology names :meth:`InterconnectModel.allreduce` accepts.
+TOPOLOGIES = ("ring", "tree", "ps", "best")
+
+
+def _ceil_log2(n: int) -> int:
+    """Exact ceil(log2 n) for positive ints — no float log rounding."""
+    return (n - 1).bit_length()
 
 
 @dataclass(frozen=True)
@@ -45,17 +60,103 @@ class InterconnectModel:
         return steps * self.latency + 2 * (nodes - 1) / nodes * nbytes / self.bandwidth
 
     def tree_allreduce(self, nbytes: int, nodes: int) -> float:
-        """Recursive-doubling allreduce time."""
+        """Recursive-doubling allreduce time.
+
+        Non-power-of-two node counts take ``ceil(log2 N)`` steps per
+        direction: the remainder ranks beyond the largest contained power
+        of two fold their contribution in (and the result back out) in
+        one extra round, which is exactly the rounded-up exponent.  The
+        ceiling is computed with integer bit arithmetic, not ``log2`` —
+        a float log can land a hair under the true value for large N and
+        shave a round off the estimate.
+        """
         _check(nbytes, nodes)
         if nodes == 1:
             return 0.0
-        rounds = 2 * math.ceil(math.log2(nodes))
+        rounds = 2 * _ceil_log2(nodes)
         return rounds * (self.latency + nbytes / self.bandwidth)
+
+    def ps_allreduce(self, nbytes: int, nodes: int) -> float:
+        """Parameter-server baseline: push to one server, pull back.
+
+        The server's injection link is the bottleneck: it receives N
+        gradient messages and sends N reduced copies, all serialized, so
+        the cost grows linearly with the node count instead of saturating
+        the way the ring does.  This is the strawman the allreduce
+        topologies beat (and why swCaffe-style training uses them).
+        """
+        _check(nbytes, nodes)
+        if nodes == 1:
+            return 0.0
+        per_direction = nodes * (self.latency + nbytes / self.bandwidth)
+        return 2 * per_direction
 
     def best_allreduce(self, nbytes: int, nodes: int) -> float:
         """The cheaper of ring and tree (what a real collective picks)."""
         return min(
             self.ring_allreduce(nbytes, nodes), self.tree_allreduce(nbytes, nodes)
+        )
+
+    def allreduce_link_bytes(
+        self, nbytes: int, nodes: int, topology: str = "best"
+    ) -> int:
+        """Aggregate bytes crossing links for one allreduce (traffic accounting).
+
+        Ring: every node sends ``2(N-1)/N * nbytes`` (reduce-scatter +
+        allgather), so the fabric moves ``2(N-1) * nbytes`` total.  Tree:
+        each of the ``2*ceil(log2 N)`` rounds has all N nodes sending the
+        full message.  Parameter server: N pushes plus N pulls through the
+        server link.  ``"best"`` charges whichever algorithm
+        :meth:`best_allreduce` would pick (time decides, bytes follow).
+        """
+        _check(nbytes, nodes)
+        if nodes == 1:
+            return 0
+        if topology == "best":
+            ring = self.ring_allreduce(nbytes, nodes)
+            tree = self.tree_allreduce(nbytes, nodes)
+            topology = "ring" if ring <= tree else "tree"
+        if topology == "ring":
+            return 2 * (nodes - 1) * nbytes
+        if topology == "tree":
+            return 2 * _ceil_log2(nodes) * nodes * nbytes
+        if topology == "ps":
+            return 2 * nodes * nbytes
+        raise ValueError(
+            f"unknown topology {topology!r}; expected one of {TOPOLOGIES}"
+        )
+
+    def derated(self, bandwidth_factor: float) -> "InterconnectModel":
+        """A copy with its links running at ``bandwidth_factor`` speed.
+
+        The link-chaos harness uses this to model a congested or degraded
+        interconnect for one step without mutating the healthy model.
+        """
+        if not 0.0 < bandwidth_factor <= 1.0:
+            raise ValueError(
+                f"bandwidth_factor must be in (0, 1], got {bandwidth_factor}"
+            )
+        return InterconnectModel(
+            bandwidth=self.bandwidth * bandwidth_factor, latency=self.latency
+        )
+
+    def allreduce(self, nbytes: int, nodes: int, topology: str = "best") -> float:
+        """Allreduce time under an explicit topology name.
+
+        ``"ring"``, ``"tree"``, ``"ps"`` select one algorithm; ``"best"``
+        picks the cheaper of ring and tree (the parameter server is never
+        "best" — it is the baseline, only used when asked for).
+        """
+        if topology == "best":
+            return self.best_allreduce(nbytes, nodes)
+        if topology == "ring":
+            return self.ring_allreduce(nbytes, nodes)
+        if topology == "tree":
+            return self.tree_allreduce(nbytes, nodes)
+        if topology == "ps":
+            return self.ps_allreduce(nbytes, nodes)
+        raise ValueError(
+            f"unknown topology {topology!r}; expected one of {TOPOLOGIES}"
         )
 
 

@@ -1,0 +1,533 @@
+"""The data-parallel benchmark report: executed steps + scaling curves.
+
+One entry point, :func:`build_dataparallel_report`, shared by the
+``python -m repro train`` CLI and ``benchmarks/test_bench_dataparallel.py``
+so both emit the same JSON shape (validated by
+:data:`DATAPARALLEL_SCHEMA` / ``python -m repro.scale.validate`` — the
+verify.sh gate).  The report has two halves:
+
+* **executed** — a real :class:`~repro.scale.cluster.ClusterTrainer` run
+  on N nodes (losses, ``comm.*`` counters, simulated step times) plus the
+  parity proof: the same global batches trained at N=1, 2 and 4 produce
+  bitwise-identical weights, and the one-node cluster is bitwise equal to
+  plain single-node :class:`~repro.core.network.SGD`;
+* **modeled curves** — weak/strong scaling and the overlap-vs-serialized
+  ablation on the VGG-ish stack of :mod:`repro.scale.data_parallel`,
+  scheduled through the same bucketed timeline the executed run uses
+  (not the older closed-form model), so the curves and the counters agree
+  on what one step costs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.errors import PlanError
+from repro.common.rng import DEFAULT_SEED
+from repro.core.gemm_plan import GemmParams
+from repro.core.layers import (
+    AvgPool2D,
+    Conv2D,
+    Dense,
+    Flatten,
+    ReLU,
+    SoftmaxCrossEntropy,
+)
+from repro.core.network import SGD, Sequential, synthetic_image_dataset
+from repro.hw.spec import DEFAULT_SPEC, SW26010Spec
+from repro.scale.cluster import (
+    ClusterFaultSpec,
+    ClusterTrainer,
+    LayerCost,
+    _conv_training_cost,
+    _fc_training_cost,
+    plan_buckets,
+    simulate_step_timeline,
+    weights_bitwise_equal,
+)
+from repro.scale.data_parallel import LayerSpec, vgg_like_stack
+from repro.scale.network import InterconnectModel
+from repro.telemetry import Telemetry, use_telemetry
+
+#: Node counts for the modeled scaling sweeps.
+SCALING_NODES = (1, 2, 4, 8, 16, 32, 64)
+#: Node counts for the overlap-vs-serialized ablation (the >=1.2x claim).
+OVERLAP_NODES = (16, 32, 64)
+#: Per-node batch for weak scaling and the ablation (comm/compute ~ 0.6).
+WEAK_PER_NODE_BATCH = 128
+#: Global batch for strong scaling (shrinks to 8/node at 64 nodes).
+STRONG_GLOBAL_BATCH = 512
+
+
+# ---------------------------------------------------------------------------
+# the executed model (small enough to really train in a test)
+# ---------------------------------------------------------------------------
+
+
+def small_cnn_factory(seed: int = DEFAULT_SEED):
+    """A deterministic factory for the executed cluster runs.
+
+    Every call rebuilds the identical tiny CNN (fresh RNG from ``seed``),
+    which is exactly what :class:`ClusterTrainer` requires of its
+    replicas.
+    """
+
+    def factory() -> Sequential:
+        rng = np.random.default_rng(seed)
+        return Sequential(
+            [
+                Conv2D(3, 8, 3, 3, rng=rng),
+                ReLU(),
+                AvgPool2D(2),
+                Flatten(),
+                Dense(8 * 4 * 4, 10, rng=rng),
+            ]
+        )
+
+    return factory
+
+
+EXECUTED_INPUT_SHAPE = (3, 10, 10)
+EXECUTED_CLASSES = 10
+
+
+# ---------------------------------------------------------------------------
+# modeled stack -> LayerCost (shared timeline with the executed path)
+# ---------------------------------------------------------------------------
+
+
+def stack_costs(
+    layers: Sequence[LayerSpec],
+    per_node_batch: int,
+    spec: SW26010Spec = DEFAULT_SPEC,
+) -> List[LayerCost]:
+    """Per-layer :class:`LayerCost` for a modeled :class:`LayerSpec` stack.
+
+    Same cost sources as :func:`repro.scale.cluster.profile_network` —
+    conv layers through :class:`~repro.core.backward.BackwardConvolution`
+    with the forward/backward split, dense layers as mesh GEMMs, one whole
+    SW26010 (all core groups) per node.
+    """
+    if per_node_batch < 1:
+        raise PlanError(f"per-node batch must be positive, got {per_node_batch}")
+    cg = spec.num_core_groups
+    costs: List[LayerCost] = []
+    for index, layer in enumerate(layers):
+        if layer.kind == "conv":
+            params = layer.with_batch(per_node_batch).params
+            fwd, bwd = _conv_training_cost(params, spec)
+            name = f"{index}:conv{params.no}"
+        else:
+            gemm = GemmParams(m=layer.fc_out, n=per_node_batch, k=layer.fc_in)
+            fwd, bwd = _fc_training_cost(gemm, spec)
+            name = f"{index}:fc{layer.fc_out}"
+        costs.append(
+            LayerCost(
+                name=name,
+                forward_seconds=fwd / cg,
+                backward_seconds=bwd / cg,
+                gradient_bytes=layer.gradient_bytes(),
+            )
+        )
+    return costs
+
+
+def _timeline_row(
+    costs: Sequence[LayerCost],
+    nodes: int,
+    interconnect: InterconnectModel,
+    topology: str,
+    bucket_bytes: int,
+    per_node_batch: int,
+    overlap: bool = True,
+) -> Dict[str, float]:
+    timeline = simulate_step_timeline(
+        costs,
+        nodes,
+        interconnect,
+        topology,
+        plan_buckets(costs, bucket_bytes),
+        overlap=overlap,
+    )
+    return {
+        "nodes": nodes,
+        "per_node_batch": per_node_batch,
+        "compute_seconds": timeline.compute_seconds,
+        "comm_seconds": timeline.comm_seconds,
+        "exposed_comm_seconds": timeline.exposed_comm_seconds,
+        "step_seconds": timeline.step_seconds,
+        "samples_per_second": nodes * per_node_batch / timeline.step_seconds,
+        "comm_compute_ratio": timeline.comm_compute_ratio,
+    }
+
+
+def weak_scaling_rows(
+    interconnect: InterconnectModel,
+    topology: str,
+    bucket_bytes: int,
+    node_counts: Sequence[int] = SCALING_NODES,
+    per_node_batch: int = WEAK_PER_NODE_BATCH,
+    spec: SW26010Spec = DEFAULT_SPEC,
+) -> List[Dict[str, float]]:
+    """Fixed per-node batch; efficiency = t(1) / t(N) (ideal: flat)."""
+    costs = stack_costs(vgg_like_stack(batch=per_node_batch), per_node_batch, spec)
+    rows = [
+        _timeline_row(costs, n, interconnect, topology, bucket_bytes, per_node_batch)
+        for n in node_counts
+    ]
+    base = rows[0]["step_seconds"]
+    for row in rows:
+        row["efficiency"] = base / row["step_seconds"]
+    return rows
+
+
+def strong_scaling_rows(
+    interconnect: InterconnectModel,
+    topology: str,
+    bucket_bytes: int,
+    node_counts: Sequence[int] = SCALING_NODES,
+    global_batch: int = STRONG_GLOBAL_BATCH,
+    spec: SW26010Spec = DEFAULT_SPEC,
+) -> List[Dict[str, float]]:
+    """Fixed global batch; efficiency = t(1) / (N * t(N)) (ideal: 1)."""
+    rows = []
+    for n in node_counts:
+        per_node = max(1, global_batch // n)
+        costs = stack_costs(vgg_like_stack(batch=per_node), per_node, spec)
+        rows.append(
+            _timeline_row(costs, n, interconnect, topology, bucket_bytes, per_node)
+        )
+    base = rows[0]["step_seconds"]
+    for row in rows:
+        row["efficiency"] = base / (row["nodes"] * row["step_seconds"])
+    return rows
+
+
+def overlap_rows(
+    interconnect: InterconnectModel,
+    topology: str,
+    bucket_bytes: int,
+    node_counts: Sequence[int] = OVERLAP_NODES,
+    per_node_batch: int = WEAK_PER_NODE_BATCH,
+    spec: SW26010Spec = DEFAULT_SPEC,
+) -> List[Dict[str, float]]:
+    """Overlapped bucketed allreduce vs the serialized schedule."""
+    costs = stack_costs(vgg_like_stack(batch=per_node_batch), per_node_batch, spec)
+    buckets = plan_buckets(costs, bucket_bytes)
+    rows = []
+    for n in node_counts:
+        timeline = simulate_step_timeline(
+            costs, n, interconnect, topology, buckets, overlap=True
+        )
+        rows.append(
+            {
+                "nodes": n,
+                "overlapped_seconds": timeline.step_seconds,
+                "serialized_seconds": timeline.serialized_seconds,
+                "speedup": timeline.overlap_speedup,
+                "exposed_comm_seconds": timeline.exposed_comm_seconds,
+                "comm_compute_ratio": timeline.comm_compute_ratio,
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# parity proof (the acceptance criterion)
+# ---------------------------------------------------------------------------
+
+
+def run_parity_check(
+    seed: int = DEFAULT_SEED,
+    global_batch: int = 16,
+    steps: int = 2,
+    node_counts: Sequence[int] = (1, 2, 4),
+    lr: float = 0.05,
+    momentum: float = 0.9,
+) -> Dict[str, object]:
+    """Train the same global batches at several node counts; compare bits.
+
+    All node counts share the micro-batch grain (``global_batch // max
+    nodes``), so the decomposition into micro-gradients — and therefore
+    every reduced value — is identical; only the sharding differs.  Also
+    checks the degenerate case: a one-node cluster at full grain must be
+    bitwise equal to plain single-node :class:`SGD` on the same data.
+    """
+    max_nodes = max(node_counts)
+    if global_batch % max_nodes != 0:
+        raise PlanError(
+            f"global batch {global_batch} must be divisible by {max_nodes}"
+        )
+    grain = global_batch // max_nodes
+    factory = small_cnn_factory(seed)
+    c, h, w = EXECUTED_INPUT_SHAPE
+    x, labels = synthetic_image_dataset(
+        steps * global_batch, c, h, w, EXECUTED_CLASSES,
+        rng=np.random.default_rng(seed + 1),
+    )
+    trainers = {}
+    for n in node_counts:
+        trainer = ClusterTrainer(
+            factory, n, EXECUTED_INPUT_SHAPE, lr=lr, momentum=momentum, grain=grain
+        )
+        for s in range(steps):
+            lo = s * global_batch
+            trainer.step(x[lo : lo + global_batch], labels[lo : lo + global_batch])
+        trainers[n] = trainer
+    reference = trainers[node_counts[0]]
+    pairwise = {
+        str(n): weights_bitwise_equal(reference.weights(), trainers[n].weights())
+        for n in node_counts
+    }
+    # Degenerate case: cluster(1, grain=B) vs plain SGD, same data.
+    plain = factory()
+    head = SoftmaxCrossEntropy()
+    optimizer = SGD(plain, lr=lr, momentum=momentum)
+    for s in range(steps):
+        lo = s * global_batch
+        xb, yb = x[lo : lo + global_batch], labels[lo : lo + global_batch]
+        head.forward(plain.forward(xb), yb)
+        plain.backward(head.backward())
+        optimizer.step()
+    solo = ClusterTrainer(factory, 1, EXECUTED_INPUT_SHAPE, lr=lr, momentum=momentum)
+    for s in range(steps):
+        lo = s * global_batch
+        solo.step(x[lo : lo + global_batch], labels[lo : lo + global_batch])
+    matches_plain = weights_bitwise_equal(plain, solo.weights())
+    lockstep = all(t.replicas_in_lockstep() for t in trainers.values())
+    return {
+        "node_counts": list(node_counts),
+        "global_batch": global_batch,
+        "grain": grain,
+        "steps": steps,
+        "bitwise_identical": all(pairwise.values()) and matches_plain and lockstep,
+        "pairwise_vs_first": pairwise,
+        "matches_plain_sgd": matches_plain,
+        "replicas_in_lockstep": lockstep,
+    }
+
+
+# ---------------------------------------------------------------------------
+# the full report
+# ---------------------------------------------------------------------------
+
+
+def build_dataparallel_report(
+    nodes: int = 4,
+    topology: str = "ring",
+    bucket_bytes: int = 1 << 20,
+    global_batch: int = 32,
+    steps: int = 4,
+    seed: int = DEFAULT_SEED,
+    grain: Optional[int] = None,
+    overlap: bool = True,
+    faults: Optional[ClusterFaultSpec] = None,
+    jobs: Optional[int] = None,
+    interconnect: Optional[InterconnectModel] = None,
+    spec: SW26010Spec = DEFAULT_SPEC,
+    parity_steps: int = 2,
+) -> Dict[str, object]:
+    """Execute a cluster run and assemble the full benchmark report."""
+    interconnect = interconnect if interconnect is not None else InterconnectModel()
+    telemetry = Telemetry()
+    c, h, w = EXECUTED_INPUT_SHAPE
+    x, labels = synthetic_image_dataset(
+        steps * global_batch, c, h, w, EXECUTED_CLASSES,
+        rng=np.random.default_rng(seed + 1),
+    )
+    trainer = ClusterTrainer(
+        small_cnn_factory(seed),
+        nodes,
+        EXECUTED_INPUT_SHAPE,
+        topology=topology,
+        bucket_bytes=bucket_bytes,
+        overlap=overlap,
+        grain=grain,
+        interconnect=interconnect,
+        spec=spec,
+        faults=faults,
+        jobs=jobs,
+        telemetry=telemetry,
+    )
+    reports = []
+    with use_telemetry(telemetry):
+        for s in range(steps):
+            lo = s * global_batch
+            reports.append(
+                trainer.step(x[lo : lo + global_batch], labels[lo : lo + global_batch])
+            )
+    counters = telemetry.counters.as_dict()
+    step_seconds = [r.step_seconds for r in reports]
+    fault_events = [event for r in reports for event in r.fault_events]
+    parity = run_parity_check(seed=seed, global_batch=16, steps=parity_steps)
+    weak = weak_scaling_rows(interconnect, topology, bucket_bytes, spec=spec)
+    strong = strong_scaling_rows(interconnect, topology, bucket_bytes, spec=spec)
+    ablation = overlap_rows(interconnect, topology, bucket_bytes, spec=spec)
+    total_step = math.fsum(step_seconds)
+    return {
+        "seed": seed,
+        "topology": topology,
+        "bucket_bytes": bucket_bytes,
+        "global_batch": global_batch,
+        "steps": steps,
+        "nodes_executed": nodes,
+        "jobs": trainer.resolved_jobs,
+        "overlap": overlap,
+        "losses": [r.loss for r in reports],
+        "final_loss": reports[-1].loss,
+        "final_accuracy": reports[-1].accuracy,
+        "replicas_in_lockstep": trainer.replicas_in_lockstep(),
+        "step_seconds": step_seconds,
+        "throughput_samples_per_second": (
+            steps * global_batch / total_step if total_step > 0 else 0.0
+        ),
+        "comm_compute_ratio": reports[-1].timeline.comm_compute_ratio,
+        "comm_counters": {
+            name: value for name, value in counters.items() if name.startswith("comm.")
+        },
+        "fault_events": fault_events,
+        "parity": parity,
+        "weak_scaling": weak,
+        "strong_scaling": strong,
+        "overlap_ablation": ablation,
+    }
+
+
+# ---------------------------------------------------------------------------
+# schema gate (CLI: python -m repro.scale.validate)
+# ---------------------------------------------------------------------------
+
+
+#: Overlapped-vs-serialized speedup every ablation row at >=16 nodes must clear.
+MIN_OVERLAP_SPEEDUP = 1.2
+#: Mild superlinear scaling (cache/batch effects) is fine; more is a bug.
+MAX_EFFICIENCY = 1.25
+
+#: Top-level report shape: key -> accepted types.
+DATAPARALLEL_SCHEMA: Dict[str, Tuple[type, ...]] = {
+    "seed": (int,),
+    "topology": (str,),
+    "bucket_bytes": (int,),
+    "global_batch": (int,),
+    "steps": (int,),
+    "nodes_executed": (int,),
+    "jobs": (int,),
+    "overlap": (bool,),
+    "losses": (list,),
+    "final_loss": (float, int),
+    "final_accuracy": (float, int),
+    "replicas_in_lockstep": (bool,),
+    "step_seconds": (list,),
+    "throughput_samples_per_second": (float, int),
+    "comm_compute_ratio": (float, int),
+    "comm_counters": (dict,),
+    "fault_events": (list,),
+    "parity": (dict,),
+    "weak_scaling": (list,),
+    "strong_scaling": (list,),
+    "overlap_ablation": (list,),
+}
+
+_PARITY_KEYS = (
+    "node_counts",
+    "global_batch",
+    "grain",
+    "steps",
+    "bitwise_identical",
+    "pairwise_vs_first",
+    "matches_plain_sgd",
+    "replicas_in_lockstep",
+)
+
+_SCALING_ROW_KEYS = ("nodes", "step_seconds", "efficiency")
+_ABLATION_ROW_KEYS = ("nodes", "overlapped_seconds", "serialized_seconds", "speedup")
+
+
+def _check_rows(
+    rows, name: str, keys: Tuple[str, ...], violations: List[str]
+) -> List[dict]:
+    good = []
+    for i, row in enumerate(rows):
+        if not isinstance(row, dict):
+            violations.append(f"{name}[{i}] is not an object")
+            continue
+        missing = [k for k in keys if k not in row]
+        if missing:
+            violations.append(f"{name}[{i}] missing keys: {', '.join(missing)}")
+            continue
+        good.append(row)
+    nodes = [row["nodes"] for row in good]
+    if nodes != sorted(nodes):
+        violations.append(f"{name} rows are not sorted by ascending node count")
+    return good
+
+
+def validate_dataparallel_report(payload: object) -> List[str]:
+    """All schema violations in a data-parallel report (empty = valid)."""
+    violations: List[str] = []
+    if not isinstance(payload, dict):
+        return ["report is not a JSON object"]
+    for key, types in DATAPARALLEL_SCHEMA.items():
+        if key not in payload:
+            violations.append(f"missing key: {key}")
+        elif not isinstance(payload[key], types):
+            violations.append(
+                f"{key}: expected {'/'.join(t.__name__ for t in types)}, "
+                f"got {type(payload[key]).__name__}"
+            )
+    if violations:
+        return violations
+
+    if payload["nodes_executed"] < 1:
+        violations.append(f"nodes_executed must be >= 1, got {payload['nodes_executed']}")
+    if len(payload["losses"]) != payload["steps"]:
+        violations.append(
+            f"{len(payload['losses'])} losses recorded for {payload['steps']} steps"
+        )
+    if not payload["replicas_in_lockstep"]:
+        violations.append("replicas are not in bitwise lockstep after the run")
+    if payload["throughput_samples_per_second"] <= 0:
+        violations.append("throughput_samples_per_second must be positive")
+
+    parity = payload["parity"]
+    missing = [k for k in _PARITY_KEYS if k not in parity]
+    if missing:
+        violations.append(f"parity missing keys: {', '.join(missing)}")
+    elif parity["bitwise_identical"] is not True:
+        violations.append(
+            "parity.bitwise_identical is not true — N-node training does not "
+            "reproduce single-node weights"
+        )
+
+    for name in ("weak_scaling", "strong_scaling"):
+        rows = _check_rows(payload[name], name, _SCALING_ROW_KEYS, violations)
+        for row in rows:
+            eff = row["efficiency"]
+            if not 0.0 < eff <= MAX_EFFICIENCY:
+                violations.append(
+                    f"{name} nodes={row['nodes']}: efficiency {eff} outside "
+                    f"(0, {MAX_EFFICIENCY}]"
+                )
+
+    rows = _check_rows(
+        payload["overlap_ablation"], "overlap_ablation", _ABLATION_ROW_KEYS, violations
+    )
+    for row in rows:
+        if row["nodes"] >= 16 and row["speedup"] < MIN_OVERLAP_SPEEDUP:
+            violations.append(
+                f"overlap_ablation nodes={row['nodes']}: speedup {row['speedup']:.3f} "
+                f"below the {MIN_OVERLAP_SPEEDUP}x bar"
+            )
+
+    counters = payload["comm_counters"]
+    for key, value in counters.items():
+        if not isinstance(value, (int, float)) or value < 0:
+            violations.append(f"comm_counters[{key!r}] is not a non-negative number")
+    if payload["nodes_executed"] > 1 and counters.get("comm.link_bytes", 0) <= 0:
+        violations.append(
+            "multi-node run recorded no comm.link_bytes — traffic accounting broken"
+        )
+    return violations

@@ -1,0 +1,57 @@
+"""Data-parallel report schema validation CLI (the verify.sh gate).
+
+``python -m repro.scale.validate BENCH_dataparallel.json`` exits non-zero
+with one line per violation of
+:data:`repro.scale.report.DATAPARALLEL_SCHEMA` — missing/mistyped keys, a
+failed parity proof, unsorted or out-of-range scaling curves, or an
+overlap ablation that does not clear the >=1.2x bar at 16+ nodes.  The
+scale stage of ``scripts/verify.sh`` runs it on both the report the
+``train`` CLI just emitted and the committed
+``benchmarks/BENCH_dataparallel.json`` — the same two-sided gate the
+chaos-serve stage uses.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import List
+
+from repro.scale.report import (
+    DATAPARALLEL_SCHEMA,
+    MAX_EFFICIENCY,
+    MIN_OVERLAP_SPEEDUP,
+    validate_dataparallel_report,
+)
+
+__all__ = [
+    "DATAPARALLEL_SCHEMA",
+    "MAX_EFFICIENCY",
+    "MIN_OVERLAP_SPEEDUP",
+    "validate_dataparallel_report",
+    "main",
+]
+
+
+def main(argv: List[str]) -> int:
+    if len(argv) != 1:
+        print("usage: python -m repro.scale.validate <BENCH_dataparallel.json>")
+        return 2
+    with open(argv[0]) as fh:
+        payload = json.load(fh)
+    violations = validate_dataparallel_report(payload)
+    if violations:
+        print(f"{argv[0]}: INVALID ({len(violations)} violation(s))")
+        for violation in violations:
+            print(f"  {violation}")
+        return 1
+    speedups = [row["speedup"] for row in payload["overlap_ablation"]]
+    print(
+        f"{argv[0]}: valid data-parallel report "
+        f"(parity bitwise-identical, overlap speedup up to {max(speedups):.2f}x)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -3,9 +3,11 @@
 import numpy as np
 import pytest
 
-from repro.core.layers import Conv2D, Dense, Flatten, ReLU
+from repro.core.layers import Conv2D, Dense, Flatten, ReLU, SoftmaxCrossEntropy
 from repro.core.network import (
     SGD,
+    GradientExchange,
+    LocalExchange,
     Sequential,
     synthetic_image_dataset,
     train_classifier,
@@ -70,6 +72,74 @@ class TestSGD:
             SGD(net, lr=0.0)
         with pytest.raises(ValueError):
             SGD(net, momentum=1.0)
+
+
+class TestGradientExchange:
+    """The optimizer routes gradients through its exchange."""
+
+    def _one_backward(self, rng):
+        net = _tiny_net(rng)
+        net.forward(rng.standard_normal((4, 2, 6, 6)))
+        net.backward(np.ones((4, 3)))
+        return net
+
+    def test_default_is_local_identity(self, rng):
+        opt = SGD(self._one_backward(rng))
+        assert isinstance(opt.exchange, LocalExchange)
+        grads = [{"w": np.ones(3)}]
+        assert opt.exchange.reduce(grads) is grads
+
+    def test_local_exchange_matches_no_exchange(self, rng):
+        seed = rng.integers(1 << 30)
+        a = self._one_backward(np.random.default_rng(seed))
+        b = self._one_backward(np.random.default_rng(seed))
+        SGD(a, lr=0.1, momentum=0.9).step()
+        SGD(b, lr=0.1, momentum=0.9, exchange=LocalExchange()).step()
+        for la, lb in zip(a.parameter_layers(), b.parameter_layers()):
+            for name in la.parameters():
+                assert np.array_equal(la.parameters()[name], lb.parameters()[name])
+
+    def test_custom_exchange_sees_and_replaces_gradients(self, rng):
+        seen = []
+
+        class Doubler(GradientExchange):
+            def reduce(self, grads):
+                seen.append(len(grads))
+                return [{n: 2.0 * g for n, g in layer.items()} for layer in grads]
+
+        net_half = self._one_backward(np.random.default_rng(5))
+        net_full = self._one_backward(np.random.default_rng(5))
+        SGD(net_half, lr=0.05, exchange=Doubler()).step()
+        SGD(net_full, lr=0.10).step()  # 2x gradient at lr == lr at 2x gradient
+        assert seen == [len(net_half.parameter_layers())]
+        for la, lb in zip(net_half.parameter_layers(), net_full.parameter_layers()):
+            for name in la.parameters():
+                np.testing.assert_allclose(
+                    la.parameters()[name], lb.parameters()[name]
+                )
+
+    def test_base_reduce_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            GradientExchange().reduce([])
+
+
+class TestGradNormalizer:
+    """SoftmaxCrossEntropy can normalize by the global batch size."""
+
+    def test_normalizer_scales_backward(self, rng):
+        logits = rng.standard_normal((4, 3))
+        labels = np.array([0, 1, 2, 0])
+        plain = SoftmaxCrossEntropy()
+        plain.forward(logits, labels)
+        scaled = SoftmaxCrossEntropy(grad_normalizer=16)
+        scaled.forward(logits, labels)
+        np.testing.assert_allclose(
+            scaled.backward() * 16, plain.backward() * 4
+        )
+
+    def test_normalizer_validated(self):
+        with pytest.raises(ValueError):
+            SoftmaxCrossEntropy(grad_normalizer=0)
 
 
 class TestTraining:

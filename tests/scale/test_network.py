@@ -39,6 +39,31 @@ class TestTree:
     def test_single_node_free(self, net):
         assert net.tree_allreduce(10**9, 1) == 0.0
 
+    # Non-power-of-two regression: remainder ranks fold into the next
+    # power of two, so the step count is exactly 2*ceil(log2 N).
+    def test_three_nodes_cost_four(self, net):
+        assert net.tree_allreduce(10**6, 3) == net.tree_allreduce(10**6, 4)
+
+    def test_five_and_six_nodes_cost_eight(self, net):
+        t8 = net.tree_allreduce(10**6, 8)
+        assert net.tree_allreduce(10**6, 5) == t8
+        assert net.tree_allreduce(10**6, 6) == t8
+
+    def test_rounds_step_at_powers_of_two(self):
+        net = InterconnectModel(bandwidth=1e15, latency=1e-6)
+        # ceil(log2) climbs by one exactly when N crosses a power of two.
+        assert net.tree_allreduce(8, 2) == pytest.approx(2e-6, rel=1e-3)
+        assert net.tree_allreduce(8, 3) == pytest.approx(4e-6, rel=1e-3)
+        assert net.tree_allreduce(8, 9) == pytest.approx(8e-6, rel=1e-3)
+
+    @given(st.integers(min_value=2, max_value=1 << 20))
+    @settings(max_examples=100, deadline=None)
+    def test_rounds_match_exact_ceil_log2(self, nodes):
+        net = InterconnectModel(bandwidth=1e15, latency=1.0)
+        rounds = round(net.tree_allreduce(0, nodes))
+        exact = (nodes - 1).bit_length()
+        assert rounds == 2 * exact
+
 
 class TestBest:
     def test_small_message_prefers_tree(self, net):
@@ -66,6 +91,85 @@ class TestBest:
         best = net.best_allreduce(nbytes, nodes)
         assert best <= net.ring_allreduce(nbytes, nodes) + 1e-12
         assert best <= net.tree_allreduce(nbytes, nodes) + 1e-12
+
+
+class TestPS:
+    def test_single_node_free(self, net):
+        assert net.ps_allreduce(10**9, 1) == 0.0
+
+    def test_grows_linearly_with_nodes(self):
+        net = InterconnectModel(latency=0.0)
+        assert net.ps_allreduce(10**8, 32) == pytest.approx(
+            2 * net.ps_allreduce(10**8, 16)
+        )
+
+    def test_never_beats_ring_at_scale(self, net):
+        assert net.ps_allreduce(10**8, 64) > net.ring_allreduce(10**8, 64)
+
+
+class TestEdgeCases:
+    def test_zero_bytes_is_pure_latency(self, net):
+        assert net.ring_allreduce(0, 4) == pytest.approx(6 * net.latency)
+        assert net.tree_allreduce(0, 4) == pytest.approx(4 * net.latency)
+        assert net.ps_allreduce(0, 4) == pytest.approx(8 * net.latency)
+
+    def test_single_node_free_for_all_topologies(self, net):
+        for topology in ("ring", "tree", "ps", "best"):
+            assert net.allreduce(10**9, 1, topology) == 0.0
+
+    def test_ring_tree_crossover(self, net):
+        # Tiny messages are latency-bound (tree wins); big ones are
+        # bandwidth-bound (ring wins).  A crossover exists in between.
+        nodes = 64
+        assert net.best_allreduce(64, nodes) == net.tree_allreduce(64, nodes)
+        assert net.best_allreduce(10**9, nodes) == net.ring_allreduce(10**9, nodes)
+        sizes = [2**e for e in range(4, 31)]
+        winners = [
+            net.tree_allreduce(s, nodes) <= net.ring_allreduce(s, nodes)
+            for s in sizes
+        ]
+        assert winners[0] and not winners[-1]
+        # One clean crossover: tree wins a prefix, ring the suffix.
+        assert winners == sorted(winners, reverse=True)
+
+
+class TestDispatchAndAccounting:
+    def test_dispatch_matches_direct_calls(self, net):
+        assert net.allreduce(10**6, 8, "ring") == net.ring_allreduce(10**6, 8)
+        assert net.allreduce(10**6, 8, "tree") == net.tree_allreduce(10**6, 8)
+        assert net.allreduce(10**6, 8, "ps") == net.ps_allreduce(10**6, 8)
+        assert net.allreduce(10**6, 8, "best") == net.best_allreduce(10**6, 8)
+
+    def test_unknown_topology_rejected(self, net):
+        with pytest.raises(ValueError, match="unknown topology"):
+            net.allreduce(10**6, 8, "torus")
+        with pytest.raises(ValueError, match="unknown topology"):
+            net.allreduce_link_bytes(10**6, 8, "torus")
+
+    def test_link_bytes_formulas(self, net):
+        nbytes = 10**6
+        assert net.allreduce_link_bytes(nbytes, 8, "ring") == 14 * nbytes
+        assert net.allreduce_link_bytes(nbytes, 8, "tree") == 48 * nbytes
+        assert net.allreduce_link_bytes(nbytes, 8, "ps") == 16 * nbytes
+        assert net.allreduce_link_bytes(nbytes, 1) == 0
+
+    def test_best_link_bytes_follow_time_winner(self, net):
+        # Large message: ring wins on time, so traffic is charged as ring.
+        assert net.allreduce_link_bytes(10**9, 8, "best") == 14 * 10**9
+        # Tiny message at scale: tree wins.
+        assert net.allreduce_link_bytes(8, 1024, "best") == 2 * 10 * 1024 * 8
+
+    def test_derated_scales_bandwidth_only(self, net):
+        slow = net.derated(0.5)
+        assert slow.bandwidth == net.bandwidth * 0.5
+        assert slow.latency == net.latency
+        assert slow.ring_allreduce(10**8, 4) > net.ring_allreduce(10**8, 4)
+
+    def test_derate_factor_validated(self, net):
+        with pytest.raises(ValueError):
+            net.derated(0.0)
+        with pytest.raises(ValueError):
+            net.derated(1.5)
 
 
 class TestValidation:
