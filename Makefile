@@ -1,7 +1,7 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: test faults tune zoo profile serve chaos scale verify
+.PHONY: test faults tune zoo profile serve chaos scale metrics regress verify
 
 test:
 	python -m pytest -x -q
@@ -32,6 +32,12 @@ scale:
 	python -m pytest -x -q -m scale tests/scale
 	python -m repro train --nodes 3 --smoke --json-out /tmp/repro-scale.json
 	python -m repro.scale.validate /tmp/repro-scale.json
+
+metrics:
+	python -m repro metrics --smoke --requests 48
+
+regress:
+	python -m repro.telemetry.regress benchmarks
 
 verify:
 	sh scripts/verify.sh

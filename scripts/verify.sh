@@ -17,6 +17,8 @@ PROFILE_TIMEOUT="${PROFILE_TIMEOUT:-120}"
 SERVE_TIMEOUT="${SERVE_TIMEOUT:-180}"
 CHAOS_TIMEOUT="${CHAOS_TIMEOUT:-180}"
 SCALE_TIMEOUT="${SCALE_TIMEOUT:-180}"
+METRICS_TIMEOUT="${METRICS_TIMEOUT:-180}"
+REGRESS_TIMEOUT="${REGRESS_TIMEOUT:-60}"
 
 echo "== tier-1 suite (timeout ${TIER1_TIMEOUT}s) =="
 timeout "${TIER1_TIMEOUT}" python -m pytest -x -q
@@ -71,5 +73,18 @@ if [ -f benchmarks/BENCH_dataparallel.json ]; then
     timeout "${SCALE_TIMEOUT}" python -m repro.scale.validate \
         benchmarks/BENCH_dataparallel.json
 fi
+
+echo "== metrics smoke: dashboard + exposition round-trip (timeout ${METRICS_TIMEOUT}s) =="
+# A seeded serve run with the metrics registry enabled: the smoke asserts
+# non-trivial latency histograms, a queue-depth time series, and that the
+# OpenMetrics exposition parses and agrees with the JSON snapshot.
+timeout "${METRICS_TIMEOUT}" python -m repro metrics --smoke \
+    --requests 48 > /dev/null
+
+echo "== bench regression gate (timeout ${REGRESS_TIMEOUT}s) =="
+# Re-derives every headline scalar from the committed BENCH_*.json ledger
+# and fails with a delta table on any per-metric tolerance violation
+# (self-comparison here: the extractors and invariant metrics must hold).
+timeout "${REGRESS_TIMEOUT}" python -m repro.telemetry.regress benchmarks
 
 echo "verify: OK"

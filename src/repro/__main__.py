@@ -15,11 +15,17 @@ Subcommands::
     profile --ni --no --out --k --batch | --row N
                                  run one layer with telemetry attached: drift
                                  report, communication-lower-bound oracle,
-                                 hardware counters, and (with --trace-out) a
-                                 Chrome trace_event JSON
+                                 hardware counters, (with --trace-out) a
+                                 Chrome trace_event JSON, and (with
+                                 --json-out) the validated profile document
     train --nodes N              executed data-parallel SGD across N simulated
                                  nodes: real replicas, exact gradient allreduce,
                                  bucketed comm/compute overlap, scaling curves
+    metrics                      run a seeded serve workload with the metrics
+                                 registry enabled and render the terminal
+                                 dashboard: latency histograms, gauges, the
+                                 queue-depth time series, and the OpenMetrics
+                                 exposition
 """
 
 from __future__ import annotations
@@ -292,6 +298,31 @@ def cmd_profile(args) -> int:
             return 1
         print(f"trace: {args.trace_out} ({len(telemetry.tracer)} span(s), "
               f"valid chrome://tracing JSON)")
+    if args.json_out:
+        import json
+
+        from repro.telemetry.validate import (
+            PROFILE_SCHEMA,
+            validate_profile_document,
+        )
+
+        document = {
+            "schema": PROFILE_SCHEMA,
+            "params": params.describe(),
+            "chip_gflops": chip_gflops,
+            "counters": telemetry.counters.as_dict(),
+            "drift": report.as_dict(),
+            "oracle": oracle.as_dict(),
+        }
+        violations = validate_profile_document(document)
+        if violations:
+            print(f"profile document: INVALID ({len(violations)} violation(s))")
+            for violation in violations[:5]:
+                print(f"  {violation}")
+            return 1
+        with open(args.json_out, "w") as fh:
+            json.dump(document, fh, indent=2, sort_keys=True)
+        print(f"profile document: {args.json_out} (valid {PROFILE_SCHEMA})")
     return 0
 
 
@@ -414,6 +445,13 @@ def _cmd_serve_chaos(args) -> int:
         with open(args.json_out, "w") as fh:
             json.dump(payload, fh, indent=2, sort_keys=True)
         print(f"report written to {args.json_out}")
+    if args.flight_out:
+        report.flight.dump(args.flight_out)
+        print(
+            f"flight ring written to {args.flight_out} "
+            f"({report.flight.recorded} event(s), "
+            f"{report.flight.dropped} dropped)"
+        )
     if args.smoke:
         failures = validate_chaos_serve_report(report.as_dict())
         if report.availability <= 0:
@@ -515,6 +553,116 @@ def cmd_train(args) -> int:
         print(
             "train smoke OK: parity bitwise-identical at N=1/2/4, "
             "replicas in lockstep, report schema valid"
+        )
+    return 0
+
+
+def cmd_metrics(args) -> int:
+    """``repro metrics``: seeded serve workload -> terminal dashboard.
+
+    Runs the same seeded conv-serving workload as ``repro serve`` with the
+    metrics registry and flight recorder enabled, then renders the
+    dashboard (latency histograms, gauges, the queue-depth time series),
+    the OpenMetrics exposition, and — under ``--smoke`` — proves the
+    exposition parses and agrees with the validated JSON snapshot.
+    """
+    import json
+
+    import numpy as np
+
+    from repro.serve import (
+        InferenceServer,
+        ServedModel,
+        ServerConfig,
+        run_load,
+        synthetic_images,
+    )
+    from repro.telemetry import Telemetry, use_telemetry
+    from repro.telemetry.metrics import (
+        exposition_matches_snapshot,
+        metrics_snapshot,
+        parse_openmetrics,
+        to_openmetrics,
+        validate_metrics_snapshot,
+    )
+
+    rng = np.random.default_rng(args.seed)
+    scale = np.sqrt(2.0 / (args.ni * args.k * args.k))
+    w = rng.standard_normal((args.no, args.ni, args.k, args.k)) * scale
+    bias = rng.standard_normal(args.no) * 0.1
+    model = ServedModel.conv(
+        w, (args.image, args.image), bias=bias, activation="relu", name="cli"
+    )
+    telemetry = Telemetry()
+    config = ServerConfig(
+        max_batch=args.max_batch,
+        max_wait_s=args.max_wait_ms / 1e3,
+        queue_depth=args.queue_depth,
+        workers=args.workers,
+        autotune=False,
+    )
+    images = synthetic_images(args.requests, model.input_shape, seed=args.seed + 1)
+    with use_telemetry(telemetry):
+        server = InferenceServer(model, config, telemetry=telemetry)
+        with server:
+            report, _ = run_load(
+                server, images, rate_rps=args.rate, seed=args.seed + 2
+            )
+    print(f"metrics dashboard — {model.describe()}")
+    print(f"  {report.completed}/{report.offered} completed at "
+          f"{report.rps:.0f} req/s "
+          f"({telemetry.flight.recorded} flight event(s) recorded)")
+    print()
+    print(telemetry.metrics.render_dashboard())
+    exposition = to_openmetrics(telemetry.metrics, telemetry.counters)
+    snapshot = metrics_snapshot(telemetry.metrics, telemetry.counters)
+    if args.openmetrics_out:
+        with open(args.openmetrics_out, "w") as fh:
+            fh.write(exposition)
+        print(f"exposition written to {args.openmetrics_out}")
+    else:
+        print()
+        print("OpenMetrics exposition:")
+        print(exposition)
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            json.dump(snapshot, fh, indent=2, sort_keys=True)
+        print(f"snapshot written to {args.json_out}")
+    if args.smoke:
+        failures = []
+        latency = telemetry.metrics.histogram("serve.latency_ms")
+        if latency is None or latency.count == 0:
+            failures.append("no serve.latency_ms observations recorded")
+        elif not 0 < latency.p50 <= latency.p90 <= latency.p99 <= latency.max:
+            failures.append(
+                f"latency quantiles not ordered: p50={latency.p50} "
+                f"p90={latency.p90} p99={latency.p99} max={latency.max}"
+            )
+        series = telemetry.metrics.series("serve.queue_depth")
+        if series is None or series.recorded == 0:
+            failures.append("no serve.queue_depth time-series samples")
+        try:
+            families = parse_openmetrics(exposition)
+        except ValueError as exc:
+            families = {}
+            failures.append(f"exposition does not parse: {exc}")
+        if families and "repro_serve_latency_ms" not in families:
+            failures.append("exposition lacks the repro_serve_latency_ms family")
+        failures.extend(validate_metrics_snapshot(snapshot))
+        failures.extend(exposition_matches_snapshot(exposition, snapshot))
+        if report.completed != report.offered:
+            failures.append(
+                f"only {report.completed}/{report.offered} requests completed"
+            )
+        if failures:
+            for failure in failures:
+                print(f"metrics smoke FAIL: {failure}")
+            return 1
+        print(
+            f"metrics smoke OK: {latency.count} latency observations "
+            f"(p50 {latency.p50:.2f} ms <= p99 {latency.p99:.2f} ms), "
+            f"{series.recorded} queue-depth samples, exposition parses "
+            f"and matches the validated snapshot"
         )
     return 0
 
@@ -626,6 +774,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "(availability + zero-wrong-answer audit)")
     serve.add_argument("--json-out", metavar="PATH", default=None,
                        help="write the chaos-serve report as JSON")
+    serve.add_argument("--flight-out", metavar="PATH", default=None,
+                       help="write the chaos run's flight-recorder ring "
+                            "(causal event dump) as JSON")
     serve.add_argument("--compare", action="store_true",
                        help="also run the sequential per-request baseline")
     serve.add_argument("--smoke", action="store_true",
@@ -691,7 +842,42 @@ def build_parser() -> argparse.ArgumentParser:
                          help="DMA bandwidth factor for the guarded probe")
     profile.add_argument("--seed", type=int, default=42,
                          help="fault/operand seed for the guarded probe")
+    profile.add_argument("--json-out", metavar="PATH", default=None,
+                         help="write counters + drift + oracle as one "
+                              "validated JSON document")
     profile.set_defaults(func=cmd_profile)
+
+    metrics = sub.add_parser(
+        "metrics", help="metrics dashboard of a seeded serve workload"
+    )
+    metrics.add_argument("--ni", type=int, default=16, help="input channels")
+    metrics.add_argument("--no", type=int, default=16, help="output channels")
+    metrics.add_argument("--image", type=int, default=16, help="input image size")
+    metrics.add_argument("--k", type=int, default=3, help="filter size")
+    metrics.add_argument("--requests", type=int, default=96,
+                         help="requests pushed by the load generator")
+    metrics.add_argument("--rate", type=float, default=20000.0,
+                         help="Poisson arrival rate (req/s)")
+    metrics.add_argument("--max-batch", type=int, default=16,
+                         help="largest coalesced batch")
+    metrics.add_argument("--max-wait-ms", type=float, default=1.0,
+                         help="batching window (milliseconds)")
+    metrics.add_argument("--queue-depth", type=int, default=256,
+                         help="admission queue bound")
+    metrics.add_argument("--workers", type=int, default=None,
+                         help="worker threads (default: $SWDNN_JOBS or 1)")
+    metrics.add_argument("--seed", type=int, default=0,
+                         help="weights/images/arrivals seed")
+    metrics.add_argument("--openmetrics-out", metavar="PATH", default=None,
+                         help="write the OpenMetrics exposition here "
+                              "(default: print it)")
+    metrics.add_argument("--json-out", metavar="PATH", default=None,
+                         help="write the JSON metrics snapshot here")
+    metrics.add_argument("--smoke", action="store_true",
+                         help="assert non-trivial histograms, a queue-depth "
+                              "series, and exposition/snapshot agreement; "
+                              "exit 1 on any failure")
+    metrics.set_defaults(func=cmd_metrics)
     return parser
 
 

@@ -321,6 +321,20 @@ class ChaosServeReport:
     def zero_wrong_answers(self) -> bool:
         return self.wrong_answers == 0
 
+    @property
+    def anomalous(self) -> bool:
+        """Did the run break the resilience contract?
+
+        Wrong answers, untyped errors, or unbalanced counters — the
+        conditions under which :func:`run_chaos_serve` auto-dumps the
+        flight ring so the failure is explainable post-hoc.
+        """
+        return (
+            self.wrong_answers > 0
+            or self.errors > 0
+            or not self.counters_balanced
+        )
+
     def as_dict(self) -> Dict[str, Any]:
         return {
             "seed": self.seed,
@@ -391,6 +405,7 @@ def run_chaos_serve(
     max_retries: int = 2,
     retry_backoff_s: float = 0.0005,
     result_timeout_s: float = 60.0,
+    flight_dump_path: Optional[str] = None,
 ) -> ChaosServeReport:
     """Replay a seeded fault plan against a live server; audit every answer.
 
@@ -401,6 +416,14 @@ def run_chaos_serve(
     the resilience contract: availability from typed answers, zero wrong
     answers, and the breaker/demotion/retry taxonomy of how the server
     survived.
+
+    The chaos phase runs with a full telemetry session, so the returned
+    report additionally carries ``.telemetry`` (counters + metrics) and
+    ``.flight`` (the causal event ring — ``flight.explain(request_id)``
+    reconstructs why any shed/retried/hedged request fared as it did).
+    With ``flight_dump_path`` set, an *anomalous* run (see
+    :attr:`ChaosServeReport.anomalous`) dumps the ring there
+    automatically; ``.flight_dump`` records the written path or None.
     """
     from repro.serve import (
         BreakerPolicy,
@@ -513,7 +536,7 @@ def run_chaos_serve(
         for key in ("degraded", "quarantined", "rebuilt", "safe_runs")
         if counters.get(f"serve.demotions.{key}")
     }
-    return ChaosServeReport(
+    result = ChaosServeReport(
         seed=seed,
         offered=report.offered,
         completed=report.completed,
@@ -537,6 +560,15 @@ def run_chaos_serve(
         p99_ms_clean=clean_report.latency.p99_ms,
         counters_balanced=balanced,
     )
+    # Audit surface: the chaos phase's session rides along on the report
+    # (instance attributes, not dataclass fields — as_dict() and the bench
+    # schema are unchanged).
+    result.telemetry = telemetry
+    result.flight = telemetry.flight
+    result.flight_dump = None
+    if flight_dump_path is not None and result.anomalous:
+        result.flight_dump = telemetry.flight.dump(flight_dump_path)
+    return result
 
 
 #: Schema for ``benchmarks/BENCH_chaos_serve.json``: required key -> type.

@@ -671,6 +671,37 @@ class ClusterTrainer:
             counters.add("comm.faults.link_degraded")
         if faults.partitioned:
             counters.add("comm.faults.partition")
+        flight = self.telemetry.flight
+        flight.record(
+            "cluster.step",
+            step=self._step_index,
+            nodes=self.nodes,
+            step_seconds=timeline.step_seconds,
+            exposed_comm_seconds=timeline.exposed_comm_seconds,
+        )
+        if flight.enabled:
+            for span in timeline.bucket_spans:
+                flight.record(
+                    "cluster.allreduce",
+                    step=self._step_index,
+                    bucket=span.bucket,
+                    nbytes=span.nbytes,
+                    start=span.start,
+                    end=span.end,
+                )
+            for event in faults.events:
+                flight.record("cluster.fault", step=self._step_index, event=event)
+        metrics = self.telemetry.metrics
+        if metrics.enabled:
+            # Simulated timebase: sample the per-step communication signals
+            # at the step's *end* on the cluster clock, so the ring plots
+            # exposed comm over simulated training time.
+            t_sim = self._sim_clock + timeline.step_seconds
+            metrics.sample(
+                "comm.exposed_seconds", t_sim, timeline.exposed_comm_seconds
+            )
+            metrics.sample("comm.step_seconds", t_sim, timeline.step_seconds)
+            metrics.observe("comm.step_seconds", timeline.step_seconds)
         tracer = self.telemetry.tracer
         if not tracer.enabled:
             return

@@ -41,6 +41,7 @@ from repro.common.errors import (
     ShedError,
 )
 from repro.serve.request import InferenceRequest
+from repro.telemetry import current_telemetry
 
 
 @dataclass(frozen=True)
@@ -78,6 +79,7 @@ class DynamicBatcher:
         policy: Optional[BatchPolicy] = None,
         queue_depth: int = 64,
         high_water: Optional[int] = None,
+        telemetry=None,
     ):
         if queue_depth < 1:
             raise ServeError(f"queue_depth must be >= 1, got {queue_depth}")
@@ -89,9 +91,29 @@ class DynamicBatcher:
         self.policy = policy or BatchPolicy()
         self.queue_depth = queue_depth
         self.high_water = high_water
+        self.telemetry = telemetry if telemetry is not None else current_telemetry()
         self._queue: Deque[InferenceRequest] = deque()
         self._cond = threading.Condition()
         self._closed = False
+        # Timebase for the queue-depth series: wall seconds since creation,
+        # so a plot starts at t=0 regardless of process uptime.
+        self._epoch = time.perf_counter()
+
+    def _sample_depth_locked(self) -> None:
+        """Queue depth as a sampled gauge (depth *over time*, not just max).
+
+        Sampled at every admission and batch formation — the two edges
+        where the depth changes — which is exactly what a brownout plot
+        needs: growth toward high-water, the shed cliff, the drain.
+        """
+        metrics = self.telemetry.metrics
+        if not metrics.enabled:
+            return
+        depth = len(self._queue)
+        metrics.set_gauge("serve.queue_depth", depth)
+        metrics.sample(
+            "serve.queue_depth", time.perf_counter() - self._epoch, depth
+        )
 
     # -- producer side -----------------------------------------------------
 
@@ -113,6 +135,7 @@ class DynamicBatcher:
             if self.high_water is not None and len(self._queue) >= self.high_water:
                 victim = self._shed_victim_locked(request)
                 self._queue.append(request)
+                self._sample_depth_locked()
                 self._cond.notify()
                 return victim
             if len(self._queue) >= self.queue_depth:
@@ -121,6 +144,7 @@ class DynamicBatcher:
                     f"request {request.request_id} rejected"
                 )
             self._queue.append(request)
+            self._sample_depth_locked()
             self._cond.notify()
             return None
 
@@ -186,6 +210,7 @@ class DynamicBatcher:
                 if remaining <= 0:
                     break
                 self._cond.wait(timeout=remaining)
+            self._sample_depth_locked()
             return batch
 
     # -- shutdown ----------------------------------------------------------

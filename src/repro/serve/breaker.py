@@ -121,6 +121,9 @@ class CircuitBreaker:
         self._seq += 1
         key = {OPEN: "opened", HALF_OPEN: "half_opened", CLOSED: "closed"}[new_state]
         self.telemetry.counters.add(f"serve.breaker.{key}")
+        self.telemetry.flight.record(
+            "breaker.transition", transition=f"{old}->{new_state}"
+        )
 
     def _maybe_half_open(self) -> None:
         """OPEN -> HALF_OPEN once the cooldown has elapsed (checked lazily)."""

@@ -68,9 +68,15 @@ class EngineHealth:
             if state == HEALTHY:
                 state = DEGRADED
                 self.telemetry.counters.add("serve.demotions.degraded")
+                self.telemetry.flight.record(
+                    "engine.degraded", engine=b, strikes=strikes
+                )
             if strikes >= self.quarantine_after:
                 state = QUARANTINED
                 self.telemetry.counters.add("serve.demotions.quarantined")
+                self.telemetry.flight.record(
+                    "engine.quarantined", engine=b, strikes=strikes
+                )
             self._states[b] = state
             return state
 
@@ -87,6 +93,7 @@ class EngineHealth:
         with self._lock:
             self._strikes[b] = 0
             self._states[b] = HEALTHY
+        self.telemetry.flight.record("engine.rebuilt", engine=b)
 
     def as_dict(self) -> Dict[int, str]:
         with self._lock:

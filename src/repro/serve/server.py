@@ -17,7 +17,13 @@ buy nothing on a batched engine.
 Telemetry (all free when disabled): ``serve.*`` counters for every
 admission/formation/completion event, high-water marks for queue depth and
 batch size, and — with an enabled tracer — retroactive per-request
-enqueue/execute/total wall spans on a ``serve.request`` track.
+enqueue/execute/total wall spans on a ``serve.request`` track.  With an
+enabled metrics registry the server additionally streams latency
+histograms (``serve.latency_ms`` / ``serve.queue_ms`` /
+``serve.execute_ms`` / ``serve.batch_size``) and the batcher samples
+``serve.queue_depth`` as a gauge + time series; with an enabled flight
+recorder every request/batch/breaker/engine transition drops a typed
+causal event into the ring (see ``repro.telemetry.flight``).
 """
 
 from __future__ import annotations
@@ -138,6 +144,7 @@ class InferenceServer:
             BatchPolicy(max_batch=cfg.max_batch, max_wait_s=cfg.max_wait_s),
             queue_depth=cfg.queue_depth,
             high_water=cfg.high_water,
+            telemetry=self.telemetry,
         )
         self.breaker: Optional[CircuitBreaker] = None
         if cfg.breaker is not False:
@@ -148,6 +155,7 @@ class InferenceServer:
             cfg.hedge and model.kind == "conv" and cfg.batch_shards == 1
         )
         self._ids = itertools.count()
+        self._batch_ids = itertools.count()
         self._workers: List[threading.Thread] = []
         self._num_workers = 0
         self._started = False
@@ -215,6 +223,9 @@ class InferenceServer:
         for req in self.batcher.drain():
             req.t_done = now
             self.telemetry.counters.add("serve.cancelled")
+            self.telemetry.flight.record(
+                "request.error", request=req.request_id, error="cancelled"
+            )
             req._fail(
                 ServerClosedError(
                     f"server closed while request {req.request_id} was queued"
@@ -273,11 +284,16 @@ class InferenceServer:
         )
         req.t_enqueue = now
         counters.add("serve.requests")
+        flight = self.telemetry.flight
+        flight.record("request.submit", request=req.request_id, priority=priority)
         if self.breaker is not None:
             verdict = self.breaker.admit()
             if verdict == "shed":
                 counters.add("serve.shed")
                 req.t_done = time.perf_counter()
+                flight.record(
+                    "request.shed", request=req.request_id, reason="breaker-open"
+                )
                 error = BreakerOpenError(
                     f"request {req.request_id} shed: circuit breaker is "
                     f"{self.breaker.state}"
@@ -290,16 +306,30 @@ class InferenceServer:
         except ShedError as exc:
             counters.add("serve.shed")
             req.t_done = time.perf_counter()
+            flight.record(
+                "request.shed", request=req.request_id, reason="high-water"
+            )
             req._fail(exc)
             raise
         except (QueueFullError, ServerClosedError) as exc:
             counters.add("serve.rejected")
             req.t_done = time.perf_counter()
+            flight.record(
+                "request.reject",
+                request=req.request_id,
+                reason=type(exc).__name__,
+            )
             req._fail(exc)
             raise
         if victim is not None:
             counters.add("serve.shed")
             victim.t_done = time.perf_counter()
+            flight.record(
+                "request.shed",
+                request=victim.request_id,
+                reason="evicted",
+                by=req.request_id,
+            )
             victim._fail(
                 ShedError(
                     f"request {victim.request_id} (priority {victim.priority}) "
@@ -322,12 +352,16 @@ class InferenceServer:
 
     def _execute(self, batch: List[InferenceRequest]) -> None:
         counters = self.telemetry.counters
+        flight = self.telemetry.flight
         now = time.perf_counter()
         live: List[InferenceRequest] = []
         for req in batch:
             if req.expired(now):
                 req.t_done = time.perf_counter()
                 counters.add("serve.deadline_misses")
+                flight.record(
+                    "request.deadline", request=req.request_id, at="formation"
+                )
                 req._fail(
                     DeadlineExceededError(
                         f"request {req.request_id} queued past its deadline "
@@ -347,11 +381,20 @@ class InferenceServer:
         counters.add("serve.batches")
         counters.add("serve.batched_images", len(live))
         counters.record_max("serve.batch_size", len(live))
+        self.telemetry.metrics.observe("serve.batch_size", len(live))
+        batch_id = next(self._batch_ids)
+        flight.record(
+            "batch.form",
+            batch=batch_id,
+            requests=[req.request_id for req in live],
+            size=len(live),
+        )
         cfg = self.config
         attempt = 0
         while True:
             xb = np.stack([req.x for req in live])
             t_exec_start = time.perf_counter()
+            flight.record("batch.attempt", batch=batch_id, attempt=attempt)
             try:
                 with self.telemetry.tracer.span(
                     "serve.batch", cat="serve", batch=len(live), attempt=attempt
@@ -367,6 +410,13 @@ class InferenceServer:
                     backoff = cfg.retry_backoff_s * (2 ** attempt)
                     attempt += 1
                     counters.add("serve.retries")
+                    flight.record(
+                        "batch.retry",
+                        batch=batch_id,
+                        attempt=attempt,
+                        error=type(exc).__name__,
+                        backoff_ms=backoff * 1e3,
+                    )
                     live = self._fail_deadline_exhausted(live, backoff)
                     if not live:
                         return
@@ -377,6 +427,9 @@ class InferenceServer:
                     # Last resort before failing the batch: one hedged
                     # re-execution on the pool's safe numpy spare (same
                     # plan, no fault plan — bit-identical output).
+                    flight.record(
+                        "batch.hedge", batch=batch_id, error=type(exc).__name__
+                    )
                     try:
                         with self.telemetry.tracer.span(
                             "serve.hedge", cat="serve", batch=len(live)
@@ -386,18 +439,29 @@ class InferenceServer:
                         exc = hedge_exc
                     else:
                         counters.add("serve.hedges")
-                        self._resolve_batch(live, out, t_exec_start)
+                        flight.record("batch.ok", batch=batch_id, hedged=True)
+                        self._resolve_batch(live, out, t_exec_start, batch_id)
                         return
                 t_done = time.perf_counter()
                 counters.add("serve.errors", len(live))
+                flight.record(
+                    "batch.fail", batch=batch_id, error=type(exc).__name__
+                )
                 for req in live:
                     req.t_exec_start = t_exec_start
                     req.t_done = t_done
+                    flight.record(
+                        "request.error",
+                        request=req.request_id,
+                        batch=batch_id,
+                        error=type(exc).__name__,
+                    )
                     req._fail(exc)
                     self._emit_request_spans(req, error=type(exc).__name__)
                 return
             self._record_attempt(True, live)
-            self._resolve_batch(live, out, t_exec_start)
+            flight.record("batch.ok", batch=batch_id, attempt=attempt)
+            self._resolve_batch(live, out, t_exec_start, batch_id)
             return
 
     def _run_pool(self, xb: np.ndarray) -> np.ndarray:
@@ -431,6 +495,9 @@ class InferenceServer:
             if req.deadline is not None and now + backoff > req.deadline:
                 req.t_done = time.perf_counter()
                 counters.add("serve.deadline_misses")
+                self.telemetry.flight.record(
+                    "request.deadline", request=req.request_id, at="backoff"
+                )
                 req._fail(
                     DeadlineExceededError(
                         f"request {req.request_id} exhausted its deadline "
@@ -443,15 +510,33 @@ class InferenceServer:
         return survivors
 
     def _resolve_batch(
-        self, live: List[InferenceRequest], out: np.ndarray, t_exec_start: float
+        self,
+        live: List[InferenceRequest],
+        out: np.ndarray,
+        t_exec_start: float,
+        batch_id: Optional[int] = None,
     ) -> None:
         counters = self.telemetry.counters
+        metrics = self.telemetry.metrics
+        flight = self.telemetry.flight
         t_exec_end = time.perf_counter()
+        metrics.observe("serve.execute_ms", (t_exec_end - t_exec_start) * 1e3)
         for i, req in enumerate(live):
             req.t_exec_start = t_exec_start
             req.t_exec_end = t_exec_end
             req.t_done = time.perf_counter()
             req._resolve(out[i])
+            if metrics.enabled:
+                metrics.observe(
+                    "serve.latency_ms", (req.t_done - req.t_enqueue) * 1e3
+                )
+                if req.t_batched is not None:
+                    metrics.observe(
+                        "serve.queue_ms", (req.t_batched - req.t_enqueue) * 1e3
+                    )
+            flight.record(
+                "request.complete", request=req.request_id, batch=batch_id
+            )
             self._emit_request_spans(req)
         counters.add("serve.completed", len(live))
 

@@ -27,6 +27,25 @@ singletons, so uninstrumented runs pay only dead method calls.
 """
 
 from repro.telemetry.counters import Counters, NullCounters, NULL_COUNTERS
+from repro.telemetry.flight import (
+    FlightEvent,
+    FlightRecorder,
+    NullFlightRecorder,
+    NULL_FLIGHT,
+    load_flight_dump,
+)
+from repro.telemetry.metrics import (
+    Gauge,
+    LogHistogram,
+    Metrics,
+    NullMetrics,
+    NULL_METRICS,
+    TimeSeries,
+    metrics_snapshot,
+    parse_openmetrics,
+    to_openmetrics,
+    validate_metrics_snapshot,
+)
 from repro.telemetry.session import (
     NullTelemetry,
     NULL_TELEMETRY,
@@ -46,6 +65,21 @@ __all__ = [
     "Counters",
     "NullCounters",
     "NULL_COUNTERS",
+    "FlightEvent",
+    "FlightRecorder",
+    "NullFlightRecorder",
+    "NULL_FLIGHT",
+    "load_flight_dump",
+    "Gauge",
+    "LogHistogram",
+    "Metrics",
+    "NullMetrics",
+    "NULL_METRICS",
+    "TimeSeries",
+    "metrics_snapshot",
+    "parse_openmetrics",
+    "to_openmetrics",
+    "validate_metrics_snapshot",
     "NullTelemetry",
     "NULL_TELEMETRY",
     "Telemetry",
@@ -69,6 +103,12 @@ __all__ = [
     "demmel_dinh_bound_bytes",
     "oracle_report",
     "validate_oracle_report",
+    # lazy (see __getattr__): the bench-regression sentinel
+    "BenchMetric",
+    "RegressionReport",
+    "compare_directories",
+    "compare_ledgers",
+    "load_ledger",
 ]
 
 _LAZY_DRIFT = ("DriftReport", "DriftRow", "drift_report", "DEFAULT_DRIFT_THRESHOLD")
@@ -80,7 +120,18 @@ _LAZY_ORACLE = (
     "validate_oracle_report",
     "DEFAULT_ATTAINMENT_THRESHOLD",
 )
-_LAZY_VALIDATE = ("validate_chrome_trace", "validate_chrome_trace_file")
+_LAZY_VALIDATE = (
+    "validate_chrome_trace",
+    "validate_chrome_trace_file",
+    "validate_profile_document",
+)
+_LAZY_REGRESS = (
+    "BenchMetric",
+    "RegressionReport",
+    "compare_directories",
+    "compare_ledgers",
+    "load_ledger",
+)
 
 
 def __getattr__(name: str):
@@ -100,4 +151,9 @@ def __getattr__(name: str):
         from repro.telemetry import validate as _validate
 
         return getattr(_validate, name)
+    if name in _LAZY_REGRESS:
+        # regress is also a ``python -m`` entry point (runpy warning).
+        from repro.telemetry import regress as _regress
+
+        return getattr(_regress, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

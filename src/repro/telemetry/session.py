@@ -29,13 +29,15 @@ from contextlib import contextmanager
 from typing import Iterator, Optional
 
 from repro.telemetry.counters import Counters, NullCounters, NULL_COUNTERS
+from repro.telemetry.flight import FlightRecorder, NullFlightRecorder, NULL_FLIGHT
+from repro.telemetry.metrics import Metrics, NullMetrics, NULL_METRICS
 from repro.telemetry.spans import NullSpanTracer, NULL_TRACER, SpanTracer
 
 
 class Telemetry:
-    """One observability session: a counter registry plus a span tracer."""
+    """One observability session: counters, tracer, metrics, flight ring."""
 
-    __slots__ = ("counters", "tracer")
+    __slots__ = ("counters", "tracer", "metrics", "flight")
 
     enabled = True
 
@@ -43,9 +45,13 @@ class Telemetry:
         self,
         counters: Optional[Counters] = None,
         tracer: Optional[SpanTracer] = None,
+        metrics: Optional[Metrics] = None,
+        flight: Optional[FlightRecorder] = None,
     ):
         self.counters = counters if counters is not None else Counters()
         self.tracer = tracer if tracer is not None else SpanTracer()
+        self.metrics = metrics if metrics is not None else Metrics()
+        self.flight = flight if flight is not None else FlightRecorder()
 
     def reset(self) -> None:
         """Clear counters (the tracer's recorded spans are kept)."""
@@ -59,13 +65,15 @@ class Telemetry:
 
 
 class NullTelemetry:
-    """The disabled session: null counters, null tracer, falsy."""
+    """The disabled session: null counters/tracer/metrics/flight, falsy."""
 
     __slots__ = ()
 
     enabled = False
     counters: NullCounters = NULL_COUNTERS
     tracer: NullSpanTracer = NULL_TRACER
+    metrics: NullMetrics = NULL_METRICS
+    flight: NullFlightRecorder = NULL_FLIGHT
 
     def reset(self) -> None:
         pass

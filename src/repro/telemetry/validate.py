@@ -4,21 +4,31 @@ The trace format has no official JSON Schema; this validator pins the
 subset the tracer emits and viewers require: the JSON *object format*
 (``{"traceEvents": [...]}``) whose events are complete events (``"ph":
 "X"`` with numeric non-negative ``ts``/``dur``) or metadata events
-(``"ph": "M"``), all carrying ``name``/``pid``/``tid``.
+(``"ph": "M"``), all carrying ``name``/``pid``/``tid``.  Metadata that
+*redeclares* a (pid, tid) with the same label is fine (merged traces do
+this); two different labels for the same track are flagged — the viewer
+would silently keep one.
 
 ``python -m repro.telemetry.validate trace.json`` exits non-zero with one
 line per violation — the ``profile`` smoke stage of ``scripts/verify.sh``
 runs it on the trace the CLI just emitted.
+
+:func:`validate_profile_document` gates the other machine-readable CLI
+artifact: the ``python -m repro profile --json-out`` document bundling
+the counter dump, drift report, and communication oracle.
 """
 
 from __future__ import annotations
 
 import json
 import sys
-from typing import Any, List
+from typing import Any, Dict, List, Tuple
 
 #: Event phases the validator accepts (what the tracer emits).
 ALLOWED_PHASES = ("X", "M")
+
+#: Schema tag of the ``profile --json-out`` document.
+PROFILE_SCHEMA = "repro.profile/v1"
 
 
 def validate_chrome_trace(data: Any) -> List[str]:
@@ -59,6 +69,29 @@ def validate_chrome_trace(data: Any) -> List[str]:
                 errors.append(f"{where}: metadata event needs an 'args' object")
         if "args" in event and not isinstance(event["args"], dict):
             errors.append(f"{where}: 'args' must be an object")
+    # Conflicting duplicate metadata: the same (kind, pid, tid) declared
+    # twice with *different* labels.  Identical redeclarations are fine —
+    # merging a serve trace and a cluster trace repeats the shared tracks.
+    declared: Dict[Tuple[str, int, int], Tuple[int, Any]] = {}
+    for i, event in enumerate(events):
+        if not isinstance(event, dict) or event.get("ph") != "M":
+            continue
+        name, pid, tid = event.get("name"), event.get("pid"), event.get("tid")
+        args = event.get("args")
+        if not isinstance(name, str) or not isinstance(args, dict):
+            continue
+        label = args.get("name")
+        key = (name, pid, tid)
+        if key in declared:
+            first, first_label = declared[key]
+            if first_label != label:
+                errors.append(
+                    f"traceEvents[{i}]: metadata {name!r} for pid={pid} "
+                    f"tid={tid} conflicts with traceEvents[{first}] "
+                    f"({first_label!r} != {label!r})"
+                )
+        else:
+            declared[key] = (i, label)
     return errors
 
 
@@ -74,10 +107,87 @@ def validate_chrome_trace_file(path: str) -> List[str]:
     return validate_chrome_trace(data)
 
 
+def validate_profile_document(payload: Any) -> List[str]:
+    """Violations of the ``profile --json-out`` document; empty = valid.
+
+    The document is the machine-readable mirror of the profile CLI's
+    text output: schema tag, the profiled shape, counter dump (string ->
+    number), and the drift/oracle reports (each a ``threshold`` /
+    ``flagged`` / ``rows`` triple whose ``flagged`` tallies match the
+    per-row flags).
+    """
+    errors: List[str] = []
+    if not isinstance(payload, dict):
+        return [f"top level must be a JSON object, got {type(payload).__name__}"]
+    if payload.get("schema") != PROFILE_SCHEMA:
+        errors.append(
+            f"'schema' must be {PROFILE_SCHEMA!r}, got {payload.get('schema')!r}"
+        )
+    if not isinstance(payload.get("params"), str) or not payload.get("params"):
+        errors.append("'params' must be a non-empty string")
+    chip = payload.get("chip_gflops")
+    if not isinstance(chip, (int, float)) or isinstance(chip, bool) or chip < 0:
+        errors.append(f"'chip_gflops' must be a non-negative number, got {chip!r}")
+    counters = payload.get("counters")
+    if not isinstance(counters, dict):
+        errors.append("'counters' must be an object")
+    else:
+        for name, value in counters.items():
+            if not isinstance(name, str):
+                errors.append(f"counter key {name!r} must be a string")
+            elif not isinstance(value, (int, float)) or isinstance(value, bool):
+                errors.append(f"counter {name!r} must be a number, got {value!r}")
+    for section in ("drift", "oracle"):
+        report = payload.get(section)
+        if not isinstance(report, dict):
+            errors.append(f"'{section}' must be an object")
+            continue
+        rows = report.get("rows")
+        if not isinstance(rows, list):
+            errors.append(f"'{section}.rows' must be a list")
+            continue
+        flagged = report.get("flagged")
+        actual = sum(
+            1 for row in rows if isinstance(row, dict) and row.get("flagged")
+        )
+        if flagged != actual:
+            errors.append(
+                f"'{section}.flagged' is {flagged!r} but {actual} row(s) "
+                f"are flagged"
+            )
+        threshold = report.get("threshold")
+        if not isinstance(threshold, (int, float)) or isinstance(threshold, bool):
+            errors.append(f"'{section}.threshold' must be a number")
+    return errors
+
+
+def validate_profile_document_file(path: str) -> List[str]:
+    """Load ``path`` and validate; JSON errors are reported, not raised."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except OSError as exc:
+        return [f"cannot read {path}: {exc}"]
+    except json.JSONDecodeError as exc:
+        return [f"{path} is not valid JSON: {exc}"]
+    return validate_profile_document(payload)
+
+
 def main(argv=None) -> int:
     argv = argv if argv is not None else sys.argv[1:]
+    if len(argv) == 2 and argv[0] == "--profile":
+        errors = validate_profile_document_file(argv[1])
+        if errors:
+            for error in errors:
+                print(f"invalid profile document: {error}")
+            return 1
+        print(f"{argv[1]}: valid {PROFILE_SCHEMA} document")
+        return 0
     if len(argv) != 1:
-        print("usage: python -m repro.telemetry.validate TRACE.json")
+        print(
+            "usage: python -m repro.telemetry.validate TRACE.json\n"
+            "       python -m repro.telemetry.validate --profile PROFILE.json"
+        )
         return 2
     path = argv[0]
     errors = validate_chrome_trace_file(path)

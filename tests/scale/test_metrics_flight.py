@@ -1,0 +1,115 @@
+"""Cluster-layer observability: step/allreduce flight events, sim series."""
+
+import numpy as np
+import pytest
+
+from repro.core.layers import AvgPool2D, Conv2D, Dense, Flatten, ReLU
+from repro.core.network import Sequential, synthetic_image_dataset
+from repro.scale.cluster import ClusterTrainer
+from repro.telemetry import Telemetry
+
+pytestmark = pytest.mark.scale
+
+SHAPE = (3, 10, 10)
+CLASSES = 10
+STEPS = 3
+
+
+def make_factory(seed=42):
+    def factory():
+        rng = np.random.default_rng(seed)
+        return Sequential(
+            [
+                Conv2D(3, 8, 3, 3, rng=rng),
+                ReLU(),
+                AvgPool2D(2),
+                Flatten(),
+                Dense(8 * 4 * 4, CLASSES, rng=rng),
+            ]
+        )
+
+    return factory
+
+
+@pytest.fixture(scope="module")
+def trained():
+    """A short instrumented 2-node run shared by the read-only asserts."""
+    x, labels = synthetic_image_dataset(
+        16 * STEPS, *SHAPE, CLASSES, rng=np.random.default_rng(7)
+    )
+    telem = Telemetry()
+    trainer = ClusterTrainer(make_factory(), 2, SHAPE, telemetry=telem)
+    for step in range(STEPS):
+        lo = step * 16
+        trainer.step(x[lo : lo + 16], labels[lo : lo + 16])
+    return telem
+
+
+class TestClusterFlight:
+    def test_one_step_event_per_step(self, trained):
+        steps = [
+            e for e in trained.flight.events() if e.kind == "cluster.step"
+        ]
+        assert len(steps) == STEPS
+        assert [e.args["step"] for e in steps] == list(range(STEPS))
+        for event in steps:
+            assert event.args["nodes"] == 2
+            assert event.args["step_seconds"] > 0.0
+            assert event.args["exposed_comm_seconds"] >= 0.0
+
+    def test_allreduce_events_carry_bucket_spans(self, trained):
+        reduces = [
+            e for e in trained.flight.events() if e.kind == "cluster.allreduce"
+        ]
+        assert reduces  # every step reduces at least one gradient bucket
+        for event in reduces:
+            assert event.args["nbytes"] > 0
+            assert 0.0 <= event.args["start"] <= event.args["end"]
+
+    def test_events_are_json_safe(self, trained, tmp_path):
+        path = trained.flight.dump(str(tmp_path / "cluster-flight.json"))
+        from repro.telemetry import load_flight_dump
+
+        events = load_flight_dump(path)
+        assert len(events) == len(trained.flight.events())
+
+
+class TestClusterMetrics:
+    def test_sim_timebase_series_are_monotone(self, trained):
+        for name in ("comm.exposed_seconds", "comm.step_seconds"):
+            series = trained.metrics.series(name)
+            assert series is not None, name
+            assert len(series) == STEPS
+            ts = [t for t, _ in series.points()]
+            assert ts == sorted(ts)
+            assert ts[0] > 0.0  # sampled at the *end* of step 0
+
+    def test_step_seconds_histogram_counts_steps(self, trained):
+        hist = trained.metrics.histogram("comm.step_seconds")
+        assert hist is not None
+        assert hist.count == STEPS
+        assert hist.min > 0.0
+
+    def test_series_values_match_flight_events(self, trained):
+        # The same per-step scalars flow into both sinks: the time series
+        # (for trends) and the flight ring (for causality).
+        steps = [
+            e.args["exposed_comm_seconds"]
+            for e in trained.flight.events()
+            if e.kind == "cluster.step"
+        ]
+        sampled = [
+            v for _, v in trained.metrics.series("comm.exposed_seconds").points()
+        ]
+        assert sampled == pytest.approx(steps)
+
+    def test_disabled_session_skips_both_sinks(self):
+        x, labels = synthetic_image_dataset(
+            16, *SHAPE, CLASSES, rng=np.random.default_rng(7)
+        )
+        trainer = ClusterTrainer(make_factory(), 2, SHAPE)
+        trainer.step(x, labels)
+        from repro.telemetry import NULL_FLIGHT, NULL_METRICS
+
+        assert len(NULL_METRICS) == 0
+        assert len(NULL_FLIGHT) == 0

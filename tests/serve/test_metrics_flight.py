@@ -1,0 +1,195 @@
+"""Serve-layer observability: metrics registry + flight-recorder chains."""
+
+import numpy as np
+import pytest
+
+from repro.faults import default_chaos_serve_faults, run_chaos_serve
+from repro.serve import (
+    InferenceServer,
+    ServedModel,
+    ServerConfig,
+    run_load,
+    synthetic_images,
+)
+from repro.telemetry import Telemetry
+
+pytestmark = pytest.mark.serve
+
+
+def _conv_model(ni=8, no=8, k=3, hw=8, seed=0):
+    rng = np.random.default_rng(seed)
+    w = rng.standard_normal((no, ni, k, k)) * np.sqrt(2.0 / (ni * k * k))
+    return ServedModel.conv(w, (hw, hw))
+
+
+def _config(**overrides):
+    base = dict(
+        max_batch=4, max_wait_s=0.001, queue_depth=64, workers=1, autotune=False
+    )
+    base.update(overrides)
+    return ServerConfig(**base)
+
+
+@pytest.fixture(scope="module")
+def served():
+    """One shared clean serve run with a full telemetry session."""
+    model = _conv_model()
+    telem = Telemetry()
+    images = synthetic_images(24, model.input_shape, seed=1)
+    with InferenceServer(model, _config(), telemetry=telem) as server:
+        report, outputs = run_load(server, images, rate_rps=50000.0, seed=2)
+    return telem, report
+
+
+class TestServeMetrics:
+    def test_latency_distributions_recorded(self, served):
+        telem, report = served
+        assert report.completed == 24
+        for name in ("serve.latency_ms", "serve.queue_ms", "serve.execute_ms"):
+            hist = telem.metrics.histogram(name)
+            assert hist is not None, name
+            assert hist.count == 24 or name == "serve.execute_ms"
+            assert hist.count >= 1
+        latency = telem.metrics.histogram("serve.latency_ms")
+        assert 0.0 < latency.p50 <= latency.p90 <= latency.p99 <= latency.max
+        # End-to-end latency includes the queue wait it decomposes into.
+        queue = telem.metrics.histogram("serve.queue_ms")
+        assert latency.mean >= queue.mean
+
+    def test_batch_size_histogram_bounded_by_config(self, served):
+        telem, _ = served
+        sizes = telem.metrics.histogram("serve.batch_size")
+        assert sizes is not None
+        assert sizes.count >= 6  # 24 requests / max_batch 4
+        assert sizes.max <= 4.0
+
+    def test_queue_depth_sampled_over_time(self, served):
+        telem, _ = served
+        gauge = telem.metrics.gauge("serve.queue_depth")
+        assert gauge is not None and gauge.updates > 0
+        series = telem.metrics.series("serve.queue_depth")
+        assert series is not None and len(series) > 0
+        ts = [t for t, _ in series.points()]
+        assert ts == sorted(ts)  # wall timebase is monotone
+        assert all(0.0 <= v <= 64.0 for _, v in series.points())
+
+    def test_flight_records_full_lifecycle(self, served):
+        telem, _ = served
+        kinds = {e.kind for e in telem.flight.events()}
+        assert {
+            "request.submit", "batch.form", "batch.attempt",
+            "batch.ok", "request.complete",
+        } <= kinds
+
+    def test_every_completed_request_has_a_chain(self, served):
+        telem, report = served
+        for rid in range(report.completed):
+            chain = [e.kind for e in telem.flight.chain(rid)]
+            assert chain[0] == "request.submit"
+            assert "batch.form" in chain
+            assert "request.complete" in chain
+
+    def test_disabled_session_records_nothing(self):
+        model = _conv_model()
+        images = synthetic_images(6, model.input_shape, seed=1)
+        with InferenceServer(model, _config()) as server:
+            run_load(server, images, rate_rps=50000.0, seed=2)
+        # No ambient session: the null metrics/flight sinks stay empty.
+        from repro.telemetry import NULL_FLIGHT, NULL_METRICS
+
+        assert len(NULL_METRICS) == 0
+        assert len(NULL_FLIGHT) == 0
+
+
+@pytest.fixture(scope="module")
+def chaos_report():
+    """One shared chaos run — seeded faults force shed/retry traffic."""
+    return run_chaos_serve(
+        fault_spec=default_chaos_serve_faults(),
+        n_requests=64,
+        rate_rps=4000.0,
+    )
+
+
+class TestChaosFlightChains:
+    def test_recorder_attached_and_populated(self, chaos_report):
+        flight = chaos_report.flight
+        assert flight.enabled
+        assert flight.recorded > 0
+
+    def test_every_shed_request_chain_explains_the_shed(self, chaos_report):
+        flight = chaos_report.flight
+        shed_ids = [
+            e.args["request"]
+            for e in flight.events()
+            if e.kind == "request.shed"
+        ]
+        assert chaos_report.shed == len(shed_ids)
+        for rid in shed_ids:
+            kinds = [e.kind for e in flight.chain(rid)]
+            assert kinds[0] == "request.submit"
+            assert "request.shed" in kinds
+
+    def test_at_least_one_full_retry_chain(self, chaos_report):
+        # The acceptance bar: under seeded faults at least one request's
+        # chain reads submit -> batch formed -> attempt failed -> retry ->
+        # terminal outcome, stitched purely from the ring.
+        flight = chaos_report.flight
+        assert chaos_report.retries >= 1
+        retried_batches = {
+            e.args["batch"] for e in flight.events() if e.kind == "batch.retry"
+        }
+        assert retried_batches
+        members = [
+            e.args["requests"]
+            for e in flight.events()
+            if e.kind == "batch.form" and e.args["batch"] in retried_batches
+        ]
+        assert members
+        full_chains = 0
+        for rid in members[0]:
+            kinds = [e.kind for e in flight.chain(rid)]
+            if (
+                kinds[0] == "request.submit"
+                and "batch.form" in kinds
+                and "batch.retry" in kinds
+                and any(
+                    k in kinds
+                    for k in ("request.complete", "request.error",
+                              "request.deadline")
+                )
+            ):
+                full_chains += 1
+        assert full_chains >= 1
+        rid = members[0][0]
+        text = flight.explain(rid)
+        assert f"request {rid}:" in text
+
+    def test_breaker_transitions_recorded_as_global_events(self, chaos_report):
+        flight = chaos_report.flight
+        transitions = [
+            e.args["transition"]
+            for e in flight.events()
+            if e.kind == "breaker.transition"
+        ]
+        assert "closed->open" in transitions
+
+    def test_counters_metrics_flight_agree_on_retries(self, chaos_report):
+        counters = chaos_report.telemetry.counters.as_dict()
+        flight_retries = sum(
+            1 for e in chaos_report.flight.events() if e.kind == "batch.retry"
+        )
+        # The ring did not wrap in a 64-request run, so the tallies match.
+        assert chaos_report.flight.dropped == 0
+        assert counters.get("serve.retries", 0) == flight_retries
+
+    def test_clean_run_does_not_auto_dump(self, tmp_path):
+        report = run_chaos_serve(
+            fault_spec=None,
+            n_requests=8,
+            rate_rps=50000.0,
+            flight_dump_path=str(tmp_path / "flight.json"),
+        )
+        assert not report.anomalous
+        assert report.flight_dump is None
+        assert not (tmp_path / "flight.json").exists()

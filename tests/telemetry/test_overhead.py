@@ -15,7 +15,14 @@ import numpy as np
 from repro.core.conv import ConvolutionEngine, clear_timing_cache
 from repro.core.params import ConvParams
 from repro.core.planner import plan_convolution
-from repro.telemetry import NULL_COUNTERS, NULL_TELEMETRY, Telemetry, current_telemetry
+from repro.telemetry import (
+    NULL_COUNTERS,
+    NULL_FLIGHT,
+    NULL_METRICS,
+    NULL_TELEMETRY,
+    Telemetry,
+    current_telemetry,
+)
 
 #: Table III row 1: Ni=128, No=128, 64x64 output, 3x3 filters, B=128.
 ROW1 = ConvParams.from_output(ni=128, no=128, ro=64, co=64, kr=3, kc=3, b=128)
@@ -86,3 +93,55 @@ class TestZeroCostDisabled:
         _evaluate_seconds(telemetry, repeats=1)
         assert telemetry.counters.get("engine.evaluations") == 1
         assert telemetry.counters.get("engine.flops") == ROW1.flops()
+
+
+class TestZeroCostMetricsAndFlight:
+    """The new sinks inherit the counters' zero-cost-disabled contract."""
+
+    def test_null_session_exposes_the_shared_singletons(self):
+        assert NULL_TELEMETRY.metrics is NULL_METRICS
+        assert NULL_TELEMETRY.flight is NULL_FLIGHT
+        assert not NULL_METRICS.enabled
+        assert not NULL_FLIGHT.enabled
+
+    def test_enabled_session_gets_live_sinks(self):
+        telemetry = Telemetry()
+        assert telemetry.metrics.enabled
+        assert telemetry.flight.enabled
+        assert telemetry.metrics is not NULL_METRICS
+
+    def test_null_sinks_retain_no_state(self):
+        NULL_METRICS.observe("x.hist", 1.0)
+        NULL_METRICS.set_gauge("x.gauge", 2.0)
+        NULL_METRICS.sample("x.series", 0.0, 3.0)
+        NULL_FLIGHT.record("request.submit", request=0)
+        assert len(NULL_METRICS) == 0
+        assert len(NULL_FLIGHT) == 0
+        assert NULL_METRICS.histogram("x.hist") is None
+        assert NULL_FLIGHT.events() == []
+
+    def test_disabled_metrics_and_flight_allocate_zero_bytes(self):
+        """A hot loop against the null sinks must not allocate in the
+        telemetry modules — the disabled serve/cluster paths hit these
+        exact call sites on every request and step."""
+        # Warm up: first calls may intern strings / build method caches.
+        NULL_METRICS.observe("serve.latency_ms", 1.0)
+        NULL_FLIGHT.record("request.submit", request=0)
+
+        telemetry_files = tracemalloc.Filter(True, "*/repro/telemetry/*")
+        tracemalloc.start()
+        try:
+            before = tracemalloc.take_snapshot().filter_traces([telemetry_files])
+            for i in range(1000):
+                NULL_METRICS.observe("serve.latency_ms", float(i))
+                NULL_METRICS.set_gauge("serve.queue_depth", i)
+                NULL_METRICS.sample("serve.queue_depth", i * 1e-3, i)
+                NULL_FLIGHT.record("request.submit", request=i)
+                NULL_FLIGHT.record("batch.form", batch=i, requests=[i])
+            after = tracemalloc.take_snapshot().filter_traces([telemetry_files])
+        finally:
+            tracemalloc.stop()
+        growth = sum(stat.size_diff for stat in after.compare_to(before, "filename"))
+        assert growth <= 0, (
+            f"disabled metrics/flight allocated {growth} bytes"
+        )

@@ -1,0 +1,165 @@
+"""Trace/profile validator edge cases: the corners viewers choke on."""
+
+import json
+
+import pytest
+
+from repro.telemetry import SpanTracer, validate_chrome_trace
+from repro.telemetry.validate import (
+    PROFILE_SCHEMA,
+    main,
+    validate_profile_document,
+)
+
+
+def _event(**overrides):
+    base = {"name": "conv", "ph": "X", "ts": 0.0, "dur": 1.0, "pid": 1, "tid": 1}
+    base.update(overrides)
+    return base
+
+
+def _metadata(pid, tid, label, name="thread_name"):
+    return {"name": name, "ph": "M", "pid": pid, "tid": tid,
+            "args": {"name": label}}
+
+
+class TestCompleteEventEdges:
+    def test_empty_trace_is_valid(self):
+        assert validate_chrome_trace({"traceEvents": []}) == []
+
+    def test_zero_duration_is_valid(self):
+        # Instantaneous spans happen (a cache-hit lookup rounds to 0us).
+        trace = {"traceEvents": [_event(dur=0.0), _event(ts=0.0)]}
+        assert validate_chrome_trace(trace) == []
+
+    def test_negative_duration_flagged(self):
+        errors = validate_chrome_trace({"traceEvents": [_event(dur=-2.0)]})
+        assert any("'dur' must be >= 0" in e for e in errors)
+
+    def test_negative_timestamp_flagged(self):
+        errors = validate_chrome_trace({"traceEvents": [_event(ts=-1.0)]})
+        assert any("'ts' must be >= 0" in e for e in errors)
+
+    def test_boolean_duration_is_not_a_number(self):
+        errors = validate_chrome_trace({"traceEvents": [_event(dur=True)]})
+        assert any("'dur' must be a number" in e for e in errors)
+
+    def test_non_integer_pid_flagged(self):
+        errors = validate_chrome_trace({"traceEvents": [_event(pid="host")]})
+        assert any("'pid' must be an integer" in e for e in errors)
+
+    def test_non_object_event_flagged(self):
+        errors = validate_chrome_trace({"traceEvents": ["not-an-event"]})
+        assert any("must be an object" in e for e in errors)
+
+
+class TestDuplicateMetadata:
+    def test_identical_redeclaration_is_valid(self):
+        # Merging two traces repeats the shared track declarations.
+        trace = {"traceEvents": [_metadata(1, 0, "host"), _metadata(1, 0, "host")]}
+        assert validate_chrome_trace(trace) == []
+
+    def test_conflicting_labels_flagged(self):
+        trace = {
+            "traceEvents": [_metadata(1, 0, "host"), _metadata(1, 0, "worker")]
+        }
+        errors = validate_chrome_trace(trace)
+        assert len(errors) == 1
+        assert "conflicts" in errors[0]
+        assert "'host'" in errors[0] and "'worker'" in errors[0]
+
+    def test_same_label_different_track_is_valid(self):
+        trace = {
+            "traceEvents": [_metadata(1, 0, "host"), _metadata(1, 1, "host")]
+        }
+        assert validate_chrome_trace(trace) == []
+
+
+class TestMergedTraceRoundTrip:
+    def test_merged_serve_plus_cluster_trace_validates(self, tmp_path, capsys):
+        # A serve-side wall trace and a cluster-side sim trace, merged the
+        # way an offline viewer session does: concatenate traceEvents.
+        # The shared process/thread metadata is redeclared identically —
+        # the validator must accept that, and the CLI must exit 0.
+        serve = SpanTracer()
+        serve.record_wall("request", 0.0, 120.0, track="serve", request=1)
+        serve.record_wall("execute", 40.0, 110.0, track="serve", batch=0)
+        cluster = SpanTracer()
+        cluster.record_sim("allreduce", 0.0, 0.002, track="bucket0", step=0)
+        cluster.record_sim("compute", 0.0, 0.004, track="node0", step=0)
+        merged = serve.to_chrome_trace()
+        merged["traceEvents"] = (
+            merged["traceEvents"] + cluster.to_chrome_trace()["traceEvents"]
+        )
+        assert validate_chrome_trace(merged) == []
+        path = tmp_path / "merged.json"
+        path.write_text(json.dumps(merged))
+        assert main([str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "valid Chrome trace_event JSON" in out
+
+    def test_conflicting_merge_fails_through_cli(self, tmp_path, capsys):
+        trace = {
+            "traceEvents": [_metadata(1, 0, "host"), _metadata(1, 0, "serve")]
+        }
+        path = tmp_path / "conflict.json"
+        path.write_text(json.dumps(trace))
+        assert main([str(path)]) == 1
+        assert "conflicts" in capsys.readouterr().out
+
+
+def _profile_doc():
+    return {
+        "schema": PROFILE_SCHEMA,
+        "params": "Ni=32 No=32 16x16 K=3 B=16",
+        "chip_gflops": 12.5,
+        "counters": {"conv.forward.calls": 1, "dma.bytes": 4096.0},
+        "drift": {
+            "threshold": 0.25,
+            "flagged": 1,
+            "rows": [{"flagged": True}, {"flagged": False}],
+        },
+        "oracle": {"threshold": 0.5, "flagged": 0, "rows": []},
+    }
+
+
+class TestProfileDocument:
+    def test_valid_document_passes(self):
+        assert validate_profile_document(_profile_doc()) == []
+
+    def test_schema_tag_checked(self):
+        doc = _profile_doc()
+        doc["schema"] = "repro.profile/v0"
+        assert any("'schema'" in e for e in validate_profile_document(doc))
+
+    def test_flagged_count_cross_checked(self):
+        doc = _profile_doc()
+        doc["drift"]["flagged"] = 2
+        errors = validate_profile_document(doc)
+        assert any("drift.flagged" in e and "1 row(s)" in e for e in errors)
+
+    def test_counter_values_must_be_numbers(self):
+        doc = _profile_doc()
+        doc["counters"]["dma.bytes"] = "lots"
+        assert any("dma.bytes" in e for e in validate_profile_document(doc))
+
+    def test_boolean_chip_gflops_rejected(self):
+        doc = _profile_doc()
+        doc["chip_gflops"] = True
+        assert any("chip_gflops" in e for e in validate_profile_document(doc))
+
+    def test_cli_profile_mode(self, tmp_path, capsys):
+        good = tmp_path / "profile.json"
+        good.write_text(json.dumps(_profile_doc()))
+        assert main(["--profile", str(good)]) == 0
+        assert PROFILE_SCHEMA in capsys.readouterr().out
+        bad_doc = _profile_doc()
+        del bad_doc["oracle"]
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps(bad_doc))
+        assert main(["--profile", str(bad)]) == 1
+        assert "invalid profile document" in capsys.readouterr().out
+
+    def test_cli_usage(self, capsys):
+        assert main([]) == 2
+        assert "usage" in capsys.readouterr().out
