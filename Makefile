@@ -1,7 +1,7 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: test faults tune zoo profile serve chaos scale metrics regress verify
+.PHONY: test faults tune zoo profile serve fleet chaos scale metrics regress verify
 
 test:
 	python -m pytest -x -q
@@ -23,6 +23,11 @@ profile:
 serve:
 	python -m pytest -x -q -m serve tests/serve
 	python -m repro serve --smoke
+
+fleet:
+	python -m repro serve --chips 4 --smoke
+	python -m repro serve --chips 3 --chaos --requests 48 --smoke
+	python -m repro.serve.validate benchmarks/BENCH_fleet.json
 
 chaos:
 	python -m repro serve --chaos --smoke --json-out /tmp/repro-chaos.json

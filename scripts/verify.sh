@@ -15,6 +15,7 @@ TUNE_TIMEOUT="${TUNE_TIMEOUT:-120}"
 ZOO_TIMEOUT="${ZOO_TIMEOUT:-300}"
 PROFILE_TIMEOUT="${PROFILE_TIMEOUT:-120}"
 SERVE_TIMEOUT="${SERVE_TIMEOUT:-180}"
+FLEET_TIMEOUT="${FLEET_TIMEOUT:-180}"
 CHAOS_TIMEOUT="${CHAOS_TIMEOUT:-180}"
 SCALE_TIMEOUT="${SCALE_TIMEOUT:-180}"
 METRICS_TIMEOUT="${METRICS_TIMEOUT:-180}"
@@ -45,6 +46,20 @@ timeout "${PROFILE_TIMEOUT}" python -m repro.telemetry.validate "${PROFILE_TRACE
 echo "== serve suite + smoke (timeout ${SERVE_TIMEOUT}s) =="
 timeout "${SERVE_TIMEOUT}" python -m pytest -x -q -m serve tests/serve
 timeout "${SERVE_TIMEOUT}" python -m repro serve --smoke
+
+echo "== multi-chip fleet smoke + schema gate (timeout ${FLEET_TIMEOUT}s) =="
+# The fleet smoke routes a skewed multi-shape trace across 4 simulated
+# chips and asserts balanced per-chip counters and a zero-wrong-answer
+# parity audit; the chaos variant kills a home chip mid-run and asserts
+# route-around.  The validator then gates the committed benchmark record
+# (scaling at matched p99, affinity hit rate, bit-identity).
+timeout "${FLEET_TIMEOUT}" python -m repro serve --chips 4 --smoke
+timeout "${FLEET_TIMEOUT}" python -m repro serve --chips 3 --chaos \
+    --requests 48 --smoke
+if [ -f benchmarks/BENCH_fleet.json ]; then
+    timeout "${FLEET_TIMEOUT}" python -m repro.serve.validate \
+        benchmarks/BENCH_fleet.json
+fi
 
 echo "== chaos-serve smoke + schema gate (timeout ${CHAOS_TIMEOUT}s) =="
 # The smoke asserts availability under seeded dma+cpe faults and the

@@ -327,6 +327,10 @@ def cmd_profile(args) -> int:
 
 
 def cmd_serve(args) -> int:
+    if args.chips:
+        if args.chaos:
+            return _cmd_serve_fleet_chaos(args)
+        return _cmd_serve_fleet(args)
     if args.chaos:
         return _cmd_serve_chaos(args)
     import numpy as np
@@ -411,6 +415,184 @@ def cmd_serve(args) -> int:
             return 1
         print("smoke OK: all requests completed, counters balance, "
               "outputs match the per-request run")
+    return 0
+
+
+def _cmd_serve_fleet(args) -> int:
+    """``repro serve --chips N``: the multi-chip fleet front door."""
+    import numpy as np
+
+    from repro.serve import (
+        FleetConfig,
+        FleetServer,
+        ServedModel,
+        WarmEnginePool,
+        fleet_workload,
+        run_fleet_load,
+        run_sequential,
+        synthetic_images,
+    )
+    from repro.telemetry import Telemetry, use_telemetry
+
+    # Under --smoke every active chip must see traffic, so the catalog
+    # carries at least one shape per chip.
+    shapes = max(args.shapes, args.chips if args.smoke else 1)
+    rng = np.random.default_rng(args.seed)
+    models = {}
+    images = {}
+    images_per_model = 4
+    for i in range(shapes):
+        no = args.no + 2 * i
+        scale = np.sqrt(2.0 / (args.ni * args.k * args.k))
+        w = rng.standard_normal((no, args.ni, args.k, args.k)) * scale
+        bias = rng.standard_normal(no) * 0.1
+        model = ServedModel.conv(
+            w, (args.image, args.image), bias=bias, activation="relu",
+            name=f"shape{i}",
+        )
+        models[model.name] = model
+        images[model.name] = synthetic_images(
+            images_per_model, model.input_shape, seed=args.seed + 1 + i
+        )
+    names = sorted(models)
+    workload = fleet_workload(
+        names,
+        args.requests,
+        args.rate,
+        pattern=args.arrivals,
+        seed=args.seed + 2,
+        latency_fraction=args.slo,
+        skew=args.skew,
+        images_per_model=images_per_model,
+    )
+    config = FleetConfig(
+        chips=args.chips,
+        max_batch=args.max_batch,
+        max_wait_s=args.max_wait_ms / 1e3,
+        queue_depth=args.queue_depth,
+        workers_per_server=args.workers or 1,
+        guarded=not args.unguarded,
+        autotune=args.autotune,
+        default_deadline_s=(
+            args.deadline_ms / 1e3 if args.deadline_ms is not None else None
+        ),
+        seed=args.seed,
+        autoscale=args.autoscale,
+    )
+    telemetry = Telemetry()
+    with use_telemetry(telemetry):
+        fleet = FleetServer(models, config, telemetry=telemetry)
+        with fleet:
+            fleet.prewarm()
+            report, outputs = run_fleet_load(fleet, workload, images)
+            accounting = fleet.accounting()
+            states = fleet.chip_states()
+    stats = report.affinity
+    print(
+        f"fleet: {args.chips} chips, {len(names)} shapes, "
+        f"{args.arrivals} arrivals, {args.slo * 100:.0f}% latency-class"
+    )
+    print(
+        f"  {report.completed}/{report.offered} completed, "
+        f"{report.shed} shed, {report.rejected} rejected, "
+        f"{report.deadline_misses} deadline misses, {report.errors} errors"
+    )
+    print(
+        f"  {report.rps:.0f} req/s | p50 {report.latency.p50_ms:.2f} ms | "
+        f"p99 {report.latency.p99_ms:.2f} ms"
+    )
+    for slo, summary in sorted(report.latency_by_slo.items()):
+        print(f"    {slo:>10}: p50 {summary.p50_ms:.2f} ms | "
+              f"p99 {summary.p99_ms:.2f} ms")
+    print(
+        f"  affinity {stats['hit_rate'] * 100:.1f}% "
+        f"({stats['affinity']} hits, {stats['spill']} spills, "
+        f"{stats['cold']} cold, {stats['failover']} failovers)"
+    )
+    per_chip = ", ".join(
+        f"chip{i}={chip['requests']}({states[i]})"
+        for i, chip in sorted(accounting["chips"].items())
+    )
+    print(f"  per-chip requests: {per_chip}")
+    if not args.smoke:
+        return 0
+    failures = []
+    if report.completed != report.offered:
+        failures.append(
+            f"only {report.completed}/{report.offered} requests completed"
+        )
+    if not accounting["balanced"]:
+        failures.append(f"fleet counters do not balance: {accounting}")
+    for i, chip in sorted(accounting["chips"].items()):
+        if chip["state"] == "active" and chip["requests"] == 0:
+            failures.append(f"active chip {i} served no requests")
+    # Zero-wrong-answer audit: every fleet answer must be bit-identical
+    # to the per-request sequential run of the same shape's warm pool.
+    refs = {}
+    for name in names:
+        pool = WarmEnginePool(
+            model=models[name],
+            max_batch=config.max_batch,
+            guarded=config.guarded,
+            autotune=config.autotune,
+        )
+        _, seq_outputs = run_sequential(pool, images[name])
+        refs[name] = seq_outputs
+    wrong = 0
+    for spec, out in zip(workload, outputs):
+        if out is None:
+            continue
+        if not np.array_equal(out, refs[spec.model][spec.image_index]):
+            wrong += 1
+    if wrong:
+        failures.append(f"{wrong} answers differ from the sequential run")
+    if failures:
+        for failure in failures:
+            print(f"fleet smoke FAIL: {failure}")
+        return 1
+    print(
+        "fleet smoke OK: all requests completed, counters balance across "
+        f"{args.chips} chips, zero wrong answers"
+    )
+    return 0
+
+
+def _cmd_serve_fleet_chaos(args) -> int:
+    """``repro serve --chips N --chaos``: chip loss mid-run + route-around."""
+    import json
+
+    from repro.faults import run_chaos_fleet
+
+    report = run_chaos_fleet(
+        chips=args.chips,
+        n_requests=args.requests,
+        rate_rps=args.rate if args.rate < 10000 else 1000.0,
+        seed=args.seed or 0xF1EE7,
+        max_batch=min(args.max_batch, 8),
+    )
+    print(report.render())
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            json.dump(report.as_dict(), fh, indent=2, sort_keys=True)
+        print(f"report written to {args.json_out}")
+    if args.smoke:
+        failures = []
+        if not report.zero_wrong_answers:
+            failures.append(f"{report.wrong_answers} wrong answers")
+        if not report.counters_balanced:
+            failures.append("fleet counters do not balance")
+        if report.failovers < 1:
+            failures.append("chip loss produced no failover routing")
+        if report.errors:
+            failures.append(f"{report.errors} untyped errors")
+        if failures:
+            for failure in failures:
+                print(f"fleet chaos smoke FAIL: {failure}")
+            return 1
+        print(
+            "fleet chaos smoke OK: chip loss routed around, zero wrong "
+            "answers, counters balance"
+        )
     return 0
 
 
@@ -769,9 +951,27 @@ def build_parser() -> argparse.ArgumentParser:
                        help="raw engines instead of the guarded ladder")
     serve.add_argument("--seed", type=int, default=0,
                        help="weights/images/arrivals seed")
+    serve.add_argument("--chips", type=int, default=None,
+                       help="run the multi-chip fleet front door with N "
+                            "simulated chips (sharded warm pools + "
+                            "cache-affinity routing)")
+    serve.add_argument("--slo", type=float, default=0.25,
+                       help="fleet: fraction of requests in the latency "
+                            "SLO class (rest are throughput-class)")
+    serve.add_argument("--arrivals", default="poisson",
+                       choices=["poisson", "bursty", "diurnal"],
+                       help="fleet: arrival process for the trace")
+    serve.add_argument("--shapes", type=int, default=3,
+                       help="fleet: distinct model shapes in the catalog")
+    serve.add_argument("--skew", type=float, default=1.0,
+                       help="fleet: Zipf skew of the shape mix")
+    serve.add_argument("--autoscale", action="store_true",
+                       help="fleet: start at min chips; autoscaler "
+                            "grows/parks on backlog")
     serve.add_argument("--chaos", action="store_true",
                        help="replay a seeded fault plan against the server "
-                            "(availability + zero-wrong-answer audit)")
+                            "(availability + zero-wrong-answer audit); with "
+                            "--chips, kill a chip mid-run instead")
     serve.add_argument("--json-out", metavar="PATH", default=None,
                        help="write the chaos-serve report as JSON")
     serve.add_argument("--flight-out", metavar="PATH", default=None,

@@ -50,6 +50,39 @@ class ShardedReport:
         return (self.flops / self.seconds) / self.peak_flops
 
 
+@dataclass(frozen=True)
+class ChipStrip:
+    """One simulated chip's identity inside a multi-chip fleet.
+
+    A fleet is N whole SW26010 chips side by side; each strip names one of
+    them (``chip0``, ``chip1``, ...) and carries the per-chip hardware
+    spec.  The serving fleet (``repro.serve.fleet``) keys its per-chip
+    warm pools, telemetry prefixes (``serve.chip.<i>.*``), and routing
+    state on these strips, so "where does this shape's cache live?" has a
+    stable, printable answer.
+    """
+
+    index: int
+    spec: SW26010Spec
+
+    @property
+    def label(self) -> str:
+        return f"chip{self.index}"
+
+    @property
+    def num_core_groups(self) -> int:
+        return self.spec.num_core_groups
+
+
+def fleet_strips(
+    num_chips: int, spec: SW26010Spec = DEFAULT_SPEC
+) -> List[ChipStrip]:
+    """The chip strips of an ``num_chips``-chip fleet (index order)."""
+    if num_chips < 1:
+        raise PlanError(f"num_chips must be positive, got {num_chips}")
+    return [ChipStrip(index=i, spec=spec) for i in range(num_chips)]
+
+
 def shard_batch(b: int, num_shards: int) -> List[int]:
     """Balanced shard sizes for a batch of ``b`` (largest first, no zeros).
 

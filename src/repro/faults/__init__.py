@@ -9,10 +9,12 @@ a single seed, with every injected event recorded in a
 
 from repro.faults.plan import FaultEvent, FaultLedger, FaultPlan, FaultSpec
 from repro.faults.chaos import (
+    ChaosFleetReport,
     ChaosReport,
     ChaosRow,
     ChaosServeReport,
     default_chaos_serve_faults,
+    run_chaos_fleet,
     run_chaos_serve,
     run_chaos_sweep,
     validate_chaos_serve_report,
@@ -26,7 +28,9 @@ __all__ = [
     "ChaosReport",
     "ChaosRow",
     "ChaosServeReport",
+    "ChaosFleetReport",
     "default_chaos_serve_faults",
+    "run_chaos_fleet",
     "run_chaos_serve",
     "run_chaos_sweep",
     "validate_chaos_serve_report",

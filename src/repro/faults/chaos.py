@@ -17,6 +17,7 @@ reports, serial or parallel.
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass, field
 from functools import partial
 from typing import Any, Dict, List, Optional, Sequence, Tuple
@@ -650,6 +651,256 @@ def validate_chaos_serve_report(payload: Dict[str, Any]) -> List[str]:
         if not isinstance(label, str) or "->" not in label:
             violations.append(f"malformed breaker transition {label!r}")
     return violations
+
+
+# ---------------------------------------------------------------------------
+# Chaos fleet: chip loss mid-run against a live multi-chip fleet
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ChaosFleetReport:
+    """Outcome of one chaos-fleet run (JSON-ready via :meth:`as_dict`).
+
+    The contract under chip loss mirrors the single-server chaos contract:
+    every request gets a served answer or an explicit typed rejection,
+    every served answer is bit-identical to the fault-free sequential
+    reference, and the fleet's front-door counters still balance.
+    ``failovers`` counts requests whose home chip was dead at routing time
+    and that the router re-homed — the route-around the harness exists to
+    exercise.
+    """
+
+    seed: int
+    chips: int
+    killed_chip: int
+    kill_at: int
+    offered: int
+    completed: int
+    shed: int
+    rejected: int
+    deadline_misses: int
+    errors: int
+    wrong_answers: int
+    availability: float
+    failovers: int
+    chip_deaths: int
+    counters_balanced: bool
+    chip_states: Dict[int, str] = field(default_factory=dict)
+    routing: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def zero_wrong_answers(self) -> bool:
+        return self.wrong_answers == 0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "chips": self.chips,
+            "killed_chip": self.killed_chip,
+            "kill_at": self.kill_at,
+            "offered": self.offered,
+            "completed": self.completed,
+            "shed": self.shed,
+            "rejected": self.rejected,
+            "deadline_misses": self.deadline_misses,
+            "errors": self.errors,
+            "wrong_answers": self.wrong_answers,
+            "availability": self.availability,
+            "failovers": self.failovers,
+            "chip_deaths": self.chip_deaths,
+            "counters_balanced": self.counters_balanced,
+            "chip_states": {str(k): v for k, v in self.chip_states.items()},
+            "routing": dict(self.routing),
+        }
+
+    def render(self) -> str:
+        answered = (
+            self.completed + self.shed + self.rejected + self.deadline_misses
+        )
+        return "\n".join(
+            [
+                f"chaos fleet — seed {self.seed:#x}, {self.chips} chips, "
+                f"chip {self.killed_chip} killed at request {self.kill_at}",
+                f"  offered {self.offered}: {self.completed} served, "
+                f"{self.shed} shed, {self.rejected} rejected, "
+                f"{self.deadline_misses} deadline misses, "
+                f"{self.errors} errors",
+                f"  availability {self.availability * 100:.2f}% "
+                f"({answered}/{self.offered} answered)",
+                f"  wrong answers: {self.wrong_answers} "
+                f"(parity vs fault-free sequential reference)",
+                f"  route-around: {self.failovers} failovers, "
+                f"{self.chip_deaths} chip death(s)",
+                f"  chip states: {self.chip_states}",
+                f"  counters balanced: "
+                f"{'yes' if self.counters_balanced else 'NO'}",
+            ]
+        )
+
+
+def run_chaos_fleet(
+    chips: int = 3,
+    n_requests: int = 60,
+    rate_rps: float = 600.0,
+    seed: int = 0xF1EE7,
+    kill_fraction: float = 0.4,
+    max_batch: int = 4,
+    result_timeout_s: float = 60.0,
+) -> ChaosFleetReport:
+    """Kill a home chip mid-run and audit the fleet's route-around.
+
+    Builds a small multi-model catalog, pre-homes it across ``chips``
+    simulated chips, replays a seeded bursty trace, and at request
+    ``kill_fraction * n_requests`` kills the chip that homes the *most
+    popular* shape (the worst-case victim for the affinity router).  The
+    fleet must answer every remaining request by failing over — the report
+    records the failover count, a bit-exact parity audit of every served
+    answer against fault-free sequential references, and the front-door
+    counter balance.  Deterministic placements and workload per ``seed``
+    (wall-clock batching makes batch *composition* timing-dependent, but
+    batch-invariant plans keep every answer bit-identical regardless).
+    """
+    from repro.common.errors import (
+        DeadlineExceededError,
+        QueueFullError,
+        ServerClosedError,
+        ShedError,
+    )
+    from repro.serve import (
+        FleetConfig,
+        FleetServer,
+        ServedModel,
+        WarmEnginePool,
+        fleet_workload,
+        run_sequential,
+        synthetic_images,
+    )
+    from repro.telemetry import Telemetry, use_telemetry
+
+    if chips < 2:
+        raise ValueError(f"chaos fleet needs >= 2 chips, got {chips}")
+    rng = derive_rng(seed, "chaos.fleet.weights")
+    models: Dict[str, Any] = {}
+    images: Dict[str, Any] = {}
+    for i, (ni, no, image) in enumerate(((4, 4, 8), (4, 6, 8), (6, 4, 10))):
+        scale = np.sqrt(2.0 / (ni * 9))
+        w = rng.standard_normal((no, ni, 3, 3)) * scale
+        name = f"chaos-fleet-{i}"
+        model = ServedModel.conv(w, (image, image), name=name)
+        models[name] = model
+        images[name] = synthetic_images(4, model.input_shape, seed=seed + i)
+    names = sorted(models)
+
+    # Fault-free sequential parity references, one pool per shape (same
+    # batch-invariant plan family as the fleet's warm pools, so served
+    # answers must match bit for bit).
+    references: Dict[str, List[np.ndarray]] = {}
+    for name in names:
+        ref_tel = Telemetry()
+        with use_telemetry(ref_tel):
+            pool = WarmEnginePool(
+                models[name],
+                max_batch=max_batch,
+                guarded=True,
+                autotune=False,
+                telemetry=ref_tel,
+            )
+            _, ref_outputs = run_sequential(pool, images[name])
+        references[name] = ref_outputs
+
+    workload = fleet_workload(
+        names, n_requests, rate_rps, pattern="bursty", seed=seed,
+        images_per_model=4,
+    )
+    kill_at = max(1, int(n_requests * kill_fraction))
+    telemetry = Telemetry()
+    with use_telemetry(telemetry):
+        fleet = FleetServer(
+            models,
+            FleetConfig(chips=chips, max_batch=max_batch, seed=seed),
+            telemetry=telemetry,
+        )
+        with fleet:
+            fleet.prewarm()
+            # The most popular shape's home: killing it forces failover on
+            # the largest share of the remaining trace.
+            victim = fleet.router.homes[names[0]]
+            submitted = []
+            shed = rejected = 0
+            t0 = time.perf_counter()
+            for i, spec in enumerate(workload):
+                if i == kill_at:
+                    fleet.kill_chip(victim, reason="chaos")
+                delay = t0 + spec.offset_s - time.perf_counter()
+                if delay > 0:
+                    time.sleep(delay)
+                try:
+                    submitted.append(
+                        (
+                            spec,
+                            fleet.submit(
+                                images[spec.model][spec.image_index],
+                                model=spec.model,
+                                slo=spec.slo,
+                            ),
+                        )
+                    )
+                except ShedError:
+                    shed += 1
+                    submitted.append((spec, None))
+                except (QueueFullError, ServerClosedError):
+                    rejected += 1
+                    submitted.append((spec, None))
+            completed = misses = errors = wrong = 0
+            for spec, req in submitted:
+                if req is None:
+                    continue
+                try:
+                    out = req.result(timeout=result_timeout_s)
+                except DeadlineExceededError:
+                    misses += 1
+                    continue
+                except (ShedError, ServerClosedError):
+                    # Typed rejections: shed under brownout, or queued on
+                    # the victim when it died.
+                    shed += 1
+                    continue
+                except ReproError:
+                    errors += 1
+                    continue
+                completed += 1
+                if not np.array_equal(
+                    out, references[spec.model][spec.image_index]
+                ):
+                    wrong += 1
+            balanced = fleet.counters_balanced()
+            stats = fleet.affinity_stats()
+            states = fleet.chip_states()
+        deaths = int(telemetry.counters.get("serve.fleet.chip_deaths"))
+    answered = completed + shed + rejected + misses
+    report = ChaosFleetReport(
+        seed=seed,
+        chips=chips,
+        killed_chip=victim,
+        kill_at=kill_at,
+        offered=len(workload),
+        completed=completed,
+        shed=shed,
+        rejected=rejected,
+        deadline_misses=misses,
+        errors=errors,
+        wrong_answers=wrong,
+        availability=answered / len(workload) if workload else 0.0,
+        failovers=int(stats["failover"]),
+        chip_deaths=deaths,
+        counters_balanced=balanced,
+        chip_states=states,
+        routing=stats,
+    )
+    report.telemetry = telemetry
+    report.flight = telemetry.flight
+    return report
 
 
 # The CLI schema gate lives in :mod:`repro.faults.validate` (a module the

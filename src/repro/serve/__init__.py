@@ -30,9 +30,28 @@ into a serving stack (see ``docs/serving.md``):
 
 from repro.serve.batcher import BatchPolicy, DynamicBatcher
 from repro.serve.breaker import BreakerPolicy, CircuitBreaker
+from repro.serve.fleet import (
+    Autoscaler,
+    AutoscalerPolicy,
+    CacheAffinityRouter,
+    ChipTelemetry,
+    FleetConfig,
+    FleetLoadReport,
+    FleetRequestSpec,
+    FleetServer,
+    SLO_CLASSES,
+    SLO_LATENCY,
+    SLO_THROUGHPUT,
+    fleet_workload,
+    run_fleet_load,
+)
 from repro.serve.health import EngineHealth
 from repro.serve.loadgen import (
+    ARRIVAL_PATTERNS,
     LoadReport,
+    bursty_arrivals,
+    diurnal_arrivals,
+    make_arrivals,
     poisson_arrivals,
     run_load,
     run_sequential,
@@ -45,21 +64,38 @@ from repro.serve.server import InferenceServer, ServerConfig
 from repro.serve.stats import LatencySummary, percentile
 
 __all__ = [
+    "ARRIVAL_PATTERNS",
+    "Autoscaler",
+    "AutoscalerPolicy",
     "BatchPolicy",
     "BreakerPolicy",
+    "CacheAffinityRouter",
+    "ChipTelemetry",
     "CircuitBreaker",
     "DynamicBatcher",
     "EngineHealth",
+    "FleetConfig",
+    "FleetLoadReport",
+    "FleetRequestSpec",
+    "FleetServer",
     "InferenceRequest",
     "InferenceServer",
     "LatencySummary",
     "LoadReport",
     "PLAN_FAMILIES",
+    "SLO_CLASSES",
+    "SLO_LATENCY",
+    "SLO_THROUGHPUT",
     "ServedModel",
     "ServerConfig",
     "WarmEnginePool",
+    "bursty_arrivals",
+    "diurnal_arrivals",
+    "fleet_workload",
+    "make_arrivals",
     "percentile",
     "poisson_arrivals",
+    "run_fleet_load",
     "run_load",
     "run_sequential",
     "synthetic_images",

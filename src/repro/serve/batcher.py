@@ -56,12 +56,24 @@ class BatchPolicy:
 
     max_batch: int = 8
     max_wait_s: float = 0.002
+    #: SLO-class formation (fleet serving): when set, batch formation is
+    #: priority-aware — the highest-priority queued request (FIFO within a
+    #: class) heads the batch, and a head at or above ``latency_priority``
+    #: uses this shorter window instead of ``max_wait_s``.  ``None`` keeps
+    #: the original pure-FIFO formation bit-for-bit.
+    latency_max_wait_s: Optional[float] = None
+    #: Priority threshold at or above which a request is latency-class.
+    latency_priority: int = 1
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
             raise ServeError(f"max_batch must be >= 1, got {self.max_batch}")
         if self.max_wait_s < 0:
             raise ServeError(f"max_wait_s must be >= 0, got {self.max_wait_s}")
+        if self.latency_max_wait_s is not None and self.latency_max_wait_s < 0:
+            raise ServeError(
+                f"latency_max_wait_s must be >= 0, got {self.latency_max_wait_s}"
+            )
 
 
 class DynamicBatcher:
@@ -192,17 +204,31 @@ class DynamicBatcher:
         first.  After :meth:`close`, queued requests still ship batch by
         batch (without window waiting — there are no more producers);
         workers get None only once the queue is empty.
+
+        With ``latency_max_wait_s`` configured, formation is SLO-aware:
+        the highest-priority queued request heads the batch (FIFO within a
+        priority class), remaining slots fill highest-priority-first, and
+        a latency-class head (priority >= ``latency_priority``) waits only
+        the shorter latency window for company.  A latency-class request
+        that arrives while a throughput batch is already forming rides
+        that batch's window — it does not preempt a formed head.
         """
         with self._cond:
             while not self._queue and not self._closed:
                 self._cond.wait()
             if not self._queue:
                 return None  # closed and empty
-            batch = [self._queue.popleft()]
-            deadline = time.perf_counter() + self.policy.max_wait_s
+            batch = [self._pop_best_locked()]
+            wait_s = self.policy.max_wait_s
+            if (
+                self.policy.latency_max_wait_s is not None
+                and batch[0].priority >= self.policy.latency_priority
+            ):
+                wait_s = self.policy.latency_max_wait_s
+            deadline = time.perf_counter() + wait_s
             while len(batch) < self.policy.max_batch:
                 if self._queue:
-                    batch.append(self._queue.popleft())
+                    batch.append(self._pop_best_locked())
                     continue
                 if self._closed:
                     break
@@ -212,6 +238,26 @@ class DynamicBatcher:
                 self._cond.wait(timeout=remaining)
             self._sample_depth_locked()
             return batch
+
+    def _pop_best_locked(self) -> InferenceRequest:
+        """Pop the next request to batch: FIFO, or priority-first under SLOs.
+
+        Default policy pops the queue head (the original pure-FIFO
+        behaviour, untouched).  With ``latency_max_wait_s`` set, pops the
+        highest-priority request, oldest first within a priority class.
+        """
+        if self.policy.latency_max_wait_s is None:
+            return self._queue.popleft()
+        best = 0
+        for i, queued in enumerate(self._queue):
+            if queued.priority > self._queue[best].priority:
+                best = i
+        if best == 0:
+            return self._queue.popleft()
+        self._queue.rotate(-best)
+        request = self._queue.popleft()
+        self._queue.rotate(best)
+        return request
 
     # -- shutdown ----------------------------------------------------------
 

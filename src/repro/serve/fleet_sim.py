@@ -1,0 +1,337 @@
+"""Virtual-time fleet drain simulator: million-request traces in seconds.
+
+The live :class:`~repro.serve.fleet.FleetServer` executes real batches on
+real warm engines — the right rig for the bit-identity and chaos audits,
+and far too slow for a million-request latency trace.  The simulator
+replays the *queueing* half of the fleet in virtual time: the same
+:class:`~repro.serve.fleet.CacheAffinityRouter` decisions, the same
+:class:`~repro.serve.fleet.Autoscaler` streak logic, greedy per-chip
+batch formation (a freed chip immediately coalesces up to ``max_batch``
+queued requests for one shape, latency class first), and a *measured*
+service-time table — seconds per batch size, timed on a real warm engine
+by :func:`measure_service_table` — so the simulated chip costs what the
+real one costs.
+
+What the simulation keeps: arrival processes (Poisson/bursty/diurnal),
+skewed shape mixes, affinity/cold/failover routing, SLO-class formation
+order, cold-start penalties per (chip, shape), autoscaler dynamics.  What
+it drops: the batching *window* (a freed chip takes what is queued — the
+``max_wait_s=0`` limit), retries/hedging/faults, and OS scheduling noise.
+Every chip count is simulated under identical rules, so the headline
+scaling and matched-p99 ratios compare like with like.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.common.errors import ServeError
+from repro.serve.fleet import (
+    Autoscaler,
+    AutoscalerPolicy,
+    CacheAffinityRouter,
+    ROUTE_AFFINITY,
+    ROUTE_REASONS,
+)
+from repro.serve.stats import LatencySummary
+
+
+@dataclass
+class FleetSimResult:
+    """Outcome of one simulated fleet drain (JSON-ready via as_dict)."""
+
+    chips: int
+    offered: int
+    completed: int
+    makespan_s: float
+    throughput_rps: float
+    latency: LatencySummary
+    latency_by_slo: Dict[str, LatencySummary]
+    affinity: Dict[str, Any]
+    batches: int
+    mean_batch: float
+    scale_ups: int = 0
+    scale_parks: int = 0
+    mean_active_chips: float = 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "chips": self.chips,
+            "offered": self.offered,
+            "completed": self.completed,
+            "makespan_s": self.makespan_s,
+            "throughput_rps": self.throughput_rps,
+            "latency": self.latency.as_dict(),
+            "latency_by_slo": {
+                slo: summary.as_dict()
+                for slo, summary in self.latency_by_slo.items()
+            },
+            "affinity": dict(self.affinity),
+            "batches": self.batches,
+            "mean_batch": self.mean_batch,
+            "scale_ups": self.scale_ups,
+            "scale_parks": self.scale_parks,
+            "mean_active_chips": self.mean_active_chips,
+        }
+
+
+def measure_service_table(
+    pool, max_batch: int, input_shape: Sequence[int], repeats: int = 3,
+    seed: int = 0,
+) -> np.ndarray:
+    """Seconds per coalesced batch size, timed on a real warm engine.
+
+    ``table[b]`` (index 0 unused) is the best-of-``repeats`` wall time of
+    ``pool.run_batch`` on a batch of ``b`` — the calibration that anchors
+    the simulator's virtual chip to the measured one.
+    """
+    rng = np.random.default_rng(seed)
+    xb = rng.standard_normal((max_batch, *input_shape))
+    pool.warm()
+    table = np.zeros(max_batch + 1)
+    for b in range(1, max_batch + 1):
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            pool.run_batch(xb[:b])
+            best = min(best, time.perf_counter() - t0)
+        table[b] = best
+    return table
+
+
+class _SimChip:
+    """Per-chip virtual state: free time and per-shape SLO-class queues."""
+
+    __slots__ = ("index", "free_at", "queues", "pending", "warm")
+
+    def __init__(self, index: int):
+        self.index = index
+        self.free_at = 0.0
+        # shape id -> [latency deque, throughput deque] of request indices
+        self.queues: Dict[int, List[deque]] = {}
+        self.pending = 0
+        self.warm: set = set()
+
+    def enqueue(self, shape: int, latency_class: bool, req: int) -> None:
+        pair = self.queues.get(shape)
+        if pair is None:
+            pair = [deque(), deque()]
+            self.queues[shape] = pair
+        pair[0 if latency_class else 1].append(req)
+        self.pending += 1
+
+    def pick_shape(self, arrivals: np.ndarray) -> int:
+        """The shape whose batch forms next: latency class first, then FIFO.
+
+        Among shapes with latency-class requests pending, the one whose
+        latency head arrived first; otherwise the shape with the oldest
+        throughput head.  Mirrors the live batcher's priority-aware,
+        FIFO-within-class formation.
+        """
+        best_shape = -1
+        best_t = float("inf")
+        for shape, (lat, _thr) in self.queues.items():
+            if lat and arrivals[lat[0]] < best_t:
+                best_t = arrivals[lat[0]]
+                best_shape = shape
+        if best_shape >= 0:
+            return best_shape
+        for shape, (_lat, thr) in self.queues.items():
+            if thr and arrivals[thr[0]] < best_t:
+                best_t = arrivals[thr[0]]
+                best_shape = shape
+        return best_shape
+
+    def take_batch(self, shape: int, max_batch: int) -> List[int]:
+        lat, thr = self.queues[shape]
+        batch: List[int] = []
+        while lat and len(batch) < max_batch:
+            batch.append(lat.popleft())
+        while thr and len(batch) < max_batch:
+            batch.append(thr.popleft())
+        if not lat and not thr:
+            del self.queues[shape]
+        self.pending -= len(batch)
+        return batch
+
+
+def simulate_fleet(
+    arrivals: np.ndarray,
+    shapes: np.ndarray,
+    latency_flags: np.ndarray,
+    chips: int,
+    service_s: np.ndarray,
+    cold_s: float = 0.0,
+    seed: int = 0,
+    shape_names: Optional[Sequence[str]] = None,
+    autoscale: Optional[AutoscalerPolicy] = None,
+    autoscale_tick_s: float = 0.05,
+    spill_depth: Optional[int] = None,
+    spill_margin: Optional[int] = None,
+) -> FleetSimResult:
+    """Drain one seeded trace through a virtual ``chips``-chip fleet.
+
+    ``arrivals`` are sorted offsets (seconds), ``shapes[i]`` the shape id
+    of request ``i``, ``latency_flags[i]`` its SLO class, ``service_s[b]``
+    the measured seconds for a batch of ``b`` (``cold_s`` added to the
+    first batch of every (chip, shape) pair — the engine build + filter
+    pack the live pool pays on first touch).  With ``autoscale`` set, the
+    fleet starts at ``min_chips`` active and the
+    :class:`~repro.serve.fleet.Autoscaler` grows/parks the active set on
+    virtual-time ticks.
+    """
+    n = len(arrivals)
+    if n == 0:
+        raise ServeError("simulate_fleet needs at least one arrival")
+    if len(shapes) != n or len(latency_flags) != n:
+        raise ServeError("arrivals/shapes/latency_flags length mismatch")
+    if chips < 1:
+        raise ServeError(f"chips must be >= 1, got {chips}")
+    max_batch = len(service_s) - 1
+    if max_batch < 1:
+        raise ServeError("service_s must cover at least batch size 1")
+    names = (
+        list(shape_names)
+        if shape_names is not None
+        else [f"shape{k}" for k in range(int(shapes.max()) + 1)]
+    )
+    router_kwargs = {}
+    if spill_depth is not None:
+        router_kwargs["spill_depth"] = spill_depth
+    if spill_margin is not None:
+        router_kwargs["spill_margin"] = spill_margin
+    router = CacheAffinityRouter(seed=seed, **router_kwargs)
+    fleet = [_SimChip(c) for c in range(chips)]
+    active = [True] * chips
+    if autoscale is not None:
+        scaler = Autoscaler(autoscale)
+        for c in range(autoscale.min_chips, chips):
+            active[c] = False
+    else:
+        scaler = None
+    next_tick = autoscale_tick_s if scaler is not None else float("inf")
+    scale_ups = 0
+    scale_parks = 0
+    active_count = sum(active)
+    active_integral = 0.0
+    last_change = 0.0
+
+    stats = {reason: 0 for reason in ROUTE_REASONS}
+    finish = np.zeros(n)
+    batches = 0
+    batched = 0
+    i = 0
+    INF = float("inf")
+    arr = arrivals
+    shp = shapes
+    lat = latency_flags
+
+    def next_start() -> float:
+        best = INF
+        for chip in fleet:
+            if chip.pending and chip.free_at < best:
+                best = chip.free_at
+        return best
+
+    while True:
+        t_arr = arr[i] if i < n else INF
+        t_batch = next_start()
+        t_next = min(t_arr, t_batch)
+        if t_next == INF:
+            break
+        # Autoscaler ticks fire in virtual time before the next event.
+        while next_tick <= t_next:
+            queued = sum(c.pending for c in fleet if active[c.index])
+            busy = sum(
+                1 for c in fleet
+                if active[c.index] and (c.pending or c.free_at > next_tick)
+            )
+            decision = scaler.observe(queued, active_count, busy=busy)
+            if decision == "up" and active_count < chips:
+                for c in range(chips):
+                    if not active[c]:
+                        active[c] = True
+                        fleet[c].free_at = max(fleet[c].free_at, next_tick)
+                        break
+                active_integral += active_count * (next_tick - last_change)
+                last_change = next_tick
+                active_count += 1
+                scale_ups += 1
+            elif decision == "park":
+                for c in range(chips - 1, -1, -1):
+                    if active[c] and fleet[c].pending == 0:
+                        active[c] = False
+                        active_integral += active_count * (next_tick - last_change)
+                        last_change = next_tick
+                        active_count -= 1
+                        scale_parks += 1
+                        break
+            next_tick += autoscale_tick_s
+        if t_arr <= t_batch:
+            # Route one arrival with the router the live fleet uses.
+            loads = {
+                chip.index: chip.pending
+                for chip in fleet
+                if active[chip.index]
+            }
+            target, reason = router.route(names[int(shp[i])], loads)
+            stats[reason] += 1
+            chip = fleet[target]
+            if chip.pending == 0 and chip.free_at < t_arr:
+                chip.free_at = t_arr
+            chip.enqueue(int(shp[i]), bool(lat[i]), i)
+            i += 1
+            continue
+        # Form and run one batch on the earliest-free pending chip.
+        chip = None
+        for candidate in fleet:
+            if candidate.pending and candidate.free_at == t_batch:
+                chip = candidate
+                break
+        assert chip is not None
+        shape = chip.pick_shape(arr)
+        batch = chip.take_batch(shape, max_batch)
+        service = float(service_s[len(batch)])
+        if shape not in chip.warm:
+            chip.warm.add(shape)
+            service += cold_s
+        done = t_batch + service
+        finish[batch] = done
+        chip.free_at = done
+        batches += 1
+        batched += len(batch)
+
+    makespan = float(finish.max())
+    active_integral += active_count * (makespan - last_change)
+    latencies_ms = (finish - arr) * 1e3
+    lat_mask = lat.astype(bool)
+    routed = sum(stats.values())
+    return FleetSimResult(
+        chips=chips,
+        offered=n,
+        completed=n,
+        makespan_s=makespan,
+        throughput_rps=n / makespan if makespan > 0 else 0.0,
+        latency=LatencySummary.from_ms_array(latencies_ms),
+        latency_by_slo={
+            "latency": LatencySummary.from_ms_array(latencies_ms[lat_mask]),
+            "throughput": LatencySummary.from_ms_array(latencies_ms[~lat_mask]),
+        },
+        affinity={
+            **stats,
+            "routed": routed,
+            "hit_rate": stats[ROUTE_AFFINITY] / routed if routed else 0.0,
+        },
+        batches=batches,
+        mean_batch=batched / batches if batches else 0.0,
+        scale_ups=scale_ups,
+        scale_parks=scale_parks,
+        mean_active_chips=(
+            active_integral / makespan if makespan > 0 else float(active_count)
+        ),
+    )

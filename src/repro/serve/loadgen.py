@@ -53,6 +53,108 @@ def poisson_arrivals(n: int, rate_rps: float, seed: int = 0) -> np.ndarray:
     return np.cumsum(rng.exponential(1.0 / rate_rps, size=n))
 
 
+def bursty_arrivals(
+    n: int,
+    rate_rps: float,
+    seed: int = 0,
+    burst_factor: float = 4.0,
+    p_burst: float = 0.08,
+    p_calm: float = 0.25,
+) -> np.ndarray:
+    """Seeded Markov-modulated Poisson arrivals (seconds from start), sorted.
+
+    A two-state Markov chain modulates the arrival rate: the *calm* state
+    offers ``rate_rps``, the *burst* state ``rate_rps * burst_factor``.
+    After every arrival the chain flips calm->burst with probability
+    ``p_burst`` and burst->calm with ``p_calm``, so bursts have geometric
+    length ``1/p_calm`` arrivals and recur every ``~1/p_burst`` calm
+    arrivals.  The long-run offered rate exceeds ``rate_rps``; what the
+    trace stresses is *transient* saturation — queue growth inside a burst,
+    drain between bursts — which is exactly what the fleet's matched-p99
+    claim is measured against.  Deterministic per ``(n, rate_rps, seed, ...)``.
+    """
+    if n < 1:
+        raise ServeError(f"need at least one arrival, got {n}")
+    if rate_rps <= 0:
+        raise ServeError(f"arrival rate must be positive, got {rate_rps}")
+    if burst_factor < 1.0:
+        raise ServeError(f"burst_factor must be >= 1, got {burst_factor}")
+    if not (0.0 < p_burst <= 1.0 and 0.0 < p_calm <= 1.0):
+        raise ServeError("state-flip probabilities must be in (0, 1]")
+    rng = np.random.default_rng(seed)
+    # Sojourns are geometric, so the chain is simulated state-run by
+    # state-run: draw the run length, then that many exponential gaps at
+    # the run's rate.  A million arrivals is a few thousand runs, not a
+    # million Python iterations.
+    gaps: List[np.ndarray] = []
+    remaining = n
+    burst = False
+    while remaining > 0:
+        p_exit = p_calm if burst else p_burst
+        run = min(int(rng.geometric(p_exit)), remaining)
+        rate = rate_rps * burst_factor if burst else rate_rps
+        gaps.append(rng.exponential(1.0 / rate, size=run))
+        remaining -= run
+        burst = not burst
+    return np.cumsum(np.concatenate(gaps))
+
+
+def diurnal_arrivals(
+    n: int,
+    rate_rps: float,
+    seed: int = 0,
+    period_s: float = 60.0,
+    depth: float = 0.8,
+) -> np.ndarray:
+    """Seeded sinusoidal-rate (diurnal) arrivals, sorted.
+
+    An inhomogeneous Poisson process with intensity
+    ``rate(t) = rate_rps * (1 + depth * sin(2*pi*t / period_s))`` — peaks
+    at ``(1+depth)x`` the base rate, troughs at ``(1-depth)x``.  Generated
+    by time-rescaling: unit-rate exponential gaps are mapped through the
+    numerical inverse of the cumulative intensity, which is vectorized and
+    exact to the interpolation grid.  The autoscaler bench rides this
+    trace: chips park in the troughs and re-activate on the ramps.
+    """
+    if n < 1:
+        raise ServeError(f"need at least one arrival, got {n}")
+    if rate_rps <= 0:
+        raise ServeError(f"arrival rate must be positive, got {rate_rps}")
+    if period_s <= 0:
+        raise ServeError(f"period_s must be positive, got {period_s}")
+    if not 0.0 <= depth < 1.0:
+        raise ServeError(f"depth must be in [0, 1), got {depth}")
+    rng = np.random.default_rng(seed)
+    unit = np.cumsum(rng.exponential(1.0, size=n))
+    # Cumulative intensity Lambda(t) = rate * (t + depth*period/(2*pi)
+    # * (1 - cos(2*pi*t/period))) is strictly increasing; invert it on a
+    # dense grid spanning the whole trace.
+    horizon = unit[-1] / rate_rps * 1.25 + period_s
+    grid_t = np.linspace(0.0, horizon, max(4096, 16 * int(horizon / period_s + 1)))
+    omega = 2.0 * np.pi / period_s
+    grid_lam = rate_rps * (grid_t + depth / omega * (1.0 - np.cos(omega * grid_t)))
+    return np.interp(unit, grid_lam, grid_t)
+
+
+#: CLI-selectable arrival patterns (the fleet bench reuses these).
+ARRIVAL_PATTERNS = ("poisson", "bursty", "diurnal")
+
+
+def make_arrivals(
+    pattern: str, n: int, rate_rps: float, seed: int = 0, **kwargs: Any
+) -> np.ndarray:
+    """Dispatch on ``pattern`` ("poisson" | "bursty" | "diurnal")."""
+    if pattern == "poisson":
+        return poisson_arrivals(n, rate_rps, seed=seed, **kwargs)
+    if pattern == "bursty":
+        return bursty_arrivals(n, rate_rps, seed=seed, **kwargs)
+    if pattern == "diurnal":
+        return diurnal_arrivals(n, rate_rps, seed=seed, **kwargs)
+    raise ServeError(
+        f"unknown arrival pattern {pattern!r}; expected one of {ARRIVAL_PATTERNS}"
+    )
+
+
 @dataclass
 class LoadReport:
     """Outcome of one load run (JSON-ready via :meth:`as_dict`)."""

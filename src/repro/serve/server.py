@@ -32,7 +32,7 @@ import itertools
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, Iterator, List, Optional, Union
 
 import numpy as np
 
@@ -80,6 +80,11 @@ class ServerConfig:
 
     max_batch: int = 8
     max_wait_s: float = 0.002
+    #: SLO-class batch formation (fleet serving): a non-None value arms the
+    #: batcher's priority-aware formation, with latency-class batch heads
+    #: (priority >= ``latency_priority``) waiting only this shorter window.
+    latency_max_wait_s: Optional[float] = None
+    latency_priority: int = 1
     queue_depth: int = 64
     workers: Optional[int] = None
     backend: str = "numpy"
@@ -91,7 +96,11 @@ class ServerConfig:
     default_deadline_s: Optional[float] = None
     spec: SW26010Spec = field(default_factory=lambda: DEFAULT_SPEC)
     fault_plan: Optional[Any] = None
-    breaker: Union[bool, BreakerPolicy] = True
+    #: ``True`` = default policy, ``False`` = none, a :class:`BreakerPolicy`
+    #: = that policy, or an existing :class:`CircuitBreaker` *instance* to
+    #: share one breaker across servers (the fleet gives every server on a
+    #: chip the same breaker, so the trip signal is chip-level).
+    breaker: Union[bool, BreakerPolicy, CircuitBreaker] = True
     max_retries: int = 2
     retry_backoff_s: float = 0.001
     hedge: bool = True
@@ -115,6 +124,8 @@ class InferenceServer:
         config: Optional[ServerConfig] = None,
         telemetry=None,
         pool: Optional[WarmEnginePool] = None,
+        request_ids: Optional[Iterator[int]] = None,
+        batch_ids: Optional[Iterator[int]] = None,
     ):
         self.model = model
         self.config = config or ServerConfig()
@@ -141,21 +152,32 @@ class InferenceServer:
             quarantine_after=cfg.quarantine_after,
         )
         self.batcher = DynamicBatcher(
-            BatchPolicy(max_batch=cfg.max_batch, max_wait_s=cfg.max_wait_s),
+            BatchPolicy(
+                max_batch=cfg.max_batch,
+                max_wait_s=cfg.max_wait_s,
+                latency_max_wait_s=cfg.latency_max_wait_s,
+                latency_priority=cfg.latency_priority,
+            ),
             queue_depth=cfg.queue_depth,
             high_water=cfg.high_water,
             telemetry=self.telemetry,
         )
         self.breaker: Optional[CircuitBreaker] = None
-        if cfg.breaker is not False:
+        if isinstance(cfg.breaker, CircuitBreaker):
+            self.breaker = cfg.breaker
+        elif cfg.breaker is not False:
             policy = cfg.breaker if isinstance(cfg.breaker, BreakerPolicy) else None
             self.breaker = CircuitBreaker(policy, telemetry=self.telemetry)
         #: Hedging needs the pool's safe numpy spare — single-engine conv only.
         self._can_hedge = (
             cfg.hedge and model.kind == "conv" and cfg.batch_shards == 1
         )
-        self._ids = itertools.count()
-        self._batch_ids = itertools.count()
+        # ``request_ids``/``batch_ids`` let a fleet share one global ID
+        # stream across every per-chip server, keeping flight
+        # ``chain(request_id)`` lookups and batch-event correlation
+        # unambiguous fleet-wide (``next`` on itertools.count is atomic).
+        self._ids = request_ids if request_ids is not None else itertools.count()
+        self._batch_ids = batch_ids if batch_ids is not None else itertools.count()
         self._workers: List[threading.Thread] = []
         self._num_workers = 0
         self._started = False

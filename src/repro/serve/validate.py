@@ -1,0 +1,193 @@
+"""Fleet bench report schema + validation CLI (the verify.sh gate).
+
+``BENCH_fleet.json`` carries the fleet's three headline claims — near-
+linear throughput scaling at matched p99, a >=90% cache-affinity hit
+rate on a skewed shape mix, and a zero-wrong-answer audit against the
+single-chip server.  :func:`validate_fleet_report` checks the shape *and*
+the claims, so a regressed bench cannot be silently committed;
+``python -m repro.serve.validate benchmarks/BENCH_fleet.json`` is the
+``fleet`` stage's gate in ``scripts/verify.sh``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, Dict, List
+
+#: Schema tag stamped on fleet bench reports.
+FLEET_SCHEMA = "repro.fleet/v1"
+
+#: Acceptance bars (the ISSUE's headline numbers).
+MIN_SCALING_4CHIP = 3.0
+MAX_P99_RATIO = 1.25
+MIN_AFFINITY_HIT_RATE = 0.90
+
+_ROW_KEYS = {
+    "chips": int,
+    "offered_rps": float,
+    "throughput_rps": float,
+    "p50_ms": float,
+    "p99_ms": float,
+    "affinity_hit_rate": float,
+    "mean_batch": float,
+}
+
+_REAL_KEYS = {
+    "chips": int,
+    "requests": int,
+    "completed": int,
+    "wrong_answers": int,
+    "bit_identical": bool,
+    "counters_balanced": bool,
+    "affinity_hit_rate": float,
+}
+
+_DIURNAL_KEYS = {
+    "requests": int,
+    "chips": int,
+    "min_chips": int,
+    "scale_ups": int,
+    "scale_parks": int,
+    "mean_active_chips": float,
+    "p99_ms": float,
+    "static_p99_ms": float,
+}
+
+
+def _check_keys(
+    payload: Dict[str, Any], spec: Dict[str, type], where: str,
+    violations: List[str],
+) -> bool:
+    ok = True
+    for key, kind in spec.items():
+        if key not in payload:
+            violations.append(f"{where}: missing key {key!r}")
+            ok = False
+            continue
+        value = payload[key]
+        if kind is float:
+            good = isinstance(value, (int, float)) and not isinstance(value, bool)
+        elif kind is int:
+            good = isinstance(value, int) and not isinstance(value, bool)
+        else:
+            good = isinstance(value, kind)
+        if not good:
+            violations.append(
+                f"{where}: {key} should be {kind.__name__}, "
+                f"got {type(value).__name__}"
+            )
+            ok = False
+    return ok
+
+
+def validate_fleet_report(payload: Dict[str, Any]) -> List[str]:
+    """Every violation of the fleet bench schema + acceptance bars."""
+    violations: List[str] = []
+    if payload.get("schema") != FLEET_SCHEMA:
+        violations.append(
+            f"schema is {payload.get('schema')!r}, expected {FLEET_SCHEMA!r}"
+        )
+        return violations
+    rows = payload.get("rows")
+    if not isinstance(rows, list) or not rows:
+        violations.append("rows must be a non-empty list")
+    else:
+        prev_chips = 0
+        for i, row in enumerate(rows):
+            if not isinstance(row, dict):
+                violations.append(f"rows[{i}] is not an object")
+                continue
+            if _check_keys(row, _ROW_KEYS, f"rows[{i}]", violations):
+                if row["chips"] <= prev_chips:
+                    violations.append(
+                        f"rows[{i}]: chips not strictly increasing"
+                    )
+                prev_chips = max(prev_chips, row["chips"])
+                if row["throughput_rps"] <= 0:
+                    violations.append(f"rows[{i}]: non-positive throughput")
+    for key in ("scaling_4chip", "p99_ratio_4v1", "affinity_hit_rate"):
+        value = payload.get(key)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            violations.append(f"{key} must be a number, got {value!r}")
+    if not violations:
+        if payload["scaling_4chip"] < MIN_SCALING_4CHIP:
+            violations.append(
+                f"scaling_4chip {payload['scaling_4chip']:.2f} < "
+                f"{MIN_SCALING_4CHIP} (fleet throughput not >=3x at 4 chips)"
+            )
+        if payload["p99_ratio_4v1"] > MAX_P99_RATIO:
+            violations.append(
+                f"p99_ratio_4v1 {payload['p99_ratio_4v1']:.2f} > "
+                f"{MAX_P99_RATIO} (p99 not matched across chip counts)"
+            )
+        if payload["affinity_hit_rate"] < MIN_AFFINITY_HIT_RATE:
+            violations.append(
+                f"affinity_hit_rate {payload['affinity_hit_rate']:.3f} < "
+                f"{MIN_AFFINITY_HIT_RATE}"
+            )
+    real = payload.get("real_fleet")
+    if not isinstance(real, dict):
+        violations.append("real_fleet section missing")
+    elif _check_keys(real, _REAL_KEYS, "real_fleet", violations):
+        if real["wrong_answers"] != 0:
+            violations.append(
+                f"real_fleet recorded {real['wrong_answers']} wrong answer(s)"
+            )
+        if not real["bit_identical"]:
+            violations.append(
+                "real_fleet outputs not bit-identical to the single-chip server"
+            )
+        if not real["counters_balanced"]:
+            violations.append("real_fleet counters do not balance")
+        if real["completed"] < 1:
+            violations.append("real_fleet completed no requests")
+        if real["affinity_hit_rate"] < MIN_AFFINITY_HIT_RATE:
+            violations.append(
+                f"real_fleet affinity_hit_rate "
+                f"{real['affinity_hit_rate']:.3f} < {MIN_AFFINITY_HIT_RATE}"
+            )
+    diurnal = payload.get("diurnal")
+    if not isinstance(diurnal, dict):
+        violations.append("diurnal section missing")
+    elif _check_keys(diurnal, _DIURNAL_KEYS, "diurnal", violations):
+        if diurnal["scale_ups"] < 1:
+            violations.append("diurnal autoscaler never scaled up")
+        if diurnal["scale_parks"] < 1:
+            violations.append("diurnal autoscaler never parked a chip")
+        if not (
+            diurnal["min_chips"]
+            <= diurnal["mean_active_chips"]
+            <= diurnal["chips"]
+        ):
+            violations.append(
+                f"diurnal mean_active_chips {diurnal['mean_active_chips']:.2f} "
+                f"outside [{diurnal['min_chips']}, {diurnal['chips']}]"
+            )
+    return violations
+
+
+def main(argv: List[str]) -> int:
+    if len(argv) != 1:
+        print("usage: python -m repro.serve.validate <BENCH_fleet.json>")
+        return 2
+    with open(argv[0]) as fh:
+        payload = json.load(fh)
+    violations = validate_fleet_report(payload)
+    if violations:
+        print(f"{argv[0]}: INVALID ({len(violations)} violation(s))")
+        for violation in violations:
+            print(f"  {violation}")
+        return 1
+    print(
+        f"{argv[0]}: valid fleet report "
+        f"(scaling {payload['scaling_4chip']:.2f}x at 4 chips, "
+        f"p99 ratio {payload['p99_ratio_4v1']:.2f}, "
+        f"affinity {payload['affinity_hit_rate'] * 100:.1f}%, "
+        f"0 wrong answers)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -47,6 +47,7 @@ GLOBAL_KINDS = (
     "engine.degraded",
     "engine.quarantined",
     "engine.rebuilt",
+    "fleet.scale",
 )
 
 #: The typed vocabulary (documented in docs/observability.md).  record()
@@ -54,6 +55,8 @@ GLOBAL_KINDS = (
 EVENT_KINDS = frozenset(
     GLOBAL_KINDS
     + (
+        # fleet front door (request-scoped: which chip, and why)
+        "route.decide",
         # serve request lifecycle
         "request.submit",
         "request.shed",

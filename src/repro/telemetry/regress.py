@@ -198,6 +198,27 @@ def _extract_chaos_serve(payload: Dict[str, Any]) -> List[BenchMetric]:
     ]
 
 
+def _extract_fleet(payload: Dict[str, Any]) -> List[BenchMetric]:
+    real = payload["real_fleet"]
+    return [
+        BenchMetric(
+            "fleet.scaling_4chip", payload["scaling_4chip"], HIGHER, rel_tol=0.10
+        ),
+        BenchMetric(
+            "fleet.p99_ratio_4v1", payload["p99_ratio_4v1"], LOWER, rel_tol=0.25
+        ),
+        BenchMetric(
+            "fleet.affinity_hit_rate",
+            payload["affinity_hit_rate"],
+            HIGHER,
+            abs_tol=0.02,
+        ),
+        BenchMetric("fleet.wrong_answers", real["wrong_answers"], LOWER),
+        _bool_metric("fleet.bit_identical", real["bit_identical"]),
+        _bool_metric("fleet.counters_balanced", real["counters_balanced"]),
+    ]
+
+
 def _extract_algos(payload: Dict[str, Any]) -> List[BenchMetric]:
     best = max(row["speedup_vs_direct"] for row in payload["rows"])
     return [
@@ -237,6 +258,7 @@ EXTRACTORS: Dict[str, Callable[[Dict[str, Any]], List[BenchMetric]]] = {
     "BENCH_telemetry.json": _extract_telemetry,
     "BENCH_serve.json": _extract_serve,
     "BENCH_chaos_serve.json": _extract_chaos_serve,
+    "BENCH_fleet.json": _extract_fleet,
     "BENCH_algos.json": _extract_algos,
     "BENCH_dataparallel.json": _extract_dataparallel,
 }
